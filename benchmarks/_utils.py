@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one experiment of EXPERIMENTS.md: it builds
+the workload, runs the algorithm(s) once inside ``benchmark.pedantic`` (the
+experiment *is* the thing being timed; statistical repetition happens inside
+the experiment via its own trials), prints the result table that
+EXPERIMENTS.md quotes, and attaches the aggregated rows to
+``benchmark.extra_info`` so they are preserved in the pytest-benchmark JSON
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.evaluation import format_table
+
+__all__ = ["run_experiment", "print_table"]
+
+
+def print_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render and print an experiment table; returns the rendered string."""
+    rendered = format_table(columns, rows, title=title)
+    print("\n" + rendered + "\n")
+    return rendered
+
+
+def run_experiment(
+    benchmark,
+    experiment: Callable[[], dict[str, Any]],
+    *,
+    title: str,
+) -> dict[str, Any]:
+    """Run ``experiment`` exactly once under pytest-benchmark timing.
+
+    ``experiment`` returns a dictionary with (at least) ``columns`` and
+    ``rows``; the table is printed and stored in ``extra_info``.
+    """
+    result_holder: dict[str, Any] = {}
+
+    def target() -> None:
+        result_holder.update(experiment())
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    table = print_table(title, result_holder["columns"], result_holder["rows"])
+    benchmark.extra_info["table"] = table
+    for key, value in result_holder.items():
+        if key not in ("columns", "rows"):
+            benchmark.extra_info[key] = value
+    return result_holder

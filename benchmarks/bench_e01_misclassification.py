@@ -1,0 +1,56 @@
+"""E1 — Theorem 1.1(1): the number of misclassified nodes is o(n).
+
+Workload: cycle-of-cliques and balanced SBM instances with k ∈ {2, 4} and a
+sweep of n.  For each instance the algorithm runs with the parameters of
+Theorem 1.1 (β = true balance, T from the spectrum) and we record the
+misclassification *fraction*; the o(n) claim predicts the fraction shrinks
+as n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, CentralizedClustering
+from repro.graphs import cycle_of_cliques, planted_partition
+
+from _utils import run_experiment
+
+TRIALS = 3
+
+
+def _error(instance, seed: int) -> float:
+    params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+    result = CentralizedClustering(instance.graph, params, seed=seed).run(keep_loads=False)
+    return result.error_against(instance.partition)
+
+
+def _experiment() -> dict:
+    rows = []
+    # Family 1: cycle of cliques, k = 4, growing clique size.
+    for clique_size in (15, 25, 40):
+        instance = cycle_of_cliques(4, clique_size, seed=clique_size)
+        errors = [_error(instance, 100 + t) for t in range(TRIALS)]
+        rows.append(
+            ["cycle_of_cliques", 4, instance.graph.n, float(np.mean(errors)), float(np.max(errors))]
+        )
+    # Family 2: balanced planted partition, k = 2, growing n.
+    for n in (100, 200, 400):
+        instance = planted_partition(n, 2, 0.30, 0.02, seed=n, ensure_connected=True)
+        errors = [_error(instance, 200 + t) for t in range(TRIALS)]
+        rows.append(["planted_partition", 2, n, float(np.mean(errors)), float(np.max(errors))])
+    return {
+        "columns": ["family", "k", "n", "mean_error", "max_error"],
+        "rows": rows,
+        "trend_decreasing": rows[0][3] >= rows[2][3] or rows[3][3] >= rows[5][3],
+    }
+
+
+def test_e01_misclassification_vanishes(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title="E1: misclassification fraction vs n (Theorem 1.1(1))"
+    )
+    rows = result["rows"]
+    # The largest instances of both families should be solved with low error.
+    assert rows[2][3] <= 0.05, "cycle-of-cliques error should be small at the largest size"
+    assert rows[5][3] <= 0.15, "planted-partition error should be small at the largest size"

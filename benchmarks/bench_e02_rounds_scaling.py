@@ -1,0 +1,80 @@
+"""E2 — Theorem 1.1: T = Θ(log n / (1 - λ_{k+1})) rounds suffice.
+
+Workload: cycle-of-cliques instances of growing size.  For each instance we
+measure the *empirical* number of rounds needed to reach ≤ 5 % error
+(binary-searching over T with fresh randomness per probe) and compare it to
+``log n / (1 - λ_{k+1})``: the ratio should stay bounded as n grows (that is
+the Θ).  The table also reports the calibrated prescription (constant 16)
+used as the library default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, CentralizedClustering
+from repro.graphs import cluster_gap, cycle_of_cliques
+
+from _utils import run_experiment
+
+ERROR_TARGET = 0.05
+
+
+def _error_at_rounds(instance, rounds: int, seed: int) -> float:
+    params = AlgorithmParameters.from_instance(instance.graph, instance.partition).with_rounds(
+        rounds
+    )
+    result = CentralizedClustering(instance.graph, params, seed=seed).run(keep_loads=False)
+    return result.error_against(instance.partition)
+
+
+def _min_rounds(instance, *, seed: int, upper: int) -> int:
+    """Smallest T (up to `upper`) reaching the error target, by binary search."""
+    lo, hi = 1, upper
+    while lo < hi:
+        mid = (lo + hi) // 2
+        err = np.mean([_error_at_rounds(instance, mid, seed + t) for t in range(2)])
+        if err <= ERROR_TARGET:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _experiment() -> dict:
+    rows = []
+    for clique_size in (15, 25, 40):
+        instance = cycle_of_cliques(4, clique_size, seed=clique_size)
+        graph = instance.graph
+        gap = cluster_gap(graph, 4)
+        scale = np.log(graph.n) / gap
+        default_T = AlgorithmParameters.from_instance(graph, instance.partition).rounds
+        measured = _min_rounds(instance, seed=11, upper=4 * default_T)
+        rows.append(
+            [
+                graph.n,
+                round(gap, 4),
+                round(scale, 1),
+                measured,
+                round(measured / scale, 2),
+                default_T,
+            ]
+        )
+    ratios = [row[4] for row in rows]
+    return {
+        "columns": ["n", "1-lambda_{k+1}", "log n / gap", "measured_T(5%)", "ratio", "default_T"],
+        "rows": rows,
+        "ratio_spread": float(max(ratios) / max(min(ratios), 1e-9)),
+    }
+
+
+def test_e02_round_scaling(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title="E2: rounds to 5% error vs Θ(log n / (1 - λ_{k+1}))"
+    )
+    # The measured/theoretical ratio should stay within a constant band (Θ):
+    # allow a generous factor-4 spread across the sweep.
+    assert result["ratio_spread"] <= 4.0
+    # The library default T must be at least the measured requirement.
+    for row in result["rows"]:
+        assert row[5] >= row[3]

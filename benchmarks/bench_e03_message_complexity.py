@@ -1,0 +1,69 @@
+"""E3 — Theorem 1.1(2): message complexity O(T·n·k·log k) words, ≤ ⌊n/2⌋ matched edges/round.
+
+Workload: the distributed (message-passing) implementation on
+cycle-of-cliques instances of growing size, with exact word accounting from
+the simulator.  Reported per instance:
+
+* measured total words vs the bound ``T · n · k · log₂ k``,
+* the maximum number of matched edges in any round vs ``⌊n/2⌋``,
+* words per node (the quantity that should stay poly-logarithmic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.graphs import cycle_of_cliques
+
+from _utils import run_experiment
+
+
+def _experiment() -> dict:
+    rows = []
+    for clique_size in (10, 15, 20):
+        instance = cycle_of_cliques(4, clique_size, seed=clique_size)
+        graph, truth = instance.graph, instance.partition
+        params = AlgorithmParameters.from_instance(graph, truth)
+        result = DistributedClustering(graph, params, seed=3).run()
+        k = truth.k
+        bound = params.rounds * graph.n * k * max(np.log2(k), 1.0)
+        matched = result.diagnostics["matched_edges_per_round"]
+        rows.append(
+            [
+                graph.n,
+                params.rounds,
+                result.total_words(),
+                int(bound),
+                round(result.total_words() / bound, 3),
+                max(matched) if matched else 0,
+                graph.n // 2,
+                round(result.total_words() / graph.n, 1),
+                round(result.error_against(truth), 3),
+            ]
+        )
+    return {
+        "columns": [
+            "n",
+            "T",
+            "measured_words",
+            "bound_TnklogK",
+            "measured/bound",
+            "max_matched_edges",
+            "n//2",
+            "words_per_node",
+            "error",
+        ],
+        "rows": rows,
+    }
+
+
+def test_e03_message_complexity(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title="E3: message complexity vs O(T·n·k·log k) (Theorem 1.1(2))"
+    )
+    for row in result["rows"]:
+        measured_over_bound = row[4]
+        max_matched, half_n = row[5], row[6]
+        assert measured_over_bound <= 1.5, "measured words should be within the stated bound"
+        assert max_matched <= half_n, "a matching never uses more than ⌊n/2⌋ edges"

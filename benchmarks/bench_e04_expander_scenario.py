@@ -1,0 +1,58 @@
+"""E4 — the Section 1.2 scenario: k = Θ(1) expander clusters.
+
+Workload: rings of random-regular expanders with constant k = 3, growing n.
+The paper claims that for this family the algorithm finishes in O(log n)
+rounds with message complexity O(n log n).  We run the distributed
+implementation at the prescribed T and report rounds / log n and
+words / (n log n); both ratios should stay bounded as n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.graphs import ring_of_expanders
+
+from _utils import run_experiment
+
+
+def _experiment() -> dict:
+    rows = []
+    for cluster_size in (20, 30, 45):
+        instance = ring_of_expanders(3, cluster_size, 8, seed=cluster_size)
+        graph, truth = instance.graph, instance.partition
+        params = AlgorithmParameters.from_instance(graph, truth)
+        result = DistributedClustering(graph, params, seed=9).run()
+        log_n = np.log(graph.n)
+        rows.append(
+            [
+                graph.n,
+                params.rounds,
+                round(params.rounds / log_n, 2),
+                result.total_words(),
+                round(result.total_words() / (graph.n * log_n), 2),
+                round(result.error_against(truth), 3),
+            ]
+        )
+    round_ratios = [row[2] for row in rows]
+    word_ratios = [row[4] for row in rows]
+    return {
+        "columns": ["n", "T", "T / log n", "words", "words / (n log n)", "error"],
+        "rows": rows,
+        "round_ratio_spread": float(max(round_ratios) / min(round_ratios)),
+        "word_ratio_spread": float(max(word_ratios) / min(word_ratios)),
+    }
+
+
+def test_e04_expander_scenario(benchmark):
+    result = run_experiment(
+        benchmark,
+        _experiment,
+        title="E4: k=Θ(1) expander clusters — O(log n) rounds, O(n log n) words (Section 1.2)",
+    )
+    # Θ(·) claims: the normalised ratios should stay within a constant band.
+    assert result["round_ratio_spread"] <= 4.0
+    assert result["word_ratio_spread"] <= 4.0
+    for row in result["rows"]:
+        assert row[5] <= 0.15, "accuracy should stay high across the sweep"

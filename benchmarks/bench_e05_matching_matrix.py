@@ -1,0 +1,65 @@
+"""E5 — Lemma 2.1: E[M(t)] = (1 - d̄/4)·I + (d̄/4)·P and M(t) is a projection.
+
+Workload: a d-regular connected-caveman graph.  We Monte-Carlo estimate
+E[M(t)] from the matching protocol and report the maximum entrywise error
+against the closed form for an increasing number of samples (the error should
+shrink like 1/√samples), plus a projection/double-stochasticity check on
+individual samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import connected_caveman
+from repro.loadbalancing import (
+    empirical_expected_matching_matrix,
+    expected_matching_matrix,
+    is_doubly_stochastic,
+    is_projection_matrix,
+    matching_matrix,
+    sample_random_matching,
+)
+
+from _utils import run_experiment
+
+
+def _experiment() -> dict:
+    instance = connected_caveman(4, 12)  # 11-regular, n = 48
+    graph = instance.graph
+    theoretical = expected_matching_matrix(graph, sparse=False)
+    rng = np.random.default_rng(0)
+
+    # Structural checks on individual samples.
+    projection_ok = True
+    stochastic_ok = True
+    for _ in range(50):
+        partner = sample_random_matching(graph, rng)
+        m = matching_matrix(graph.n, partner, sparse=False)
+        projection_ok &= is_projection_matrix(m)
+        stochastic_ok &= is_doubly_stochastic(m)
+
+    rows = []
+    for samples in (250, 1000, 4000):
+        empirical = empirical_expected_matching_matrix(graph, samples, seed=samples)
+        max_err = float(np.abs(empirical - theoretical).max())
+        rows.append([samples, round(max_err, 5), round(max_err * np.sqrt(samples), 3)])
+    return {
+        "columns": ["samples", "max_abs_error", "error*sqrt(samples)"],
+        "rows": rows,
+        "projection_ok": projection_ok,
+        "stochastic_ok": stochastic_ok,
+        "errors": [row[1] for row in rows],
+    }
+
+
+def test_e05_matching_matrix(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title="E5: Monte-Carlo E[M(t)] vs Lemma 2.1 closed form"
+    )
+    assert result["projection_ok"], "every sampled M(t) must be a projection (Lemma 2.1(2))"
+    assert result["stochastic_ok"], "every sampled M(t) must be doubly stochastic"
+    errors = result["errors"]
+    # Error decreases with the sample count and is small at the largest count.
+    assert errors[-1] < errors[0]
+    assert errors[-1] < 0.02

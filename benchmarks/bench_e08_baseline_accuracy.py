@@ -1,0 +1,79 @@
+"""E8 — accuracy against the related-work baselines (Section 1.3).
+
+Workload: planted-partition graphs with a sweep of the inter-cluster edge
+probability q (harder as q grows).  We compare the paper's algorithm with
+centralised spectral clustering, the Becchetti et al. averaging dynamics,
+Kempe–McSherry decentralised spectral, label propagation, the multilevel
+partitioner and PageRank–Nibble local clustering, all on the same instances.
+
+Expected shape (recorded in EXPERIMENTS.md): on well-clustered inputs the
+paper's algorithm matches the centralised methods; as q grows the gap Υ
+shrinks and all methods degrade, with the local/1-shot heuristics degrading
+first.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AveragingDynamics,
+    DecentralizedOrthogonalIteration,
+    LabelPropagation,
+    LocalClustering,
+    MultilevelPartitioner,
+    SpectralClustering,
+)
+from repro.evaluation import (
+    evaluate_baseline,
+    evaluate_load_balancing_clustering,
+    run_trials,
+    sweep,
+)
+from repro.graphs import planted_partition
+
+from _utils import run_experiment
+
+N, K, P_IN = 240, 3, 0.30
+Q_VALUES = (0.01, 0.04)
+TRIALS = 3
+
+
+def _experiment() -> dict:
+    instances = list(
+        sweep(
+            Q_VALUES,
+            lambda q: planted_partition(N, K, P_IN, q, seed=int(q * 10_000), ensure_connected=True),
+            key="q",
+        )
+    )
+    algorithms = {
+        "load-balancing (ours)": evaluate_load_balancing_clustering(),
+        "spectral": evaluate_baseline(SpectralClustering()),
+        "averaging-dynamics": evaluate_baseline(AveragingDynamics()),
+        "kempe-mcsherry": evaluate_baseline(
+            DecentralizedOrthogonalIteration(exact_aggregation=True)
+        ),
+        "label-propagation": evaluate_baseline(LabelPropagation()),
+        "multilevel": evaluate_baseline(MultilevelPartitioner()),
+        "local-ppr": evaluate_baseline(LocalClustering()),
+    }
+    result = run_trials(instances, algorithms, trials=TRIALS, base_seed=5)
+    aggregated = result.aggregated(["q", "algorithm"])
+    columns = ["q", "algorithm", "error", "ari", "nmi", "rounds"]
+    rows = [[row.get(c, "") for c in columns] for row in sorted(aggregated, key=lambda r: (r["q"], r["algorithm"]))]
+    ours = {row["q"]: row["error"] for row in aggregated if row["algorithm"] == "load-balancing (ours)"}
+    spectral = {row["q"]: row["error"] for row in aggregated if row["algorithm"] == "spectral"}
+    return {"columns": columns, "rows": rows, "ours": ours, "spectral": spectral}
+
+
+def test_e08_baseline_accuracy(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title=f"E8: accuracy vs baselines (planted partition, n={N}, k={K})"
+    )
+    ours, spectral = result["ours"], result["spectral"]
+    # On the easy instance the paper's algorithm is competitive with
+    # centralised spectral clustering: within ~12 percentage points at this
+    # finite size (the o(n) guarantee leaves a non-trivial constant-factor
+    # slack at n = 240, dominated by seeding variance and threshold margins).
+    easy_q = min(ours)
+    assert ours[easy_q] <= spectral[easy_q] + 0.12
+    assert ours[easy_q] <= 0.12

@@ -1,0 +1,87 @@
+"""E9 — communication cost vs the distributed competitors (Section 1.3).
+
+The paper's key systems argument: the matching model touches at most ⌊n/2⌋
+edges per round, whereas the Becchetti et al. dynamics exchanges a value over
+*every* edge in *every* round (cost growing with density) and Kempe–McSherry
+pays a push-sum whose length is the global mixing time.  Workload: planted
+partitions of fixed n with growing internal density; we report words per
+round and total words for the three distributed methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import AveragingDynamics, DecentralizedOrthogonalIteration
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.graphs import planted_partition
+
+from _utils import run_experiment
+
+N, K = 150, 3
+
+
+def _experiment() -> dict:
+    rows = []
+    ratios = []
+    for p_in in (0.2, 0.4, 0.6):
+        instance = planted_partition(N, K, p_in, 0.01, seed=int(p_in * 100), ensure_connected=True)
+        graph, truth = instance.graph, instance.partition
+        params = AlgorithmParameters.from_instance(graph, truth)
+
+        ours = DistributedClustering(graph, params, seed=4).run()
+        ours_words = ours.total_words()
+        ours_per_round = ours_words / max(ours.rounds, 1)
+
+        becchetti = AveragingDynamics().cluster(graph, K, seed=4)
+        becchetti_per_round = becchetti.words / max(becchetti.rounds, 1)
+
+        kempe = DecentralizedOrthogonalIteration(exact_aggregation=True).cluster(graph, K, seed=4)
+        kempe_per_round = kempe.words / max(kempe.rounds, 1)
+
+        rows.append(
+            [
+                round(p_in, 2),
+                graph.num_edges,
+                int(ours_per_round),
+                int(becchetti_per_round),
+                int(kempe_per_round),
+                int(ours_words),
+                int(becchetti.words),
+                int(kempe.words),
+                round(ours.error_against(truth), 3),
+            ]
+        )
+        ratios.append(becchetti_per_round / ours_per_round)
+    return {
+        "columns": [
+            "p_in",
+            "m",
+            "ours words/round",
+            "becchetti words/round",
+            "kempe words/round",
+            "ours total",
+            "becchetti total",
+            "kempe total",
+            "ours error",
+        ],
+        "rows": rows,
+        "becchetti_over_ours_per_round": ratios,
+    }
+
+
+def test_e09_communication(benchmark):
+    result = run_experiment(
+        benchmark,
+        _experiment,
+        title="E9: per-round and total communication vs distributed baselines",
+    )
+    ratios = result["becchetti_over_ours_per_round"]
+    # The all-neighbour dynamics costs more per round than the matching model,
+    # and its advantage *grows* with density (the paper's argument).
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    # The matching model's per-round cost is bounded by ~s̄ words per matched
+    # edge times n/2 edges, independent of the number of edges m.
+    per_round = [row[2] for row in result["rows"]]
+    assert max(per_round) <= 4.0 * np.median(per_round)

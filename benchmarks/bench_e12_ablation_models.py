@@ -1,0 +1,62 @@
+"""E12 — ablation of the averaging substrate.
+
+DESIGN.md calls out the averaging substrate as the main design choice worth
+ablating: the paper uses the random matching model for its low communication
+cost and full decentralisation, but the clustering mechanism itself only
+needs *some* averaging process with the right early behaviour.  We swap the
+substrate (random matching / greedy maximal matching / diffusion /
+dimension exchange) inside the otherwise identical algorithm and report
+accuracy and per-round communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, CentralizedClustering
+from repro.graphs import ring_of_expanders
+from repro.loadbalancing import make_averaging_model
+
+from _utils import run_experiment
+
+TRIALS = 2
+MODELS = ("random-matching", "maximal-matching", "diffusion", "dimension-exchange")
+
+
+def _experiment() -> dict:
+    instance = ring_of_expanders(3, 30, 8, seed=7)
+    graph, truth = instance.graph, instance.partition
+    params = AlgorithmParameters.from_instance(graph, truth)
+    rows = []
+    errors = {}
+    for name in MODELS:
+        model_errors = []
+        comm = None
+        for trial in range(TRIALS):
+            model = make_averaging_model(name, graph)
+            result = CentralizedClustering(
+                graph, params, seed=60 + trial, averaging_model=model
+            ).run(keep_loads=False)
+            model_errors.append(result.error_against(truth))
+            comm = model.communication_per_round(result.num_seeds)
+        errors[name] = float(np.mean(model_errors))
+        rows.append([name, round(errors[name], 3), int(comm), params.rounds])
+    return {
+        "columns": ["averaging model", "mean error", "words/round (s dims)", "rounds"],
+        "rows": rows,
+        "errors": errors,
+    }
+
+
+def test_e12_ablation_models(benchmark):
+    result = run_experiment(
+        benchmark, _experiment, title="E12: averaging-substrate ablation (accuracy vs communication)"
+    )
+    errors = result["errors"]
+    # The paper's substrate solves the instance...
+    assert errors["random-matching"] <= 0.10
+    # ...and the more synchronised / more expensive substrates are at least as
+    # accurate at the same T (they mix faster), which is exactly the trade-off
+    # the ablation is meant to exhibit.
+    assert errors["diffusion"] <= errors["random-matching"] + 0.05
+    assert errors["maximal-matching"] <= errors["random-matching"] + 0.05

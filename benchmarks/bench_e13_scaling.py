@@ -1,0 +1,67 @@
+"""E13 — near-linear total work of the centralised simulation (Section 1.2).
+
+The paper remarks that the non-distributed version of the algorithm runs in
+O(n log n) time given a random-neighbour oracle.  Our centralised
+implementation's work per round is O(n + matched pairs)·s; this benchmark
+measures wall-clock time for a sweep of n (with everything else held
+proportional) and checks that time/(n log n · s) stays within a constant
+band — i.e. no super-linear blow-up hides in the implementation.
+
+This is the one benchmark where the *timing* is the result; it uses
+``benchmark`` directly on the largest instance and reports the sweep in the
+extra-info table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, CentralizedClustering
+from repro.graphs import cycle_of_cliques
+
+from _utils import print_table
+
+
+def _run_once(instance, seed: int) -> float:
+    params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+    start = time.perf_counter()
+    CentralizedClustering(instance.graph, params, seed=seed).run(keep_loads=False)
+    return time.perf_counter() - start
+
+
+def test_e13_scaling(benchmark):
+    sizes = (10, 20, 40)  # clique sizes -> n = 80, 160, 320
+    rows = []
+    normalised = []
+    instances = {}
+    for clique_size in sizes:
+        instance = cycle_of_cliques(8, clique_size, seed=clique_size)
+        instances[clique_size] = instance
+        elapsed = min(_run_once(instance, seed=3) for _ in range(2))
+        n = instance.graph.n
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        scale = n * np.log(n) * params.expected_seeds
+        rows.append([n, params.rounds, round(elapsed, 4), round(1e6 * elapsed / scale, 3)])
+        normalised.append(elapsed / scale)
+
+    table = print_table(
+        "E13: wall-clock of the centralised algorithm vs n log n (work model)",
+        ["n", "T", "seconds", "seconds / (n·log n·s̄) ×1e6"],
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # Timed target for pytest-benchmark: the largest instance.
+    largest = instances[sizes[-1]]
+    params = AlgorithmParameters.from_instance(largest.graph, largest.partition)
+    benchmark.pedantic(
+        lambda: CentralizedClustering(largest.graph, params, seed=3).run(keep_loads=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The normalised cost may drift by a constant factor (cache effects,
+    # eigen-solver differences) but must not explode with n.
+    assert max(normalised) <= 6.0 * min(normalised)

@@ -1,0 +1,15 @@
+"""Benchmark suite configuration.
+
+Benchmarks are experiments, not micro-benchmarks: each is executed exactly
+once (see ``_utils.run_experiment``) and prints the table recorded in
+EXPERIMENTS.md.  ``-s``-less runs still show the tables because pytest
+captures and replays output for failed tests only; use ``pytest benchmarks/
+--benchmark-only -s`` to see the tables live.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_utils` module importable regardless of how pytest sets
+# up rootdir/importmode for the benchmarks directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The Section 4.5 extension: clustering almost-regular graphs.
+
+Generates a clustered graph whose node degrees vary by a bounded factor,
+then compares
+
+* the plain algorithm (which implicitly assumes regularity), and
+* the degree-capped variant of Section 4.5 (equivalent to adding
+  ``D - d_v`` self-loops so that every node behaves as if it had degree
+  ``D``),
+
+for a sweep of degree heterogeneity.  The degree-capped variant keeps the
+matching unbiased, which matters most when the degree ratio grows.
+
+Run with::
+
+    python examples/almost_regular_graphs.py
+"""
+
+from __future__ import annotations
+
+from repro.core import AlgorithmParameters, AlmostRegularClustering, CentralizedClustering
+from repro.graphs import almost_regular_clustered_graph
+
+
+def main() -> None:
+    print(f"{'d_min..d_max':>14} {'Δ/δ':>6} {'plain error':>12} {'degree-capped error':>20}")
+    for d_min, d_max in [(8, 8), (6, 12), (4, 16)]:
+        instance = almost_regular_clustered_graph(
+            k=3, cluster_size=40, d_min=d_min, d_max=d_max, seed=d_max
+        )
+        graph, truth = instance.graph, instance.partition
+        params = AlgorithmParameters.from_instance(graph, truth)
+
+        plain = CentralizedClustering(graph, params, seed=5).run(keep_loads=False)
+        capped = AlmostRegularClustering(graph, params, seed=5).run(keep_loads=False)
+
+        print(
+            f"{f'{d_min}..{d_max}':>14} {graph.degree_ratio():>6.2f} "
+            f"{plain.error_against(truth):>12.3f} {capped.error_against(truth):>20.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Message-passing implementation vs. the centralised matrix implementation.
+
+Section 3.1 of the paper gives the algorithm as a message-passing protocol;
+Section 3.2 re-reads it as a multi-dimensional load-balancing process.  This
+example runs both implementations on the same instance and shows:
+
+* both recover the planted partition,
+* the distributed run's *exact* communication accounting (messages, words,
+  matched edges per round) versus the Theorem 1.1(2) bound ``O(T·n·k·log k)``,
+* that at most ``⌊n/2⌋`` edges are matched in any round.
+
+Run with::
+
+    python examples/distributed_vs_centralized.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, CentralizedClustering, DistributedClustering
+from repro.graphs import ring_of_expanders
+
+
+def main() -> None:
+    instance = ring_of_expanders(k=3, cluster_size=40, d=8, seed=0)
+    graph, truth = instance.graph, instance.partition
+    params = AlgorithmParameters.from_instance(graph, truth)
+    print(f"instance: {graph}")
+    print(f"parameters: T={params.rounds}, s̄={params.num_seeding_trials}, β={params.beta:.3f}")
+
+    central = CentralizedClustering(graph, params, seed=11).run()
+    print(
+        f"\ncentralised : error={central.error_against(truth):.3f} "
+        f"seeds={central.num_seeds} rounds={central.rounds}"
+    )
+
+    distributed = DistributedClustering(graph, params, seed=11).run()
+    comm = distributed.communication
+    print(
+        f"distributed : error={distributed.error_against(truth):.3f} "
+        f"seeds={distributed.num_seeds} rounds={distributed.rounds}"
+    )
+    print(
+        f"communication: {comm.total_messages} messages, {comm.total_words} words "
+        f"({comm.total_words / graph.n:.1f} words per node)"
+    )
+
+    k = truth.k
+    bound = params.rounds * graph.n * k * max(np.log2(k), 1.0)
+    print(f"Theorem 1.1(2) bound T·n·k·log k = {bound:,.0f} words (measured is well below)")
+
+    matched = distributed.diagnostics["matched_edges_per_round"]
+    print(
+        f"matched edges per round: max={max(matched)} "
+        f"(paper bound ⌊n/2⌋ = {graph.n // 2}), mean={np.mean(matched):.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

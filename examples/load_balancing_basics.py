@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The load-balancing view: why early stopping reveals clusters.
+
+The heart of the paper is an observation about the *early* behaviour of load
+balancing (Lemma 4.1): run the 1-dimensional random-matching process from a
+single node's unit load and, after ``T = Θ(log n / (1 - λ_{k+1}))`` rounds,
+the load is almost uniform **inside the starting node's cluster** but has not
+yet leaked to the rest of the graph; only much later (at the global mixing
+time) does it flatten everywhere.
+
+This example prints, round by round, the distance of the load vector to the
+cluster indicator ``χ_{S_j}`` and to the global uniform vector, showing the
+"plateau" the algorithm exploits.
+
+Run with::
+
+    python examples/load_balancing_basics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import cycle_of_cliques, theoretical_round_count
+from repro.loadbalancing import LoadBalancingProcess
+
+
+def main() -> None:
+    instance = cycle_of_cliques(k=4, clique_size=25, seed=0)
+    graph, truth = instance.graph, instance.partition
+    start = 0
+    cluster = truth.cluster(truth.label_of(start))
+    chi_cluster = np.zeros(graph.n)
+    chi_cluster[cluster] = 1.0 / cluster.size
+    uniform = np.full(graph.n, 1.0 / graph.n)
+
+    t_paper = theoretical_round_count(graph, truth.k)
+    y0 = np.zeros(graph.n)
+    y0[start] = 1.0
+    process = LoadBalancingProcess(graph, y0, seed=3)
+
+    print(f"instance: {graph};  paper round count T = {t_paper}")
+    print(f"{'round':>6} {'‖y - χ_S‖':>12} {'‖y - uniform‖':>14}")
+    checkpoints = sorted(set([0, 5, 10, 20, 40, t_paper, 2 * t_paper, 10 * t_paper, 50 * t_paper]))
+    last = 0
+    for checkpoint in checkpoints:
+        process.run(checkpoint - last)
+        last = checkpoint
+        y = process.load
+        print(
+            f"{checkpoint:>6} {np.linalg.norm(y - chi_cluster):>12.4f} "
+            f"{np.linalg.norm(y - uniform):>14.4f}"
+        )
+    print(
+        "\nAt T the load matches the cluster indicator (small left column) while"
+        "\nstill being far from globally uniform; much later the right column wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

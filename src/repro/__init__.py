@@ -1,0 +1,49 @@
+"""Reproduction of "Distributed Graph Clustering by Load Balancing" (Sun & Zanetti, SPAA 2017).
+
+Subpackages
+-----------
+``repro.graphs``
+    Graph substrate: CSR graphs, well-clustered generators, conductance,
+    spectra, partitions and the misclassification metric of Theorem 1.1.
+``repro.distsim``
+    Synchronous message-passing simulator with exact communication
+    accounting (the stand-in for the paper's processor network).
+``repro.loadbalancing``
+    The random matching model, 1-D and multi-dimensional load balancing,
+    alternative averaging substrates and empirical lemma validators.
+``repro.core``
+    The clustering algorithm itself: seeding / averaging / query procedures,
+    centralised and distributed implementations, parameters, and the
+    structure theory of the analysis.
+``repro.baselines``
+    Re-implementations of the algorithms the paper compares against
+    (spectral clustering, Becchetti et al. averaging dynamics,
+    Kempe–McSherry decentralised spectral, label propagation, multilevel
+    partitioning, PageRank–Nibble).
+``repro.evaluation``
+    Clustering metrics, repeated-trial experiment runner and table
+    formatting used by the benchmark suite.
+
+Quickstart
+----------
+>>> from repro.graphs import cycle_of_cliques
+>>> from repro.core import cluster_graph
+>>> instance = cycle_of_cliques(4, 25, seed=0)
+>>> result = cluster_graph(instance.graph, k=4, seed=1)
+>>> result.error_against(instance.partition) < 0.1
+True
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, distsim, evaluation, graphs, loadbalancing
+
+__all__ = [
+    "baselines",
+    "core",
+    "distsim",
+    "evaluation",
+    "graphs",
+    "loadbalancing",
+    "__version__",
+]

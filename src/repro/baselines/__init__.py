@@ -1,0 +1,47 @@
+"""Baseline clustering algorithms the paper compares against (Section 1.3).
+
+All baselines implement :class:`BaselineClusterer.cluster(graph, k, seed=...)`
+and return a :class:`BaselineResult`, so benchmarks can evaluate them
+uniformly alongside the paper's algorithm.
+"""
+
+from .base import BaselineClusterer, BaselineResult
+from .becchetti import AveragingDynamics, averaging_dynamics_values
+from .kempe_mcsherry import DecentralizedOrthogonalIteration, push_sum_average
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .label_propagation import LabelPropagation
+from .local import LocalClustering, approximate_personalized_pagerank, pagerank_nibble
+from .multilevel import MultilevelPartitioner, WeightedGraph
+from .spectral import SpectralClustering, spectral_embedding
+
+__all__ = [
+    "BaselineClusterer",
+    "BaselineResult",
+    "AveragingDynamics",
+    "averaging_dynamics_values",
+    "DecentralizedOrthogonalIteration",
+    "push_sum_average",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "LabelPropagation",
+    "LocalClustering",
+    "approximate_personalized_pagerank",
+    "pagerank_nibble",
+    "MultilevelPartitioner",
+    "WeightedGraph",
+    "SpectralClustering",
+    "spectral_embedding",
+]
+
+
+def all_baselines() -> list[BaselineClusterer]:
+    """The default baseline panel used by the comparison benchmarks."""
+    return [
+        SpectralClustering(),
+        AveragingDynamics(),
+        DecentralizedOrthogonalIteration(exact_aggregation=True),
+        LabelPropagation(),
+        MultilevelPartitioner(),
+        LocalClustering(),
+    ]

@@ -1,0 +1,55 @@
+"""Common interface of the baseline clustering algorithms.
+
+Every baseline implements :class:`BaselineClusterer` and returns a
+:class:`BaselineResult`, so the comparison benchmarks (E8, E9) can treat the
+paper's algorithm and all competitors uniformly.  Besides the partition, a
+result records the two cost measures the paper argues about:
+
+* ``rounds`` — number of synchronous communication rounds a distributed
+  implementation of the method would need (``0`` for inherently centralised
+  methods such as spectral clustering or multilevel partitioning);
+* ``words`` — estimated number of words exchanged by such an implementation
+  (``float('inf')``/``0`` conventions documented per baseline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition, misclassification_rate
+
+__all__ = ["BaselineResult", "BaselineClusterer"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run."""
+
+    name: str
+    partition: Partition
+    rounds: int = 0
+    words: float = 0.0
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def error_against(self, truth: Partition) -> float:
+        return misclassification_rate(self.partition, truth)
+
+
+class BaselineClusterer(ABC):
+    """A clustering algorithm with the common ``cluster(graph, k)`` interface."""
+
+    #: short name used in benchmark tables
+    name: str = "baseline"
+
+    #: whether the method is implementable as a message-passing algorithm
+    distributed: bool = False
+
+    @abstractmethod
+    def cluster(self, graph: Graph, k: int, *, seed: int | None = None) -> BaselineResult:
+        """Cluster ``graph`` into ``k`` parts."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

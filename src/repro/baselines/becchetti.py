@@ -1,0 +1,109 @@
+"""The Becchetti et al. (SODA 2017) averaging dynamics, "Find Your Place".
+
+The paper's closest distributed competitor: every node holds a real value,
+initialised to a uniform random ±1, and in **every round averages with all of
+its neighbours** (``x ← (x + P x)/2`` in the lazy variant used here).  After a
+logarithmic number of rounds the values concentrate, within each community,
+around a community-dependent mean; for two communities the *sign of the
+deviation from the global average* recovers the partition, and for ``k``
+communities one runs ``h`` independent copies of the dynamics and clusters
+the resulting ``h``-dimensional embedding.
+
+Key contrast drawn by the paper (Section 1.3): this dynamics requires every
+node to exchange a value with **all** of its neighbours in every round —
+``2m`` words per round per dimension — whereas the matching model touches at
+most ``⌊n/2⌋`` edges per round.  Benchmark E9 measures exactly this gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from .base import BaselineClusterer, BaselineResult
+from .kmeans import kmeans
+
+__all__ = ["AveragingDynamics", "averaging_dynamics_values"]
+
+
+def averaging_dynamics_values(
+    graph: Graph,
+    rounds: int,
+    *,
+    dimensions: int = 1,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    lazy: bool = True,
+) -> np.ndarray:
+    """Run the averaging dynamics for ``rounds`` rounds.
+
+    Returns the ``(n, dimensions)`` matrix of final values; each column is an
+    independent run started from i.i.d. Rademacher (±1) values.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    n = graph.n
+    x = rng.choice([-1.0, 1.0], size=(n, dimensions))
+    p = graph.random_walk_matrix(sparse=True)
+    for _ in range(rounds):
+        px = p @ x
+        x = 0.5 * (x + px) if lazy else px
+    return np.asarray(x)
+
+
+class AveragingDynamics(BaselineClusterer):
+    """Becchetti et al. style averaging dynamics baseline.
+
+    Parameters
+    ----------
+    rounds:
+        Number of averaging rounds; ``None`` uses ``ceil(c·log n)`` with
+        ``c = 10`` which matches the regime analysed by Becchetti et al. for
+        sparse clustered graphs.
+    dimensions:
+        Number of independent runs used to build the embedding for k-means
+        (``max(1, ceil(log2 k)) + 2`` by default, so that two communities use
+        the classical sign rule dimensionality).
+    """
+
+    name = "averaging-dynamics"
+    distributed = True
+
+    def __init__(self, *, rounds: int | None = None, dimensions: int | None = None):
+        self.rounds = rounds
+        self.dimensions = dimensions
+
+    def cluster(self, graph: Graph, k: int, *, seed: int | None = None) -> BaselineResult:
+        rng = np.random.default_rng(seed)
+        rounds = (
+            self.rounds
+            if self.rounds is not None
+            else max(1, int(np.ceil(10.0 * np.log(max(graph.n, 2)))))
+        )
+        dims = (
+            self.dimensions
+            if self.dimensions is not None
+            else max(1, int(np.ceil(np.log2(max(k, 2))))) + 2
+        )
+        values = averaging_dynamics_values(graph, rounds, dimensions=dims, rng=rng)
+
+        if k == 2 and dims >= 1:
+            # The original sign rule: split by deviation from the global mean
+            # of the first run.
+            deviation = values[:, 0] - values[:, 0].mean()
+            labels = (deviation >= 0).astype(np.int64)
+        else:
+            # k > 2: cluster the h-dimensional embedding, centring each column.
+            embedding = values - values.mean(axis=0, keepdims=True)
+            labels = kmeans(embedding, k, rng=rng, restarts=5).labels
+
+        # Communication: every round every edge carries `dims` values in both
+        # directions.
+        words = float(2 * graph.num_edges * dims * rounds)
+        return BaselineResult(
+            name=self.name,
+            partition=Partition.from_labels(labels),
+            rounds=rounds,
+            words=words,
+            info={"dimensions": dims},
+        )

@@ -1,0 +1,127 @@
+"""A self-contained k-means implementation (used by the spectral baselines).
+
+Implements k-means++ seeding (D² sampling) and Lloyd iterations with empty
+cluster re-seeding, entirely in NumPy.  This exists so the spectral-clustering
+and Kempe–McSherry baselines do not depend on scikit-learn (which is not
+among the allowed dependencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans_plus_plus_init", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Labels, centres and objective value of one k-means run."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ (D² weighting) initial centres."""
+    n = points.shape[0]
+    if k > n:
+        raise ValueError("cannot pick more centres than points")
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centre; pick
+            # uniformly at random.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centers[i] = points[idx]
+        dist_sq = np.sum((points - centers[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def _assign(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest centre; returns (labels, squared distances)."""
+    # (n, k) squared distances via the ||x||² - 2 x·c + ||c||² expansion.
+    sq = (
+        np.sum(points ** 2, axis=1, keepdims=True)
+        - 2.0 * points @ centers.T
+        + np.sum(centers ** 2, axis=1)[np.newaxis, :]
+    )
+    labels = np.argmin(sq, axis=1)
+    return labels, np.maximum(sq[np.arange(points.shape[0]), labels], 0.0)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+    restarts: int = 5,
+) -> KMeansResult:
+    """Run k-means++ / Lloyd with multiple restarts; returns the best run.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` data matrix.
+    k:
+        Number of clusters.
+    restarts:
+        Independent restarts; the run with the lowest inertia wins.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = rng if rng is not None else np.random.default_rng(seed)
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, restarts)):
+        centers = kmeans_plus_plus_init(points, k, rng)
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            labels, dist_sq = _assign(points, centers)
+            new_centers = np.empty_like(centers)
+            for c in range(k):
+                members = points[labels == c]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from its centre.
+                    new_centers[c] = points[int(np.argmax(dist_sq))]
+                else:
+                    new_centers[c] = members.mean(axis=0)
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift <= tolerance:
+                converged = True
+                break
+        labels, dist_sq = _assign(points, centers)
+        result = KMeansResult(
+            labels=labels.astype(np.int64),
+            centers=centers,
+            inertia=float(dist_sq.sum()),
+            iterations=iteration,
+            converged=converged,
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,340 @@
+"""A multilevel graph partitioner (METIS-style), used as the "practice" baseline.
+
+The calibration notes for this reproduction point out that, in practice,
+spectral methods and METIS-style multilevel partitioners dominate graph
+clustering deployments.  To compare against that practice without a
+proprietary binary we implement the classical multilevel scheme from scratch:
+
+1. **Coarsening** — repeatedly contract a heavy-edge matching until the graph
+   is small (vertex weights accumulate, parallel edges merge into weighted
+   edges);
+2. **Initial partitioning** — recursive bisection of the coarsest graph by a
+   greedy BFS-region-growing bisector (balanced, cut-aware);
+3. **Uncoarsening + refinement** — project the partition back level by level
+   and improve it with a Fiduccia–Mattheyses-style boundary refinement pass
+   that respects balance constraints.
+
+The implementation works on weighted graphs internally (dataclass
+:class:`WeightedGraph`) but the public interface takes the repository's
+:class:`~repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from .base import BaselineClusterer, BaselineResult
+
+__all__ = ["WeightedGraph", "MultilevelPartitioner"]
+
+
+@dataclass
+class WeightedGraph:
+    """Adjacency-list weighted graph used internally by the multilevel scheme."""
+
+    node_weights: np.ndarray  # (n,)
+    adjacency: list[dict[int, float]]  # adjacency[v] = {u: edge weight}
+
+    @property
+    def n(self) -> int:
+        return int(self.node_weights.size)
+
+    @property
+    def total_node_weight(self) -> float:
+        return float(self.node_weights.sum())
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "WeightedGraph":
+        adjacency: list[dict[int, float]] = [dict() for _ in range(graph.n)]
+        for u, v in graph.edges():
+            if u == v:
+                continue
+            adjacency[u][v] = adjacency[u].get(v, 0.0) + 1.0
+            adjacency[v][u] = adjacency[v].get(u, 0.0) + 1.0
+        return cls(node_weights=np.ones(graph.n, dtype=np.float64), adjacency=adjacency)
+
+    def cut_weight(self, labels: np.ndarray) -> float:
+        cut = 0.0
+        for v in range(self.n):
+            for u, w in self.adjacency[v].items():
+                if u > v and labels[u] != labels[v]:
+                    cut += w
+        return cut
+
+
+def _heavy_edge_matching(graph: WeightedGraph, rng: np.random.Generator) -> np.ndarray:
+    """Heavy-edge matching: visit nodes in random order, match with the
+    heaviest unmatched neighbour."""
+    n = graph.n
+    partner = np.full(n, -1, dtype=np.int64)
+    for v in rng.permutation(n):
+        if partner[v] != -1:
+            continue
+        best_u, best_w = -1, -1.0
+        for u, w in graph.adjacency[v].items():
+            if partner[u] == -1 and u != v and w > best_w:
+                best_u, best_w = u, w
+        if best_u >= 0:
+            partner[v] = best_u
+            partner[best_u] = v
+    return partner
+
+
+def _contract(graph: WeightedGraph, partner: np.ndarray) -> tuple[WeightedGraph, np.ndarray]:
+    """Contract matched pairs; returns the coarse graph and the fine→coarse map."""
+    n = graph.n
+    coarse_of = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse_of[v] != -1:
+            continue
+        u = partner[v]
+        coarse_of[v] = next_id
+        if u >= 0:
+            coarse_of[u] = next_id
+        next_id += 1
+    node_weights = np.zeros(next_id, dtype=np.float64)
+    for v in range(n):
+        node_weights[coarse_of[v]] += graph.node_weights[v]
+    adjacency: list[dict[int, float]] = [dict() for _ in range(next_id)]
+    for v in range(n):
+        cv = coarse_of[v]
+        for u, w in graph.adjacency[v].items():
+            cu = coarse_of[u]
+            if cu == cv:
+                continue
+            adjacency[cv][cu] = adjacency[cv].get(cu, 0.0) + w
+    # Each undirected weight was added twice (once from each endpoint's list);
+    # halve to restore the undirected convention.
+    for v in range(next_id):
+        for u in adjacency[v]:
+            adjacency[v][u] *= 0.5
+    # Re-symmetrise exactly.
+    for v in range(next_id):
+        for u, w in list(adjacency[v].items()):
+            adjacency[u][v] = w
+    return WeightedGraph(node_weights=node_weights, adjacency=adjacency), coarse_of
+
+
+def _grow_bisection(
+    graph: WeightedGraph, rng: np.random.Generator, *, target_fraction: float = 0.5
+) -> np.ndarray:
+    """Greedy BFS region growing bisection of a (small) weighted graph.
+
+    ``target_fraction`` is the share of the total node weight that side 0
+    should receive — recursive k-way bisection uses ``k_left / k`` so that a
+    3-way partition first splits 1/3 vs 2/3 instead of forcing a balanced cut
+    through the middle of a cluster.
+    """
+    n = graph.n
+    target = target_fraction * graph.total_node_weight
+    best_labels: np.ndarray | None = None
+    best_cut = np.inf
+    attempts = min(8, n)
+    starts = rng.choice(n, size=attempts, replace=False)
+    for start in starts:
+        labels = np.ones(n, dtype=np.int64)
+        labels[start] = 0
+        weight0 = float(graph.node_weights[start])
+        frontier = [int(start)]
+        visited = {int(start)}
+        while weight0 < target and frontier:
+            # Pick the frontier-adjacent node with the largest connectivity to
+            # side 0 (greedy min-cut growth).
+            candidates: dict[int, float] = {}
+            for v in frontier:
+                for u, w in graph.adjacency[v].items():
+                    if u not in visited:
+                        candidates[u] = candidates.get(u, 0.0) + w
+            if not candidates:
+                break
+            chosen = max(candidates.items(), key=lambda kv: kv[1])[0]
+            labels[chosen] = 0
+            visited.add(chosen)
+            frontier.append(chosen)
+            weight0 += float(graph.node_weights[chosen])
+        cut = graph.cut_weight(labels)
+        if cut < best_cut and 0 < labels.sum() < n:
+            best_cut = cut
+            best_labels = labels
+    if best_labels is None:
+        best_labels = (np.arange(n) % 2).astype(np.int64)
+    return best_labels
+
+
+def _fm_refine(
+    graph: WeightedGraph,
+    labels: np.ndarray,
+    *,
+    num_parts: int,
+    balance_tolerance: float,
+    passes: int,
+    rng: np.random.Generator,
+    target_fractions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boundary Fiduccia–Mattheyses-style refinement with balance constraints.
+
+    ``target_fractions`` (one entry per part, summing to 1) allows asymmetric
+    balance targets, used when a bisection step represents an unequal number
+    of final parts.
+    """
+    labels = labels.copy()
+    total = graph.total_node_weight
+    if target_fractions is None:
+        target_fractions = np.full(num_parts, 1.0 / num_parts)
+    max_part_weight = (1.0 + balance_tolerance) * target_fractions * total
+    part_weight = np.zeros(num_parts, dtype=np.float64)
+    for v in range(graph.n):
+        part_weight[labels[v]] += graph.node_weights[v]
+
+    for _ in range(passes):
+        moved_any = False
+        for v in rng.permutation(graph.n):
+            current = labels[v]
+            # Connectivity of v to each part.
+            conn = np.zeros(num_parts, dtype=np.float64)
+            for u, w in graph.adjacency[v].items():
+                conn[labels[u]] += w
+            internal = conn[current]
+            # Best alternative part by gain, subject to balance.
+            best_part, best_gain = current, 0.0
+            for p in range(num_parts):
+                if p == current:
+                    continue
+                if part_weight[p] + graph.node_weights[v] > max_part_weight[p]:
+                    continue
+                gain = conn[p] - internal
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_part = p
+            if best_part != current:
+                part_weight[current] -= graph.node_weights[v]
+                part_weight[best_part] += graph.node_weights[v]
+                labels[v] = best_part
+                moved_any = True
+        if not moved_any:
+            break
+    return labels
+
+
+class MultilevelPartitioner(BaselineClusterer):
+    """METIS-style multilevel k-way partitioner.
+
+    Parameters
+    ----------
+    coarsen_until:
+        Stop coarsening when the graph has at most ``max(coarsen_until,
+        4·k)`` nodes.
+    balance_tolerance:
+        Allowed relative imbalance of the parts (0.1 = 10 %).
+    refinement_passes:
+        FM passes per uncoarsening level.
+    """
+
+    name = "multilevel"
+    distributed = False
+
+    def __init__(
+        self,
+        *,
+        coarsen_until: int = 40,
+        balance_tolerance: float = 0.10,
+        refinement_passes: int = 4,
+    ):
+        self.coarsen_until = coarsen_until
+        self.balance_tolerance = balance_tolerance
+        self.refinement_passes = refinement_passes
+
+    # ------------------------------------------------------------------ #
+
+    def _recursive_bisection(
+        self, graph: WeightedGraph, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Partition a small graph into ``k`` parts by recursive bisection."""
+        if k <= 1 or graph.n <= 1:
+            return np.zeros(graph.n, dtype=np.int64)
+        k_left = k // 2
+        k_right = k - k_left
+        left_fraction = k_left / k
+        halves = _grow_bisection(graph, rng, target_fraction=left_fraction)
+        halves = _fm_refine(
+            graph,
+            halves,
+            num_parts=2,
+            balance_tolerance=self.balance_tolerance,
+            passes=self.refinement_passes,
+            rng=rng,
+            target_fractions=np.array([left_fraction, 1.0 - left_fraction]),
+        )
+        labels = np.zeros(graph.n, dtype=np.int64)
+        for side, sub_k, offset in ((0, k_left, 0), (1, k_right, k_left)):
+            members = np.flatnonzero(halves == side)
+            if members.size == 0:
+                continue
+            if sub_k <= 1:
+                labels[members] = offset
+                continue
+            index = {int(v): i for i, v in enumerate(members)}
+            sub_adj: list[dict[int, float]] = [dict() for _ in range(members.size)]
+            for v in members:
+                for u, w in graph.adjacency[int(v)].items():
+                    if u in index:
+                        sub_adj[index[int(v)]][index[u]] = w
+            sub = WeightedGraph(node_weights=graph.node_weights[members].copy(), adjacency=sub_adj)
+            sub_labels = self._recursive_bisection(sub, sub_k, rng)
+            labels[members] = sub_labels + offset
+        return labels
+
+    def cluster(self, graph: Graph, k: int, *, seed: int | None = None) -> BaselineResult:
+        rng = np.random.default_rng(seed)
+        levels: list[tuple[WeightedGraph, np.ndarray]] = []
+        current = WeightedGraph.from_graph(graph)
+        coarsen_limit = max(self.coarsen_until, 4 * k)
+
+        # --- Coarsening ---------------------------------------------------
+        while current.n > coarsen_limit:
+            partner = _heavy_edge_matching(current, rng)
+            coarse, mapping = _contract(current, partner)
+            if coarse.n >= current.n:  # no progress (e.g. empty matching)
+                break
+            levels.append((current, mapping))
+            current = coarse
+
+        # --- Initial partitioning ------------------------------------------
+        labels = self._recursive_bisection(current, k, rng)
+        labels = _fm_refine(
+            current,
+            labels,
+            num_parts=k,
+            balance_tolerance=self.balance_tolerance,
+            passes=self.refinement_passes,
+            rng=rng,
+        )
+
+        # --- Uncoarsening + refinement --------------------------------------
+        for fine, mapping in reversed(levels):
+            labels = labels[mapping]
+            labels = _fm_refine(
+                fine,
+                labels,
+                num_parts=k,
+                balance_tolerance=self.balance_tolerance,
+                passes=self.refinement_passes,
+                rng=rng,
+            )
+
+        final = WeightedGraph.from_graph(graph)
+        return BaselineResult(
+            name=self.name,
+            partition=Partition.from_labels(labels),
+            rounds=0,
+            words=float(2 * graph.num_edges),  # centralised: collect the graph once
+            info={
+                "levels": len(levels),
+                "cut_weight": final.cut_weight(labels),
+            },
+        )

@@ -1,0 +1,81 @@
+"""Centralised spectral clustering (the classical comparator).
+
+The paper positions its algorithm against "complicated spectral techniques":
+the canonical representative is spectral clustering à la Ng–Jordan–Weiss /
+Peng–Sun–Zanetti — embed every node by the top ``k`` eigenvectors of the
+random walk matrix (equivalently the bottom ``k`` of the normalised
+Laplacian) and run k-means on the rows of the embedding.
+
+Being centralised, its ``rounds`` cost is 0 but it requires global access to
+the graph; a distributed realisation needs either Kempe–McSherry (see
+:mod:`repro.baselines.kempe_mcsherry`) or collecting the whole edge set at a
+coordinator, whose word cost we report as ``2m`` for the comparison tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..graphs.spectral import spectral_decomposition
+from .base import BaselineClusterer, BaselineResult
+from .kmeans import kmeans
+
+__all__ = ["SpectralClustering", "spectral_embedding"]
+
+
+def spectral_embedding(
+    graph: Graph, k: int, *, normalise_rows: bool = True, degree_correct: bool = True
+) -> np.ndarray:
+    """The ``(n, k)`` spectral embedding used by spectral clustering.
+
+    Columns are the top ``k`` eigenvectors of the symmetrised random walk
+    operator.  With ``degree_correct=True`` each row is scaled by
+    ``1/√d_v`` (mapping back from the symmetric operator to the random walk
+    eigenbasis), and with ``normalise_rows=True`` the rows are projected to
+    the unit sphere, which is the standard normalisation for k-means
+    rounding.
+    """
+    dec = spectral_decomposition(graph, num=k)
+    embedding = dec.top_k(k).copy()
+    if degree_correct:
+        degrees = np.maximum(graph.degrees.astype(np.float64), 1.0)
+        embedding = embedding / np.sqrt(degrees)[:, np.newaxis]
+    if normalise_rows:
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        embedding = embedding / norms
+    return embedding
+
+
+class SpectralClustering(BaselineClusterer):
+    """k-means on the spectral embedding (centralised baseline)."""
+
+    name = "spectral"
+    distributed = False
+
+    def __init__(self, *, normalise_rows: bool = True, kmeans_restarts: int = 5):
+        self.normalise_rows = normalise_rows
+        self.kmeans_restarts = kmeans_restarts
+
+    def cluster(self, graph: Graph, k: int, *, seed: int | None = None) -> BaselineResult:
+        embedding = spectral_embedding(graph, k, normalise_rows=self.normalise_rows)
+        km = kmeans(
+            embedding,
+            k,
+            seed=seed,
+            restarts=self.kmeans_restarts,
+        )
+        return BaselineResult(
+            name=self.name,
+            partition=Partition.from_labels(km.labels),
+            rounds=0,
+            # A distributed realisation must ship the edge set to a coordinator.
+            words=float(2 * graph.num_edges),
+            info={
+                "inertia": km.inertia,
+                "kmeans_iterations": km.iterations,
+                "kmeans_converged": km.converged,
+            },
+        )

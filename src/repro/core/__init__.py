@@ -1,0 +1,63 @@
+"""The paper's primary contribution: graph clustering by load balancing.
+
+Public entry points
+-------------------
+* :func:`cluster_graph` — one-call API (derive parameters, run, return labels).
+* :class:`CentralizedClustering` — the fast matrix implementation (Section 3.2 view).
+* :class:`DistributedClustering` — the message-passing implementation
+  (Section 3.1), running on :mod:`repro.distsim` with exact communication
+  accounting.
+* :class:`AlmostRegularClustering` — the Section 4.5 extension.
+* :class:`AlgorithmParameters` — the paper's parameters (β, T, s̄, threshold).
+* :mod:`repro.core.theory` — computable versions of the analysis objects
+  (χ̂ vectors, α_v, good nodes, error bound E).
+"""
+
+from .adaptive import AdaptiveClustering, AdaptiveRunInfo
+from .almost_regular import AlmostRegularClustering, sample_degree_capped_matching
+from .centralized import CentralizedClustering, cluster_graph
+from .tokens import TokenClustering
+from .distributed import DistributedClustering, LoadBalancingClusteringAlgorithm
+from .parameters import AlgorithmParameters, query_threshold, round_count, seeding_trials
+from .query import assign_labels_from_loads
+from .result import ClusteringResult
+from .seeding import assign_seed_identifiers, sample_seeds, seed_load_matrix
+from .state import NodeState
+from .theory import (
+    StructureTheoryReport,
+    alpha_values,
+    error_bound_E,
+    good_node_threshold,
+    good_nodes_mask,
+    structure_theory_report,
+    structure_vectors,
+)
+
+__all__ = [
+    "AdaptiveClustering",
+    "AdaptiveRunInfo",
+    "TokenClustering",
+    "AlmostRegularClustering",
+    "sample_degree_capped_matching",
+    "CentralizedClustering",
+    "cluster_graph",
+    "DistributedClustering",
+    "LoadBalancingClusteringAlgorithm",
+    "AlgorithmParameters",
+    "query_threshold",
+    "round_count",
+    "seeding_trials",
+    "assign_labels_from_loads",
+    "ClusteringResult",
+    "assign_seed_identifiers",
+    "sample_seeds",
+    "seed_load_matrix",
+    "NodeState",
+    "StructureTheoryReport",
+    "alpha_values",
+    "error_bound_E",
+    "good_node_threshold",
+    "good_nodes_mask",
+    "structure_theory_report",
+    "structure_vectors",
+]

@@ -1,0 +1,79 @@
+"""The Query Procedure (Section 3.1).
+
+After ``T`` averaging rounds every node inspects its coordinates
+``x^{(T,1)}(v), ..., x^{(T,s)}(v)`` and adopts as its label the *smallest seed
+identifier* whose coordinate is at least the threshold ``1/(√(2β)·n)``.
+Nodes with no qualifying coordinate receive an arbitrary label; the paper
+charges these nodes to the ``o(n)`` misclassification budget.
+
+Two fallback policies are provided for the no-qualifying-coordinate case:
+
+* ``"argmax"`` (default) — use the seed with the largest coordinate; this is a
+  natural "arbitrary" choice that keeps every node labelled and is what a
+  practical deployment would do;
+* ``"none"`` — leave the node unlabelled (label ``-1``), which makes the
+  misclassification accounting maximally conservative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["assign_labels_from_loads"]
+
+
+def assign_labels_from_loads(
+    loads: np.ndarray,
+    seed_ids: np.ndarray,
+    threshold: float,
+    *,
+    fallback: str = "argmax",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the query rule to a final ``(n, s)`` load configuration.
+
+    Parameters
+    ----------
+    loads:
+        Final configuration ``X`` with ``X[v, i] = x^{(T,i)}(v)``.
+    seed_ids:
+        Identifier (prefix) of each seed, shape ``(s,)``.
+    threshold:
+        The query threshold.
+    fallback:
+        Policy for nodes with no coordinate above the threshold
+        (``"argmax"`` or ``"none"``).
+
+    Returns
+    -------
+    labels, unlabelled:
+        ``labels[v]`` is the chosen seed identifier (or ``-1``);
+        ``unlabelled[v]`` is ``True`` when no coordinate reached the
+        threshold.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    seed_ids = np.asarray(seed_ids, dtype=np.int64)
+    if loads.ndim != 2 or loads.shape[1] != seed_ids.size:
+        raise ValueError("loads must have shape (n, s) matching seed_ids")
+    if fallback not in ("argmax", "none"):
+        raise ValueError("fallback must be 'argmax' or 'none'")
+    n, s = loads.shape
+    labels = np.full(n, -1, dtype=np.int64)
+    unlabelled = np.ones(n, dtype=bool)
+    if s == 0:
+        return labels, unlabelled
+
+    qualifies = loads >= threshold
+    has_qualifying = qualifies.any(axis=1)
+    unlabelled = ~has_qualifying
+
+    # Among qualifying coordinates pick the one with the smallest identifier.
+    # Vectorised: replace non-qualifying identifiers by +inf and take argmin.
+    ids_matrix = np.where(qualifies, seed_ids[np.newaxis, :], np.iinfo(np.int64).max)
+    best = ids_matrix.min(axis=1)
+    labels[has_qualifying] = best[has_qualifying]
+
+    if fallback == "argmax":
+        fallback_rows = np.flatnonzero(unlabelled)
+        if fallback_rows.size:
+            labels[fallback_rows] = seed_ids[np.argmax(loads[fallback_rows], axis=1)]
+    return labels, unlabelled

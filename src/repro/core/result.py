@@ -1,0 +1,97 @@
+"""Result object shared by the centralised and distributed implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..distsim.accounting import CommunicationLog
+from ..graphs.partition import Partition, misclassification_rate, misclassified_nodes
+from .parameters import AlgorithmParameters
+
+__all__ = ["ClusteringResult"]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one run of the load-balancing clustering algorithm.
+
+    Attributes
+    ----------
+    labels:
+        Raw per-node labels (seed identifiers); ``-1`` marks nodes for which
+        no coordinate exceeded the query threshold and no fallback was used.
+    partition:
+        The labels as a normalised :class:`~repro.graphs.partition.Partition`.
+    seeds:
+        Node ids of the active seed nodes, in seed order.
+    seed_ids:
+        The identifier (prefix) associated with each seed.
+    rounds:
+        Number of averaging rounds executed.
+    parameters:
+        The :class:`~repro.core.parameters.AlgorithmParameters` used.
+    loads:
+        Final ``(n, s)`` load configuration (centralised runs only; ``None``
+        for distributed runs, where no global view exists).
+    communication:
+        Exact communication log (distributed runs only).
+    unlabelled:
+        Boolean mask of nodes whose state had no entry above the threshold.
+    diagnostics:
+        Free-form extras recorded by the implementation (e.g. per-round error
+        series when a callback was attached).
+    """
+
+    labels: np.ndarray
+    partition: Partition
+    seeds: np.ndarray
+    seed_ids: np.ndarray
+    rounds: int
+    parameters: AlgorithmParameters
+    loads: np.ndarray | None = None
+    communication: CommunicationLog | None = None
+    unlabelled: np.ndarray | None = None
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_seeds(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def num_clusters_found(self) -> int:
+        return self.partition.k
+
+    @property
+    def num_unlabelled(self) -> int:
+        return int(self.unlabelled.sum()) if self.unlabelled is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Scoring against ground truth
+    # ------------------------------------------------------------------ #
+
+    def misclassified_against(self, truth: Partition) -> int:
+        """Number of misclassified nodes (Theorem 1.1(1) quantity)."""
+        return misclassified_nodes(self.partition, truth)
+
+    def error_against(self, truth: Partition) -> float:
+        """Misclassification rate in [0, 1]."""
+        return misclassification_rate(self.partition, truth)
+
+    def total_words(self) -> int:
+        """Total words exchanged (0 for centralised runs, which send nothing)."""
+        return self.communication.total_words if self.communication is not None else 0
+
+    def summary(self) -> dict[str, Any]:
+        out = {
+            "n": self.parameters.n,
+            "rounds": self.rounds,
+            "num_seeds": self.num_seeds,
+            "num_clusters_found": self.num_clusters_found,
+            "num_unlabelled": self.num_unlabelled,
+        }
+        if self.communication is not None:
+            out.update(self.communication.summary())
+        return out

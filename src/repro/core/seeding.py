@@ -1,0 +1,69 @@
+"""The Seeding Procedure (Section 3.1).
+
+Every node performs ``s̄`` independent trials, becoming *active* with
+probability ``1/n`` in each (so the expected number of distinct active nodes
+is just under ``s̄``).  Every node that was active at least once seeds one
+unit of its own load, i.e. contributes the initial vector ``χ_v`` of the
+multi-dimensional load balancing process.
+
+The proof of Theorem 1.1 only needs two properties of this procedure, both of
+which are checked by the test-suite:
+
+* with probability ``≥ 1 - e^{-3}`` every cluster of size ``≥ βn`` contains at
+  least one active node, and
+* the number of active nodes is ``O(s̄)`` with constant probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .parameters import AlgorithmParameters
+
+__all__ = ["sample_seeds", "assign_seed_identifiers", "seed_load_matrix"]
+
+
+def sample_seeds(params: AlgorithmParameters, rng: np.random.Generator) -> np.ndarray:
+    """Run the seeding trials; returns the sorted array of active node ids."""
+    n = params.n
+    p = params.activation_probability
+    trials = params.num_seeding_trials
+    # Probability a node is active in at least one of the trials.
+    p_any = 1.0 - (1.0 - p) ** trials
+    active = rng.random(n) < p_any
+    return np.flatnonzero(active)
+
+
+def assign_seed_identifiers(
+    seeds: np.ndarray, params: AlgorithmParameters, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw the random identifiers ``ID(v) ∈ [1, n³]`` for the seed nodes.
+
+    The full algorithm gives an identifier to *every* node, but only the
+    identifiers of seed nodes ever travel through the network, so the
+    centralised implementation draws only those.  Identifiers are resampled
+    until they are distinct (the paper conditions on this high-probability
+    event).
+    """
+    s = int(np.asarray(seeds).size)
+    if s == 0:
+        return np.empty(0, dtype=np.int64)
+    for _ in range(64):
+        ids = rng.integers(1, params.id_space + 1, size=s)
+        if np.unique(ids).size == s:
+            return ids.astype(np.int64)
+    # Astronomically unlikely for id_space = n³; fall back to distinct values.
+    return (np.arange(1, s + 1, dtype=np.int64) * (params.id_space // (s + 1) or 1)) + 1
+
+
+def seed_load_matrix(n: int, seeds: np.ndarray) -> np.ndarray:
+    """The initial configuration ``X₀`` with column ``i`` equal to ``χ_{v_i}``.
+
+    ``χ_{v}`` is the normalised indicator of the singleton ``{v}``, i.e. the
+    standard basis vector ``e_v``.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    x0 = np.zeros((n, seeds.size), dtype=np.float64)
+    if seeds.size:
+        x0[seeds, np.arange(seeds.size)] = 1.0
+    return x0

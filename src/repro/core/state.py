@@ -1,0 +1,132 @@
+"""Node state of the distributed algorithm.
+
+Section 3.1 of the paper describes the state of a node as a set of vectors
+``(ID(w), x)``: the *prefix* identifies the seed node ``w`` that generated the
+unit of load, the *suffix* ``x`` is the amount of that seed's load currently
+held.  :class:`NodeState` implements exactly the update rule of the Averaging
+Procedure: entries with matching prefixes are averaged, unmatched entries are
+halved on both sides (which is the same thing as averaging with an implicit
+zero entry on the other side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["NodeState"]
+
+
+@dataclass
+class NodeState:
+    """A set of ``(prefix, value)`` pairs held by one node.
+
+    The state is a mapping from seed identifier (prefix) to load value
+    (suffix); absent prefixes implicitly carry the value 0, which is what the
+    three-case update rule of the paper amounts to.
+    """
+
+    entries: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls) -> "NodeState":
+        return cls({})
+
+    @classmethod
+    def seeded(cls, identifier: int, value: float = 1.0) -> "NodeState":
+        """Initial state of an active seed node: one unit of its own load.
+
+        Note the formal description in Section 3.1 writes the initial state
+        as ``{(ID(v), 0)}``; the abstract view of Section 3.2 makes clear the
+        intended initial load is ``χ_v``, i.e. value 1 at ``v`` (a literal 0
+        would make every state identically zero forever).  We follow the
+        Section 3.2 semantics; EXPERIMENTS.md records this as an erratum
+        interpretation.
+        """
+        return cls({int(identifier): float(value)})
+
+    # ------------------------------------------------------------------ #
+    # The averaging rule (Section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def averaged_with(self, other: "NodeState") -> "NodeState":
+        """The common state two matched nodes adopt after averaging.
+
+        Implements the three bullet points of the Averaging Procedure: for
+        every prefix present in either state, the new value is the average of
+        the two values (missing values count as 0).  Both endpoints of a
+        matched edge adopt the *same* resulting state.
+        """
+        result: dict[int, float] = {}
+        for prefix in self.entries.keys() | other.entries.keys():
+            x = self.entries.get(prefix, 0.0)
+            y = other.entries.get(prefix, 0.0)
+            result[prefix] = (x + y) / 2.0
+        return NodeState(result)
+
+    def prune(self, epsilon: float) -> "NodeState":
+        """Drop entries below ``epsilon`` (optional message-size optimisation).
+
+        The paper keeps all entries; pruning tiny entries reduces message
+        size at a negligible accuracy cost and is exercised by the
+        sensitivity benchmark (E11) as an engineering extension.
+        """
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        return NodeState({p: v for p, v in self.entries.items() if v >= epsilon})
+
+    # ------------------------------------------------------------------ #
+    # Query procedure support
+    # ------------------------------------------------------------------ #
+
+    def label(self, threshold: float) -> int | None:
+        """The Query Procedure: the smallest prefix whose value exceeds ``threshold``.
+
+        Returns ``None`` when no entry qualifies (the paper then assigns an
+        arbitrary label).
+        """
+        qualifying = [p for p, v in self.entries.items() if v >= threshold]
+        return min(qualifying) if qualifying else None
+
+    def heaviest_prefix(self) -> int | None:
+        """Prefix with the largest value (used as the 'arbitrary' fallback label)."""
+        if not self.entries:
+            return None
+        return max(self.entries.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_load(self) -> float:
+        return float(sum(self.entries.values()))
+
+    def value(self, prefix: int) -> float:
+        return float(self.entries.get(prefix, 0.0))
+
+    def prefixes(self) -> Iterable[int]:
+        return self.entries.keys()
+
+    def as_payload(self) -> list[tuple[int, float]]:
+        """Serialisable form sent in messages: a list of (prefix, value) pairs."""
+        return sorted((int(p), float(v)) for p, v in self.entries.items())
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[tuple[int, float]]) -> "NodeState":
+        return cls({int(p): float(v) for p, v in payload})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return iter(sorted(self.entries.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeState):
+            return NotImplemented
+        return self.entries == other.entries

@@ -1,0 +1,179 @@
+"""Structure theory behind the analysis (Section 4.3–4.4 of the paper).
+
+This module makes the objects of the analysis computable so the benchmarks
+can check the lemmas empirically:
+
+* ``χ̃_i`` — the projection of the eigenvector ``f_i`` onto
+  ``span{χ_{S_1}, ..., χ_{S_k}}`` (Lemma 4.4, imported from Peng et al.);
+* ``χ̂_i`` — the Gram–Schmidt orthonormalisation of the ``χ̃_i``
+  (Lemma 4.2), with the error bound ``E = Θ(k √(k/Υ))``;
+* ``α_v`` — the per-node contribution to the total error (equation (4));
+* the *good node* predicate and the bound on the number of bad nodes used by
+  the proof of Theorem 1.1;
+* the theoretical misclassification bound itself, for comparison with
+  measured values in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..graphs.spectral import gap_parameter_upsilon, spectral_decomposition
+
+__all__ = [
+    "structure_vectors",
+    "alpha_values",
+    "error_bound_E",
+    "good_node_threshold",
+    "good_nodes_mask",
+    "StructureTheoryReport",
+    "structure_theory_report",
+]
+
+
+def structure_vectors(graph: Graph, partition: Partition) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the matrices of ``χ̃_i`` and ``χ̂_i`` (columns ``i = 1..k``).
+
+    ``χ̃_i`` is the orthogonal projection of the eigenvector ``f_i`` onto the
+    span of the normalised cluster indicators; ``χ̂_i`` is the Gram–Schmidt
+    orthonormalisation of the ``χ̃_i`` (Lemma 4.2).  If some ``χ̃_i`` is (near)
+    linearly dependent on the previous ones — possible only when the graph is
+    far from well-clustered — the corresponding ``χ̂_i`` falls back to the
+    normalised ``χ̃_i`` component, keeping the output well-defined.
+    """
+    k = partition.k
+    dec = spectral_decomposition(graph, num=k)
+    f = dec.top_k(k)  # (n, k)
+
+    # Orthonormal basis of span{χ_S1, ..., χ_Sk}: the indicators are already
+    # orthogonal (disjoint supports); normalise them.
+    chi = partition.indicator_matrix(normalised=True)  # columns χ_Si (entries 1/|S_i|)
+    basis = chi / np.linalg.norm(chi, axis=0, keepdims=True)
+
+    # χ̃_i = projection of f_i on the span.
+    coeffs = basis.T @ f  # (k, k)
+    chi_tilde = basis @ coeffs
+
+    # Gram–Schmidt on the columns of χ̃ to get the orthonormal set χ̂.
+    chi_hat = np.zeros_like(chi_tilde)
+    for i in range(k):
+        v = chi_tilde[:, i].copy()
+        for j in range(i):
+            v -= (chi_hat[:, j] @ v) * chi_hat[:, j]
+        norm = np.linalg.norm(v)
+        if norm < 1e-12:
+            # Degenerate direction: fall back to the i-th basis vector made
+            # orthogonal to the previous χ̂.
+            v = basis[:, i].copy()
+            for j in range(i):
+                v -= (chi_hat[:, j] @ v) * chi_hat[:, j]
+            norm = np.linalg.norm(v)
+        chi_hat[:, i] = v / norm
+    return chi_tilde, chi_hat
+
+
+def alpha_values(graph: Graph, partition: Partition) -> np.ndarray:
+    """Per-node error contributions ``α_v = sqrt(Σ_i (f_i(v) - χ̂_i(v))²)`` (eq. (4))."""
+    k = partition.k
+    dec = spectral_decomposition(graph, num=k)
+    f = dec.top_k(k)
+    _, chi_hat = structure_vectors(graph, partition)
+    return np.sqrt(np.sum((f - chi_hat) ** 2, axis=1))
+
+
+def error_bound_E(k: int, upsilon: float) -> float:
+    """The Lemma 4.2 error bound ``E = Θ(k √(k/Υ))`` with the constant set to 1."""
+    if upsilon <= 0:
+        return float("inf")
+    return float(k * np.sqrt(k / upsilon))
+
+
+def good_node_threshold(
+    n: int, k: int, beta: float, upsilon: float, *, constant: float = 1.0
+) -> float:
+    """The good-node cutoff ``k · E · sqrt(C log n log(1/β) / (β n))`` (Section 4.1)."""
+    e_bound = error_bound_E(k, upsilon)
+    log_beta = np.log(1.0 / beta) if beta < 1.0 else 1.0
+    return float(k * e_bound * np.sqrt(constant * np.log(max(n, 2)) * log_beta / (beta * n)))
+
+
+def good_nodes_mask(
+    graph: Graph,
+    partition: Partition,
+    *,
+    constant: float = 1.0,
+    upsilon: float | None = None,
+) -> np.ndarray:
+    """Boolean mask of *good* nodes (``α_v`` below the cutoff)."""
+    alphas = alpha_values(graph, partition)
+    ups = upsilon if upsilon is not None else gap_parameter_upsilon(graph, partition)
+    cutoff = good_node_threshold(
+        graph.n, partition.k, partition.min_cluster_fraction(), ups, constant=constant
+    )
+    return alphas <= cutoff
+
+
+@dataclass(frozen=True)
+class StructureTheoryReport:
+    """Empirical check of Lemma 4.2 and the good-node argument on one instance."""
+
+    k: int
+    upsilon: float
+    error_bound: float
+    max_eigenvector_distance: float
+    total_alpha_squared: float
+    num_good_nodes: int
+    num_bad_nodes: int
+    bad_node_bound: float
+
+    @property
+    def lemma42_holds(self) -> bool:
+        """Whether ``max_i ‖χ̂_i - f_i‖`` is within the (constant-1) bound ``E``."""
+        return self.max_eigenvector_distance <= self.error_bound
+
+    def as_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "upsilon": self.upsilon,
+            "error_bound_E": self.error_bound,
+            "max_eigenvector_distance": self.max_eigenvector_distance,
+            "total_alpha_squared": self.total_alpha_squared,
+            "num_good_nodes": self.num_good_nodes,
+            "num_bad_nodes": self.num_bad_nodes,
+            "bad_node_bound": self.bad_node_bound,
+            "lemma42_holds": self.lemma42_holds,
+        }
+
+
+def structure_theory_report(
+    graph: Graph, partition: Partition, *, constant: float = 1.0
+) -> StructureTheoryReport:
+    """Evaluate Lemma 4.2 / the good-node counting argument on a given instance."""
+    k = partition.k
+    upsilon = gap_parameter_upsilon(graph, partition)
+    dec = spectral_decomposition(graph, num=k)
+    f = dec.top_k(k)
+    _, chi_hat = structure_vectors(graph, partition)
+    distances = np.linalg.norm(chi_hat - f, axis=0)
+    alphas = alpha_values(graph, partition)
+    beta = partition.min_cluster_fraction()
+    cutoff = good_node_threshold(graph.n, k, beta, upsilon, constant=constant)
+    good = alphas <= cutoff
+    # The averaging argument of the proof bounds the number of bad nodes by
+    # kE² / cutoff² = βn / (C k log n log(1/β)).
+    log_beta = np.log(1.0 / beta) if beta < 1.0 else 1.0
+    bad_bound = beta * graph.n / (constant * k * np.log(max(graph.n, 2)) * log_beta)
+    return StructureTheoryReport(
+        k=k,
+        upsilon=upsilon,
+        error_bound=error_bound_E(k, upsilon),
+        max_eigenvector_distance=float(distances.max()),
+        total_alpha_squared=float(np.sum(alphas ** 2)),
+        num_good_nodes=int(good.sum()),
+        num_bad_nodes=int((~good).sum()),
+        bad_node_bound=float(bad_bound),
+    )

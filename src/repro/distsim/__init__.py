@@ -1,0 +1,41 @@
+"""Synchronous message-passing simulator (the "parallel network" substrate).
+
+This subpackage replaces the physical processor network of the paper with a
+faithful simulation: algorithms are written against the per-node API of
+:class:`NodeAlgorithm`/:class:`NodeContext` and can only communicate through
+messages, so the recorded communication is exactly what a real deployment
+would send.
+"""
+
+from .accounting import CommunicationLog, RoundStats
+from .failures import (
+    CompositeFailures,
+    CrashFailures,
+    FailureModel,
+    MessageDropFailures,
+    NoFailures,
+)
+from .messages import Message, payload_words
+from .network import SimulationResult, SynchronousNetwork
+from .node import NodeAlgorithm, NodeContext
+from .rng import NodeRngFactory
+from .tracing import RoundTrace, SimulationTrace
+
+__all__ = [
+    "CommunicationLog",
+    "RoundStats",
+    "CompositeFailures",
+    "CrashFailures",
+    "FailureModel",
+    "MessageDropFailures",
+    "NoFailures",
+    "Message",
+    "payload_words",
+    "SimulationResult",
+    "SynchronousNetwork",
+    "NodeAlgorithm",
+    "NodeContext",
+    "NodeRngFactory",
+    "RoundTrace",
+    "SimulationTrace",
+]

@@ -1,0 +1,147 @@
+"""Communication accounting for the synchronous simulator.
+
+The paper's cost model charges:
+
+* one *message* per point-to-point send,
+* the number of *words* carried by each message (Theorem 1.1(2) is stated in
+  words), and
+* at most ``⌊n/2⌋`` *matched edges* per round of the random matching model
+  (the "low communication cost" remark of the introduction).
+
+:class:`CommunicationLog` records these quantities per round and per message
+kind, and exposes the aggregates the benchmarks report (total words, words
+per node, messages per round, matched edges per round).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import Message
+
+__all__ = ["RoundStats", "CommunicationLog"]
+
+
+@dataclass
+class RoundStats:
+    """Communication totals of one synchronous round."""
+
+    round_index: int
+    messages: int = 0
+    words: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    matched_edges: int = 0
+    active_nodes: int = 0
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.words += message.words
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+
+class CommunicationLog:
+    """Accumulates per-round communication statistics for a whole run."""
+
+    def __init__(self) -> None:
+        self._rounds: list[RoundStats] = []
+        self._current: RoundStats | None = None
+
+    # ------------------------------------------------------------------ #
+    # Recording interface (used by the network simulator)
+    # ------------------------------------------------------------------ #
+
+    def start_round(self, round_index: int) -> None:
+        if self._current is not None:
+            raise RuntimeError("previous round was not finished")
+        self._current = RoundStats(round_index=round_index)
+
+    def record_message(self, message: Message) -> None:
+        if self._current is None:
+            raise RuntimeError("no round in progress")
+        self._current.record(message)
+
+    def record_matched_edges(self, count: int) -> None:
+        if self._current is None:
+            raise RuntimeError("no round in progress")
+        self._current.matched_edges += int(count)
+
+    def record_active_nodes(self, count: int) -> None:
+        if self._current is None:
+            raise RuntimeError("no round in progress")
+        self._current.active_nodes += int(count)
+
+    def finish_round(self) -> RoundStats:
+        if self._current is None:
+            raise RuntimeError("no round in progress")
+        stats = self._current
+        self._rounds.append(stats)
+        self._current = None
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rounds(self) -> list[RoundStats]:
+        return list(self._rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self._rounds)
+
+    @property
+    def total_words(self) -> int:
+        return sum(r.words for r in self._rounds)
+
+    @property
+    def total_matched_edges(self) -> int:
+        return sum(r.matched_edges for r in self._rounds)
+
+    def words_per_round(self) -> np.ndarray:
+        return np.asarray([r.words for r in self._rounds], dtype=np.int64)
+
+    def messages_per_round(self) -> np.ndarray:
+        return np.asarray([r.messages for r in self._rounds], dtype=np.int64)
+
+    def matched_edges_per_round(self) -> np.ndarray:
+        return np.asarray([r.matched_edges for r in self._rounds], dtype=np.int64)
+
+    def max_matched_edges_in_a_round(self) -> int:
+        if not self._rounds:
+            return 0
+        return int(self.matched_edges_per_round().max())
+
+    def words_by_kind(self) -> dict[str, int]:
+        """Total message count per message kind across all rounds."""
+        totals: dict[str, int] = defaultdict(int)
+        for r in self._rounds:
+            for kind, count in r.by_kind.items():
+                totals[kind] += count
+        return dict(totals)
+
+    def summary(self) -> dict:
+        """Flat dictionary used by benchmark tables and EXPERIMENTS.md."""
+        return {
+            "rounds": self.num_rounds,
+            "total_messages": self.total_messages,
+            "total_words": self.total_words,
+            "total_matched_edges": self.total_matched_edges,
+            "max_matched_edges_per_round": self.max_matched_edges_in_a_round(),
+            "mean_words_per_round": (
+                float(self.words_per_round().mean()) if self._rounds else 0.0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommunicationLog(rounds={self.num_rounds}, messages={self.total_messages}, "
+            f"words={self.total_words})"
+        )

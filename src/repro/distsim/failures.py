@@ -1,0 +1,120 @@
+"""Failure injection for robustness experiments.
+
+The paper assumes a fully reliable synchronous network.  Real deployments are
+not so kind, and a natural question for a downstream user is how gracefully
+the algorithm degrades when messages are lost or nodes crash.  The failure
+models below plug into :class:`repro.distsim.network.SynchronousNetwork` and
+are exercised by the robustness tests and the E11 sensitivity benchmark.
+
+All failure decisions are drawn from the simulator's dedicated RNG stream so
+that enabling failures never perturbs the nodes' own random choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .messages import Message
+
+__all__ = ["FailureModel", "NoFailures", "MessageDropFailures", "CrashFailures", "CompositeFailures"]
+
+
+class FailureModel:
+    """Interface for failure injection; the default injects nothing."""
+
+    def reset(self, n: int, rng: np.random.Generator) -> None:
+        """Called once before a simulation starts."""
+
+    def on_round(self, round_index: int, rng: np.random.Generator) -> None:
+        """Called at the beginning of every round."""
+
+    def node_is_alive(self, node_id: int) -> bool:
+        """Whether the node participates in this round."""
+        return True
+
+    def deliver(self, message: Message, rng: np.random.Generator) -> bool:
+        """Whether the message is delivered (``False`` drops it silently)."""
+        return True
+
+
+class NoFailures(FailureModel):
+    """The reliable network of the paper (default)."""
+
+
+@dataclass
+class MessageDropFailures(FailureModel):
+    """Each message is independently dropped with probability ``drop_probability``."""
+
+    drop_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must lie in [0, 1)")
+
+    def deliver(self, message: Message, rng: np.random.Generator) -> bool:
+        return bool(rng.random() >= self.drop_probability)
+
+
+@dataclass
+class CrashFailures(FailureModel):
+    """A fixed fraction of nodes crashes (permanently) at a given round.
+
+    Crashed nodes stop sending and receiving; their state is frozen.  The
+    crash set is sampled uniformly at reset time.
+    """
+
+    crash_fraction: float
+    crash_round: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_fraction < 1.0:
+            raise ValueError("crash_fraction must lie in [0, 1)")
+        if self.crash_round < 0:
+            raise ValueError("crash_round must be non-negative")
+        self._crashed: np.ndarray | None = None
+        self._active = False
+
+    def reset(self, n: int, rng: np.random.Generator) -> None:
+        num_crashed = int(np.floor(self.crash_fraction * n))
+        crashed = rng.choice(n, size=num_crashed, replace=False) if num_crashed else np.empty(0, dtype=np.int64)
+        mask = np.zeros(n, dtype=bool)
+        mask[crashed] = True
+        self._crashed = mask
+        self._active = False
+
+    def on_round(self, round_index: int, rng: np.random.Generator) -> None:
+        if round_index >= self.crash_round:
+            self._active = True
+
+    def node_is_alive(self, node_id: int) -> bool:
+        if not self._active or self._crashed is None:
+            return True
+        return not bool(self._crashed[node_id])
+
+    def deliver(self, message: Message, rng: np.random.Generator) -> bool:
+        if not self._active or self._crashed is None:
+            return True
+        return not (self._crashed[message.sender] or self._crashed[message.receiver])
+
+
+class CompositeFailures(FailureModel):
+    """Combine several failure models (a message survives only if all agree)."""
+
+    def __init__(self, *models: FailureModel):
+        self._models = list(models)
+
+    def reset(self, n: int, rng: np.random.Generator) -> None:
+        for m in self._models:
+            m.reset(n, rng)
+
+    def on_round(self, round_index: int, rng: np.random.Generator) -> None:
+        for m in self._models:
+            m.on_round(round_index, rng)
+
+    def node_is_alive(self, node_id: int) -> bool:
+        return all(m.node_is_alive(node_id) for m in self._models)
+
+    def deliver(self, message: Message, rng: np.random.Generator) -> bool:
+        return all(m.deliver(message, rng) for m in self._models)

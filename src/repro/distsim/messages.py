@@ -1,0 +1,82 @@
+"""Messages exchanged by simulated nodes.
+
+Theorem 1.1(2) of the paper bounds the *message complexity* of the algorithm
+in **words**, where one word holds an identifier or a numeric value
+(``O(log n)`` bits).  To measure that quantity faithfully, every message
+carries an explicit word count: by default it is the number of scalar values
+in the payload plus one word for the message kind.  The accounting layer
+(:mod:`repro.distsim.accounting`) aggregates these counts per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "payload_words"]
+
+
+def payload_words(payload: Any) -> int:
+    """Number of machine words needed to transmit ``payload``.
+
+    Counting rules (conservative and simple):
+
+    * ``None`` costs 0;
+    * a scalar (int, float, bool, numpy scalar) costs 1;
+    * a string costs 1 (identifiers are assumed to fit one word, as in the
+      paper where IDs are integers in ``[1, n³]``);
+    * a sequence or ndarray costs the sum of its elements' costs;
+    * a mapping costs the sum over keys and values.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bool, int, float, complex, np.integer, np.floating, np.bool_)):
+        return 1
+    if isinstance(payload, str):
+        return 1
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if isinstance(payload, dict):
+        return sum(payload_words(k) + payload_words(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_words(x) for x in payload)
+    # Fallback: unknown objects count as one word; algorithms that send richer
+    # objects should pass an explicit word count.
+    return 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message delivered at the next phase boundary.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Node identifiers (0-based).
+    kind:
+        Short string tag used by the receiving algorithm to dispatch
+        (e.g. ``"propose"``, ``"accept"``, ``"state"``).
+    payload:
+        Arbitrary picklable content.  Algorithms should keep payloads to
+        plain scalars/tuples/ndarrays so the word counting stays meaningful.
+    words:
+        Number of words charged for this message (kind + payload by default).
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any = None
+    words: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            object.__setattr__(self, "words", 1 + payload_words(self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message({self.sender}->{self.receiver}, kind={self.kind!r}, "
+            f"words={self.words})"
+        )

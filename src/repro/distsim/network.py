@@ -1,0 +1,222 @@
+"""Synchronous round-based network simulator.
+
+This is the substitute for the paper's "parallel network with n processors":
+a faithful simulator of the synchronous message-passing model in which the
+algorithm is stated.  The simulator
+
+* instantiates one :class:`~repro.distsim.node.NodeContext` per node with an
+  independent random stream,
+* repeatedly executes the phases of one round: deliver the messages produced
+  in the previous phase, then invoke every (alive) node's
+  :meth:`~repro.distsim.node.NodeAlgorithm.run_phase`,
+* records every delivered message in a
+  :class:`~repro.distsim.accounting.CommunicationLog`, and
+* applies an optional :class:`~repro.distsim.failures.FailureModel`.
+
+The simulation is sequential Python under the hood (per the HPC guides the
+numerically heavy work lives in the vectorised *centralised* implementation;
+the simulator's job is fidelity and exact communication accounting, not
+speed), but nodes are isolated: the only inter-node channel is the message
+queue, so the measured communication equals what a real deployment would
+send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .accounting import CommunicationLog
+from .failures import FailureModel, NoFailures
+from .messages import Message
+from .node import NodeAlgorithm, NodeContext
+from .rng import NodeRngFactory
+from .tracing import RoundTrace, SimulationTrace
+
+__all__ = ["SimulationResult", "SynchronousNetwork"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs to know about one simulation run."""
+
+    rounds_executed: int
+    contexts: list[NodeContext]
+    communication: CommunicationLog
+    trace: SimulationTrace
+    converged_early: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def node_state(self, node_id: int) -> dict[str, Any]:
+        return self.contexts[node_id].state
+
+    def states(self, key: str) -> list[Any]:
+        """Collect ``state[key]`` across nodes (None where missing)."""
+        return [ctx.state.get(key) for ctx in self.contexts]
+
+
+class SynchronousNetwork:
+    """Simulator for synchronous message-passing algorithms on a graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    algorithm:
+        The per-node behaviour.
+    seed:
+        Root seed for all node streams (and the simulator stream).
+    config:
+        Read-only configuration dictionary made available to every node
+        (e.g. ``{"beta": 0.25, "rounds": 40}``).
+    failures:
+        Optional failure model; the default is the reliable network the
+        paper assumes.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: NodeAlgorithm,
+        *,
+        seed: int | None = None,
+        config: dict[str, Any] | None = None,
+        failures: FailureModel | None = None,
+    ):
+        self.graph = graph
+        self.algorithm = algorithm
+        self.config = dict(config or {})
+        self.failures = failures or NoFailures()
+        self._rng_factory = NodeRngFactory(seed, graph.n)
+        self._contexts: list[NodeContext] = [
+            NodeContext(
+                node_id=v,
+                n=graph.n,
+                neighbours=graph.neighbours(v),
+                rng=self._rng_factory.for_node(v),
+                config=self.config,
+            )
+            for v in range(graph.n)
+        ]
+        self._log = CommunicationLog()
+        self._trace = SimulationTrace()
+        self._pending: dict[int, list[Message]] = {v: [] for v in range(graph.n)}
+        self._initialised = False
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def contexts(self) -> list[NodeContext]:
+        return self._contexts
+
+    @property
+    def communication(self) -> CommunicationLog:
+        return self._log
+
+    def run(
+        self,
+        rounds: int,
+        *,
+        stop_when_converged: bool = False,
+        round_callback: Callable[[int, "SynchronousNetwork"], None] | None = None,
+    ) -> SimulationResult:
+        """Run the algorithm for at most ``rounds`` synchronous rounds.
+
+        Parameters
+        ----------
+        stop_when_converged:
+            If ``True``, stop after a round in which *every* node's
+            :meth:`~repro.distsim.node.NodeAlgorithm.has_converged` returns
+            ``True`` (an idealised global convergence detector used only for
+            diagnostics; the paper's algorithm always runs the full ``T``
+            rounds).
+        round_callback:
+            Optional observer invoked after every round with
+            ``(round_index, network)``; used by benchmarks that track
+            per-round error curves.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        sim_rng = self._rng_factory.for_simulator()
+        if not self._initialised:
+            self.failures.reset(self.graph.n, sim_rng)
+            for ctx in self._contexts:
+                self.algorithm.initialise(ctx)
+            self._initialised = True
+
+        phases = list(self.algorithm.phases())
+        if not phases:
+            raise ValueError("algorithm must declare at least one phase per round")
+
+        converged_early = False
+        executed = 0
+        for round_index in range(rounds):
+            self.failures.on_round(round_index, sim_rng)
+            self._log.start_round(round_index)
+            round_trace = RoundTrace(round_index=round_index)
+
+            for phase in phases:
+                # Deliver messages queued at the previous phase boundary.
+                inboxes = self._pending
+                self._pending = {v: [] for v in range(self.graph.n)}
+                for ctx in self._contexts:
+                    alive = self.failures.node_is_alive(ctx.node_id)
+                    inbox = inboxes[ctx.node_id] if alive else []
+                    if not alive:
+                        continue
+                    self.algorithm.run_phase(ctx, round_index, phase, inbox)
+                    for message in ctx.drain_outbox():
+                        if not self.failures.deliver(message, sim_rng):
+                            round_trace.dropped_messages += 1
+                            continue
+                        self._log.record_message(message)
+                        self._pending[message.receiver].append(message)
+                round_trace.phases_executed += 1
+
+            stats = self._log.finish_round()
+            round_trace.messages = stats.messages
+            round_trace.words = stats.words
+            self._trace.append(round_trace)
+            executed = round_index + 1
+
+            if round_callback is not None:
+                round_callback(round_index, self)
+
+            if stop_when_converged and all(
+                self.algorithm.has_converged(ctx) for ctx in self._contexts
+            ):
+                converged_early = True
+                break
+
+        for ctx in self._contexts:
+            self.algorithm.finalise(ctx)
+
+        return SimulationResult(
+            rounds_executed=executed,
+            contexts=self._contexts,
+            communication=self._log,
+            trace=self._trace,
+            converged_early=converged_early,
+            metadata={
+                "n": self.graph.n,
+                "m": self.graph.num_edges,
+                "seed_entropy": self._rng_factory.root_entropy,
+                "config": dict(self.config),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting helpers used by algorithms with a notion of matching
+    # ------------------------------------------------------------------ #
+
+    def record_matched_edges(self, count: int) -> None:
+        """Let the running algorithm report how many edges were matched this round."""
+        self._log.record_matched_edges(count)
+
+    def record_active_nodes(self, count: int) -> None:
+        self._log.record_active_nodes(count)

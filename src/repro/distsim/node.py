@@ -1,0 +1,139 @@
+"""The node-side programming model of the simulator.
+
+An algorithm is written once as a :class:`NodeAlgorithm` subclass describing
+what a *single node* does in each phase of each synchronous round, exactly as
+one would implement it on a real processor:
+
+* a node only sees its own identifier, its degree, the identifiers of its
+  neighbours, its private random stream and its local state;
+* it communicates exclusively by sending messages through
+  :meth:`NodeContext.send`, which are delivered at the next phase boundary;
+* global quantities (the number of nodes ``n`` and, where the paper assumes
+  them known, the balance parameter ``β`` and the round budget ``T``) are
+  provided as *configuration*, mirroring the paper's "known threshold β" and
+  fixed ``T``.
+
+The simulator (:class:`repro.distsim.network.SynchronousNetwork`) drives all
+nodes phase by phase.  Because the per-node API never exposes other nodes'
+state, the communication accounting of the simulator is an exact measure of
+what a real message-passing implementation would send.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from .messages import Message
+
+__all__ = ["NodeContext", "NodeAlgorithm"]
+
+
+class NodeContext:
+    """Per-node view of the system handed to :class:`NodeAlgorithm` hooks.
+
+    Instances are created by the network simulator; algorithms never build
+    them directly.
+    """
+
+    __slots__ = ("node_id", "n", "degree", "neighbours", "rng", "state", "_outbox", "config")
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        neighbours: np.ndarray,
+        rng: np.random.Generator,
+        config: dict[str, Any],
+    ):
+        self.node_id = int(node_id)
+        self.n = int(n)
+        self.neighbours = neighbours
+        self.degree = int(neighbours.size)
+        self.rng = rng
+        self.config = config
+        self.state: dict[str, Any] = {}
+        self._outbox: list[Message] = []
+
+    # ------------------------------------------------------------------ #
+    # Communication
+    # ------------------------------------------------------------------ #
+
+    def send(self, receiver: int, kind: str, payload: Any = None, *, words: int | None = None) -> None:
+        """Queue a message for delivery at the next phase boundary.
+
+        ``receiver`` must be a neighbour of this node (the algorithm runs on
+        the communication graph; sending to arbitrary nodes would be
+        cheating).  ``words`` overrides the automatic word count.
+        """
+        receiver = int(receiver)
+        if receiver != self.node_id and receiver not in self.neighbours:
+            raise ValueError(
+                f"node {self.node_id} attempted to message non-neighbour {receiver}"
+            )
+        self._outbox.append(
+            Message(
+                sender=self.node_id,
+                receiver=receiver,
+                kind=kind,
+                payload=payload,
+                words=-1 if words is None else int(words),
+            )
+        )
+
+    def random_neighbour(self) -> int:
+        """Draw a uniformly random neighbour using the node's own stream."""
+        if self.degree == 0:
+            raise ValueError(f"node {self.node_id} has no neighbours")
+        return int(self.neighbours[self.rng.integers(self.degree)])
+
+    # ------------------------------------------------------------------ #
+    # Simulator-facing helpers
+    # ------------------------------------------------------------------ #
+
+    def drain_outbox(self) -> list[Message]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeContext(id={self.node_id}, degree={self.degree})"
+
+
+class NodeAlgorithm(ABC):
+    """Behaviour of a single node in a synchronous message-passing algorithm.
+
+    Subclasses implement the three hooks below.  One *round* consists of the
+    phases returned by :meth:`phases`, executed in order; messages sent in
+    phase ``i`` are delivered to their recipients at the start of phase
+    ``i + 1`` (messages sent in the last phase of a round are delivered in
+    the first phase of the next round).
+    """
+
+    @abstractmethod
+    def phases(self) -> Sequence[str]:
+        """Names of the phases making up one synchronous round."""
+
+    @abstractmethod
+    def initialise(self, node: NodeContext) -> None:
+        """Set up the node's local state before round 0."""
+
+    @abstractmethod
+    def run_phase(
+        self, node: NodeContext, round_index: int, phase: str, inbox: list[Message]
+    ) -> None:
+        """Execute one phase at one node.
+
+        ``inbox`` contains exactly the messages addressed to this node that
+        were sent during the previous phase.
+        """
+
+    def finalise(self, node: NodeContext) -> None:
+        """Optional post-processing after the last round (e.g. the query step)."""
+
+    # Optional hook: simulators call this to let the algorithm report whether
+    # it has converged early (all-node conjunction).  Default: never.
+    def has_converged(self, node: NodeContext) -> bool:
+        return False

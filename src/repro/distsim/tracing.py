@@ -1,0 +1,66 @@
+"""Lightweight per-round traces of a simulation.
+
+Traces record *what happened* each round (messages, words, drops, custom
+per-round observations) without retaining the messages themselves, so they
+stay cheap even for long runs.  Benchmarks use traces to plot per-round error
+curves (E6) and communication profiles (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RoundTrace", "SimulationTrace"]
+
+
+@dataclass
+class RoundTrace:
+    """Summary of one round."""
+
+    round_index: int
+    phases_executed: int = 0
+    messages: int = 0
+    words: int = 0
+    dropped_messages: int = 0
+    observations: dict[str, Any] = field(default_factory=dict)
+
+
+class SimulationTrace:
+    """Ordered collection of :class:`RoundTrace` objects."""
+
+    def __init__(self) -> None:
+        self._rounds: list[RoundTrace] = []
+
+    def append(self, round_trace: RoundTrace) -> None:
+        self._rounds.append(round_trace)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __getitem__(self, index: int) -> RoundTrace:
+        return self._rounds[index]
+
+    def __iter__(self):
+        return iter(self._rounds)
+
+    def observe(self, round_index: int, key: str, value: Any) -> None:
+        """Attach a custom observation to a round (used by round callbacks)."""
+        self._rounds[round_index].observations[key] = value
+
+    def series(self, key: str) -> np.ndarray:
+        """Extract an observation series across rounds (NaN where missing)."""
+        return np.asarray(
+            [r.observations.get(key, np.nan) for r in self._rounds], dtype=np.float64
+        )
+
+    def words_series(self) -> np.ndarray:
+        return np.asarray([r.words for r in self._rounds], dtype=np.int64)
+
+    def messages_series(self) -> np.ndarray:
+        return np.asarray([r.messages for r in self._rounds], dtype=np.int64)
+
+    def dropped_series(self) -> np.ndarray:
+        return np.asarray([r.dropped_messages for r in self._rounds], dtype=np.int64)

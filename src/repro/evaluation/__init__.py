@@ -1,0 +1,39 @@
+"""Evaluation framework: metrics, experiment runner and result tables."""
+
+from .metrics import (
+    adjusted_rand_index,
+    clustering_report,
+    misclassification_rate,
+    misclassified_nodes,
+    normalized_mutual_information,
+    purity,
+)
+from .runner import (
+    ExperimentResult,
+    TrialRecord,
+    aggregate_records,
+    evaluate_baseline,
+    evaluate_load_balancing_clustering,
+    run_trials,
+    sweep,
+)
+from .tables import format_markdown_table, format_table, records_to_rows
+
+__all__ = [
+    "adjusted_rand_index",
+    "clustering_report",
+    "misclassification_rate",
+    "misclassified_nodes",
+    "normalized_mutual_information",
+    "purity",
+    "ExperimentResult",
+    "TrialRecord",
+    "aggregate_records",
+    "evaluate_baseline",
+    "evaluate_load_balancing_clustering",
+    "run_trials",
+    "sweep",
+    "format_markdown_table",
+    "format_table",
+    "records_to_rows",
+]

@@ -1,0 +1,184 @@
+"""Experiment runner: repeated trials, sweeps and aggregation.
+
+Every benchmark in ``benchmarks/`` follows the same shape: generate an
+instance family, run one or more algorithms for several independent trials,
+aggregate per-configuration statistics and print a table.  The small
+framework here factors that shape out so each bench file only states *what*
+to run.
+
+Design notes
+------------
+* Algorithms are supplied as callables ``(instance, seed) -> dict`` returning
+  a flat record; helpers are provided that adapt the paper's algorithm and
+  the baseline interface to that shape.
+* Aggregation computes mean and standard deviation of every numeric field
+  across trials; non-numeric fields must be constant within a configuration.
+* No parallelism: trials are short and pytest-benchmark expects to own the
+  timing; the runner is deliberately simple and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.base import BaselineClusterer
+from ..core.centralized import CentralizedClustering
+from ..core.parameters import AlgorithmParameters
+from ..graphs.generators import ClusteredGraph
+from .metrics import clustering_report
+from .tables import format_table
+
+__all__ = [
+    "TrialRecord",
+    "ExperimentResult",
+    "run_trials",
+    "aggregate_records",
+    "sweep",
+    "evaluate_load_balancing_clustering",
+    "evaluate_baseline",
+]
+
+AlgorithmCallable = Callable[[ClusteredGraph, int], Mapping[str, Any]]
+
+
+@dataclass
+class TrialRecord:
+    """One (configuration, trial) observation."""
+
+    config: dict[str, Any]
+    trial: int
+    values: dict[str, Any]
+
+
+@dataclass
+class ExperimentResult:
+    """All records of one experiment plus helpers to aggregate and render them."""
+
+    records: list[TrialRecord] = field(default_factory=list)
+
+    def add(self, config: dict[str, Any], trial: int, values: Mapping[str, Any]) -> None:
+        self.records.append(TrialRecord(config=dict(config), trial=trial, values=dict(values)))
+
+    def aggregated(self, group_keys: Sequence[str]) -> list[dict[str, Any]]:
+        """Group records by ``group_keys`` and average the numeric fields."""
+        groups: dict[tuple, list[TrialRecord]] = {}
+        for record in self.records:
+            key = tuple(record.config.get(k) for k in group_keys)
+            groups.setdefault(key, []).append(record)
+        rows: list[dict[str, Any]] = []
+        for key, members in groups.items():
+            row: dict[str, Any] = {k: v for k, v in zip(group_keys, key)}
+            row["trials"] = len(members)
+            numeric_fields: dict[str, list[float]] = {}
+            for record in members:
+                for field_name, value in record.values.items():
+                    if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+                        value, bool
+                    ):
+                        numeric_fields.setdefault(field_name, []).append(float(value))
+                    else:
+                        row.setdefault(field_name, value)
+            for field_name, values in numeric_fields.items():
+                row[field_name] = float(np.mean(values))
+                if len(values) > 1:
+                    row[field_name + "_std"] = float(np.std(values, ddof=1))
+            rows.append(row)
+        return rows
+
+    def table(
+        self, group_keys: Sequence[str], columns: Sequence[str], *, title: str | None = None
+    ) -> str:
+        rows = self.aggregated(group_keys)
+        return format_table(
+            list(columns), [[row.get(c, "") for c in columns] for row in rows], title=title
+        )
+
+
+def run_trials(
+    instances: Iterable[tuple[dict[str, Any], ClusteredGraph]],
+    algorithms: Mapping[str, AlgorithmCallable],
+    *,
+    trials: int = 3,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Run every algorithm on every instance for ``trials`` independent seeds."""
+    result = ExperimentResult()
+    for config, instance in instances:
+        for name, algorithm in algorithms.items():
+            for trial in range(trials):
+                seed = base_seed + 1000 * trial + hash(name) % 997
+                values = dict(algorithm(instance, seed))
+                values.setdefault("algorithm", name)
+                full_config = dict(config)
+                full_config["algorithm"] = name
+                result.add(full_config, trial, values)
+    return result
+
+
+def aggregate_records(records: Iterable[Mapping[str, Any]], group_keys: Sequence[str]) -> list[dict[str, Any]]:
+    """Aggregate plain record dictionaries (convenience for ad-hoc benches)."""
+    result = ExperimentResult()
+    for i, record in enumerate(records):
+        config = {k: record[k] for k in group_keys if k in record}
+        values = {k: v for k, v in record.items() if k not in group_keys}
+        result.add(config, i, values)
+    return result.aggregated(group_keys)
+
+
+def sweep(values: Iterable[Any], make_instance: Callable[[Any], ClusteredGraph], key: str = "value"):
+    """Yield ``(config, instance)`` pairs for a one-parameter sweep."""
+    for value in values:
+        yield {key: value}, make_instance(value)
+
+
+# --------------------------------------------------------------------------- #
+# Adapters
+# --------------------------------------------------------------------------- #
+
+def evaluate_load_balancing_clustering(
+    *,
+    round_constant: float | None = None,
+    rounds: int | None = None,
+    beta: float | None = None,
+    fallback: str = "argmax",
+) -> AlgorithmCallable:
+    """Adapter running the paper's (centralised) algorithm and scoring it."""
+
+    def run(instance: ClusteredGraph, seed: int) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {}
+        if round_constant is not None:
+            kwargs["round_constant"] = round_constant
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition, **kwargs)
+        if beta is not None:
+            params = AlgorithmParameters.from_graph(
+                instance.graph, instance.partition.k, beta=beta, **kwargs
+            )
+        if rounds is not None:
+            params = params.with_rounds(rounds)
+        result = CentralizedClustering(
+            instance.graph, params, seed=seed, fallback=fallback
+        ).run(keep_loads=False)
+        record = clustering_report(result.partition, instance.partition)
+        record.update(
+            rounds=result.rounds,
+            num_seeds=result.num_seeds,
+            unlabelled=result.num_unlabelled,
+        )
+        return record
+
+    return run
+
+
+def evaluate_baseline(baseline: BaselineClusterer) -> AlgorithmCallable:
+    """Adapter running a baseline clusterer and scoring it."""
+
+    def run(instance: ClusteredGraph, seed: int) -> dict[str, Any]:
+        result = baseline.cluster(instance.graph, instance.partition.k, seed=seed)
+        record = clustering_report(result.partition, instance.partition)
+        record.update(rounds=result.rounds, words=result.words)
+        return record
+
+    return run

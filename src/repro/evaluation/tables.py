@@ -1,0 +1,68 @@
+"""Plain-text result tables for benchmarks and EXPERIMENTS.md.
+
+The benchmark harness prints its findings as aligned text / Markdown tables
+so that the rows reported in EXPERIMENTS.md can be regenerated verbatim by
+re-running the corresponding bench target.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "records_to_rows"]
+
+
+def _format_value(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def records_to_rows(
+    records: Iterable[dict[str, Any]], columns: Sequence[str]
+) -> list[list[Any]]:
+    """Project a list of record dictionaries onto the requested columns."""
+    rows = []
+    for record in records:
+        rows.append([record.get(col, "") for col in columns])
+    return rows
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Fixed-width aligned table (for terminal output)."""
+    str_rows = [[_format_value(v, float_format) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = ".4g",
+) -> str:
+    """GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    str_rows = [[_format_value(v, float_format) for v in row] for row in rows]
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

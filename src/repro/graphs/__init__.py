@@ -1,0 +1,134 @@
+"""Graph substrate: data structure, generators, spectral and cut quantities.
+
+The public surface of this subpackage is everything Theorem 1.1 talks about
+on the *input* side: the graph itself, the planted partition, conductances,
+the eigenvalues of the random walk matrix and the structure parameter Υ.
+"""
+
+from .conductance import (
+    cluster_conductances,
+    conductance,
+    cut_size,
+    degree_volume,
+    inner_conductance,
+    k_way_expansion_of_partition,
+    normalized_cut,
+    sweep_cut,
+    volume,
+)
+from .generators import (
+    ClusteredGraph,
+    almost_regular_clustered_graph,
+    binary_tree_graph,
+    complete_graph,
+    connected_caveman,
+    cycle_graph,
+    cycle_of_cliques,
+    dumbbell_graph,
+    grid_graph,
+    noisy_clustered_graph,
+    path_of_cliques,
+    planted_partition,
+    random_regular_graph,
+    ring_of_expanders,
+    stochastic_block_model,
+)
+from .graph import Graph, GraphError
+from .lfr import lfr_benchmark, truncated_power_law
+from .io import (
+    read_edge_list,
+    read_metis,
+    read_partition,
+    write_edge_list,
+    write_metis,
+    write_partition,
+)
+from .partition import (
+    Partition,
+    PartitionError,
+    best_label_permutation,
+    confusion_matrix,
+    misclassification_rate,
+    misclassified_nodes,
+)
+from .spectral import (
+    ClusterStructureReport,
+    SpectralDecomposition,
+    analyse_cluster_structure,
+    cluster_gap,
+    gap_parameter_upsilon,
+    lazy_mixing_time_bound,
+    random_walk_eigenvalues,
+    spectral_decomposition,
+    spectral_gap,
+    theoretical_round_count,
+    top_eigenpairs,
+    top_eigenvector_projection,
+)
+from .validation import InstanceReport, ValidationIssue, validate_instance
+
+__all__ = [
+    # graph.py
+    "Graph",
+    "GraphError",
+    # partition.py
+    "Partition",
+    "PartitionError",
+    "best_label_permutation",
+    "confusion_matrix",
+    "misclassification_rate",
+    "misclassified_nodes",
+    # generators.py
+    "ClusteredGraph",
+    "almost_regular_clustered_graph",
+    "binary_tree_graph",
+    "complete_graph",
+    "connected_caveman",
+    "cycle_graph",
+    "cycle_of_cliques",
+    "dumbbell_graph",
+    "grid_graph",
+    "noisy_clustered_graph",
+    "path_of_cliques",
+    "planted_partition",
+    "random_regular_graph",
+    "ring_of_expanders",
+    "stochastic_block_model",
+    # lfr.py
+    "lfr_benchmark",
+    "truncated_power_law",
+    # conductance.py
+    "cluster_conductances",
+    "conductance",
+    "cut_size",
+    "degree_volume",
+    "inner_conductance",
+    "k_way_expansion_of_partition",
+    "normalized_cut",
+    "sweep_cut",
+    "volume",
+    # spectral.py
+    "ClusterStructureReport",
+    "SpectralDecomposition",
+    "analyse_cluster_structure",
+    "cluster_gap",
+    "gap_parameter_upsilon",
+    "lazy_mixing_time_bound",
+    "random_walk_eigenvalues",
+    "spectral_decomposition",
+    "spectral_gap",
+    "theoretical_round_count",
+    "top_eigenpairs",
+    "top_eigenvector_projection",
+    # io.py
+    "read_edge_list",
+    "read_metis",
+    "read_partition",
+    "write_edge_list",
+    "write_metis",
+    "write_partition",
+    # validation.py
+    "InstanceReport",
+    "ValidationIssue",
+    "validate_instance",
+]

@@ -1,0 +1,616 @@
+"""Generators for well-clustered graphs used throughout the evaluation.
+
+The paper analyses graphs with a strong cluster structure: a ``k``-way
+partition ``S_1, ..., S_k`` where every ``G[S_i]`` is an expander and few
+edges cross between clusters, quantified by the gap parameter
+``Υ = (1 - λ_{k+1}) / ρ(k)``.  The generators below produce exactly such
+instances, together with the *planted* partition so that accuracy can be
+measured against ground truth:
+
+* :func:`stochastic_block_model` — the classic SBM, the standard test bed for
+  community detection (and the model family analysed by Becchetti et al.,
+  against whom the paper compares).
+* :func:`planted_partition` — SBM with equal intra/inter probabilities.
+* :func:`cycle_of_cliques` — ``k`` cliques joined in a cycle by single edges;
+  the sharpest possible cluster structure with conductance ``Θ(1/|S_i|²)``.
+* :func:`ring_of_expanders` — ``k`` random-regular expanders joined by a few
+  edges; this is the Section 1.2 scenario of the paper (constant ``k``,
+  expander clusters, conductance ``O(1/polylog n)``).
+* :func:`random_regular_graph` — a single expander (``k = 1`` control case).
+* :func:`almost_regular_clustered_graph` — clusters with a bounded degree
+  ratio ``Δ/δ``, exercising the Section 4.5 extension.
+* :func:`noisy_clustered_graph` — a clustered graph with a tunable fraction
+  of random "noise" edges added across clusters.
+
+Every generator returns a :class:`ClusteredGraph`, which bundles the
+:class:`~repro.graphs.graph.Graph` with its ground-truth
+:class:`~repro.graphs.partition.Partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .graph import Graph, GraphError
+from .partition import Partition
+
+__all__ = [
+    "ClusteredGraph",
+    "stochastic_block_model",
+    "planted_partition",
+    "cycle_of_cliques",
+    "path_of_cliques",
+    "ring_of_expanders",
+    "connected_caveman",
+    "random_regular_graph",
+    "almost_regular_clustered_graph",
+    "noisy_clustered_graph",
+    "grid_graph",
+    "complete_graph",
+    "cycle_graph",
+    "binary_tree_graph",
+    "dumbbell_graph",
+]
+
+
+@dataclass(frozen=True)
+class ClusteredGraph:
+    """A graph together with its planted ground-truth partition.
+
+    Attributes
+    ----------
+    graph:
+        The generated graph.
+    partition:
+        Ground-truth cluster assignment used to score clustering algorithms.
+    params:
+        Generator parameters, recorded for experiment reproducibility.
+    """
+
+    graph: Graph
+    partition: Partition
+    params: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def k(self) -> int:
+        return self.partition.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusteredGraph({self.graph!r}, k={self.k})"
+
+
+def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _balanced_sizes(n: int, k: int) -> list[int]:
+    """Split ``n`` into ``k`` nearly equal sizes."""
+    base = n // k
+    rem = n % k
+    return [base + (1 if i < rem else 0) for i in range(k)]
+
+
+def _labels_from_sizes(sizes: Sequence[int]) -> np.ndarray:
+    return np.repeat(np.arange(len(sizes)), sizes)
+
+
+# --------------------------------------------------------------------------- #
+# Stochastic block models
+# --------------------------------------------------------------------------- #
+
+def stochastic_block_model(
+    sizes: Sequence[int],
+    p_in: float | Sequence[float],
+    p_out: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = False,
+    max_connect_attempts: int = 20,
+    name: str | None = None,
+) -> ClusteredGraph:
+    """Sample a stochastic block model graph.
+
+    Parameters
+    ----------
+    sizes:
+        Cluster sizes ``|S_1|, ..., |S_k|``.
+    p_in:
+        Within-cluster edge probability.  Either a scalar (same for all
+        clusters) or a per-cluster sequence.
+    p_out:
+        Between-cluster edge probability (``p_out < p_in`` gives a cluster
+        structure).
+    ensure_connected:
+        If ``True``, resample until the graph is connected (the paper's
+        analysis presumes a connected graph; a disconnected sample would make
+        eigenvalue-based diagnostics degenerate).
+    """
+    sizes = [int(s) for s in sizes]
+    k = len(sizes)
+    if k == 0 or min(sizes) <= 0:
+        raise GraphError("sizes must be a non-empty sequence of positive integers")
+    if np.isscalar(p_in):
+        p_in_vec = np.full(k, float(p_in))
+    else:
+        p_in_vec = np.asarray(p_in, dtype=float)
+        if p_in_vec.shape != (k,):
+            raise GraphError("p_in sequence must have one entry per cluster")
+    if not (0.0 <= float(p_out) <= 1.0) or np.any(p_in_vec < 0) or np.any(p_in_vec > 1):
+        raise GraphError("edge probabilities must lie in [0, 1]")
+
+    rng = _as_rng(seed)
+    n = int(sum(sizes))
+    labels = _labels_from_sizes(sizes)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    def sample_once(r: np.random.Generator) -> list[tuple[int, int]]:
+        edges: list[tuple[int, int]] = []
+        # Within-cluster blocks.
+        for c in range(k):
+            lo, hi = offsets[c], offsets[c + 1]
+            size = hi - lo
+            if size >= 2:
+                iu = np.triu_indices(size, k=1)
+                mask = r.random(iu[0].size) < p_in_vec[c]
+                edges.extend(zip((iu[0][mask] + lo).tolist(), (iu[1][mask] + lo).tolist()))
+        # Between-cluster blocks.
+        if p_out > 0:
+            for a in range(k):
+                for b in range(a + 1, k):
+                    rows = np.arange(offsets[a], offsets[a + 1])
+                    cols = np.arange(offsets[b], offsets[b + 1])
+                    mask = r.random((rows.size, cols.size)) < p_out
+                    ri, ci = np.nonzero(mask)
+                    edges.extend(zip(rows[ri].tolist(), cols[ci].tolist()))
+        return edges
+
+    graph_name = name or f"sbm(n={n},k={k})"
+    for attempt in range(max_connect_attempts):
+        graph = Graph(n, sample_once(rng), name=graph_name)
+        if not ensure_connected or graph.is_connected():
+            break
+    else:  # pragma: no cover - requires persistent bad luck
+        raise GraphError(
+            f"could not sample a connected SBM in {max_connect_attempts} attempts"
+        )
+
+    partition = Partition.from_labels(labels)
+    return ClusteredGraph(
+        graph=graph,
+        partition=partition,
+        params={
+            "generator": "stochastic_block_model",
+            "sizes": sizes,
+            "p_in": p_in_vec.tolist(),
+            "p_out": float(p_out),
+        },
+    )
+
+
+def planted_partition(
+    n: int,
+    k: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = False,
+) -> ClusteredGraph:
+    """SBM with ``k`` balanced clusters of total size ``n``."""
+    return stochastic_block_model(
+        _balanced_sizes(n, k),
+        p_in,
+        p_out,
+        seed=seed,
+        ensure_connected=ensure_connected,
+        name=f"planted(n={n},k={k},p={p_in},q={p_out})",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic clustered topologies
+# --------------------------------------------------------------------------- #
+
+def cycle_of_cliques(
+    k: int,
+    clique_size: int,
+    *,
+    bridges_per_join: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> ClusteredGraph:
+    """``k`` cliques of equal size arranged in a cycle.
+
+    Consecutive cliques are joined by ``bridges_per_join`` edges.  With a
+    single bridge the conductance of each clique is ``Θ(1/clique_size²)``,
+    giving an extremely well-clustered instance (huge Υ) which the paper's
+    algorithm should solve almost perfectly.
+    """
+    if k < 2:
+        raise GraphError("cycle_of_cliques requires k >= 2")
+    if clique_size < 2:
+        raise GraphError("clique_size must be at least 2")
+    if bridges_per_join < 1 or bridges_per_join > clique_size:
+        raise GraphError("bridges_per_join must be in [1, clique_size]")
+    rng = _as_rng(seed)
+    n = k * clique_size
+    edges: list[tuple[int, int]] = []
+    for c in range(k):
+        lo = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((lo + i, lo + j))
+    for c in range(k):
+        nxt = (c + 1) % k
+        if k == 2 and nxt < c:
+            # With exactly two cliques, the cycle would duplicate the join.
+            continue
+        src = rng.choice(clique_size, size=bridges_per_join, replace=False) + c * clique_size
+        dst = rng.choice(clique_size, size=bridges_per_join, replace=False) + nxt * clique_size
+        edges.extend(zip(src.tolist(), dst.tolist()))
+    labels = np.repeat(np.arange(k), clique_size)
+    return ClusteredGraph(
+        graph=Graph(n, edges, name=f"cycle_of_cliques(k={k},s={clique_size})"),
+        partition=Partition.from_labels(labels),
+        params={
+            "generator": "cycle_of_cliques",
+            "k": k,
+            "clique_size": clique_size,
+            "bridges_per_join": bridges_per_join,
+        },
+    )
+
+
+def path_of_cliques(
+    k: int,
+    clique_size: int,
+    *,
+    bridges_per_join: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> ClusteredGraph:
+    """Like :func:`cycle_of_cliques` but cliques are arranged on a path."""
+    if k < 2:
+        raise GraphError("path_of_cliques requires k >= 2")
+    rng = _as_rng(seed)
+    n = k * clique_size
+    edges: list[tuple[int, int]] = []
+    for c in range(k):
+        lo = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((lo + i, lo + j))
+    for c in range(k - 1):
+        src = rng.choice(clique_size, size=bridges_per_join, replace=False) + c * clique_size
+        dst = rng.choice(clique_size, size=bridges_per_join, replace=False) + (c + 1) * clique_size
+        edges.extend(zip(src.tolist(), dst.tolist()))
+    labels = np.repeat(np.arange(k), clique_size)
+    return ClusteredGraph(
+        graph=Graph(n, edges, name=f"path_of_cliques(k={k},s={clique_size})"),
+        partition=Partition.from_labels(labels),
+        params={"generator": "path_of_cliques", "k": k, "clique_size": clique_size},
+    )
+
+
+def connected_caveman(k: int, clique_size: int) -> ClusteredGraph:
+    """Connected caveman graph: a cycle of cliques where one edge per clique
+    is *rewired* (rather than added) to the next clique.
+
+    This keeps the graph exactly ``(clique_size - 1)``-regular, which matches
+    the paper's ``d``-regular setting without any almost-regular machinery.
+    """
+    if k < 2 or clique_size < 3:
+        raise GraphError("connected_caveman requires k >= 2 and clique_size >= 3")
+    n = k * clique_size
+    edges: set[tuple[int, int]] = set()
+    for c in range(k):
+        lo = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.add((lo + i, lo + j))
+    # Rewire: remove edge (lo, lo+1) within each clique and connect lo to the
+    # next clique's node (next_lo + 1).
+    for c in range(k):
+        lo = c * clique_size
+        nxt_lo = ((c + 1) % k) * clique_size
+        edges.discard((lo, lo + 1))
+        u, v = lo, nxt_lo + 1
+        edges.add((min(u, v), max(u, v)))
+    labels = np.repeat(np.arange(k), clique_size)
+    return ClusteredGraph(
+        graph=Graph(n, sorted(edges), name=f"connected_caveman(k={k},s={clique_size})"),
+        partition=Partition.from_labels(labels),
+        params={"generator": "connected_caveman", "k": k, "clique_size": clique_size},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Random regular expanders and compositions
+# --------------------------------------------------------------------------- #
+
+def _random_regular_edges(
+    n: int, d: int, rng: np.random.Generator, *, max_attempts: int = 50
+) -> list[tuple[int, int]]:
+    """Sample the edge set of a random ``d``-regular simple graph.
+
+    Uses the configuration (pairing) model followed by double-edge-swap
+    repair of self-loops and multi-edges.  Repair preserves the degree
+    sequence exactly and, for ``d = O(√n)``, the number of defects is small
+    so only a few swaps are needed.  Restarts from a fresh pairing if repair
+    stalls (this happens with negligible probability for the parameter ranges
+    used in the benchmarks).
+    """
+    if n * d % 2 != 0:
+        raise GraphError("n*d must be even for a d-regular graph to exist")
+    if d >= n:
+        raise GraphError("degree must be smaller than the number of nodes")
+    if d == 0:
+        return []
+
+    def canon(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    for _ in range(max_attempts):
+        stubs = np.repeat(np.arange(n), d)
+        rng.shuffle(stubs)
+        pairs = [(int(stubs[2 * i]), int(stubs[2 * i + 1])) for i in range(stubs.size // 2)]
+        edge_count: dict[tuple[int, int], int] = {}
+        for a, b in pairs:
+            key = canon(a, b)
+            edge_count[key] = edge_count.get(key, 0) + 1
+        bad = [e for e, c in edge_count.items() if e[0] == e[1] or c > 1]
+        stalled = False
+        swap_budget = 200 * len(pairs) + 1000
+        swaps = 0
+        while bad:
+            swaps += 1
+            if swaps > swap_budget:
+                stalled = True
+                break
+            u, v = bad[-1]
+            # Pick a uniformly random (multi-)edge to swap with.
+            idx = int(rng.integers(len(pairs)))
+            x, y = pairs[idx]
+            # Proposed replacement edges after the double swap.
+            new1, new2 = canon(u, x), canon(v, y)
+            old1 = canon(u, v)
+            old2 = canon(x, y)
+            if old2 == old1:
+                continue
+            if new1[0] == new1[1] or new2[0] == new2[1]:
+                continue
+            if edge_count.get(new1, 0) > 0 or edge_count.get(new2, 0) > 0 or new1 == new2:
+                continue
+            # Apply swap: remove one copy of old1 and old2, add new1 and new2.
+            for old in (old1, old2):
+                edge_count[old] -= 1
+                if edge_count[old] == 0:
+                    del edge_count[old]
+            edge_count[new1] = 1
+            edge_count[new2] = 1
+            # Update the pair list: replace one occurrence of each old edge.
+            pairs[idx] = new2
+            # Find a pair equal to old1 (the bad edge) and replace it.
+            for j in range(len(pairs) - 1, -1, -1):
+                if canon(*pairs[j]) == old1 and j != idx:
+                    pairs[j] = new1
+                    break
+            bad = [e for e, c in edge_count.items() if e[0] == e[1] or c > 1]
+        if stalled:
+            continue
+        return sorted(edge_count.keys())
+    raise GraphError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes "
+        f"in {max_attempts} attempts"
+    )
+
+
+def random_regular_graph(
+    n: int, d: int, *, seed: int | np.random.Generator | None = None
+) -> ClusteredGraph:
+    """A single random ``d``-regular graph (an expander w.h.p.); ``k = 1``."""
+    rng = _as_rng(seed)
+    edges = _random_regular_edges(n, d, rng)
+    return ClusteredGraph(
+        graph=Graph(n, edges, name=f"random_regular(n={n},d={d})"),
+        partition=Partition.from_labels(np.zeros(n, dtype=np.int64)),
+        params={"generator": "random_regular_graph", "n": n, "d": d},
+    )
+
+
+def ring_of_expanders(
+    k: int,
+    cluster_size: int,
+    d: int,
+    *,
+    bridges_per_join: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> ClusteredGraph:
+    """``k`` random ``d``-regular expanders joined in a ring by a few edges.
+
+    This is the motivating scenario of Section 1.2 of the paper: constant
+    ``k``, balanced expander clusters, and cluster conductance
+    ``O(bridges / (d · cluster_size))`` which is ``O(1/polylog n)`` for the
+    parameters used in the benchmarks.  Inter-cluster bridges make the graph
+    only *almost* regular (bridge endpoints have degree ``d + 1``), with the
+    degree ratio bounded by ``(d + 2)/d`` — comfortably within the paper's
+    almost-regular assumption.
+    """
+    if k < 1:
+        raise GraphError("ring_of_expanders requires k >= 1")
+    rng = _as_rng(seed)
+    n = k * cluster_size
+    edges: list[tuple[int, int]] = []
+    for c in range(k):
+        lo = c * cluster_size
+        block = _random_regular_edges(cluster_size, d, rng)
+        edges.extend((lo + u, lo + v) for u, v in block)
+    if k >= 2:
+        joins = range(k) if k > 2 else range(1)
+        for c in joins:
+            nxt = (c + 1) % k
+            src = rng.choice(cluster_size, size=bridges_per_join, replace=False) + c * cluster_size
+            dst = rng.choice(cluster_size, size=bridges_per_join, replace=False) + nxt * cluster_size
+            edges.extend(zip(src.tolist(), dst.tolist()))
+    labels = np.repeat(np.arange(k), cluster_size)
+    return ClusteredGraph(
+        graph=Graph(n, edges, name=f"ring_of_expanders(k={k},s={cluster_size},d={d})"),
+        partition=Partition.from_labels(labels),
+        params={
+            "generator": "ring_of_expanders",
+            "k": k,
+            "cluster_size": cluster_size,
+            "d": d,
+            "bridges_per_join": bridges_per_join,
+        },
+    )
+
+
+def almost_regular_clustered_graph(
+    k: int,
+    cluster_size: int,
+    d_min: int,
+    d_max: int,
+    *,
+    bridges_per_join: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> ClusteredGraph:
+    """Clusters whose internal degree varies between ``d_min`` and ``d_max``.
+
+    Each cluster is the union of a ``d_min``-regular graph and an additional
+    random graph adding up to ``d_max - d_min`` to each node's degree, so the
+    overall degree ratio ``Δ/δ`` is bounded by roughly ``(d_max + 1)/d_min``.
+    Used by experiment E10 to test the Section 4.5 extension.
+    """
+    if d_min < 2 or d_max < d_min:
+        raise GraphError("need 2 <= d_min <= d_max")
+    rng = _as_rng(seed)
+    n = k * cluster_size
+    edges: set[tuple[int, int]] = set()
+    for c in range(k):
+        lo = c * cluster_size
+        base = _random_regular_edges(cluster_size, d_min, rng)
+        edges.update((lo + u, lo + v) for u, v in base)
+        # Sprinkle extra intra-cluster edges to push some degrees towards d_max.
+        extra_target = (d_max - d_min) * cluster_size // 2
+        attempts = 0
+        added = 0
+        while added < extra_target and attempts < 20 * extra_target + 20:
+            attempts += 1
+            u, v = rng.integers(cluster_size, size=2)
+            if u == v:
+                continue
+            a, b = lo + min(u, v), lo + max(u, v)
+            if (a, b) in edges:
+                continue
+            edges.add((a, b))
+            added += 1
+    if k >= 2:
+        joins = range(k) if k > 2 else range(1)
+        for c in joins:
+            nxt = (c + 1) % k
+            src = rng.choice(cluster_size, size=bridges_per_join, replace=False) + c * cluster_size
+            dst = rng.choice(cluster_size, size=bridges_per_join, replace=False) + nxt * cluster_size
+            for a, b in zip(src.tolist(), dst.tolist()):
+                edges.add((min(a, b), max(a, b)))
+    labels = np.repeat(np.arange(k), cluster_size)
+    return ClusteredGraph(
+        graph=Graph(n, sorted(edges), name=f"almost_regular(k={k},s={cluster_size})"),
+        partition=Partition.from_labels(labels),
+        params={
+            "generator": "almost_regular_clustered_graph",
+            "k": k,
+            "cluster_size": cluster_size,
+            "d_min": d_min,
+            "d_max": d_max,
+        },
+    )
+
+
+def noisy_clustered_graph(
+    base: ClusteredGraph,
+    noise_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> ClusteredGraph:
+    """Add ``noise_edges`` uniformly random missing edges to ``base``.
+
+    Used by robustness experiments: as noise grows the gap Υ shrinks and the
+    algorithm's accuracy should degrade gracefully.
+    """
+    rng = _as_rng(seed)
+    g = base.graph
+    existing = set(map(tuple, g.edge_array().tolist()))
+    edges = list(existing)
+    added = 0
+    attempts = 0
+    while added < noise_edges and attempts < 100 * noise_edges + 100:
+        attempts += 1
+        u, v = rng.integers(g.n, size=2)
+        if u == v:
+            continue
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if key in existing:
+            continue
+        existing.add(key)
+        edges.append(key)
+        added += 1
+    graph = Graph(g.n, edges, name=f"{g.name}+noise{noise_edges}")
+    return ClusteredGraph(
+        graph=graph,
+        partition=base.partition,
+        params={**base.params, "noise_edges": noise_edges},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Simple control topologies (used by unit tests and load-balancing substrate)
+# --------------------------------------------------------------------------- #
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)], name=f"K{n}")
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)], name=f"C{n}")
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid graph."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges, name=f"grid({rows}x{cols})")
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """A complete binary tree of the given depth (depth 0 = single node)."""
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    edges = [(v, 2 * v + 1) for v in range(n) if 2 * v + 1 < n]
+    edges += [(v, 2 * v + 2) for v in range(n) if 2 * v + 2 < n]
+    return Graph(n, edges, name=f"binary_tree(depth={depth})")
+
+
+def dumbbell_graph(clique_size: int) -> ClusteredGraph:
+    """Two cliques joined by a single edge — the canonical 2-cluster instance."""
+    return cycle_of_cliques(2, clique_size, bridges_per_join=1, seed=0)

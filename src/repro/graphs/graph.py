@@ -1,0 +1,396 @@
+"""Core graph data structure used throughout the reproduction.
+
+The paper's algorithm only ever needs three graph operations from a node's
+point of view:
+
+* know its own degree,
+* draw a uniformly random neighbour (used by the matching protocol of
+  Section 2.2 of the paper), and
+* enumerate its neighbours (used by baselines such as label propagation and
+  the Becchetti et al. averaging dynamics).
+
+``Graph`` stores an undirected simple graph in compressed sparse row (CSR)
+form, which gives O(1) degree queries, O(1) uniformly-random-neighbour
+sampling and contiguous neighbour slices (cache friendly, per the HPC
+guides).  The structure is immutable after construction: algorithms never
+mutate the topology, which lets us safely share one ``Graph`` instance across
+the distributed simulator, the centralised implementation and the baselines.
+
+Self-loops are supported because the almost-regular extension of the paper
+(Section 4.5) conceptually adds ``D - d_v`` self-loops at every node to view
+the graph as ``D``-regular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph is constructed from inconsistent data."""
+
+
+@dataclass(frozen=True)
+class _CSR:
+    """Minimal immutable CSR container for the adjacency structure."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def neighbours(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+
+class Graph:
+    """An immutable undirected graph stored in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are identified by integers ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Each undirected edge should appear
+        exactly once; the constructor symmetrises the structure.  Self-loops
+        ``(v, v)`` are allowed and count once towards the degree of ``v``
+        (matching the convention used by the paper's almost-regular
+        construction where a self-loop keeps half of the node's load in
+        place but never participates in a matching with another node).
+    name:
+        Optional human-readable name used in reports and benchmark tables.
+
+    Notes
+    -----
+    Duplicate edges raise :class:`GraphError`: the paper works with simple
+    graphs and duplicate edges would silently bias the random-neighbour
+    distribution used by the matching protocol.
+    """
+
+    __slots__ = ("_n", "_csr", "_degrees", "_num_edges", "_num_self_loops", "name")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]], *, name: str = "graph"):
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be an iterable of (u, v) pairs")
+        if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= n):
+            raise GraphError("edge endpoint out of range")
+
+        u = edge_array[:, 0]
+        v = edge_array[:, 1]
+        loop_mask = u == v
+        non_loop_u = u[~loop_mask]
+        non_loop_v = v[~loop_mask]
+
+        # Detect duplicates among non-loop edges (order-insensitive).
+        if non_loop_u.size:
+            lo = np.minimum(non_loop_u, non_loop_v)
+            hi = np.maximum(non_loop_u, non_loop_v)
+            keys = lo.astype(np.int64) * n + hi
+            if np.unique(keys).size != keys.size:
+                raise GraphError("duplicate undirected edges are not allowed")
+        loops = u[loop_mask]
+        if loops.size and np.unique(loops).size != loops.size:
+            raise GraphError("duplicate self-loops are not allowed")
+
+        # Build symmetric CSR: each non-loop edge contributes two directed
+        # arcs, each self-loop contributes a single arc v -> v.
+        src = np.concatenate([non_loop_u, non_loop_v, loops])
+        dst = np.concatenate([non_loop_v, non_loop_u, loops])
+        # Canonical CSR: arcs sorted by (source, destination) so that two
+        # graphs with the same edge set compare equal regardless of the
+        # order in which edges were supplied.
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        indptr = np.cumsum(indptr)
+        self._csr = _CSR(indptr=indptr, indices=dst.astype(np.int64))
+        self._n = int(n)
+        self._degrees = np.diff(indptr).astype(np.int64)
+        self._num_edges = int(non_loop_u.size + loops.size)
+        self._num_self_loops = int(loops.size)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_adjacency(cls, adjacency: np.ndarray | sp.spmatrix, *, name: str = "graph") -> "Graph":
+        """Build a graph from a dense or sparse symmetric 0/1 adjacency matrix."""
+        if sp.issparse(adjacency):
+            a = sp.coo_matrix(adjacency)
+            mask = a.row <= a.col
+            edges = list(zip(a.row[mask].tolist(), a.col[mask].tolist()))
+            n = a.shape[0]
+        else:
+            a = np.asarray(adjacency)
+            if a.ndim != 2 or a.shape[0] != a.shape[1]:
+                raise GraphError("adjacency matrix must be square")
+            if not np.array_equal(a, a.T):
+                raise GraphError("adjacency matrix must be symmetric")
+            n = a.shape[0]
+            iu = np.triu_indices(n)
+            sel = a[iu] != 0
+            edges = list(zip(iu[0][sel].tolist(), iu[1][sel].tolist()))
+        return cls(n, edges, name=name)
+
+    @classmethod
+    def from_networkx(cls, g, *, name: str | None = None) -> "Graph":
+        """Convert a :mod:`networkx` graph with integer-convertible nodes."""
+        nodes = sorted(g.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in g.edges()]
+        return cls(len(nodes), edges, name=name or getattr(g, "name", "") or "networkx-graph")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def num_nodes(self) -> int:
+        """Alias of :attr:`n`."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (self-loops count once)."""
+        return self._num_edges
+
+    @property
+    def num_self_loops(self) -> int:
+        """Number of self-loops."""
+        return self._num_self_loops
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree vector (read-only view); self-loops contribute one."""
+        view = self._degrees.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._degrees.max())
+
+    @property
+    def min_degree(self) -> int:
+        return int(self._degrees.min())
+
+    @property
+    def volume(self) -> int:
+        """Total volume ``sum_v d_v`` of the graph."""
+        return int(self._degrees.sum())
+
+    def degree(self, v: int) -> int:
+        return int(self._degrees[v])
+
+    def is_regular(self) -> bool:
+        """``True`` iff every node has the same degree."""
+        return self.max_degree == self.min_degree
+
+    def degree_ratio(self) -> float:
+        """Ratio ``Δ/δ`` between maximum and minimum degree (∞ if δ = 0)."""
+        if self.min_degree == 0:
+            return float("inf")
+        return self.max_degree / self.min_degree
+
+    def neighbours(self, v: int) -> np.ndarray:
+        """Read-only array of neighbours of ``v`` (includes ``v`` for a self-loop)."""
+        out = self._csr.neighbours(v).view()
+        out.setflags(write=False)
+        return out
+
+    # American-spelling alias, used by a few baselines.
+    neighbors = neighbours
+
+    def random_neighbour(self, v: int, rng: np.random.Generator) -> int:
+        """Return a uniformly random neighbour of ``v``.
+
+        This is the "random neighbour oracle" of Section 1.2 of the paper;
+        it is O(1) thanks to the CSR layout.
+        """
+        start = self._csr.indptr[v]
+        end = self._csr.indptr[v + 1]
+        if end == start:
+            raise GraphError(f"node {v} has no neighbours")
+        return int(self._csr.indices[start + rng.integers(end - start)])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self._csr.neighbours(u) == v))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(min, max)`` pairs."""
+        for u in range(self._n):
+            for v in self._csr.neighbours(u):
+                if v >= u:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array (each edge once)."""
+        rows = np.repeat(np.arange(self._n), np.diff(self._csr.indptr))
+        cols = self._csr.indices
+        mask = cols >= rows
+        return np.stack([rows[mask], cols[mask]], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Matrix views
+    # ------------------------------------------------------------------ #
+
+    def adjacency_matrix(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
+        """The symmetric adjacency matrix ``A`` (self-loops appear once on the diagonal)."""
+        rows = np.repeat(np.arange(self._n), np.diff(self._csr.indptr))
+        cols = self._csr.indices
+        data = np.ones(rows.shape[0], dtype=np.float64)
+        a = sp.csr_matrix((data, (rows, cols)), shape=(self._n, self._n))
+        if sparse:
+            return a
+        return a.toarray()
+
+    def random_walk_matrix(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
+        """The random walk matrix ``P = D^{-1} A`` (row-stochastic).
+
+        For a ``d``-regular graph this coincides with the paper's
+        ``P = (1/d) A``.
+        """
+        a = self.adjacency_matrix(sparse=True)
+        inv_deg = np.zeros(self._n)
+        nz = self._degrees > 0
+        inv_deg[nz] = 1.0 / self._degrees[nz]
+        p = sp.diags(inv_deg) @ a
+        if sparse:
+            return sp.csr_matrix(p)
+        return p.toarray()
+
+    def lazy_random_walk_matrix(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
+        """The lazy walk ``(I + P) / 2``, often used for mixing arguments."""
+        p = self.random_walk_matrix(sparse=True)
+        lazy = 0.5 * (sp.identity(self._n, format="csr") + p)
+        if sparse:
+            return sp.csr_matrix(lazy)
+        return lazy.toarray()
+
+    def normalized_laplacian(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
+        """The symmetric normalised Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
+        a = self.adjacency_matrix(sparse=True)
+        inv_sqrt = np.zeros(self._n)
+        nz = self._degrees > 0
+        inv_sqrt[nz] = 1.0 / np.sqrt(self._degrees[nz])
+        d_half = sp.diags(inv_sqrt)
+        lap = sp.identity(self._n, format="csr") - d_half @ a @ d_half
+        if sparse:
+            return sp.csr_matrix(lap)
+        return lap.toarray()
+
+    # ------------------------------------------------------------------ #
+    # Subgraphs and transformations
+    # ------------------------------------------------------------------ #
+
+    def induced_subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Subgraph induced on ``nodes`` (relabelled to ``0..len(nodes)-1``)."""
+        nodes = np.asarray(sorted(set(int(x) for x in nodes)), dtype=np.int64)
+        index = -np.ones(self._n, dtype=np.int64)
+        index[nodes] = np.arange(nodes.size)
+        sub_edges = []
+        for u in nodes:
+            for v in self._csr.neighbours(int(u)):
+                if v >= u and index[v] >= 0:
+                    sub_edges.append((int(index[u]), int(index[v])))
+        return Graph(nodes.size, sub_edges, name=f"{self.name}[induced]")
+
+    def with_self_loops_to_degree(self, target_degree: int) -> "Graph":
+        """Return a copy where node ``v`` gains a self-loop if ``d_v < target_degree``.
+
+        This models (in a single loop rather than ``D - d_v`` parallel loops —
+        parallel self-loops would not change the *matching* behaviour since a
+        self-loop can never be part of a matching with another node) the
+        almost-regular construction of Section 4.5 of the paper.  The
+        spectral utilities account for the weighting separately.
+        """
+        if target_degree < self.max_degree:
+            raise GraphError(
+                f"target degree {target_degree} below maximum degree {self.max_degree}"
+            )
+        edges = list(self.edges())
+        for v in range(self._n):
+            if self._degrees[v] < target_degree and not self.has_edge(v, v):
+                edges.append((v, v))
+        return Graph(self._n, edges, name=f"{self.name}+selfloops")
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (used only by tests/inspection)."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Connectivity
+    # ------------------------------------------------------------------ #
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as arrays of node ids (BFS, iterative)."""
+        seen = np.zeros(self._n, dtype=bool)
+        components: list[np.ndarray] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            frontier = [start]
+            seen[start] = True
+            members = [start]
+            while frontier:
+                nxt: list[int] = []
+                for u in frontier:
+                    for v in self._csr.neighbours(u):
+                        if not seen[v]:
+                            seen[v] = True
+                            members.append(int(v))
+                            nxt.append(int(v))
+                frontier = nxt
+            components.append(np.asarray(sorted(members), dtype=np.int64))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(name={self.name!r}, n={self._n}, m={self._num_edges}, "
+            f"degree range [{self.min_degree}, {self.max_degree}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._csr.indptr, other._csr.indptr)
+            and np.array_equal(self._csr.indices, other._csr.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._num_edges, self._csr.indices.tobytes()))

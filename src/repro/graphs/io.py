@@ -1,0 +1,112 @@
+"""Reading and writing graphs and partitions.
+
+Two plain-text formats are supported:
+
+* **edge list** — one ``u v`` pair per line, ``#`` comments allowed, and an
+  optional header line ``% n <num_nodes>`` for isolated trailing nodes;
+* **METIS-like adjacency** — first line ``n m``, then line ``i`` lists the
+  neighbours of node ``i`` (1-indexed), the format used by the classical
+  partitioning tools the paper contrasts itself against.
+
+Partitions are stored one label per line.  These loaders exist so that the
+examples and benchmarks can persist generated instances and so that external
+graphs can be fed to the algorithm without writing any glue code.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph, GraphError
+from .partition import Partition
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_metis",
+    "read_metis",
+    "write_partition",
+    "read_partition",
+]
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write ``graph`` as an edge list with an ``% n`` header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"% n {graph.n}\n")
+        fh.write(f"# {graph.name}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str | os.PathLike, *, name: str | None = None) -> Graph:
+    """Read a graph written by :func:`write_edge_list` (or any plain edge list)."""
+    path = Path(path)
+    edges: list[tuple[int, int]] = []
+    declared_n: int | None = None
+    max_node = -1
+    with path.open("r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("%"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "n":
+                    declared_n = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"malformed edge list line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            edges.append((u, v))
+            max_node = max(max_node, u, v)
+    n = declared_n if declared_n is not None else max_node + 1
+    if n <= 0:
+        raise GraphError("edge list contains no nodes")
+    return Graph(n, edges, name=name or path.stem)
+
+
+def write_metis(graph: Graph, path: str | os.PathLike) -> None:
+    """Write ``graph`` in METIS adjacency format (1-indexed)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"{graph.n} {graph.num_edges}\n")
+        for v in range(graph.n):
+            neigh = " ".join(str(int(u) + 1) for u in graph.neighbours(v))
+            fh.write(neigh + "\n")
+
+
+def read_metis(path: str | os.PathLike, *, name: str | None = None) -> Graph:
+    """Read a graph in METIS adjacency format (1-indexed, unweighted)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [ln.strip() for ln in fh if ln.strip() and not ln.startswith("%")]
+    if not lines:
+        raise GraphError("empty METIS file")
+    header = lines[0].split()
+    n = int(header[0])
+    if len(lines) - 1 != n:
+        raise GraphError(f"METIS file declares {n} nodes but has {len(lines) - 1} adjacency lines")
+    edges: list[tuple[int, int]] = []
+    for v, line in enumerate(lines[1:]):
+        for token in line.split():
+            u = int(token) - 1
+            if u >= v:
+                edges.append((v, u))
+    return Graph(n, edges, name=name or path.stem)
+
+
+def write_partition(partition: Partition, path: str | os.PathLike) -> None:
+    """Write a partition as one label per line."""
+    np.savetxt(Path(path), partition.labels, fmt="%d")
+
+
+def read_partition(path: str | os.PathLike) -> Partition:
+    """Read a partition written by :func:`write_partition`."""
+    labels = np.loadtxt(Path(path), dtype=np.int64)
+    return Partition.from_labels(np.atleast_1d(labels))

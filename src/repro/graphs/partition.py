@@ -1,0 +1,217 @@
+"""Partitions of a node set and distances between them.
+
+Theorem 1.1 of the paper states accuracy as a bound on the number of
+*misclassified* nodes: the size of the optimal symmetric difference between
+the output labelling and the ground-truth partition, minimised over
+permutations of labels.  :func:`misclassified_nodes` computes exactly that
+quantity (via a maximum-weight assignment on the cluster-overlap matrix), and
+:class:`Partition` is the shared representation of both ground truth and
+algorithm output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = [
+    "Partition",
+    "PartitionError",
+    "misclassified_nodes",
+    "misclassification_rate",
+    "best_label_permutation",
+    "confusion_matrix",
+]
+
+
+class PartitionError(ValueError):
+    """Raised for inconsistent partition data."""
+
+
+class Partition:
+    """A partition of ``{0, ..., n-1}`` into labelled clusters.
+
+    The internal representation is a dense label vector; clusters are the
+    preimages of the labels.  Labels are normalised to ``0..k-1`` in order of
+    first appearance so that two partitions with the same grouping but
+    different raw labels compare equal.
+    """
+
+    __slots__ = ("_labels", "_k", "_sizes")
+
+    def __init__(self, labels: Sequence[int] | np.ndarray):
+        raw = np.asarray(labels, dtype=np.int64)
+        if raw.ndim != 1 or raw.size == 0:
+            raise PartitionError("labels must be a non-empty 1-D sequence")
+        if raw.min() < 0:
+            raise PartitionError("labels must be non-negative")
+        # Normalise labels to 0..k-1 by order of first appearance.
+        _, first_index, inverse = np.unique(raw, return_index=True, return_inverse=True)
+        order = np.argsort(np.argsort(first_index))
+        self._labels = order[inverse].astype(np.int64)
+        self._k = int(self._labels.max()) + 1
+        self._sizes = np.bincount(self._labels, minlength=self._k)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[int] | np.ndarray) -> "Partition":
+        """Build a partition from a label vector (alias of the constructor)."""
+        return cls(labels)
+
+    @classmethod
+    def from_clusters(cls, clusters: Iterable[Iterable[int]], n: int | None = None) -> "Partition":
+        """Build a partition from an iterable of disjoint clusters covering ``0..n-1``."""
+        cluster_list = [np.asarray(sorted(set(int(x) for x in c)), dtype=np.int64) for c in clusters]
+        cluster_list = [c for c in cluster_list if c.size > 0]
+        if not cluster_list:
+            raise PartitionError("at least one non-empty cluster is required")
+        all_nodes = np.concatenate(cluster_list)
+        if np.unique(all_nodes).size != all_nodes.size:
+            raise PartitionError("clusters must be pairwise disjoint")
+        size = int(all_nodes.max()) + 1 if n is None else int(n)
+        if all_nodes.min() < 0 or all_nodes.max() >= size:
+            raise PartitionError("cluster members out of range")
+        if all_nodes.size != size:
+            raise PartitionError("clusters must cover every node exactly once")
+        labels = np.empty(size, dtype=np.int64)
+        for i, c in enumerate(cluster_list):
+            labels[c] = i
+        return cls(labels)
+
+    @classmethod
+    def trivial(cls, n: int) -> "Partition":
+        """The one-cluster partition of ``n`` nodes."""
+        return cls(np.zeros(n, dtype=np.int64))
+
+    @classmethod
+    def singletons(cls, n: int) -> "Partition":
+        """The partition where every node is its own cluster."""
+        return cls(np.arange(n, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self._labels.size)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self._k
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Normalised label vector (read-only view)."""
+        view = self._labels.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes indexed by normalised label (read-only view)."""
+        view = self._sizes.view()
+        view.setflags(write=False)
+        return view
+
+    def cluster(self, label: int) -> np.ndarray:
+        """Members of the cluster with the given (normalised) label."""
+        if not 0 <= label < self._k:
+            raise PartitionError(f"label {label} out of range [0, {self._k})")
+        return np.flatnonzero(self._labels == label)
+
+    def clusters(self) -> list[np.ndarray]:
+        """All clusters as arrays of node ids, indexed by normalised label."""
+        return [self.cluster(c) for c in range(self._k)]
+
+    def label_of(self, v: int) -> int:
+        return int(self._labels[v])
+
+    def min_cluster_fraction(self) -> float:
+        """``min_i |S_i| / n`` — a valid β for the paper's balance assumption."""
+        return float(self._sizes.min() / self.n)
+
+    def indicator(self, label: int, *, normalised: bool = True) -> np.ndarray:
+        """The (normalised) indicator vector ``χ_S`` of the given cluster.
+
+        With ``normalised=True`` this is the paper's ``χ_S`` with entries
+        ``1/|S|`` on the cluster and ``0`` elsewhere (note the paper uses the
+        1/|S| normalisation, not 1/sqrt(|S|)).
+        """
+        chi = np.zeros(self.n, dtype=np.float64)
+        members = self.cluster(label)
+        chi[members] = 1.0 / members.size if normalised else 1.0
+        return chi
+
+    def indicator_matrix(self, *, normalised: bool = True) -> np.ndarray:
+        """Matrix whose columns are the cluster indicator vectors."""
+        return np.stack(
+            [self.indicator(c, normalised=normalised) for c in range(self._k)], axis=1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self._labels, other._labels)
+
+    def __hash__(self) -> int:
+        return hash(self._labels.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(n={self.n}, k={self.k}, sizes={self._sizes.tolist()})"
+
+
+# --------------------------------------------------------------------------- #
+# Partition distances
+# --------------------------------------------------------------------------- #
+
+def confusion_matrix(predicted: Partition, truth: Partition) -> np.ndarray:
+    """Cluster-overlap counts: entry ``(i, j)`` is ``|predicted_i ∩ truth_j|``."""
+    if predicted.n != truth.n:
+        raise PartitionError("partitions refer to different node sets")
+    m = np.zeros((predicted.k, truth.k), dtype=np.int64)
+    np.add.at(m, (predicted.labels, truth.labels), 1)
+    return m
+
+
+def best_label_permutation(predicted: Partition, truth: Partition) -> dict[int, int]:
+    """Injective map from predicted labels to ground-truth labels maximising overlap.
+
+    This is the permutation σ of Theorem 1.1.  When the two partitions have a
+    different number of clusters, the map is a maximum-weight matching on the
+    overlap matrix (unmatched predicted labels are mapped to ``-1``).
+    """
+    overlap = confusion_matrix(predicted, truth)
+    rows, cols = linear_sum_assignment(-overlap)
+    mapping = {int(r): int(c) for r, c in zip(rows, cols)}
+    for r in range(predicted.k):
+        mapping.setdefault(r, -1)
+    return mapping
+
+
+def misclassified_nodes(predicted: Partition, truth: Partition) -> int:
+    """Number of misclassified nodes under the best label permutation.
+
+    This is exactly the quantity bounded by ``o(n)`` in Theorem 1.1(1):
+    ``|⋃_i {v ∈ S_i : ℓ_v ≠ σ(i)}|`` minimised over permutations σ.
+    """
+    overlap = confusion_matrix(predicted, truth)
+    rows, cols = linear_sum_assignment(-overlap)
+    matched = int(overlap[rows, cols].sum())
+    return predicted.n - matched
+
+
+def misclassification_rate(predicted: Partition, truth: Partition) -> float:
+    """Fraction of misclassified nodes in ``[0, 1]``."""
+    return misclassified_nodes(predicted, truth) / truth.n

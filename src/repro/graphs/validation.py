@@ -1,0 +1,119 @@
+"""Validation helpers for clustered-graph instances.
+
+Benchmarks only make sense when the generated instance really satisfies the
+assumptions of Theorem 1.1 (connectivity, near-regularity, cluster balance,
+a healthy gap Υ).  :func:`validate_instance` checks these assumptions and
+returns a structured report; the experiment harness calls it before running
+an algorithm so that "the algorithm failed" and "the instance was bad" can be
+told apart in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .generators import ClusteredGraph
+from .spectral import analyse_cluster_structure
+
+__all__ = ["ValidationIssue", "InstanceReport", "validate_instance"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single validation finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+
+@dataclass(frozen=True)
+class InstanceReport:
+    """Outcome of validating a clustered-graph instance."""
+
+    issues: tuple[ValidationIssue, ...] = field(default_factory=tuple)
+    structure: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff there are no error-severity issues."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    @property
+    def warnings(self) -> list[str]:
+        return [i.message for i in self.issues if i.severity == "warning"]
+
+    @property
+    def errors(self) -> list[str]:
+        return [i.message for i in self.issues if i.severity == "error"]
+
+
+def validate_instance(
+    instance: ClusteredGraph,
+    *,
+    max_degree_ratio: float = 4.0,
+    min_upsilon: float = 1.0,
+    check_spectral: bool = True,
+) -> InstanceReport:
+    """Check that an instance satisfies the paper's structural assumptions.
+
+    Parameters
+    ----------
+    max_degree_ratio:
+        Largest tolerated ``Δ/δ`` (the paper's almost-regular condition asks
+        for a constant bound; 4 is the default used in our experiments).
+    min_upsilon:
+        Smallest tolerated gap Υ.  Theorem 1.1 needs Υ = ω(...); for finite
+        instances we simply require Υ above this threshold and record the
+        measured value in the report.
+    check_spectral:
+        Allow skipping the eigenvalue computation for very large instances.
+    """
+    graph = instance.graph
+    partition = instance.partition
+    issues: list[ValidationIssue] = []
+
+    if graph.n != partition.n:
+        issues.append(ValidationIssue("error", "graph and partition sizes differ"))
+        return InstanceReport(issues=tuple(issues))
+
+    if not graph.is_connected():
+        issues.append(ValidationIssue("error", "graph is not connected"))
+
+    if graph.min_degree == 0:
+        issues.append(ValidationIssue("error", "graph has isolated nodes"))
+    else:
+        ratio = graph.degree_ratio()
+        if ratio > max_degree_ratio:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"degree ratio Δ/δ = {ratio:.2f} exceeds {max_degree_ratio} "
+                    "(outside the paper's almost-regular assumption)",
+                )
+            )
+
+    beta = partition.min_cluster_fraction()
+    if beta * partition.k < 0.5:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                f"clusters are unbalanced: min |S_i|/n = {beta:.3f} "
+                f"vs 1/k = {1.0 / partition.k:.3f}",
+            )
+        )
+
+    structure: dict = {}
+    if check_spectral:
+        report = analyse_cluster_structure(graph, partition)
+        structure = report.as_dict()
+        if report.gap <= 0:
+            issues.append(ValidationIssue("error", "1 - λ_{k+1} is not positive"))
+        elif report.upsilon < min_upsilon:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"gap parameter Υ = {report.upsilon:.2f} below threshold {min_upsilon}",
+                )
+            )
+
+    return InstanceReport(issues=tuple(issues), structure=structure)

@@ -1,0 +1,77 @@
+"""Load balancing substrate: the random matching model and its relatives.
+
+Implements Section 2.2 of the paper (the matching protocol and the matching
+matrix), the classical 1-dimensional load balancing process, the paper's
+multi-dimensional variant, alternative averaging substrates used for
+ablations, and empirical validators for Lemma 2.1 and Lemma 4.1.
+"""
+
+from .discrete import DiscreteLoadBalancingProcess, discrete_balancing_error
+from .analysis import (
+    Lemma41Estimate,
+    convergence_time,
+    empirical_expected_matching_matrix,
+    estimate_expected_projection_distance,
+    is_doubly_stochastic,
+    is_projection_matrix,
+    lemma41_bound,
+    projection_distance,
+)
+from .matching import (
+    apply_matching,
+    dbar,
+    expected_matching_matrix,
+    matching_matrix,
+    matching_to_edge_list,
+    sample_maximal_matching,
+    sample_random_matching,
+)
+from .models import (
+    AveragingModel,
+    DiffusionModel,
+    DimensionExchangeModel,
+    MaximalMatchingModel,
+    RandomMatchingModel,
+    make_averaging_model,
+)
+from .process import (
+    LoadBalancingHistory,
+    LoadBalancingProcess,
+    MultiDimensionalLoadBalancing,
+    run_load_balancing,
+)
+
+__all__ = [
+    # matching.py
+    "apply_matching",
+    "dbar",
+    "expected_matching_matrix",
+    "matching_matrix",
+    "matching_to_edge_list",
+    "sample_maximal_matching",
+    "sample_random_matching",
+    # discrete.py
+    "DiscreteLoadBalancingProcess",
+    "discrete_balancing_error",
+    # process.py
+    "LoadBalancingHistory",
+    "LoadBalancingProcess",
+    "MultiDimensionalLoadBalancing",
+    "run_load_balancing",
+    # models.py
+    "AveragingModel",
+    "DiffusionModel",
+    "DimensionExchangeModel",
+    "MaximalMatchingModel",
+    "RandomMatchingModel",
+    "make_averaging_model",
+    # analysis.py
+    "Lemma41Estimate",
+    "convergence_time",
+    "empirical_expected_matching_matrix",
+    "estimate_expected_projection_distance",
+    "is_doubly_stochastic",
+    "is_projection_matrix",
+    "lemma41_bound",
+    "projection_distance",
+]

@@ -1,0 +1,149 @@
+"""Diagnostics for load balancing processes and empirical lemma validators.
+
+This module turns the quantities appearing in the paper's analysis into
+measurable diagnostics:
+
+* :func:`projection_distance` — ``‖Q y(0) − y(t)‖`` for the projection ``Q``
+  onto the top-``k`` eigenvectors (the left-hand side of Lemma 4.1);
+* :func:`lemma41_bound` — the right-hand side ``2 √(t (1 − λ_k)) ‖Q y(0)‖``;
+* :func:`estimate_expected_projection_distance` — Monte-Carlo estimate of the
+  expectation in Lemma 4.1 over the random matchings;
+* :func:`empirical_expected_matching_matrix` — Monte-Carlo estimate of
+  ``E[M(t)]`` used to validate Lemma 2.1 (benchmark E5);
+* :func:`convergence_time` — number of rounds until the discrepancy of the
+  1-D process falls below a tolerance (classical load balancing measure,
+  used to contrast global mixing with the paper's early-time behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.spectral import spectral_decomposition
+from .matching import matching_matrix, sample_random_matching
+from .process import LoadBalancingProcess
+
+__all__ = [
+    "projection_distance",
+    "lemma41_bound",
+    "Lemma41Estimate",
+    "estimate_expected_projection_distance",
+    "empirical_expected_matching_matrix",
+    "convergence_time",
+    "is_projection_matrix",
+    "is_doubly_stochastic",
+]
+
+
+def projection_distance(q: np.ndarray, y0: np.ndarray, yt: np.ndarray) -> float:
+    """``‖Q y(0) − y(t)‖`` — the quantity bounded by Lemma 4.1."""
+    return float(np.linalg.norm(q @ y0 - yt))
+
+
+def lemma41_bound(t: int, lambda_k: float, q: np.ndarray, y0: np.ndarray) -> float:
+    """The Lemma 4.1 upper bound ``2 √(t (1 − λ_k)) ‖Q y(0)‖`` (without the o(n^-c) term)."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return float(2.0 * np.sqrt(max(t, 0) * max(1.0 - lambda_k, 0.0)) * np.linalg.norm(q @ y0))
+
+
+@dataclass(frozen=True)
+class Lemma41Estimate:
+    """Monte-Carlo estimate of the Lemma 4.1 quantities at a fixed round ``t``."""
+
+    t: int
+    mean_distance: float
+    std_distance: float
+    bound: float
+    trials: int
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the estimated expectation respects the theoretical bound."""
+        return self.mean_distance <= self.bound + 1e-12
+
+
+def estimate_expected_projection_distance(
+    graph: Graph,
+    y0: np.ndarray,
+    k: int,
+    rounds: int,
+    *,
+    trials: int = 20,
+    seed: int | None = None,
+) -> Lemma41Estimate:
+    """Estimate ``E‖Q y(0) − y(t)‖`` over random matchings (Lemma 4.1, LHS).
+
+    Runs ``trials`` independent executions of the 1-dimensional process from
+    ``y0`` for ``rounds`` rounds and averages the projection distance.
+    """
+    rng = np.random.default_rng(seed)
+    dec = spectral_decomposition(graph, num=max(k + 1, 2))
+    q = dec.projection_matrix(k)
+    lambda_k = dec.lambda_(k)
+    distances = np.empty(trials, dtype=np.float64)
+    for i in range(trials):
+        proc = LoadBalancingProcess(graph, y0, rng=np.random.default_rng(rng.integers(2**63)))
+        yt = proc.run(rounds)
+        distances[i] = projection_distance(q, np.asarray(y0, dtype=np.float64), yt)
+    return Lemma41Estimate(
+        t=rounds,
+        mean_distance=float(distances.mean()),
+        std_distance=float(distances.std(ddof=1)) if trials > 1 else 0.0,
+        bound=lemma41_bound(rounds, lambda_k, q, np.asarray(y0, dtype=np.float64)),
+        trials=trials,
+    )
+
+
+def empirical_expected_matching_matrix(
+    graph: Graph, samples: int, *, seed: int | None = None
+) -> np.ndarray:
+    """Monte-Carlo estimate of ``E[M(t)]`` (dense), for Lemma 2.1 validation."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = np.random.default_rng(seed)
+    acc = np.zeros((graph.n, graph.n), dtype=np.float64)
+    for _ in range(samples):
+        partner = sample_random_matching(graph, rng)
+        acc += matching_matrix(graph.n, partner, sparse=False)
+    return acc / samples
+
+
+def convergence_time(
+    graph: Graph,
+    y0: np.ndarray,
+    *,
+    tolerance: float = 1e-3,
+    max_rounds: int = 100_000,
+    seed: int | None = None,
+) -> int:
+    """Rounds until the discrepancy (max − min load) drops below ``tolerance``.
+
+    This is the *global* balancing time, which on a well-clustered graph is
+    much larger than the paper's ``T``; benchmarks E2/E6 contrast the two.
+    """
+    proc = LoadBalancingProcess(graph, y0, seed=seed)
+    for t in range(1, max_rounds + 1):
+        proc.step()
+        if proc.discrepancy() <= tolerance:
+            return t
+    return max_rounds
+
+
+def is_projection_matrix(m: np.ndarray, *, atol: float = 1e-9) -> bool:
+    """Check ``M² = M`` and symmetry (Lemma 2.1(2))."""
+    m = np.asarray(m, dtype=np.float64)
+    return bool(np.allclose(m @ m, m, atol=atol) and np.allclose(m, m.T, atol=atol))
+
+
+def is_doubly_stochastic(m: np.ndarray, *, atol: float = 1e-9) -> bool:
+    """Check non-negativity and unit row/column sums."""
+    m = np.asarray(m, dtype=np.float64)
+    return bool(
+        np.all(m >= -atol)
+        and np.allclose(m.sum(axis=0), 1.0, atol=atol)
+        and np.allclose(m.sum(axis=1), 1.0, atol=atol)
+    )

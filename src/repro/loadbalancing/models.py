@@ -1,0 +1,197 @@
+"""Alternative averaging substrates, used by the E12 ablation.
+
+The paper's algorithm is built on the *random matching* model.  Two natural
+alternatives appear in the load-balancing literature it cites and in the
+Becchetti et al. comparison:
+
+* **Diffusion** (first-order scheme, Cybenko [10] / Ghosh et al. [17]):
+  every node averages with *all* of its neighbours each round,
+  ``y(t+1) = (1 - δ) y(t) + δ P y(t)``.  Communication per round is one word
+  per edge per dimension — much higher than the matching model on dense
+  graphs, which is exactly the communication argument the paper makes against
+  the Becchetti et al. dynamics.
+* **Dimension exchange on a fixed edge colouring**: a deterministic variant
+  in which the edges of a proper colouring are used round-robin; included to
+  show the random matching is not load-bearing for accuracy, only for
+  decentralisation.
+
+Each model exposes the same ``step(loads) -> loads`` interface so the core
+algorithm can be instantiated over any of them (``averaging_model=`` in
+:class:`repro.core.centralized.CentralizedClustering`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.graph import Graph
+from .matching import apply_matching, matching_to_edge_list, sample_maximal_matching, sample_random_matching
+
+__all__ = [
+    "AveragingModel",
+    "RandomMatchingModel",
+    "MaximalMatchingModel",
+    "DiffusionModel",
+    "DimensionExchangeModel",
+    "make_averaging_model",
+]
+
+
+class AveragingModel(ABC):
+    """One synchronous round of an averaging (load balancing) substrate."""
+
+    #: short name used in benchmark tables
+    name: str = "abstract"
+
+    @abstractmethod
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply one round to the ``(n,)`` or ``(n, s)`` configuration."""
+
+    @abstractmethod
+    def communication_per_round(self, s: int) -> float:
+        """Expected number of words exchanged per round for ``s`` dimensions."""
+
+
+@dataclass
+class RandomMatchingModel(AveragingModel):
+    """The paper's substrate: one random matching per round."""
+
+    graph: Graph
+    name: str = "random-matching"
+
+    def __post_init__(self) -> None:
+        self.last_matched_edges = 0
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        partner = sample_random_matching(self.graph, rng)
+        self.last_matched_edges = int(matching_to_edge_list(partner).shape[0])
+        return apply_matching(loads, partner)
+
+    def communication_per_round(self, s: int) -> float:
+        # Each matched edge exchanges the s values in both directions; the
+        # expected number of matched edges is m * d̄/(2 d) ≤ n/4 for d-regular
+        # graphs.  We report the worst-case bound ⌊n/2⌋ edges.
+        return float((self.graph.n // 2) * 2 * s)
+
+
+@dataclass
+class MaximalMatchingModel(AveragingModel):
+    """Greedy maximal matching per round (more coordination, faster mixing)."""
+
+    graph: Graph
+    name: str = "maximal-matching"
+
+    def __post_init__(self) -> None:
+        self.last_matched_edges = 0
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        partner = sample_maximal_matching(self.graph, rng)
+        self.last_matched_edges = int(matching_to_edge_list(partner).shape[0])
+        return apply_matching(loads, partner)
+
+    def communication_per_round(self, s: int) -> float:
+        return float((self.graph.n // 2) * 2 * s)
+
+
+class DiffusionModel(AveragingModel):
+    """First-order diffusion: every node averages with all neighbours each round.
+
+    The update is ``y ← (I - (δ/Δ)·L) y`` with the combinatorial Laplacian
+    ``L = D - A`` and the maximum degree ``Δ`` — the classical first-order
+    diffusion scheme (Cybenko).  The operator is symmetric and doubly
+    stochastic, so total load is conserved on irregular graphs too; on a
+    ``d``-regular graph it reduces to ``(1 - δ)·I + δ·P``.
+    """
+
+    name = "diffusion"
+
+    def __init__(self, graph: Graph, *, delta: float = 0.5):
+        if not 0.0 < delta <= 1.0:
+            raise ValueError("delta must lie in (0, 1]")
+        self.graph = graph
+        self.delta = float(delta)
+        adjacency = graph.adjacency_matrix(sparse=True)
+        degree_matrix = sp.diags(graph.degrees.astype(np.float64))
+        laplacian = degree_matrix - adjacency
+        step = delta / max(graph.max_degree, 1)
+        self._operator = sp.csr_matrix(sp.identity(graph.n, format="csr") - step * laplacian)
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(self._operator @ loads)
+
+    def communication_per_round(self, s: int) -> float:
+        # Every edge carries the s values in both directions every round.
+        return float(2 * self.graph.num_edges * s)
+
+
+class DimensionExchangeModel(AveragingModel):
+    """Deterministic dimension exchange over a greedy proper edge colouring.
+
+    The edges are partitioned into matchings (colour classes) once; round ``t``
+    averages along colour class ``t mod num_colours``.
+    """
+
+    name = "dimension-exchange"
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._matchings = self._greedy_edge_colouring(graph)
+        self._round = 0
+
+    @staticmethod
+    def _greedy_edge_colouring(graph: Graph) -> list[np.ndarray]:
+        """Greedy proper edge colouring; returns one partner array per colour."""
+        colours: list[np.ndarray] = []
+        edges = [tuple(e) for e in graph.edge_array().tolist() if e[0] != e[1]]
+        for u, v in edges:
+            placed = False
+            for partner in colours:
+                if partner[u] == -1 and partner[v] == -1:
+                    partner[u] = v
+                    partner[v] = u
+                    placed = True
+                    break
+            if not placed:
+                partner = np.full(graph.n, -1, dtype=np.int64)
+                partner[u] = v
+                partner[v] = u
+                colours.append(partner)
+        if not colours:
+            colours.append(np.full(graph.n, -1, dtype=np.int64))
+        return colours
+
+    @property
+    def num_colours(self) -> int:
+        return len(self._matchings)
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        partner = self._matchings[self._round % len(self._matchings)]
+        self._round += 1
+        return apply_matching(loads, partner)
+
+    def communication_per_round(self, s: int) -> float:
+        mean_edges = float(np.mean([int((p >= 0).sum()) // 2 for p in self._matchings]))
+        return mean_edges * 2 * s
+
+
+def make_averaging_model(name: str, graph: Graph, **kwargs) -> AveragingModel:
+    """Factory used by the ablation benchmark and the public API.
+
+    ``name`` ∈ {"random-matching", "maximal-matching", "diffusion",
+    "dimension-exchange"}.
+    """
+    registry = {
+        "random-matching": RandomMatchingModel,
+        "maximal-matching": MaximalMatchingModel,
+        "diffusion": DiffusionModel,
+        "dimension-exchange": DimensionExchangeModel,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown averaging model {name!r}; choose from {sorted(registry)}") from None
+    return cls(graph, **kwargs)

@@ -1,0 +1,184 @@
+"""Tests shared across all baseline clusterers plus per-baseline specifics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AveragingDynamics,
+    BaselineResult,
+    DecentralizedOrthogonalIteration,
+    LabelPropagation,
+    LocalClustering,
+    MultilevelPartitioner,
+    SpectralClustering,
+    averaging_dynamics_values,
+    push_sum_average,
+    spectral_embedding,
+)
+from repro.baselines import all_baselines
+from repro.graphs import cycle_of_cliques, planted_partition
+
+ALL_BASELINES = [
+    SpectralClustering(),
+    AveragingDynamics(),
+    DecentralizedOrthogonalIteration(exact_aggregation=True),
+    LabelPropagation(),
+    MultilevelPartitioner(),
+    LocalClustering(),
+]
+
+
+@pytest.fixture(scope="module")
+def easy_instance():
+    return cycle_of_cliques(3, 15, seed=0)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES, ids=lambda b: b.name)
+    def test_returns_valid_result(self, baseline, easy_instance):
+        result = baseline.cluster(easy_instance.graph, 3, seed=0)
+        assert isinstance(result, BaselineResult)
+        assert result.partition.n == easy_instance.graph.n
+        assert result.rounds >= 0
+        assert result.words >= 0
+
+    @pytest.mark.parametrize(
+        "baseline",
+        [b for b in ALL_BASELINES if b.name != "local-ppr"],
+        ids=lambda b: b.name,
+    )
+    def test_solves_easy_instance(self, baseline, easy_instance):
+        result = baseline.cluster(easy_instance.graph, 3, seed=0)
+        assert result.error_against(easy_instance.partition) <= 0.10
+
+    def test_all_baselines_registry(self):
+        names = {b.name for b in all_baselines()}
+        assert names == {
+            "spectral",
+            "averaging-dynamics",
+            "kempe-mcsherry",
+            "label-propagation",
+            "multilevel",
+            "local-ppr",
+        }
+
+
+class TestSpectral:
+    def test_embedding_shape_and_rows_normalised(self, easy_instance):
+        emb = spectral_embedding(easy_instance.graph, 3)
+        assert emb.shape == (easy_instance.graph.n, 3)
+        assert np.allclose(np.linalg.norm(emb, axis=1), 1.0)
+
+    def test_sbm_recovery(self):
+        inst = planted_partition(120, 3, 0.4, 0.02, seed=1, ensure_connected=True)
+        result = SpectralClustering().cluster(inst.graph, 3, seed=0)
+        assert result.error_against(inst.partition) <= 0.05
+
+
+class TestAveragingDynamics:
+    def test_values_shape(self, easy_instance):
+        values = averaging_dynamics_values(easy_instance.graph, 10, dimensions=3, seed=0)
+        assert values.shape == (easy_instance.graph.n, 3)
+
+    def test_two_cluster_sign_rule(self):
+        inst = cycle_of_cliques(2, 15, seed=2)
+        result = AveragingDynamics().cluster(inst.graph, 2, seed=3)
+        assert result.error_against(inst.partition) <= 0.1
+
+    def test_communication_scales_with_edges_and_rounds(self, easy_instance):
+        result = AveragingDynamics(rounds=20, dimensions=2).cluster(easy_instance.graph, 3, seed=0)
+        assert result.rounds == 20
+        assert result.words == 2 * easy_instance.graph.num_edges * 2 * 20
+
+
+class TestKempeMcSherry:
+    def test_pushsum_average_accuracy_on_expander(self):
+        # Push-sum converges within the mixing time; on an expander a couple
+        # of hundred rounds are ample.
+        from repro.graphs import random_regular_graph
+
+        graph = random_regular_graph(40, 8, seed=0).graph
+        rng = np.random.default_rng(0)
+        values = rng.random((graph.n, 2))
+        estimates = push_sum_average(graph, values, 200, rng=rng)
+        true_mean = values.mean(axis=0)
+        assert np.allclose(estimates, true_mean[np.newaxis, :], atol=0.05)
+
+    def test_pushsum_slow_on_clustered_graph(self, easy_instance):
+        """The paper's Section 1.3 argument: gossip aggregation is governed by
+        the *global* mixing time, which is large on a well-clustered graph —
+        after the same 200 rounds the estimates are still far from the mean."""
+        rng = np.random.default_rng(0)
+        values = rng.random((easy_instance.graph.n, 2))
+        estimates = push_sum_average(easy_instance.graph, values, 200, rng=rng)
+        true_mean = values.mean(axis=0)
+        worst = np.abs(estimates - true_mean[np.newaxis, :]).max()
+        assert worst > 0.02
+
+    def test_rounds_account_for_pushsum(self, easy_instance):
+        result = DecentralizedOrthogonalIteration(
+            iterations=3, pushsum_rounds=10, exact_aggregation=True
+        ).cluster(easy_instance.graph, 3, seed=0)
+        assert result.rounds == 3 * 11
+        assert result.info["iterations"] == 3
+
+    def test_gossip_variant_still_reasonable(self, easy_instance):
+        result = DecentralizedOrthogonalIteration(
+            iterations=8, pushsum_rounds=60, exact_aggregation=False
+        ).cluster(easy_instance.graph, 3, seed=1)
+        assert result.error_against(easy_instance.partition) <= 0.34
+
+
+class TestLabelPropagation:
+    def test_stops_when_stable(self, easy_instance):
+        result = LabelPropagation(max_rounds=100).cluster(easy_instance.graph, 3, seed=0)
+        assert result.rounds < 100
+        assert result.info["clusters_found"] >= 1
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ValueError):
+            LabelPropagation(max_rounds=0)
+
+
+class TestMultilevel:
+    def test_balanced_partition(self, easy_instance):
+        result = MultilevelPartitioner().cluster(easy_instance.graph, 3, seed=0)
+        sizes = result.partition.sizes
+        assert sizes.min() >= 0.5 * easy_instance.graph.n / 3
+        assert result.info["cut_weight"] >= 0
+
+    def test_larger_graph_with_coarsening(self):
+        inst = planted_partition(300, 4, 0.2, 0.01, seed=5, ensure_connected=True)
+        result = MultilevelPartitioner(coarsen_until=30).cluster(inst.graph, 4, seed=1)
+        assert result.info["levels"] >= 1
+        assert result.error_against(inst.partition) <= 0.15
+
+
+class TestLocalClustering:
+    def test_ppr_vector_properties(self, easy_instance):
+        from repro.baselines import approximate_personalized_pagerank
+
+        p = approximate_personalized_pagerank(easy_instance.graph, 0, alpha=0.2, epsilon=1e-5)
+        assert p.shape == (easy_instance.graph.n,)
+        assert np.all(p >= 0)
+        assert p.sum() <= 1.0 + 1e-9
+        assert p[0] > 0
+
+    def test_nibble_finds_low_conductance_set(self, easy_instance):
+        from repro.baselines import pagerank_nibble
+
+        nodes, phi = pagerank_nibble(easy_instance.graph, 0, epsilon=1e-5)
+        assert phi <= 0.1
+        # the set should essentially be the seed's clique
+        truth_cluster = set(easy_instance.partition.cluster(0).tolist())
+        assert len(set(nodes.tolist()) & truth_cluster) >= 10
+
+    def test_invalid_parameters(self, easy_instance):
+        from repro.baselines import approximate_personalized_pagerank
+
+        with pytest.raises(ValueError):
+            approximate_personalized_pagerank(easy_instance.graph, 0, alpha=1.5)
+        with pytest.raises(ValueError):
+            approximate_personalized_pagerank(easy_instance.graph, 0, epsilon=0)

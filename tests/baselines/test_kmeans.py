@@ -1,0 +1,87 @@
+"""Unit tests for the self-contained k-means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import kmeans, kmeans_plus_plus_init
+
+
+def _blobs(rng, centers, points_per_blob=30, scale=0.3):
+    data = []
+    for c in centers:
+        data.append(rng.normal(loc=c, scale=scale, size=(points_per_blob, len(c))))
+    return np.vstack(data)
+
+
+class TestKMeansPlusPlus:
+    def test_centres_are_data_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((40, 3))
+        centers = kmeans_plus_plus_init(points, 4, rng)
+        assert centers.shape == (4, 3)
+        for c in centers:
+            assert np.any(np.all(np.isclose(points, c), axis=1))
+
+    def test_k_larger_than_n_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((3, 2)), 4, rng)
+
+    def test_duplicate_points_handled(self):
+        rng = np.random.default_rng(1)
+        points = np.zeros((10, 2))
+        centers = kmeans_plus_plus_init(points, 3, rng)
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self):
+        rng = np.random.default_rng(2)
+        points = _blobs(rng, [(0, 0), (10, 0), (0, 10)])
+        result = kmeans(points, 3, seed=0)
+        labels = result.labels
+        # each blob of 30 points should be a single cluster
+        for b in range(3):
+            blob_labels = labels[b * 30 : (b + 1) * 30]
+            assert np.unique(blob_labels).size == 1
+        assert result.converged
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(3)
+        points = _blobs(rng, [(0, 0), (5, 5)])
+        one = kmeans(points, 1, seed=1).inertia
+        two = kmeans(points, 2, seed=1).inertia
+        assert two < one
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        points = _blobs(rng, [(0, 0), (4, 4)])
+        a = kmeans(points, 2, seed=7)
+        b = kmeans(points, 2, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_one(self):
+        points = np.random.default_rng(5).random((20, 2))
+        result = kmeans(points, 1, seed=0)
+        assert np.all(result.labels == 0)
+        assert np.allclose(result.centers[0], points.mean(axis=0))
+
+    def test_k_equals_n(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(points, 5, seed=0)
+        assert np.unique(result.labels).size == 5
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_labels_cover_all_clusters(self):
+        rng = np.random.default_rng(6)
+        points = _blobs(rng, [(0, 0), (8, 0), (0, 8), (8, 8)])
+        result = kmeans(points, 4, seed=2)
+        assert np.unique(result.labels).size == 4

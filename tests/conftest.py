@@ -1,0 +1,70 @@
+"""Shared fixtures for the test-suite.
+
+Instances are deliberately small (tens to a couple of hundred nodes) so the
+whole suite stays fast; correctness of the algorithm at scale is the
+benchmarks' job, the tests check invariants and agreement between
+implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters
+from repro.graphs import (
+    ClusteredGraph,
+    Graph,
+    connected_caveman,
+    cycle_of_cliques,
+    planted_partition,
+    ring_of_expanders,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A tiny hand-checked graph: a 4-cycle with one chord (0-2)."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], name="house")
+
+
+@pytest.fixture(scope="session")
+def two_clique_instance() -> ClusteredGraph:
+    """Two cliques of 12 nodes joined by one edge (the canonical 2-cluster case)."""
+    return cycle_of_cliques(2, 12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def four_clique_instance() -> ClusteredGraph:
+    """Four cliques of 15 nodes in a cycle."""
+    return cycle_of_cliques(4, 15, seed=1)
+
+
+@pytest.fixture(scope="session")
+def caveman_instance() -> ClusteredGraph:
+    """Connected caveman graph: exactly regular, 4 clusters of 10."""
+    return connected_caveman(4, 10)
+
+
+@pytest.fixture(scope="session")
+def expander_instance() -> ClusteredGraph:
+    """Ring of three 8-regular expanders of 30 nodes each."""
+    return ring_of_expanders(3, 30, 8, seed=2)
+
+
+@pytest.fixture(scope="session")
+def sbm_instance() -> ClusteredGraph:
+    """A moderately hard planted partition (n=150, k=3)."""
+    return planted_partition(150, 3, 0.30, 0.02, seed=3, ensure_connected=True)
+
+
+@pytest.fixture(scope="session")
+def four_clique_parameters(four_clique_instance) -> AlgorithmParameters:
+    return AlgorithmParameters.from_instance(
+        four_clique_instance.graph, four_clique_instance.partition
+    )

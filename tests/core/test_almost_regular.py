@@ -1,0 +1,97 @@
+"""Unit tests for the Section 4.5 almost-regular extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlgorithmParameters,
+    AlmostRegularClustering,
+    sample_degree_capped_matching,
+)
+from repro.graphs import almost_regular_clustered_graph, connected_caveman
+from repro.loadbalancing import matching_to_edge_list, sample_random_matching
+
+
+@pytest.fixture(scope="module")
+def almost_regular_instance():
+    return almost_regular_clustered_graph(3, 30, 6, 10, seed=0)
+
+
+class TestDegreeCappedMatching:
+    def test_valid_matching(self, almost_regular_instance, rng):
+        graph = almost_regular_instance.graph
+        cap = graph.max_degree
+        for _ in range(10):
+            partner = sample_degree_capped_matching(graph, cap, rng)
+            matched = np.flatnonzero(partner >= 0)
+            assert all(partner[partner[v]] == v for v in matched)
+            for u, v in matching_to_edge_list(partner):
+                assert graph.has_edge(int(u), int(v))
+
+    def test_cap_below_max_degree_rejected(self, almost_regular_instance, rng):
+        graph = almost_regular_instance.graph
+        with pytest.raises(ValueError):
+            sample_degree_capped_matching(graph, graph.max_degree - 1, rng)
+
+    def test_reduces_to_standard_protocol_statistics_on_regular_graph(self):
+        """With D = d on a d-regular graph the capped protocol has the same
+        per-edge inclusion probability as the standard protocol."""
+        graph = connected_caveman(3, 8).graph  # 7-regular
+        rng = np.random.default_rng(0)
+        trials = 4000
+        capped_hits = sum(
+            sample_degree_capped_matching(graph, 7, rng)[0] >= 0 for _ in range(trials)
+        )
+        standard_hits = sum(
+            sample_random_matching(graph, rng)[0] >= 0 for _ in range(trials)
+        )
+        assert capped_hits / trials == pytest.approx(standard_hits / trials, abs=0.05)
+
+    def test_higher_cap_matches_fewer_nodes(self, almost_regular_instance, rng):
+        graph = almost_regular_instance.graph
+        trials = 300
+        def mean_matched(cap):
+            total = 0
+            for _ in range(trials):
+                partner = sample_degree_capped_matching(graph, cap, rng)
+                total += int((partner >= 0).sum())
+            return total / trials
+
+        assert mean_matched(3 * graph.max_degree) < mean_matched(graph.max_degree)
+
+
+class TestAlmostRegularClustering:
+    def test_recovers_clusters(self, almost_regular_instance):
+        params = AlgorithmParameters.from_instance(
+            almost_regular_instance.graph, almost_regular_instance.partition
+        )
+        result = AlmostRegularClustering(
+            almost_regular_instance.graph, params, seed=1
+        ).run(keep_loads=False)
+        assert result.error_against(almost_regular_instance.partition) <= 0.10
+        assert result.diagnostics["degree_cap"] == almost_regular_instance.graph.max_degree
+
+    def test_explicit_degree_cap(self, almost_regular_instance):
+        params = AlgorithmParameters.from_instance(
+            almost_regular_instance.graph, almost_regular_instance.partition
+        )
+        cap = almost_regular_instance.graph.max_degree + 2
+        engine = AlmostRegularClustering(
+            almost_regular_instance.graph, params, degree_cap=cap, seed=2
+        )
+        assert engine.degree_cap == cap
+        result = engine.run(keep_loads=False)
+        assert result.error_against(almost_regular_instance.partition) <= 0.15
+
+    def test_cap_below_max_degree_rejected(self, almost_regular_instance):
+        params = AlgorithmParameters.from_instance(
+            almost_regular_instance.graph, almost_regular_instance.partition
+        )
+        with pytest.raises(ValueError):
+            AlmostRegularClustering(
+                almost_regular_instance.graph,
+                params,
+                degree_cap=almost_regular_instance.graph.max_degree - 1,
+            )

@@ -1,0 +1,128 @@
+"""Unit tests for the centralised implementation of the algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, CentralizedClustering, cluster_graph
+from repro.graphs import cycle_of_cliques, misclassification_rate
+from repro.loadbalancing import make_averaging_model
+
+
+class TestCentralizedClustering:
+    def test_recovers_clique_clusters(self, four_clique_instance, four_clique_parameters):
+        result = CentralizedClustering(
+            four_clique_instance.graph, four_clique_parameters, seed=0
+        ).run()
+        assert result.error_against(four_clique_instance.partition) <= 0.05
+        assert result.num_clusters_found == 4
+
+    def test_recovers_two_clusters(self, two_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            two_clique_instance.graph, two_clique_instance.partition
+        )
+        result = CentralizedClustering(two_clique_instance.graph, params, seed=1).run()
+        assert result.error_against(two_clique_instance.partition) <= 0.05
+
+    def test_recovers_expander_clusters(self, expander_instance):
+        params = AlgorithmParameters.from_instance(
+            expander_instance.graph, expander_instance.partition
+        )
+        result = CentralizedClustering(expander_instance.graph, params, seed=2).run()
+        assert result.error_against(expander_instance.partition) <= 0.10
+
+    def test_deterministic_given_seed(self, four_clique_instance, four_clique_parameters):
+        a = CentralizedClustering(four_clique_instance.graph, four_clique_parameters, seed=3).run()
+        b = CentralizedClustering(four_clique_instance.graph, four_clique_parameters, seed=3).run()
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.seeds, b.seeds)
+
+    def test_result_fields_consistent(self, four_clique_instance, four_clique_parameters):
+        result = CentralizedClustering(
+            four_clique_instance.graph, four_clique_parameters, seed=4
+        ).run()
+        n = four_clique_instance.graph.n
+        assert result.labels.shape == (n,)
+        assert result.loads.shape == (n, result.num_seeds)
+        assert result.seed_ids.shape == (result.num_seeds,)
+        assert result.rounds == four_clique_parameters.rounds
+        assert result.partition.n == n
+        # every label is one of the seed identifiers (argmax fallback)
+        assert set(result.labels.tolist()) <= set(result.seed_ids.tolist())
+
+    def test_load_conservation_per_seed(self, four_clique_instance, four_clique_parameters):
+        result = CentralizedClustering(
+            four_clique_instance.graph, four_clique_parameters, seed=5
+        ).run()
+        # each seed vector started with total load exactly 1
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+
+    def test_keep_loads_false(self, four_clique_instance, four_clique_parameters):
+        result = CentralizedClustering(
+            four_clique_instance.graph, four_clique_parameters, seed=6
+        ).run(keep_loads=False)
+        assert result.loads is None
+
+    def test_round_callback(self, four_clique_instance, four_clique_parameters):
+        seen = []
+        CentralizedClustering(four_clique_instance.graph, four_clique_parameters, seed=7).run(
+            round_callback=lambda t, loads: seen.append((t, loads.shape))
+        )
+        assert len(seen) == four_clique_parameters.rounds
+        assert seen[0][0] == 0
+
+    def test_zero_rounds_keeps_seed_loads(self, four_clique_instance, four_clique_parameters):
+        params = four_clique_parameters.with_rounds(0)
+        result = CentralizedClustering(four_clique_instance.graph, params, seed=8).run()
+        # without averaging only the seeds themselves carry load
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+        assert result.rounds == 0
+
+    def test_no_seeds_degenerate_case(self, four_clique_instance):
+        # activation probability 0 => no node ever becomes active
+        params = AlgorithmParameters.from_values(
+            n=four_clique_instance.graph.n, beta=0.25, rounds=5, activation_probability=0.0
+        )
+        result = CentralizedClustering(four_clique_instance.graph, params, seed=9).run()
+        assert result.num_seeds == 0
+        assert result.num_unlabelled == four_clique_instance.graph.n
+        assert result.partition.k == 1
+
+    def test_fallback_none_marks_unlabelled(self, four_clique_instance):
+        # absurdly high threshold: nobody qualifies, fallback "none" keeps -1
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        ).with_threshold(10.0)
+        result = CentralizedClustering(
+            four_clique_instance.graph, params, seed=10, fallback="none"
+        ).run()
+        assert result.num_unlabelled == four_clique_instance.graph.n
+        assert np.all(result.labels == -1)
+
+    def test_custom_averaging_model(self, four_clique_instance, four_clique_parameters):
+        model = make_averaging_model("diffusion", four_clique_instance.graph)
+        result = CentralizedClustering(
+            four_clique_instance.graph, four_clique_parameters, seed=11, averaging_model=model
+        ).run()
+        assert result.error_against(four_clique_instance.partition) <= 0.05
+
+
+class TestClusterGraphAPI:
+    def test_one_call_api(self, four_clique_instance):
+        result = cluster_graph(four_clique_instance.graph, k=4, seed=12)
+        assert result.error_against(four_clique_instance.partition) <= 0.10
+
+    def test_rounds_override(self, four_clique_instance):
+        result = cluster_graph(four_clique_instance.graph, k=4, rounds=3, seed=13)
+        assert result.rounds == 3
+
+    def test_beta_override(self, four_clique_instance):
+        result = cluster_graph(four_clique_instance.graph, k=4, beta=0.25, seed=14)
+        assert result.parameters.beta == 0.25
+
+    def test_misclassification_via_module_function(self, four_clique_instance):
+        result = cluster_graph(four_clique_instance.graph, k=4, seed=15)
+        assert misclassification_rate(
+            result.partition, four_clique_instance.partition
+        ) == result.error_against(four_clique_instance.partition)

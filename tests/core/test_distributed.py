@@ -1,0 +1,98 @@
+"""Unit tests for the message-passing implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.distsim import MessageDropFailures
+from repro.graphs import cycle_of_cliques
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return cycle_of_cliques(3, 12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_params(small_instance):
+    return AlgorithmParameters.from_instance(small_instance.graph, small_instance.partition)
+
+
+@pytest.fixture(scope="module")
+def distributed_result(small_instance, small_params):
+    return DistributedClustering(small_instance.graph, small_params, seed=1).run()
+
+
+class TestDistributedClustering:
+    def test_recovers_clusters(self, small_instance, distributed_result):
+        assert distributed_result.error_against(small_instance.partition) <= 0.10
+
+    def test_rounds_executed(self, small_params, distributed_result):
+        assert distributed_result.rounds == small_params.rounds
+
+    def test_communication_recorded(self, distributed_result, small_params, small_instance):
+        comm = distributed_result.communication
+        assert comm is not None
+        assert comm.num_rounds == small_params.rounds
+        assert comm.total_words > 0
+        assert distributed_result.total_words() == comm.total_words
+
+    def test_message_complexity_within_bound(self, distributed_result, small_instance, small_params):
+        k = small_instance.partition.k
+        bound = small_params.rounds * small_instance.graph.n * k * max(np.log2(k), 1)
+        assert distributed_result.total_words() <= bound
+
+    def test_matched_edges_bounded_by_half_n(self, distributed_result, small_instance):
+        matched = distributed_result.diagnostics["matched_edges_per_round"]
+        assert len(matched) == distributed_result.rounds
+        assert max(matched) <= small_instance.graph.n // 2
+
+    def test_loads_reconstruction_consistent(self, distributed_result, small_instance):
+        loads = distributed_result.loads
+        assert loads.shape == (small_instance.graph.n, distributed_result.num_seeds)
+        # each seed's total load stays 1 (conservation through message exchange)
+        assert np.allclose(loads.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_seed_ids_match_seed_nodes(self, distributed_result):
+        assert distributed_result.seeds.shape == distributed_result.seed_ids.shape
+        assert np.unique(distributed_result.seed_ids).size == distributed_result.num_seeds
+
+    def test_determinism(self, small_instance, small_params):
+        a = DistributedClustering(small_instance.graph, small_params, seed=7).run()
+        b = DistributedClustering(small_instance.graph, small_params, seed=7).run()
+        assert np.array_equal(a.labels, b.labels)
+        assert a.total_words() == b.total_words()
+
+    def test_different_seeds_differ(self, small_instance, small_params):
+        a = DistributedClustering(small_instance.graph, small_params, seed=1).run()
+        b = DistributedClustering(small_instance.graph, small_params, seed=2).run()
+        assert not np.array_equal(a.seeds, b.seeds) or not np.array_equal(a.labels, b.labels)
+
+    def test_message_kinds(self, distributed_result):
+        kinds = distributed_result.communication.words_by_kind()
+        assert set(kinds) <= {"propose", "accept", "commit"}
+        # every accepted proposal generates exactly one commit
+        assert kinds.get("accept", 0) == kinds.get("commit", 0)
+        assert kinds.get("propose", 0) >= kinds.get("accept", 0)
+
+    def test_with_message_drops_still_terminates(self, small_instance, small_params):
+        result = DistributedClustering(
+            small_instance.graph,
+            small_params,
+            seed=3,
+            failures=MessageDropFailures(drop_probability=0.2),
+        ).run()
+        assert result.rounds == small_params.rounds
+        # accuracy degrades gracefully rather than collapsing
+        assert result.error_against(small_instance.partition) <= 0.5
+
+    def test_degree_cap_option(self, small_instance, small_params):
+        result = DistributedClustering(
+            small_instance.graph,
+            small_params,
+            seed=4,
+            degree_cap=small_instance.graph.max_degree,
+        ).run()
+        assert result.error_against(small_instance.partition) <= 0.15

@@ -1,0 +1,117 @@
+"""Unit tests for the extensions beyond the paper: adaptive T and token clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveClustering,
+    AlgorithmParameters,
+    CentralizedClustering,
+    TokenClustering,
+)
+from repro.graphs import cycle_of_cliques
+
+
+class TestAdaptiveClustering:
+    def test_recovers_clusters_without_spectral_oracle(self, four_clique_instance):
+        engine = AdaptiveClustering(four_clique_instance.graph, beta=0.25, seed=0)
+        result = engine.run()
+        assert result.error_against(four_clique_instance.partition) <= 0.05
+        info = result.diagnostics["adaptive"]
+        assert info.stopped_early
+        assert result.rounds == info.rounds_executed
+
+    def test_stops_well_before_the_hard_cap(self, four_clique_instance):
+        engine = AdaptiveClustering(four_clique_instance.graph, beta=0.25, seed=1)
+        result = engine.run()
+        assert result.rounds < engine.max_rounds / 2
+
+    def test_rounds_comparable_to_oracle_T(self, four_clique_instance):
+        oracle = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        ).rounds
+        result = AdaptiveClustering(four_clique_instance.graph, beta=0.25, seed=2).run()
+        # the stopping rule should not overshoot the oracle prescription by
+        # more than a small constant factor
+        assert result.rounds <= 4 * oracle
+
+    def test_label_change_history_recorded(self, two_clique_instance):
+        result = AdaptiveClustering(two_clique_instance.graph, beta=0.5, seed=3).run()
+        info = result.diagnostics["adaptive"]
+        assert len(info.label_change_history) >= 1
+        assert all(0.0 <= c <= 1.0 for c in info.label_change_history)
+
+    def test_parameter_validation(self, two_clique_instance):
+        graph = two_clique_instance.graph
+        with pytest.raises(ValueError):
+            AdaptiveClustering(graph, beta=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClustering(graph, beta=0.5, stable_blocks=0)
+        with pytest.raises(ValueError):
+            AdaptiveClustering(graph, beta=0.5, stability_tolerance=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveClustering(graph, beta=0.5, block_size=0)
+
+    def test_determinism(self, two_clique_instance):
+        a = AdaptiveClustering(two_clique_instance.graph, beta=0.5, seed=9).run()
+        b = AdaptiveClustering(two_clique_instance.graph, beta=0.5, seed=9).run()
+        assert np.array_equal(a.labels, b.labels)
+        assert a.rounds == b.rounds
+
+
+class TestTokenClustering:
+    def test_recovers_clusters_with_moderate_budget(self, four_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        result = TokenClustering(
+            four_clique_instance.graph, params, tokens_per_seed=512, seed=0
+        ).run()
+        assert result.error_against(four_clique_instance.partition) <= 0.10
+
+    def test_token_conservation(self, four_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        budget = 256
+        result = TokenClustering(
+            four_clique_instance.graph, params, tokens_per_seed=budget, seed=1
+        ).run()
+        # loads are reported in units of the budget → every column sums to 1
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+
+    def test_accuracy_improves_with_budget(self):
+        instance = cycle_of_cliques(3, 20, seed=2)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        errors = {}
+        for budget in (8, 1024):
+            errs = []
+            for seed in range(3):
+                result = TokenClustering(
+                    instance.graph, params, tokens_per_seed=budget, seed=seed
+                ).run()
+                errs.append(result.error_against(instance.partition))
+            errors[budget] = float(np.mean(errs))
+        assert errors[1024] <= errors[8] + 1e-9
+
+    def test_large_budget_matches_continuous_algorithm(self, four_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        token_result = TokenClustering(
+            four_clique_instance.graph, params, tokens_per_seed=4096, seed=3
+        ).run()
+        continuous = CentralizedClustering(four_clique_instance.graph, params, seed=3).run()
+        assert abs(
+            token_result.error_against(four_clique_instance.partition)
+            - continuous.error_against(four_clique_instance.partition)
+        ) <= 0.05
+
+    def test_validation(self, four_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        with pytest.raises(ValueError):
+            TokenClustering(four_clique_instance.graph, params, tokens_per_seed=0)

@@ -1,0 +1,118 @@
+"""Unit tests for algorithm parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, query_threshold, round_count, seeding_trials
+
+
+class TestHelpers:
+    def test_seeding_trials_paper_formula(self):
+        beta = 0.25
+        assert seeding_trials(beta) == int(np.ceil((3 / beta) * np.log(1 / beta)))
+
+    def test_seeding_trials_beta_one(self):
+        assert seeding_trials(1.0) == 1
+
+    def test_seeding_trials_invalid(self):
+        with pytest.raises(ValueError):
+            seeding_trials(0.0)
+        with pytest.raises(ValueError):
+            seeding_trials(1.5)
+
+    def test_query_threshold_formula(self):
+        assert query_threshold(0.5, 100) == pytest.approx(1.0 / (np.sqrt(1.0) * 100))
+        assert query_threshold(0.125, 200) == pytest.approx(1.0 / (np.sqrt(0.25) * 200))
+
+    def test_query_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            query_threshold(0.0, 10)
+        with pytest.raises(ValueError):
+            query_threshold(0.5, 0)
+
+    def test_round_count(self):
+        assert round_count(100, 0.5, constant=2.0) == int(np.ceil(2 * np.log(100) / 0.5))
+        assert round_count(2, 1.0) >= 1
+
+    def test_round_count_requires_positive_gap(self):
+        with pytest.raises(ValueError):
+            round_count(100, 0.0)
+
+
+class TestAlgorithmParameters:
+    def test_from_values_defaults(self):
+        params = AlgorithmParameters.from_values(n=100, beta=0.25, rounds=50)
+        assert params.num_seeding_trials == seeding_trials(0.25)
+        assert params.activation_probability == pytest.approx(0.01)
+        assert params.threshold == pytest.approx(query_threshold(0.25, 100))
+        assert params.id_space == 100 ** 3
+        assert params.expected_seeds == pytest.approx(params.num_seeding_trials)
+
+    def test_from_values_overrides(self):
+        params = AlgorithmParameters.from_values(
+            n=50, beta=0.5, rounds=10, num_seeding_trials=7, threshold=0.03, id_space=999
+        )
+        assert params.num_seeding_trials == 7
+        assert params.threshold == 0.03
+        assert params.id_space == 999
+
+    def test_from_values_validation(self):
+        with pytest.raises(ValueError):
+            AlgorithmParameters.from_values(n=0, beta=0.5, rounds=5)
+        with pytest.raises(ValueError):
+            AlgorithmParameters.from_values(n=10, beta=0.0, rounds=5)
+        with pytest.raises(ValueError):
+            AlgorithmParameters.from_values(n=10, beta=0.5, rounds=-1)
+
+    def test_from_graph_uses_spectrum(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        params = AlgorithmParameters.from_graph(graph, 4)
+        assert params.n == graph.n
+        assert params.beta == pytest.approx(1 / 8)
+        assert params.rounds > 0
+
+    def test_from_instance_uses_true_balance(self, four_clique_instance):
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        assert params.beta == pytest.approx(0.25)
+
+    def test_round_constant_scales_T(self, four_clique_instance):
+        graph, truth = four_clique_instance.graph, four_clique_instance.partition
+        small = AlgorithmParameters.from_instance(graph, truth, round_constant=4.0)
+        large = AlgorithmParameters.from_instance(graph, truth, round_constant=16.0)
+        assert large.rounds == pytest.approx(4 * small.rounds, abs=4)
+
+    def test_with_methods_return_new_objects(self):
+        params = AlgorithmParameters.from_values(n=100, beta=0.25, rounds=50)
+        changed = params.with_rounds(10).with_threshold(0.5).with_seeding_trials(3)
+        assert changed.rounds == 10
+        assert changed.threshold == 0.5
+        assert changed.num_seeding_trials == 3
+        # original untouched (frozen dataclass semantics)
+        assert params.rounds == 50
+
+    def test_as_dict_round_trip(self):
+        params = AlgorithmParameters.from_values(n=64, beta=0.25, rounds=12)
+        d = params.as_dict()
+        rebuilt = AlgorithmParameters.from_values(
+            n=d["n"],
+            beta=d["beta"],
+            rounds=d["rounds"],
+            num_seeding_trials=d["num_seeding_trials"],
+            activation_probability=d["activation_probability"],
+            threshold=d["threshold"],
+            id_space=d["id_space"],
+        )
+        assert rebuilt == params
+
+    def test_graph_size_mismatch_detected_by_engines(self, four_clique_instance):
+        from repro.core import CentralizedClustering, DistributedClustering
+
+        params = AlgorithmParameters.from_values(n=10, beta=0.5, rounds=5)
+        with pytest.raises(ValueError):
+            CentralizedClustering(four_clique_instance.graph, params)
+        with pytest.raises(ValueError):
+            DistributedClustering(four_clique_instance.graph, params)

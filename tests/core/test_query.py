@@ -1,0 +1,79 @@
+"""Unit tests for the query procedure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import assign_labels_from_loads
+
+
+class TestAssignLabels:
+    def test_smallest_qualifying_identifier_wins(self):
+        loads = np.array([[0.4, 0.5]])
+        seed_ids = np.array([90, 10])
+        labels, unlabelled = assign_labels_from_loads(loads, seed_ids, threshold=0.3)
+        assert labels[0] == 10
+        assert not unlabelled[0]
+
+    def test_smallest_id_even_with_smaller_load(self):
+        # Both qualify; the *identifier*, not the load, breaks the tie (paper rule).
+        loads = np.array([[0.9, 0.31]])
+        seed_ids = np.array([50, 7])
+        labels, _ = assign_labels_from_loads(loads, seed_ids, threshold=0.3)
+        assert labels[0] == 7
+
+    def test_below_threshold_argmax_fallback(self):
+        loads = np.array([[0.01, 0.02]])
+        seed_ids = np.array([5, 9])
+        labels, unlabelled = assign_labels_from_loads(loads, seed_ids, threshold=0.3)
+        assert unlabelled[0]
+        assert labels[0] == 9  # argmax fallback
+
+    def test_below_threshold_none_fallback(self):
+        loads = np.array([[0.01, 0.02]])
+        seed_ids = np.array([5, 9])
+        labels, unlabelled = assign_labels_from_loads(
+            loads, seed_ids, threshold=0.3, fallback="none"
+        )
+        assert labels[0] == -1
+        assert unlabelled[0]
+
+    def test_threshold_inclusive(self):
+        loads = np.array([[0.3]])
+        labels, unlabelled = assign_labels_from_loads(loads, np.array([4]), threshold=0.3)
+        assert labels[0] == 4 and not unlabelled[0]
+
+    def test_many_nodes_vectorised_consistency(self):
+        rng = np.random.default_rng(0)
+        loads = rng.random((50, 4))
+        seed_ids = np.array([40, 10, 30, 20])
+        threshold = 0.5
+        labels, unlabelled = assign_labels_from_loads(loads, seed_ids, threshold=threshold)
+        for v in range(50):
+            qualifying = [seed_ids[i] for i in range(4) if loads[v, i] >= threshold]
+            if qualifying:
+                assert labels[v] == min(qualifying)
+                assert not unlabelled[v]
+            else:
+                assert unlabelled[v]
+                assert labels[v] == seed_ids[np.argmax(loads[v])]
+
+    def test_zero_seeds(self):
+        labels, unlabelled = assign_labels_from_loads(
+            np.zeros((3, 0)), np.empty(0, dtype=np.int64), threshold=0.1
+        )
+        assert np.all(labels == -1)
+        assert np.all(unlabelled)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            assign_labels_from_loads(np.zeros((3, 2)), np.array([1]), threshold=0.1)
+        with pytest.raises(ValueError):
+            assign_labels_from_loads(np.zeros(3), np.array([1]), threshold=0.1)
+
+    def test_invalid_fallback(self):
+        with pytest.raises(ValueError):
+            assign_labels_from_loads(
+                np.zeros((2, 1)), np.array([1]), threshold=0.1, fallback="random"
+            )

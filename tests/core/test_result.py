@@ -1,0 +1,52 @@
+"""Unit tests for the ClusteringResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, ClusteringResult
+from repro.graphs import Partition
+
+
+def _make_result(labels, truth_n=6):
+    labels = np.asarray(labels)
+    return ClusteringResult(
+        labels=labels,
+        partition=Partition.from_labels(np.where(labels < 0, labels.max() + 1, labels)),
+        seeds=np.array([0, 3]),
+        seed_ids=np.array([11, 22]),
+        rounds=5,
+        parameters=AlgorithmParameters.from_values(n=truth_n, beta=0.5, rounds=5),
+        unlabelled=labels < 0,
+    )
+
+
+class TestClusteringResult:
+    def test_basic_properties(self):
+        result = _make_result([11, 11, 11, 22, 22, 22])
+        assert result.num_seeds == 2
+        assert result.num_clusters_found == 2
+        assert result.num_unlabelled == 0
+
+    def test_error_against_truth(self):
+        result = _make_result([11, 11, 11, 22, 22, 22])
+        truth = Partition.from_labels([0, 0, 0, 1, 1, 1])
+        assert result.misclassified_against(truth) == 0
+        assert result.error_against(truth) == 0.0
+
+        flipped = Partition.from_labels([0, 0, 1, 1, 1, 1])
+        assert result.misclassified_against(flipped) == 1
+
+    def test_unlabelled_counting(self):
+        result = _make_result([11, -1, 11, 22, -1, 22])
+        assert result.num_unlabelled == 2
+
+    def test_total_words_without_communication(self):
+        result = _make_result([11] * 6)
+        assert result.total_words() == 0
+
+    def test_summary_keys(self):
+        summary = _make_result([11] * 6).summary()
+        for key in ("n", "rounds", "num_seeds", "num_clusters_found", "num_unlabelled"):
+            assert key in summary

@@ -1,0 +1,82 @@
+"""Unit tests for the seeding procedure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, assign_seed_identifiers, sample_seeds, seed_load_matrix
+
+
+def _params(n=200, beta=0.25):
+    return AlgorithmParameters.from_values(n=n, beta=beta, rounds=10)
+
+
+class TestSampleSeeds:
+    def test_expected_number_of_seeds(self):
+        params = _params(n=500, beta=0.25)
+        rng = np.random.default_rng(0)
+        counts = [sample_seeds(params, rng).size for _ in range(300)]
+        # E[s] is slightly below s̄ (inclusion-exclusion); allow a 20% band.
+        assert np.mean(counts) == pytest.approx(params.num_seeding_trials, rel=0.2)
+
+    def test_every_cluster_hit_with_good_probability(self, four_clique_instance):
+        """The proof's coverage argument: each cluster of size ≥ βn gets a seed
+        with probability ≥ 1 - e^{-3} per cluster."""
+        truth = four_clique_instance.partition
+        params = AlgorithmParameters.from_instance(
+            four_clique_instance.graph, truth
+        )
+        rng = np.random.default_rng(1)
+        trials = 200
+        all_covered = 0
+        for _ in range(trials):
+            seeds = sample_seeds(params, rng)
+            labels = set(truth.labels[seeds].tolist())
+            if len(labels) == truth.k:
+                all_covered += 1
+        # union bound over 4 clusters: success probability ≥ 1 - 4e^{-3} ≈ 0.80
+        assert all_covered / trials > 0.75
+
+    def test_deterministic_given_rng_state(self):
+        params = _params()
+        a = sample_seeds(params, np.random.default_rng(5))
+        b = sample_seeds(params, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_seeds_sorted_and_unique(self):
+        params = _params()
+        seeds = sample_seeds(params, np.random.default_rng(2))
+        assert np.array_equal(seeds, np.unique(seeds))
+
+
+class TestSeedIdentifiers:
+    def test_identifiers_distinct_and_in_range(self):
+        params = _params(n=100)
+        seeds = np.arange(10)
+        ids = assign_seed_identifiers(seeds, params, np.random.default_rng(3))
+        assert ids.size == 10
+        assert np.unique(ids).size == 10
+        assert ids.min() >= 1 and ids.max() <= params.id_space
+
+    def test_empty_seed_set(self):
+        params = _params()
+        ids = assign_seed_identifiers(np.empty(0, dtype=np.int64), params, np.random.default_rng(0))
+        assert ids.size == 0
+
+    def test_tiny_id_space_still_distinct(self):
+        params = AlgorithmParameters.from_values(n=50, beta=0.5, rounds=5, id_space=10)
+        ids = assign_seed_identifiers(np.arange(5), params, np.random.default_rng(1))
+        assert np.unique(ids).size == 5
+
+
+class TestSeedLoadMatrix:
+    def test_columns_are_indicator_vectors(self):
+        x0 = seed_load_matrix(6, np.array([1, 4]))
+        assert x0.shape == (6, 2)
+        assert x0[1, 0] == 1.0 and x0[4, 1] == 1.0
+        assert x0.sum() == 2.0
+
+    def test_no_seeds(self):
+        x0 = seed_load_matrix(5, np.empty(0, dtype=np.int64))
+        assert x0.shape == (5, 0)

@@ -1,0 +1,99 @@
+"""Unit tests for the node state and its averaging rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NodeState
+
+
+class TestConstruction:
+    def test_empty(self):
+        state = NodeState.empty()
+        assert len(state) == 0
+        assert state.total_load == 0.0
+        assert state.label(0.1) is None
+        assert state.heaviest_prefix() is None
+
+    def test_seeded(self):
+        state = NodeState.seeded(42)
+        assert state.value(42) == 1.0
+        assert state.total_load == 1.0
+        assert list(state.prefixes()) == [42]
+
+
+class TestAveraging:
+    def test_common_prefix_averaged(self):
+        a = NodeState({7: 0.8})
+        b = NodeState({7: 0.2})
+        merged = a.averaged_with(b)
+        assert merged.value(7) == pytest.approx(0.5)
+
+    def test_disjoint_prefixes_halved(self):
+        a = NodeState({1: 1.0})
+        b = NodeState({2: 0.5})
+        merged = a.averaged_with(b)
+        assert merged.value(1) == pytest.approx(0.5)
+        assert merged.value(2) == pytest.approx(0.25)
+
+    def test_symmetric(self):
+        a = NodeState({1: 0.7, 3: 0.1})
+        b = NodeState({3: 0.5, 9: 0.2})
+        assert a.averaged_with(b) == b.averaged_with(a)
+
+    def test_averaging_with_empty_halves_everything(self):
+        a = NodeState({1: 0.6, 2: 0.4})
+        merged = a.averaged_with(NodeState.empty())
+        assert merged.value(1) == pytest.approx(0.3)
+        assert merged.value(2) == pytest.approx(0.2)
+
+    def test_total_load_conserved_pairwise(self):
+        a = NodeState({1: 0.6, 2: 0.4})
+        b = NodeState({2: 0.2, 5: 1.0})
+        merged = a.averaged_with(b)
+        # both endpoints adopt `merged`, so combined load 2*merged.total
+        assert 2 * merged.total_load == pytest.approx(a.total_load + b.total_load)
+
+    def test_original_states_untouched(self):
+        a = NodeState({1: 1.0})
+        b = NodeState({2: 1.0})
+        a.averaged_with(b)
+        assert a.value(1) == 1.0 and b.value(2) == 1.0
+
+
+class TestQuery:
+    def test_label_smallest_qualifying_prefix(self):
+        state = NodeState({10: 0.5, 3: 0.4, 99: 0.9})
+        assert state.label(0.3) == 3
+        assert state.label(0.45) == 10
+        assert state.label(0.95) is None
+
+    def test_threshold_boundary_inclusive(self):
+        state = NodeState({5: 0.25})
+        assert state.label(0.25) == 5
+
+    def test_heaviest_prefix(self):
+        state = NodeState({5: 0.25, 2: 0.7, 9: 0.7})
+        # ties broken towards the smaller prefix
+        assert state.heaviest_prefix() == 2
+
+
+class TestSerialisationAndPruning:
+    def test_payload_round_trip(self):
+        state = NodeState({3: 0.125, 1: 0.5})
+        payload = state.as_payload()
+        assert payload == [(1, 0.5), (3, 0.125)]
+        assert NodeState.from_payload(payload) == state
+
+    def test_prune(self):
+        state = NodeState({1: 0.5, 2: 1e-9, 3: 0.01})
+        pruned = state.prune(1e-3)
+        assert pruned == NodeState({1: 0.5, 3: 0.01})
+
+    def test_prune_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            NodeState({1: 0.5}).prune(-1.0)
+
+    def test_iteration_sorted(self):
+        state = NodeState({5: 0.1, 1: 0.2})
+        assert list(state) == [(1, 0.2), (5, 0.1)]

@@ -1,0 +1,94 @@
+"""Unit tests for the structure-theory module (Lemma 4.2, good nodes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    alpha_values,
+    error_bound_E,
+    good_node_threshold,
+    good_nodes_mask,
+    structure_theory_report,
+    structure_vectors,
+)
+from repro.graphs import planted_partition, spectral_decomposition
+
+
+class TestStructureVectors:
+    def test_chi_hat_orthonormal(self, four_clique_instance):
+        _, chi_hat = structure_vectors(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        gram = chi_hat.T @ chi_hat
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_chi_hat_in_span_of_indicators(self, four_clique_instance):
+        truth = four_clique_instance.partition
+        _, chi_hat = structure_vectors(four_clique_instance.graph, truth)
+        # each χ̂_i must be constant on every cluster
+        for i in range(truth.k):
+            for c in range(truth.k):
+                values = chi_hat[truth.cluster(c), i]
+                assert values.std() < 1e-9
+
+    def test_chi_hat_close_to_eigenvectors_on_well_clustered_graph(self, four_clique_instance):
+        graph, truth = four_clique_instance.graph, four_clique_instance.partition
+        dec = spectral_decomposition(graph, num=truth.k)
+        _, chi_hat = structure_vectors(graph, truth)
+        distances = np.linalg.norm(chi_hat - dec.top_k(truth.k), axis=0)
+        assert distances.max() < 0.2
+
+    def test_chi_tilde_is_projection_of_eigenvectors(self, four_clique_instance):
+        graph, truth = four_clique_instance.graph, four_clique_instance.partition
+        chi_tilde, _ = structure_vectors(graph, truth)
+        # the projection cannot be longer than the original unit eigenvector
+        norms = np.linalg.norm(chi_tilde, axis=0)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestAlphaAndGoodNodes:
+    def test_alpha_nonnegative_and_sums_to_total_error(self, four_clique_instance):
+        graph, truth = four_clique_instance.graph, four_clique_instance.partition
+        alphas = alpha_values(graph, truth)
+        assert np.all(alphas >= 0)
+        dec = spectral_decomposition(graph, num=truth.k)
+        _, chi_hat = structure_vectors(graph, truth)
+        total = np.sum((dec.top_k(truth.k) - chi_hat) ** 2)
+        assert np.sum(alphas ** 2) == pytest.approx(total)
+
+    def test_most_nodes_good_on_well_clustered_graph(self, four_clique_instance):
+        mask = good_nodes_mask(four_clique_instance.graph, four_clique_instance.partition)
+        assert mask.mean() > 0.9
+
+    def test_good_node_threshold_monotone_in_upsilon(self):
+        lo = good_node_threshold(100, 3, 0.3, upsilon=10)
+        hi = good_node_threshold(100, 3, 0.3, upsilon=1000)
+        assert hi < lo  # larger gap => smaller E => tighter cutoff
+
+    def test_error_bound_E(self):
+        assert error_bound_E(3, 300.0) == pytest.approx(3 * np.sqrt(3 / 300.0))
+        assert error_bound_E(3, 0.0) == float("inf")
+
+
+class TestStructureTheoryReport:
+    def test_report_on_well_clustered_graph(self, four_clique_instance):
+        report = structure_theory_report(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        assert report.lemma42_holds
+        assert report.num_good_nodes + report.num_bad_nodes == four_clique_instance.graph.n
+        d = report.as_dict()
+        assert d["upsilon"] > 10
+        assert d["error_bound_E"] > 0
+
+    def test_report_degrades_for_weak_structure(self):
+        weak = planted_partition(90, 3, 0.25, 0.15, seed=0, ensure_connected=True)
+        strong_report = structure_theory_report(
+            planted_partition(90, 3, 0.4, 0.01, seed=1, ensure_connected=True).graph,
+            planted_partition(90, 3, 0.4, 0.01, seed=1, ensure_connected=True).partition,
+        )
+        weak_report = structure_theory_report(weak.graph, weak.partition)
+        assert weak_report.upsilon < strong_report.upsilon
+        assert weak_report.max_eigenvector_distance > strong_report.max_eigenvector_distance

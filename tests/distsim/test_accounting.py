@@ -1,0 +1,83 @@
+"""Unit tests for communication accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim import CommunicationLog, Message
+
+
+def _msg(kind="state", payload=(1.0, 2.0)):
+    return Message(sender=0, receiver=1, kind=kind, payload=list(payload))
+
+
+class TestCommunicationLog:
+    def test_round_lifecycle(self):
+        log = CommunicationLog()
+        log.start_round(0)
+        log.record_message(_msg())
+        stats = log.finish_round()
+        assert stats.messages == 1
+        assert stats.words == 3
+        assert log.num_rounds == 1
+
+    def test_cannot_start_twice(self):
+        log = CommunicationLog()
+        log.start_round(0)
+        with pytest.raises(RuntimeError):
+            log.start_round(1)
+
+    def test_cannot_record_outside_round(self):
+        log = CommunicationLog()
+        with pytest.raises(RuntimeError):
+            log.record_message(_msg())
+        with pytest.raises(RuntimeError):
+            log.finish_round()
+        with pytest.raises(RuntimeError):
+            log.record_matched_edges(1)
+
+    def test_totals_accumulate(self):
+        log = CommunicationLog()
+        for r in range(3):
+            log.start_round(r)
+            for _ in range(r + 1):
+                log.record_message(_msg())
+            log.record_matched_edges(r)
+            log.finish_round()
+        assert log.total_messages == 6
+        assert log.total_words == 18
+        assert log.total_matched_edges == 3
+        assert log.max_matched_edges_in_a_round() == 2
+        assert np.array_equal(log.messages_per_round(), [1, 2, 3])
+        assert np.array_equal(log.matched_edges_per_round(), [0, 1, 2])
+
+    def test_by_kind_counts(self):
+        log = CommunicationLog()
+        log.start_round(0)
+        log.record_message(_msg(kind="propose", payload=()))
+        log.record_message(_msg(kind="propose", payload=()))
+        log.record_message(_msg(kind="accept"))
+        log.finish_round()
+        assert log.words_by_kind() == {"propose": 2, "accept": 1}
+
+    def test_summary_keys(self):
+        log = CommunicationLog()
+        log.start_round(0)
+        log.record_message(_msg())
+        log.finish_round()
+        summary = log.summary()
+        for key in (
+            "rounds",
+            "total_messages",
+            "total_words",
+            "total_matched_edges",
+            "max_matched_edges_per_round",
+            "mean_words_per_round",
+        ):
+            assert key in summary
+
+    def test_empty_log_summary(self):
+        log = CommunicationLog()
+        assert log.summary()["rounds"] == 0
+        assert log.max_matched_edges_in_a_round() == 0

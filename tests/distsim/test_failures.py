@@ -1,0 +1,118 @@
+"""Unit tests for failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim import (
+    CompositeFailures,
+    CrashFailures,
+    Message,
+    MessageDropFailures,
+    NoFailures,
+    SynchronousNetwork,
+)
+from repro.graphs import cycle_graph
+
+from .test_network import CountingAlgorithm
+
+
+def _msg():
+    return Message(sender=0, receiver=1, kind="x", payload=None)
+
+
+class TestFailureModels:
+    def test_no_failures_delivers_everything(self):
+        model = NoFailures()
+        rng = np.random.default_rng(0)
+        assert all(model.deliver(_msg(), rng) for _ in range(100))
+        assert model.node_is_alive(0)
+
+    def test_message_drop_probability_zero_like(self):
+        model = MessageDropFailures(drop_probability=0.0)
+        rng = np.random.default_rng(0)
+        assert all(model.deliver(_msg(), rng) for _ in range(100))
+
+    def test_message_drop_rate_statistics(self):
+        model = MessageDropFailures(drop_probability=0.3)
+        rng = np.random.default_rng(1)
+        delivered = sum(model.deliver(_msg(), rng) for _ in range(5000))
+        assert delivered / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_message_drop_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            MessageDropFailures(drop_probability=1.0)
+        with pytest.raises(ValueError):
+            MessageDropFailures(drop_probability=-0.1)
+
+    def test_crash_failures_kill_fraction(self):
+        model = CrashFailures(crash_fraction=0.5, crash_round=0)
+        rng = np.random.default_rng(2)
+        model.reset(10, rng)
+        model.on_round(0, rng)
+        dead = sum(not model.node_is_alive(v) for v in range(10))
+        assert dead == 5
+
+    def test_crash_only_after_crash_round(self):
+        model = CrashFailures(crash_fraction=0.5, crash_round=3)
+        rng = np.random.default_rng(3)
+        model.reset(10, rng)
+        model.on_round(0, rng)
+        assert all(model.node_is_alive(v) for v in range(10))
+        model.on_round(3, rng)
+        assert any(not model.node_is_alive(v) for v in range(10))
+
+    def test_crash_blocks_messages_to_and_from_crashed(self):
+        model = CrashFailures(crash_fraction=0.5, crash_round=0)
+        rng = np.random.default_rng(4)
+        model.reset(4, rng)
+        model.on_round(0, rng)
+        crashed = [v for v in range(4) if not model.node_is_alive(v)]
+        alive = [v for v in range(4) if model.node_is_alive(v)]
+        message = Message(sender=crashed[0], receiver=alive[0], kind="x")
+        assert not model.deliver(message, rng)
+
+    def test_crash_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CrashFailures(crash_fraction=1.0)
+        with pytest.raises(ValueError):
+            CrashFailures(crash_fraction=0.1, crash_round=-1)
+
+    def test_composite(self):
+        model = CompositeFailures(MessageDropFailures(0.0), NoFailures())
+        rng = np.random.default_rng(5)
+        model.reset(5, rng)
+        model.on_round(0, rng)
+        assert model.deliver(_msg(), rng)
+        assert model.node_is_alive(1)
+
+
+class TestFailuresInNetwork:
+    def test_dropped_messages_counted_in_trace(self):
+        network = SynchronousNetwork(
+            cycle_graph(6),
+            CountingAlgorithm(),
+            seed=0,
+            failures=MessageDropFailures(drop_probability=0.5),
+        )
+        result = network.run(rounds=4)
+        dropped = int(result.trace.dropped_series().sum())
+        delivered = result.communication.total_messages
+        assert dropped > 0
+        assert dropped + delivered == 4 * 12  # 6 nodes * 2 neighbours * 4 rounds
+
+    def test_crashed_nodes_receive_nothing(self):
+        network = SynchronousNetwork(
+            cycle_graph(6),
+            CountingAlgorithm(),
+            seed=1,
+            failures=CrashFailures(crash_fraction=0.34, crash_round=0),
+        )
+        result = network.run(rounds=3)
+        crashed = [
+            v for v in range(6) if not network.failures.node_is_alive(v)
+        ]
+        assert crashed, "at least one node should have crashed"
+        for v in crashed:
+            assert result.contexts[v].state["received"] == 0

@@ -1,0 +1,64 @@
+"""Unit tests for messages and word counting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distsim import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_none_is_free(self):
+        assert payload_words(None) == 0
+
+    def test_scalars_cost_one(self):
+        assert payload_words(3) == 1
+        assert payload_words(3.5) == 1
+        assert payload_words(True) == 1
+        assert payload_words(np.float64(2.0)) == 1
+        assert payload_words("identifier") == 1
+
+    def test_sequences_sum(self):
+        assert payload_words([1, 2, 3]) == 3
+        assert payload_words((1.0, "a")) == 2
+        assert payload_words([]) == 0
+
+    def test_ndarray_counts_elements(self):
+        assert payload_words(np.zeros(7)) == 7
+        assert payload_words(np.zeros((2, 3))) == 6
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_words({"a": 1, "b": [1, 2]}) == 1 + 1 + 1 + 2
+
+    def test_nested_structures(self):
+        payload = [(17, 0.5), (23, 0.25)]
+        assert payload_words(payload) == 4
+
+    def test_unknown_object_costs_one(self):
+        class Opaque:
+            pass
+
+        assert payload_words(Opaque()) == 1
+
+
+class TestMessage:
+    def test_default_word_count_includes_kind(self):
+        m = Message(sender=0, receiver=1, kind="state", payload=[(5, 0.5)])
+        assert m.words == 1 + 2
+
+    def test_explicit_word_count_respected(self):
+        m = Message(sender=0, receiver=1, kind="propose", payload=None, words=1)
+        assert m.words == 1
+
+    def test_empty_payload(self):
+        m = Message(sender=2, receiver=3, kind="ping")
+        assert m.words == 1
+
+    def test_frozen(self):
+        m = Message(sender=0, receiver=1, kind="x")
+        try:
+            m.sender = 5  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

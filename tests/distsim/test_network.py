@@ -1,0 +1,153 @@
+"""Unit tests for the synchronous network simulator.
+
+Uses two tiny reference algorithms:
+
+* ``FloodMinAlgorithm`` — every node repeatedly broadcasts the smallest node
+  id it has seen; after ``diameter`` rounds every node must know the global
+  minimum (a classical correctness check for synchronous simulators);
+* ``CountingAlgorithm`` — deterministic message pattern used to verify exact
+  accounting and phase ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim import Message, NodeAlgorithm, NodeContext, SynchronousNetwork
+from repro.graphs import Graph, cycle_graph, grid_graph
+
+
+class FloodMinAlgorithm(NodeAlgorithm):
+    def phases(self):
+        return ("exchange",)
+
+    def initialise(self, node: NodeContext) -> None:
+        node.state["min_seen"] = node.node_id
+
+    def run_phase(self, node, round_index, phase, inbox):
+        for message in inbox:
+            node.state["min_seen"] = min(node.state["min_seen"], message.payload)
+        for neighbour in node.neighbours:
+            node.send(int(neighbour), "min", node.state["min_seen"])
+
+    def has_converged(self, node):
+        return node.state["min_seen"] == 0
+
+
+class CountingAlgorithm(NodeAlgorithm):
+    """Each node sends one 3-word message to every neighbour per round, phase 'a' only."""
+
+    def phases(self):
+        return ("a", "b")
+
+    def initialise(self, node):
+        node.state["received"] = 0
+
+    def run_phase(self, node, round_index, phase, inbox):
+        node.state["received"] += len(inbox)
+        if phase == "a":
+            for neighbour in node.neighbours:
+                node.send(int(neighbour), "data", [1.0, 2.0], words=3)
+
+
+class TestSynchronousNetwork:
+    def test_flood_min_reaches_everyone(self):
+        g = grid_graph(4, 4)
+        network = SynchronousNetwork(g, FloodMinAlgorithm(), seed=0)
+        result = network.run(rounds=8)  # diameter of a 4x4 grid is 6
+        assert all(ctx.state["min_seen"] == 0 for ctx in result.contexts)
+
+    def test_early_convergence_stop(self):
+        g = cycle_graph(6)
+        network = SynchronousNetwork(g, FloodMinAlgorithm(), seed=0)
+        result = network.run(rounds=50, stop_when_converged=True)
+        assert result.converged_early
+        assert result.rounds_executed <= 6
+
+    def test_rounds_zero(self):
+        g = cycle_graph(4)
+        network = SynchronousNetwork(g, FloodMinAlgorithm(), seed=0)
+        result = network.run(rounds=0)
+        assert result.rounds_executed == 0
+        # finalise is still called; state from initialise persists
+        assert result.contexts[2].state["min_seen"] == 2
+
+    def test_negative_rounds_rejected(self):
+        network = SynchronousNetwork(cycle_graph(4), FloodMinAlgorithm(), seed=0)
+        with pytest.raises(ValueError):
+            network.run(rounds=-1)
+
+    def test_exact_message_accounting(self):
+        g = cycle_graph(5)  # every node has 2 neighbours
+        network = SynchronousNetwork(g, CountingAlgorithm(), seed=0)
+        rounds = 3
+        result = network.run(rounds=rounds)
+        # per round: 5 nodes * 2 neighbours = 10 messages of 3 words, sent in
+        # phase 'a' only.
+        assert result.communication.total_messages == rounds * 10
+        assert result.communication.total_words == rounds * 30
+        assert np.array_equal(result.communication.messages_per_round(), [10] * rounds)
+
+    def test_messages_delivered_next_phase(self):
+        g = cycle_graph(5)
+        network = SynchronousNetwork(g, CountingAlgorithm(), seed=0)
+        result = network.run(rounds=2)
+        # Messages sent in phase 'a' arrive in phase 'b' of the same round:
+        # each node receives 2 messages per round.
+        assert all(ctx.state["received"] == 4 for ctx in result.contexts)
+
+    def test_send_to_non_neighbour_rejected(self):
+        class BadAlgorithm(FloodMinAlgorithm):
+            def run_phase(self, node, round_index, phase, inbox):
+                node.send((node.node_id + 2) % node.n, "bad", None)
+
+        network = SynchronousNetwork(cycle_graph(6), BadAlgorithm(), seed=0)
+        with pytest.raises(ValueError):
+            network.run(rounds=1)
+
+    def test_round_callback_invoked(self):
+        calls = []
+        network = SynchronousNetwork(cycle_graph(4), FloodMinAlgorithm(), seed=0)
+        network.run(rounds=3, round_callback=lambda r, net: calls.append(r))
+        assert calls == [0, 1, 2]
+
+    def test_determinism_across_runs(self):
+        def final_states(seed):
+            net = SynchronousNetwork(grid_graph(3, 3), FloodMinAlgorithm(), seed=seed)
+            res = net.run(rounds=2)
+            return [ctx.state["min_seen"] for ctx in res.contexts]
+
+        assert final_states(5) == final_states(5)
+
+    def test_metadata_and_config_passthrough(self):
+        network = SynchronousNetwork(
+            cycle_graph(4), FloodMinAlgorithm(), seed=1, config={"beta": 0.5}
+        )
+        result = network.run(rounds=1)
+        assert result.metadata["n"] == 4
+        assert result.metadata["config"]["beta"] == 0.5
+        assert result.contexts[0].config["beta"] == 0.5
+
+    def test_trace_matches_accounting(self):
+        network = SynchronousNetwork(cycle_graph(5), CountingAlgorithm(), seed=0)
+        result = network.run(rounds=2)
+        assert len(result.trace) == 2
+        assert result.trace[0].words == result.communication.rounds[0].words
+        assert result.trace[0].phases_executed == 2
+
+    def test_algorithm_without_phases_rejected(self):
+        class NoPhases(FloodMinAlgorithm):
+            def phases(self):
+                return ()
+
+        network = SynchronousNetwork(cycle_graph(4), NoPhases(), seed=0)
+        with pytest.raises(ValueError):
+            network.run(rounds=1)
+
+    def test_node_context_random_neighbour(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        network = SynchronousNetwork(g, FloodMinAlgorithm(), seed=0)
+        ctx = network.contexts[0]
+        samples = {ctx.random_neighbour() for _ in range(50)}
+        assert samples == {1, 2}

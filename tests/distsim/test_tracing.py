@@ -1,0 +1,48 @@
+"""Unit tests for simulation traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distsim import RoundTrace, SimulationTrace
+
+
+class TestSimulationTrace:
+    def _trace(self) -> SimulationTrace:
+        trace = SimulationTrace()
+        for r in range(4):
+            trace.append(
+                RoundTrace(
+                    round_index=r,
+                    phases_executed=2,
+                    messages=10 * (r + 1),
+                    words=100 * (r + 1),
+                    dropped_messages=r,
+                )
+            )
+        return trace
+
+    def test_len_and_indexing(self):
+        trace = self._trace()
+        assert len(trace) == 4
+        assert trace[2].messages == 30
+        assert [t.round_index for t in trace] == [0, 1, 2, 3]
+
+    def test_series_extraction(self):
+        trace = self._trace()
+        assert np.array_equal(trace.words_series(), [100, 200, 300, 400])
+        assert np.array_equal(trace.messages_series(), [10, 20, 30, 40])
+        assert np.array_equal(trace.dropped_series(), [0, 1, 2, 3])
+
+    def test_observations(self):
+        trace = self._trace()
+        trace.observe(1, "error", 0.25)
+        trace.observe(3, "error", 0.05)
+        series = trace.series("error")
+        assert np.isnan(series[0])
+        assert series[1] == 0.25
+        assert series[3] == 0.05
+
+    def test_missing_observation_series_all_nan(self):
+        trace = self._trace()
+        assert np.all(np.isnan(trace.series("nonexistent")))

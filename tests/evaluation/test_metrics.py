@@ -1,0 +1,95 @@
+"""Unit tests for clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    clustering_report,
+    normalized_mutual_information,
+    purity,
+)
+from repro.graphs import Partition
+
+
+def _p(labels):
+    return Partition.from_labels(labels)
+
+
+class TestARI:
+    def test_perfect_agreement(self):
+        p = _p([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(p, p) == pytest.approx(1.0)
+
+    def test_agreement_under_relabelling(self):
+        a = _p([0, 0, 1, 1])
+        b = _p([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = _p(rng.integers(0, 4, size=2000))
+        b = _p(rng.integers(0, 4, size=2000))
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_single_cluster_vs_split(self):
+        ari = adjusted_rand_index(_p([0, 0, 0, 0]), _p([0, 0, 1, 1]))
+        assert ari <= 0.0 + 1e-9
+
+    def test_known_value(self):
+        # Example with hand-computable contingency.
+        truth = _p([0, 0, 0, 1, 1, 1])
+        predicted = _p([0, 0, 1, 1, 1, 1])
+        ari = adjusted_rand_index(predicted, truth)
+        assert 0.0 < ari < 1.0
+
+
+class TestNMI:
+    def test_perfect_agreement(self):
+        p = _p([0, 1, 0, 1, 2])
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        a = _p(rng.integers(0, 3, size=200))
+        b = _p(rng.integers(0, 5, size=200))
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 <= nmi <= 1.0
+
+    def test_trivial_vs_structured(self):
+        truth = _p([0, 0, 1, 1])
+        assert normalized_mutual_information(Partition.trivial(4), truth) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = _p([0, 0, 1, 1, 2, 2])
+        b = _p([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+
+class TestPurity:
+    def test_perfect(self):
+        p = _p([0, 0, 1, 1])
+        assert purity(p, p) == 1.0
+
+    def test_half(self):
+        predicted = Partition.trivial(4)
+        truth = _p([0, 0, 1, 1])
+        assert purity(predicted, truth) == 0.5
+
+    def test_singletons_always_pure(self):
+        truth = _p([0, 0, 1, 1])
+        assert purity(Partition.singletons(4), truth) == 1.0
+
+
+class TestClusteringReport:
+    def test_keys_and_consistency(self):
+        predicted = _p([0, 0, 1, 1, 1, 2])
+        truth = _p([0, 0, 1, 1, 2, 2])
+        report = clustering_report(predicted, truth)
+        assert set(report) == {"misclassified", "error", "ari", "nmi", "purity", "clusters_found"}
+        assert report["error"] == pytest.approx(report["misclassified"] / 6)
+        assert report["clusters_found"] == 3

@@ -1,0 +1,40 @@
+"""Unit tests for result tables."""
+
+from __future__ import annotations
+
+from repro.evaluation import format_markdown_table, format_table, records_to_rows
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.23456], ["bcd", 2]], title="My table", float_format=".3g"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in out and "bcd" in out
+
+    def test_boolean_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["x", "y"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2].startswith("| 1 | 2.5")
+
+
+class TestRecordsToRows:
+    def test_projection_with_missing_fields(self):
+        records = [{"a": 1, "b": 2}, {"a": 3}]
+        rows = records_to_rows(records, ["a", "b"])
+        assert rows == [[1, 2], [3, ""]]

@@ -1,0 +1,154 @@
+"""Unit tests for conductance, volume and sweep cuts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    cluster_conductances,
+    complete_graph,
+    conductance,
+    cut_size,
+    cycle_graph,
+    cycle_of_cliques,
+    degree_volume,
+    inner_conductance,
+    k_way_expansion_of_partition,
+    normalized_cut,
+    sweep_cut,
+    volume,
+)
+from repro.graphs.partition import Partition
+
+
+class TestCutAndVolume:
+    def test_cut_size_cycle(self):
+        g = cycle_graph(6)
+        assert cut_size(g, [0, 1, 2]) == 2
+
+    def test_cut_size_full_set(self):
+        g = cycle_graph(6)
+        assert cut_size(g, range(6)) == 0
+
+    def test_volume_paper_definition(self):
+        # K4: taking 2 nodes, edges touching them = 5 (1 internal + 4 crossing... )
+        g = complete_graph(4)
+        # edges with at least one endpoint in {0,1}: (0,1),(0,2),(0,3),(1,2),(1,3) = 5
+        assert volume(g, [0, 1]) == 5
+        assert degree_volume(g, [0, 1]) == 6
+
+    def test_volume_counts_internal_once(self):
+        g = complete_graph(3)
+        assert volume(g, [0, 1, 2]) == 3
+
+    def test_out_of_range_raises(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            cut_size(g, [5])
+
+
+class TestConductance:
+    def test_conductance_cycle_half(self):
+        g = cycle_graph(8)
+        # half of the cycle: cut = 2, vol = #edges touching = 4 internal + 2 crossing = 5... let's compute:
+        # nodes 0..3, internal edges (0,1),(1,2),(2,3) = 3, crossing (3,4),(7,0) = 2 -> vol=5
+        assert conductance(g, [0, 1, 2, 3]) == pytest.approx(2 / 5)
+
+    def test_conductance_single_node(self):
+        g = complete_graph(5)
+        assert conductance(g, [0]) == pytest.approx(1.0)
+
+    def test_conductance_full_graph_zero(self):
+        g = complete_graph(5)
+        assert conductance(g, range(5)) == 0.0
+
+    def test_conductance_empty_raises(self):
+        with pytest.raises(ValueError):
+            conductance(cycle_graph(4), [])
+
+    def test_conductance_at_most_one(self, four_clique_instance):
+        g = four_clique_instance.graph
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            size = rng.integers(1, g.n)
+            subset = rng.choice(g.n, size=size, replace=False)
+            assert 0.0 <= conductance(g, subset) <= 1.0
+
+    def test_cluster_has_low_conductance(self, four_clique_instance):
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        phis = cluster_conductances(g, p)
+        assert np.all(phis < 0.05)
+
+    def test_isolated_set_zero_volume_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            conductance(g, [2])
+
+
+class TestKWayExpansion:
+    def test_expansion_of_ground_truth_small(self, four_clique_instance):
+        rho = k_way_expansion_of_partition(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        assert 0 < rho < 0.05
+
+    def test_expansion_single_cluster_zero(self):
+        g = complete_graph(5)
+        assert k_way_expansion_of_partition(g, Partition.trivial(5)) == 0.0
+
+    def test_random_partition_has_higher_expansion(self, four_clique_instance):
+        g, truth = four_clique_instance.graph, four_clique_instance.partition
+        rng = np.random.default_rng(1)
+        random_partition = Partition.from_labels(rng.integers(0, 4, size=g.n))
+        assert k_way_expansion_of_partition(g, random_partition) > k_way_expansion_of_partition(
+            g, truth
+        )
+
+    def test_normalized_cut_nonnegative(self, four_clique_instance):
+        assert normalized_cut(four_clique_instance.graph, four_clique_instance.partition) >= 0.0
+
+
+class TestInnerConductance:
+    def test_clique_inner_conductance_high(self, four_clique_instance):
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        # a clique is an excellent expander
+        assert inner_conductance(g, p.cluster(0)) > 0.3
+
+    def test_tiny_set(self):
+        assert inner_conductance(complete_graph(5), [0]) == 1.0
+
+
+class TestSweepCut:
+    def test_sweep_recovers_planted_cut(self, two_clique_instance):
+        g, p = two_clique_instance.graph, two_clique_instance.partition
+        # score = indicator of cluster 0: the best prefix is exactly cluster 0
+        score = p.indicator(0, normalised=False).astype(float)
+        nodes, phi = sweep_cut(g, score)
+        assert set(nodes.tolist()) == set(p.cluster(0).tolist())
+        assert phi == pytest.approx(
+            conductance(g, p.cluster(0))
+        )
+
+    def test_sweep_with_spectral_score(self, two_clique_instance):
+        from repro.graphs import spectral_decomposition
+
+        g, p = two_clique_instance.graph, two_clique_instance.partition
+        f2 = spectral_decomposition(g, num=2).f(2)
+        nodes, phi = sweep_cut(g, f2)
+        assert phi <= 0.05
+        # the returned set is (close to) one of the two cliques
+        overlap0 = len(set(nodes.tolist()) & set(p.cluster(0).tolist()))
+        overlap1 = len(set(nodes.tolist()) & set(p.cluster(1).tolist()))
+        assert max(overlap0, overlap1) >= 10
+
+    def test_sweep_respects_max_size(self, two_clique_instance):
+        g = two_clique_instance.graph
+        score = np.arange(g.n, dtype=float)
+        nodes, _ = sweep_cut(g, score, max_size=5)
+        assert len(nodes) <= 5
+
+    def test_sweep_rejects_bad_shape(self, two_clique_instance):
+        with pytest.raises(ValueError):
+            sweep_cut(two_clique_instance.graph, np.ones(3))

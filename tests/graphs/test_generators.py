@@ -1,0 +1,193 @@
+"""Unit tests for the clustered-graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    almost_regular_clustered_graph,
+    binary_tree_graph,
+    complete_graph,
+    connected_caveman,
+    cycle_graph,
+    cycle_of_cliques,
+    dumbbell_graph,
+    grid_graph,
+    noisy_clustered_graph,
+    path_of_cliques,
+    planted_partition,
+    random_regular_graph,
+    ring_of_expanders,
+    stochastic_block_model,
+)
+
+
+class TestSimpleTopologies:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.is_regular() and g.degree(0) == 5
+
+    def test_cycle_graph(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert g.is_regular() and g.degree(3) == 2
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.num_edges == 14
+        assert g.is_connected()
+
+    def test_dumbbell(self):
+        inst = dumbbell_graph(8)
+        assert inst.k == 2
+        assert inst.graph.n == 16
+
+
+class TestCliqueFamilies:
+    def test_cycle_of_cliques_structure(self):
+        inst = cycle_of_cliques(4, 10, seed=0)
+        g = inst.graph
+        assert g.n == 40
+        # 4 cliques of C(10,2)=45 edges plus 4 bridges
+        assert g.num_edges == 4 * 45 + 4
+        assert inst.partition.k == 4
+        assert g.is_connected()
+
+    def test_two_cliques_single_bridge(self):
+        inst = cycle_of_cliques(2, 6, seed=1)
+        assert inst.graph.num_edges == 2 * 15 + 1
+
+    def test_path_of_cliques(self):
+        inst = path_of_cliques(3, 5, seed=0)
+        assert inst.graph.num_edges == 3 * 10 + 2
+        assert inst.graph.is_connected()
+
+    def test_connected_caveman_is_regular(self):
+        inst = connected_caveman(5, 8)
+        assert inst.graph.is_regular()
+        assert inst.graph.degree(0) == 7
+        assert inst.graph.is_connected()
+        assert inst.partition.k == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            cycle_of_cliques(1, 10)
+        with pytest.raises(GraphError):
+            cycle_of_cliques(3, 1)
+        with pytest.raises(GraphError):
+            connected_caveman(2, 2)
+
+
+class TestSBM:
+    def test_planted_partition_sizes(self):
+        inst = planted_partition(100, 4, 0.5, 0.05, seed=0)
+        assert inst.graph.n == 100
+        assert list(inst.partition.sizes) == [25, 25, 25, 25]
+
+    def test_uneven_sizes(self):
+        inst = stochastic_block_model([30, 20, 10], 0.4, 0.02, seed=1)
+        assert list(inst.partition.sizes) == [30, 20, 10]
+
+    def test_per_cluster_p_in(self):
+        inst = stochastic_block_model([20, 20], [0.8, 0.3], 0.0, seed=2)
+        g = inst.graph
+        cluster0_edges = sum(1 for u, v in g.edges() if u < 20 and v < 20)
+        cluster1_edges = g.num_edges - cluster0_edges
+        assert cluster0_edges > cluster1_edges
+
+    def test_p_out_zero_gives_disconnected_clusters(self):
+        inst = stochastic_block_model([15, 15], 1.0, 0.0, seed=3)
+        components = inst.graph.connected_components()
+        assert len(components) == 2
+
+    def test_ensure_connected(self):
+        inst = planted_partition(80, 2, 0.4, 0.02, seed=4, ensure_connected=True)
+        assert inst.graph.is_connected()
+
+    def test_edge_density_matches_probabilities(self):
+        inst = planted_partition(200, 2, 0.3, 0.05, seed=5)
+        g = inst.graph
+        within_possible = 2 * (100 * 99 // 2)
+        across_possible = 100 * 100
+        within = sum(
+            1 for u, v in g.edges() if (u < 100) == (v < 100)
+        )
+        across = g.num_edges - within
+        assert within / within_possible == pytest.approx(0.3, abs=0.05)
+        assert across / across_possible == pytest.approx(0.05, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            planted_partition(10, 2, 1.5, 0.1)
+        with pytest.raises(GraphError):
+            stochastic_block_model([], 0.5, 0.1)
+
+
+class TestRegularFamilies:
+    def test_random_regular_graph_degrees(self):
+        inst = random_regular_graph(60, 6, seed=0)
+        assert inst.graph.is_regular()
+        assert inst.graph.degree(0) == 6
+
+    def test_random_regular_requires_even_nd(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_rejects_d_ge_n(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 5)
+
+    def test_ring_of_expanders(self):
+        inst = ring_of_expanders(3, 20, 6, seed=1)
+        g = inst.graph
+        assert g.n == 60
+        assert inst.partition.k == 3
+        assert g.is_connected()
+        # bridge endpoints gain at most bridges_per_join extra degree
+        assert g.max_degree <= 6 + 2
+        assert g.min_degree >= 6
+
+    def test_almost_regular_degree_ratio_bounded(self):
+        inst = almost_regular_clustered_graph(3, 30, 6, 10, seed=2)
+        assert inst.graph.min_degree >= 6
+        assert inst.graph.degree_ratio() <= (10 + 2) / 6 + 0.5
+
+    def test_almost_regular_invalid(self):
+        with pytest.raises(GraphError):
+            almost_regular_clustered_graph(2, 10, 1, 4)
+        with pytest.raises(GraphError):
+            almost_regular_clustered_graph(2, 10, 8, 4)
+
+
+class TestNoiseAndDeterminism:
+    def test_noisy_graph_adds_edges(self):
+        base = cycle_of_cliques(3, 10, seed=0)
+        noisy = noisy_clustered_graph(base, 25, seed=1)
+        assert noisy.graph.num_edges == base.graph.num_edges + 25
+        assert noisy.partition == base.partition
+
+    def test_generators_are_deterministic_in_seed(self):
+        a = planted_partition(60, 3, 0.4, 0.05, seed=42)
+        b = planted_partition(60, 3, 0.4, 0.05, seed=42)
+        assert a.graph == b.graph
+
+    def test_different_seeds_differ(self):
+        a = planted_partition(60, 3, 0.4, 0.05, seed=1)
+        b = planted_partition(60, 3, 0.4, 0.05, seed=2)
+        assert a.graph != b.graph
+
+    def test_params_recorded(self):
+        inst = cycle_of_cliques(3, 10, seed=0)
+        assert inst.params["generator"] == "cycle_of_cliques"
+        assert inst.params["k"] == 3

@@ -1,0 +1,202 @@
+"""Unit tests for the CSR graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, GraphError, complete_graph, cycle_graph, grid_graph
+
+
+class TestConstruction:
+    def test_basic_construction(self, small_graph):
+        assert small_graph.n == 4
+        assert small_graph.num_edges == 5
+        assert small_graph.volume == 10
+
+    def test_degrees(self, small_graph):
+        # house graph: 0-1, 1-2, 2-3, 3-0, 0-2
+        assert small_graph.degree(0) == 3
+        assert small_graph.degree(1) == 2
+        assert small_graph.degree(2) == 3
+        assert small_graph.degree(3) == 2
+        assert small_graph.max_degree == 3
+        assert small_graph.min_degree == 2
+
+    def test_empty_edge_list(self):
+        g = Graph(3, [])
+        assert g.num_edges == 0
+        assert g.volume == 0
+        assert g.min_degree == 0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 1)])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1), (1, 0)])
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1), (0, 1)])
+
+    def test_rejects_malformed_edges(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_self_loop_counted_once(self):
+        g = Graph(2, [(0, 1), (1, 1)])
+        assert g.num_edges == 2
+        assert g.num_self_loops == 1
+        assert g.degree(1) == 2
+        assert g.has_edge(1, 1)
+
+    def test_rejects_duplicate_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(1, 1), (1, 1)])
+
+    def test_from_adjacency_dense(self):
+        a = np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]])
+        g = Graph.from_adjacency(a)
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and not g.has_edge(1, 2)
+
+    def test_from_adjacency_rejects_asymmetric(self):
+        a = np.array([[0, 1], [0, 0]])
+        with pytest.raises(GraphError):
+            Graph.from_adjacency(a)
+
+    def test_from_networkx_roundtrip(self, small_graph):
+        nx_graph = small_graph.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == small_graph
+
+
+class TestNeighbourhoods:
+    def test_neighbours_sorted_and_readonly(self, small_graph):
+        neigh = small_graph.neighbours(0)
+        assert list(neigh) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            neigh[0] = 5
+
+    def test_random_neighbour_distribution(self, small_graph, rng):
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(3000):
+            counts[small_graph.random_neighbour(0, rng)] += 1
+        for v, c in counts.items():
+            assert abs(c / 3000 - 1 / 3) < 0.05, f"neighbour {v} sampled with frequency {c/3000}"
+
+    def test_random_neighbour_isolated_node_raises(self):
+        g = Graph(2, [])
+        with pytest.raises(GraphError):
+            g.random_neighbour(0, np.random.default_rng(0))
+
+    def test_has_edge(self, small_graph):
+        assert small_graph.has_edge(0, 2)
+        assert small_graph.has_edge(2, 0)
+        assert not small_graph.has_edge(1, 3)
+
+    def test_edges_iteration_unique(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges
+        assert len(set(edges)) == len(edges)
+        assert all(u <= v for u, v in edges)
+
+    def test_edge_array_matches_edges(self, small_graph):
+        arr = small_graph.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(small_graph.edges())
+
+
+class TestMatrices:
+    def test_adjacency_matrix_symmetric(self, small_graph):
+        a = small_graph.adjacency_matrix(sparse=False)
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * small_graph.num_edges
+
+    def test_random_walk_matrix_row_stochastic(self, small_graph):
+        p = small_graph.random_walk_matrix(sparse=False)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_random_walk_matrix_regular_graph_symmetric(self):
+        g = complete_graph(5)
+        p = g.random_walk_matrix(sparse=False)
+        assert np.allclose(p, p.T)
+        assert np.allclose(np.diag(p), 0.0)
+
+    def test_lazy_random_walk_diagonal(self, small_graph):
+        lazy = small_graph.lazy_random_walk_matrix(sparse=False)
+        assert np.allclose(np.diag(lazy), 0.5)
+        assert np.allclose(lazy.sum(axis=1), 1.0)
+
+    def test_normalized_laplacian_psd(self, small_graph):
+        lap = small_graph.normalized_laplacian(sparse=False)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2.0 + 1e-10
+
+
+class TestTransformations:
+    def test_induced_subgraph(self, small_graph):
+        sub = small_graph.induced_subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.num_edges == 3  # triangle 0-1-2 (edges 0-1, 1-2, 0-2)
+
+    def test_induced_subgraph_relabels(self, small_graph):
+        sub = small_graph.induced_subgraph([2, 3])
+        assert sub.n == 2
+        assert sub.has_edge(0, 1)
+
+    def test_with_self_loops_to_degree(self, small_graph):
+        capped = small_graph.with_self_loops_to_degree(3)
+        # nodes 1 and 3 have degree 2 and get a self-loop
+        assert capped.num_self_loops == 2
+        assert capped.degree(1) == 3
+        assert capped.degree(0) == 3  # unchanged
+
+    def test_with_self_loops_rejects_small_target(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.with_self_loops_to_degree(2)
+
+
+class TestConnectivity:
+    def test_connected(self, small_graph):
+        assert small_graph.is_connected()
+
+    def test_disconnected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        components = g.connected_components()
+        assert len(components) == 3
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 2]
+
+    def test_grid_is_connected(self):
+        assert grid_graph(3, 4).is_connected()
+
+
+class TestEqualityAndRegularity:
+    def test_equality_is_edge_order_invariant(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+    def test_inequality(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_regularity(self):
+        assert cycle_graph(6).is_regular()
+        assert complete_graph(4).is_regular()
+        assert not grid_graph(2, 3).is_regular()
+
+    def test_degree_ratio(self):
+        assert cycle_graph(5).degree_ratio() == 1.0
+        assert Graph(3, []).degree_ratio() == float("inf")
+
+    def test_len(self, small_graph):
+        assert len(small_graph) == 4

@@ -1,0 +1,96 @@
+"""Unit tests for graph / partition IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    GraphError,
+    Partition,
+    cycle_of_cliques,
+    read_edge_list,
+    read_metis,
+    read_partition,
+    write_edge_list,
+    write_metis,
+    write_partition,
+)
+
+
+@pytest.fixture()
+def sample_graph():
+    return cycle_of_cliques(3, 8, seed=0).graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.edges"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path) == sample_graph
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        g = Graph(5, [(0, 1)])  # nodes 2..4 isolated
+        path = tmp_path / "iso.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.n == 5
+        assert back.num_edges == 1
+
+    def test_reads_plain_edge_list_without_header(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("0 1\n1 2\n# comment\n2 0\n")
+        g = read_edge_list(path)
+        assert g.n == 3 and g.num_edges == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path, sample_graph):
+        path = tmp_path / "mygraph.edges"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.metis"
+        write_metis(sample_graph, path)
+        assert read_metis(path) == sample_graph
+
+    def test_header_counts(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.metis"
+        write_metis(sample_graph, path)
+        first_line = path.read_text().splitlines()[0].split()
+        assert int(first_line[0]) == sample_graph.n
+        assert int(first_line[1]) == sample_graph.num_edges
+
+    def test_wrong_line_count_raises(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n")
+        with pytest.raises(GraphError):
+            read_metis(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            read_metis(path)
+
+
+class TestPartitionIO:
+    def test_roundtrip(self, tmp_path):
+        p = Partition.from_labels([0, 0, 1, 2, 1])
+        path = tmp_path / "labels.txt"
+        write_partition(p, path)
+        assert read_partition(path) == p
+
+    def test_single_node(self, tmp_path):
+        p = Partition.from_labels([0])
+        path = tmp_path / "one.txt"
+        write_partition(p, path)
+        assert read_partition(path) == p

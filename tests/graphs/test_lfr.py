@@ -1,0 +1,87 @@
+"""Unit tests for the LFR-style benchmark generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphError, lfr_benchmark, truncated_power_law
+
+
+class TestTruncatedPowerLaw:
+    def test_support_respected(self):
+        rng = np.random.default_rng(0)
+        samples = truncated_power_law(2.5, 3, 12, 2000, rng)
+        assert samples.min() >= 3
+        assert samples.max() <= 12
+
+    def test_heavier_mass_on_small_values(self):
+        rng = np.random.default_rng(1)
+        samples = truncated_power_law(2.5, 2, 50, 5000, rng)
+        assert np.mean(samples <= 5) > np.mean(samples >= 30)
+
+    def test_larger_exponent_means_smaller_values(self):
+        rng = np.random.default_rng(2)
+        steep = truncated_power_law(3.5, 2, 50, 4000, rng).mean()
+        shallow = truncated_power_law(1.5, 2, 50, 4000, rng).mean()
+        assert steep < shallow
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            truncated_power_law(2.0, 0, 5, 10, rng)
+        with pytest.raises(GraphError):
+            truncated_power_law(2.0, 5, 3, 10, rng)
+        with pytest.raises(GraphError):
+            truncated_power_law(-1.0, 2, 5, 10, rng)
+
+
+class TestLFRBenchmark:
+    def test_basic_generation(self):
+        instance = lfr_benchmark(300, mu=0.1, average_degree=12, seed=0)
+        assert instance.graph.n == 300
+        assert instance.graph.is_connected()
+        assert instance.partition.k >= 2
+        assert instance.params["generator"] == "lfr_benchmark"
+
+    def test_mu_controls_mixing(self):
+        """Larger mu => larger fraction of inter-community edges."""
+
+        def external_fraction(mu):
+            instance = lfr_benchmark(300, mu=mu, average_degree=12, seed=3)
+            labels = instance.partition.labels
+            edges = instance.graph.edge_array()
+            external = np.sum(labels[edges[:, 0]] != labels[edges[:, 1]])
+            return external / edges.shape[0]
+
+        assert external_fraction(0.05) < external_fraction(0.4)
+
+    def test_degrees_heterogeneous(self):
+        instance = lfr_benchmark(300, mu=0.1, average_degree=12, seed=4)
+        assert instance.graph.degree_ratio() > 1.5
+
+    def test_determinism(self):
+        a = lfr_benchmark(200, mu=0.1, seed=7)
+        b = lfr_benchmark(200, mu=0.1, seed=7)
+        assert a.graph == b.graph
+        assert a.partition == b.partition
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            lfr_benchmark(100, mu=1.0)
+        with pytest.raises(GraphError):
+            lfr_benchmark(5)
+        with pytest.raises(GraphError):
+            lfr_benchmark(50, min_community=100)
+
+    def test_clustering_algorithm_degrades_gracefully_on_lfr(self):
+        """The paper's assumptions (regularity, balance) are violated here, so
+        we only ask for a non-trivial recovery at low mixing."""
+        from repro.core import AlgorithmParameters, CentralizedClustering
+        from repro.evaluation import normalized_mutual_information
+
+        instance = lfr_benchmark(250, mu=0.05, average_degree=14, seed=9)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        result = CentralizedClustering(instance.graph, params, seed=1).run(keep_loads=False)
+        nmi = normalized_mutual_information(result.partition, instance.partition)
+        assert nmi > 0.5

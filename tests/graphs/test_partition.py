@@ -1,0 +1,154 @@
+"""Unit tests for partitions and the misclassification metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Partition,
+    PartitionError,
+    best_label_permutation,
+    confusion_matrix,
+    misclassification_rate,
+    misclassified_nodes,
+)
+
+
+class TestConstruction:
+    def test_from_labels_normalises(self):
+        p = Partition.from_labels([5, 5, 9, 9, 5])
+        assert p.k == 2
+        assert list(p.labels) == [0, 0, 1, 1, 0]
+        assert list(p.sizes) == [3, 2]
+
+    def test_label_order_of_first_appearance(self):
+        p = Partition.from_labels([3, 1, 3, 2])
+        assert list(p.labels) == [0, 1, 0, 2]
+
+    def test_from_clusters(self):
+        p = Partition.from_clusters([[0, 1], [2, 3, 4]])
+        assert p.k == 2
+        assert p.label_of(4) == 1
+
+    def test_from_clusters_rejects_overlap(self):
+        with pytest.raises(PartitionError):
+            Partition.from_clusters([[0, 1], [1, 2]])
+
+    def test_from_clusters_rejects_gaps(self):
+        with pytest.raises(PartitionError):
+            Partition.from_clusters([[0, 1], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PartitionError):
+            Partition.from_labels([])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(PartitionError):
+            Partition.from_labels([0, -1])
+
+    def test_trivial_and_singletons(self):
+        assert Partition.trivial(5).k == 1
+        assert Partition.singletons(5).k == 5
+
+
+class TestAccessors:
+    def test_cluster_members(self):
+        p = Partition.from_labels([0, 1, 0, 1, 1])
+        assert list(p.cluster(0)) == [0, 2]
+        assert list(p.cluster(1)) == [1, 3, 4]
+
+    def test_cluster_out_of_range(self):
+        with pytest.raises(PartitionError):
+            Partition.trivial(3).cluster(1)
+
+    def test_min_cluster_fraction(self):
+        p = Partition.from_labels([0] * 8 + [1] * 2)
+        assert p.min_cluster_fraction() == pytest.approx(0.2)
+
+    def test_indicator_normalised(self):
+        p = Partition.from_labels([0, 0, 1, 1])
+        chi = p.indicator(0)
+        assert chi[0] == pytest.approx(0.5)
+        assert chi[2] == 0.0
+        assert chi.sum() == pytest.approx(1.0)
+
+    def test_indicator_unnormalised(self):
+        p = Partition.from_labels([0, 0, 1])
+        chi = p.indicator(0, normalised=False)
+        assert chi.sum() == 2.0
+
+    def test_indicator_matrix_columns_orthogonal(self):
+        p = Partition.from_labels([0, 1, 2, 0, 1, 2])
+        m = p.indicator_matrix()
+        gram = m.T @ m
+        assert np.allclose(gram, np.diag(np.diag(gram)))
+
+    def test_equality_under_relabelling(self):
+        assert Partition.from_labels([0, 0, 1]) == Partition.from_labels([7, 7, 3])
+        assert Partition.from_labels([0, 0, 1]) != Partition.from_labels([0, 1, 1])
+
+
+class TestMisclassification:
+    def test_identical_partitions(self):
+        p = Partition.from_labels([0, 1, 0, 2, 2])
+        assert misclassified_nodes(p, p) == 0
+        assert misclassification_rate(p, p) == 0.0
+
+    def test_permuted_labels_count_as_correct(self):
+        truth = Partition.from_labels([0, 0, 1, 1])
+        predicted = Partition.from_labels([1, 1, 0, 0])
+        assert misclassified_nodes(predicted, truth) == 0
+
+    def test_single_error(self):
+        truth = Partition.from_labels([0, 0, 0, 1, 1, 1])
+        predicted = Partition.from_labels([0, 0, 1, 1, 1, 1])
+        assert misclassified_nodes(predicted, truth) == 1
+
+    def test_all_in_one_cluster(self):
+        truth = Partition.from_labels([0, 0, 1, 1])
+        predicted = Partition.trivial(4)
+        assert misclassified_nodes(predicted, truth) == 2
+
+    def test_different_cluster_counts(self):
+        truth = Partition.from_labels([0, 0, 0, 1, 1, 1])
+        predicted = Partition.from_labels([0, 0, 1, 2, 2, 2])
+        # optimal: map 0->0 (2 correct), 2->1 (3 correct); node 2 misclassified
+        assert misclassified_nodes(predicted, truth) == 1
+
+    def test_rate_bounds(self):
+        truth = Partition.from_labels([0, 1, 2, 3])
+        predicted = Partition.from_labels([3, 2, 1, 0])
+        rate = misclassification_rate(predicted, truth)
+        assert 0.0 <= rate <= 1.0
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(PartitionError):
+            misclassified_nodes(Partition.trivial(3), Partition.trivial(4))
+
+
+class TestConfusionAndPermutation:
+    def test_confusion_matrix_totals(self):
+        truth = Partition.from_labels([0, 0, 1, 1, 1])
+        predicted = Partition.from_labels([0, 1, 1, 1, 1])
+        m = confusion_matrix(predicted, truth)
+        assert m.sum() == 5
+        assert m.shape == (2, 2)
+        assert m[0, 0] == 1 and m[1, 1] == 3 and m[1, 0] == 1
+
+    def test_best_label_permutation_is_injective(self):
+        truth = Partition.from_labels([0, 0, 1, 1, 2, 2])
+        predicted = Partition.from_labels([2, 2, 0, 0, 1, 1])
+        mapping = best_label_permutation(predicted, truth)
+        values = [v for v in mapping.values() if v >= 0]
+        assert len(values) == len(set(values))
+        # Labels are normalised by first appearance, so the normalised
+        # predicted labels align exactly with the truth labels here.
+        assert mapping == {0: 0, 1: 1, 2: 2}
+        assert misclassified_nodes(predicted, truth) == 0
+
+    def test_unmatched_predicted_labels_map_to_minus_one(self):
+        truth = Partition.from_labels([0, 0, 0, 0])
+        predicted = Partition.from_labels([0, 1, 2, 3])
+        mapping = best_label_permutation(predicted, truth)
+        assert sorted(mapping.values()).count(-1) == 3

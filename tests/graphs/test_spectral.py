@@ -1,0 +1,133 @@
+"""Unit tests for the spectral toolbox."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    analyse_cluster_structure,
+    cluster_gap,
+    complete_graph,
+    cycle_graph,
+    cycle_of_cliques,
+    gap_parameter_upsilon,
+    lazy_mixing_time_bound,
+    random_walk_eigenvalues,
+    spectral_decomposition,
+    spectral_gap,
+    theoretical_round_count,
+    top_eigenpairs,
+    top_eigenvector_projection,
+)
+
+
+class TestEigenvalues:
+    def test_leading_eigenvalue_is_one(self, four_clique_instance):
+        vals = random_walk_eigenvalues(four_clique_instance.graph)
+        assert vals[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_eigenvalues_sorted_descending(self, four_clique_instance):
+        vals = random_walk_eigenvalues(four_clique_instance.graph)
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_eigenvalues_in_unit_interval(self, small_graph):
+        vals = random_walk_eigenvalues(small_graph)
+        assert vals.max() <= 1.0 + 1e-9
+        assert vals.min() >= -1.0 - 1e-9
+
+    def test_complete_graph_spectrum(self):
+        # K_n random walk: eigenvalues 1 and -1/(n-1) with multiplicity n-1
+        vals = random_walk_eigenvalues(complete_graph(6))
+        assert vals[0] == pytest.approx(1.0)
+        assert np.allclose(vals[1:], -1.0 / 5.0, atol=1e-9)
+
+    def test_cycle_graph_spectrum(self):
+        # C_n eigenvalues are cos(2 pi j / n)
+        n = 8
+        vals = random_walk_eigenvalues(cycle_graph(n))
+        expected = np.sort(np.cos(2 * np.pi * np.arange(n) / n))[::-1]
+        assert np.allclose(np.sort(vals), np.sort(expected), atol=1e-9)
+
+    def test_num_parameter_truncates(self, four_clique_instance):
+        dec = spectral_decomposition(four_clique_instance.graph, num=3)
+        assert dec.count == 3
+        with pytest.raises(IndexError):
+            dec.lambda_(4)
+
+    def test_bipartite_minus_one(self):
+        vals = random_walk_eigenvalues(cycle_graph(6))
+        assert vals.min() == pytest.approx(-1.0, abs=1e-9)
+
+
+class TestEigenvectors:
+    def test_orthonormal(self, four_clique_instance):
+        dec = spectral_decomposition(four_clique_instance.graph)
+        gram = dec.eigenvectors.T @ dec.eigenvectors
+        assert np.allclose(gram, np.eye(dec.count), atol=1e-8)
+
+    def test_eigen_equation_regular(self, caveman_instance):
+        g = caveman_instance.graph
+        dec = spectral_decomposition(g)
+        p = g.random_walk_matrix(sparse=False)
+        for i in (1, 2, 5):
+            f = dec.f(i)
+            assert np.allclose(p @ f, dec.lambda_(i) * f, atol=1e-8)
+
+    def test_projection_matrix_idempotent(self, four_clique_instance):
+        q = top_eigenvector_projection(four_clique_instance.graph, 4)
+        assert np.allclose(q @ q, q, atol=1e-8)
+        assert np.allclose(q, q.T, atol=1e-10)
+        assert np.trace(q) == pytest.approx(4.0, abs=1e-8)
+
+    def test_top_eigenpairs_shapes(self, four_clique_instance):
+        vals, vecs = top_eigenpairs(four_clique_instance.graph, 4)
+        assert vals.shape == (4,)
+        assert vecs.shape == (four_clique_instance.graph.n, 4)
+
+
+class TestClusterStructureQuantities:
+    def test_gap_reflects_cluster_count(self, four_clique_instance):
+        g = four_clique_instance.graph
+        # λ_4 close to 1 (4 clusters), λ_5 far from 1
+        vals = random_walk_eigenvalues(g, num=5)
+        assert vals[3] > 0.9
+        assert vals[4] < 0.6
+        assert cluster_gap(g, 4) > 0.4
+
+    def test_spectral_gap_positive_for_connected(self, expander_instance):
+        assert spectral_gap(expander_instance.graph) > 0.0
+
+    def test_upsilon_large_for_well_clustered(self, four_clique_instance):
+        ups = gap_parameter_upsilon(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        assert ups > 20.0
+
+    def test_upsilon_infinite_for_single_cluster(self):
+        from repro.graphs import random_regular_graph
+
+        inst = random_regular_graph(40, 6, seed=0)
+        assert gap_parameter_upsilon(inst.graph, inst.partition) == float("inf")
+
+    def test_theoretical_round_count_grows_with_n(self):
+        small = cycle_of_cliques(4, 10, seed=0)
+        large = cycle_of_cliques(4, 30, seed=0)
+        assert theoretical_round_count(large.graph, 4) >= theoretical_round_count(small.graph, 4)
+
+    def test_mixing_time_much_larger_than_T(self, four_clique_instance):
+        g = four_clique_instance.graph
+        t_local = theoretical_round_count(g, 4)
+        t_mix = lazy_mixing_time_bound(g)
+        assert t_mix > t_local  # the Kempe–McSherry comparison of Section 1.3
+
+    def test_analyse_cluster_structure_report(self, four_clique_instance):
+        report = analyse_cluster_structure(
+            four_clique_instance.graph, four_clique_instance.partition
+        )
+        d = report.as_dict()
+        assert d["k"] == 4
+        assert d["upsilon"] > 10
+        assert report.gap == pytest.approx(1.0 - report.lambda_k_plus_1)
+        assert report.rounds_T >= 1
+        assert isinstance(report.satisfies_gap_condition, bool)

@@ -1,0 +1,60 @@
+"""Unit tests for instance validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import (
+    ClusteredGraph,
+    Graph,
+    Partition,
+    cycle_of_cliques,
+    planted_partition,
+    validate_instance,
+)
+
+
+class TestValidateInstance:
+    def test_good_instance_passes(self, four_clique_instance):
+        report = validate_instance(four_clique_instance)
+        assert report.ok
+        assert report.structure["upsilon"] > 1.0
+
+    def test_disconnected_instance_fails(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        instance = ClusteredGraph(
+            graph=graph, partition=Partition.from_labels([0, 0, 0, 1, 1, 1])
+        )
+        report = validate_instance(instance, check_spectral=False)
+        assert not report.ok
+        assert any("connected" in e for e in report.errors)
+
+    def test_isolated_node_fails(self):
+        graph = Graph(3, [(0, 1)])
+        instance = ClusteredGraph(graph=graph, partition=Partition.from_labels([0, 0, 1]))
+        report = validate_instance(instance, check_spectral=False)
+        assert not report.ok
+
+    def test_size_mismatch_fails(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        instance = ClusteredGraph(graph=graph, partition=Partition.from_labels([0, 1]))
+        report = validate_instance(instance)
+        assert not report.ok
+
+    def test_irregular_degree_warning(self):
+        # a star graph has a huge degree ratio
+        star = Graph(6, [(0, i) for i in range(1, 6)])
+        instance = ClusteredGraph(graph=star, partition=Partition.trivial(6))
+        report = validate_instance(instance, check_spectral=False)
+        assert report.ok  # warnings only
+        assert any("degree ratio" in w for w in report.warnings)
+
+    def test_small_upsilon_warning(self):
+        # a near-random graph clustered arbitrarily has tiny Upsilon
+        inst = planted_partition(60, 2, 0.3, 0.3, seed=0, ensure_connected=True)
+        report = validate_instance(inst, min_upsilon=5.0)
+        assert any("Υ" in w or "gap parameter" in w for w in report.warnings) or not report.ok
+
+    def test_check_spectral_false_skips_structure(self, four_clique_instance):
+        report = validate_instance(four_clique_instance, check_spectral=False)
+        assert report.structure == {}

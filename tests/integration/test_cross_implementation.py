@@ -1,0 +1,80 @@
+"""Agreement between the centralised and distributed implementations.
+
+The two implementations share the algorithm but not the code path: the
+centralised one works on the (n, s) load matrix with sampled matchings, the
+distributed one exchanges messages between isolated node objects.  These
+tests check that they agree in distribution (same accuracy on the same
+instances) and that the distributed state dynamics obey the same invariants
+as the matrix process (conservation, equal values across matched pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, CentralizedClustering, DistributedClustering
+from repro.graphs import cycle_of_cliques
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return cycle_of_cliques(3, 14, seed=5)
+
+
+@pytest.fixture(scope="module")
+def params(instance):
+    return AlgorithmParameters.from_instance(instance.graph, instance.partition)
+
+
+class TestImplementationAgreement:
+    def test_same_accuracy_distribution(self, instance, params):
+        """Mean error over several seeds should be comparable (both ~0 here)."""
+        central_errors = [
+            CentralizedClustering(instance.graph, params, seed=s)
+            .run(keep_loads=False)
+            .error_against(instance.partition)
+            for s in range(4)
+        ]
+        distributed_errors = [
+            DistributedClustering(instance.graph, params, seed=s)
+            .run()
+            .error_against(instance.partition)
+            for s in range(4)
+        ]
+        assert np.mean(central_errors) <= 0.10
+        assert np.mean(distributed_errors) <= 0.10
+        assert abs(np.mean(central_errors) - np.mean(distributed_errors)) <= 0.10
+
+    def test_distributed_loads_conserved_and_cluster_concentrated(self, instance, params):
+        result = DistributedClustering(instance.graph, params, seed=9).run()
+        loads = result.loads
+        # conservation per seed dimension
+        assert np.allclose(loads.sum(axis=0), 1.0, atol=1e-9)
+        # concentration: for each seed, most load mass is inside its cluster
+        truth = instance.partition
+        for i, seed_node in enumerate(result.seeds):
+            cluster = truth.cluster(truth.label_of(int(seed_node)))
+            assert loads[cluster, i].sum() >= 0.7
+
+    def test_seeding_statistics_match(self, instance, params):
+        """Both implementations implement the same seeding distribution."""
+        central_seed_counts = [
+            CentralizedClustering(instance.graph, params, seed=s).run(keep_loads=False).num_seeds
+            for s in range(30)
+        ]
+        distributed_seed_counts = [
+            DistributedClustering(instance.graph, params.with_rounds(0), seed=s).run().num_seeds
+            for s in range(30)
+        ]
+        assert np.mean(central_seed_counts) == pytest.approx(
+            np.mean(distributed_seed_counts), rel=0.35
+        )
+
+    def test_zero_rounds_equivalence(self, instance, params):
+        """With T = 0 both implementations label only the seeds themselves."""
+        p0 = params.with_rounds(0)
+        central = CentralizedClustering(instance.graph, p0, seed=3, fallback="none").run()
+        distributed = DistributedClustering(instance.graph, p0, seed=3, fallback="none").run()
+        assert central.num_unlabelled == instance.graph.n - central.num_seeds
+        assert distributed.num_unlabelled == instance.graph.n - distributed.num_seeds

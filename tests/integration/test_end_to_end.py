@@ -1,0 +1,91 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpectralClustering
+from repro.core import AlgorithmParameters, CentralizedClustering, DistributedClustering, cluster_graph
+from repro.evaluation import clustering_report
+from repro.graphs import (
+    analyse_cluster_structure,
+    cycle_of_cliques,
+    planted_partition,
+    ring_of_expanders,
+    validate_instance,
+)
+
+
+class TestTheorem11Pipeline:
+    """Generate instance → check assumptions → run → verify all three claims."""
+
+    def test_full_pipeline_on_expanders(self):
+        instance = ring_of_expanders(3, 30, 8, seed=4)
+        graph, truth = instance.graph, instance.partition
+
+        # Instance satisfies the structural assumptions used by the analysis.
+        report = validate_instance(instance)
+        assert report.ok
+        structure = analyse_cluster_structure(graph, truth)
+        assert structure.upsilon > 5
+
+        # Run the distributed algorithm with the theorem's parameters.
+        params = AlgorithmParameters.from_instance(graph, truth)
+        result = DistributedClustering(graph, params, seed=0).run()
+
+        # Claim (1): few misclassified nodes.
+        assert result.error_against(truth) <= 0.10
+        # Claim (2): message complexity within O(T n k log k).
+        bound = params.rounds * graph.n * truth.k * max(np.log2(truth.k), 1)
+        assert result.total_words() <= bound
+        # Matching model property: at most n/2 matched edges per round.
+        assert max(result.diagnostics["matched_edges_per_round"]) <= graph.n // 2
+
+    def test_pipeline_on_sbm_with_report(self, sbm_instance):
+        result = cluster_graph(sbm_instance.graph, k=3, beta=0.3, seed=5)
+        report = clustering_report(result.partition, sbm_instance.partition)
+        assert report["error"] <= 0.20
+        assert report["ari"] >= 0.5
+
+    def test_comparable_to_spectral_on_easy_instance(self, four_clique_instance):
+        ours = cluster_graph(four_clique_instance.graph, k=4, seed=6)
+        spectral = SpectralClustering().cluster(four_clique_instance.graph, 4, seed=6)
+        ours_err = ours.error_against(four_clique_instance.partition)
+        spectral_err = spectral.error_against(four_clique_instance.partition)
+        assert ours_err <= spectral_err + 0.05
+
+
+class TestAlgorithmDoesNotNeedK:
+    def test_only_beta_required(self, four_clique_instance):
+        """The paper stresses k need not be known: only a lower bound β."""
+        graph, truth = four_clique_instance.graph, four_clique_instance.partition
+        # Use a pessimistic beta (well below the true balance of 1/4); T stays
+        # an input of the algorithm, as in the paper, so we keep the value the
+        # spectrum prescribes but derive *everything else* from β alone.
+        oracle_rounds = AlgorithmParameters.from_instance(graph, truth).rounds
+        params = AlgorithmParameters.from_values(graph.n, beta=0.1, rounds=oracle_rounds)
+        result = CentralizedClustering(graph, params, seed=7).run(keep_loads=False)
+        # The misclassification stays small even though k was never supplied;
+        # a handful of stray nodes may form small extra clusters, which is
+        # exactly the o(n) slack of Theorem 1.1.
+        assert result.error_against(truth) <= 0.10
+        assert result.num_clusters_found >= truth.k
+
+
+class TestScalesAcrossFamilies:
+    @pytest.mark.parametrize(
+        "make_instance",
+        [
+            lambda: cycle_of_cliques(2, 20, seed=11),
+            lambda: cycle_of_cliques(6, 12, seed=12),
+            lambda: planted_partition(180, 3, 0.35, 0.02, seed=13, ensure_connected=True),
+            lambda: ring_of_expanders(4, 24, 6, seed=14),
+        ],
+        ids=["2-cliques", "6-cliques", "sbm", "4-expanders"],
+    )
+    def test_low_error_across_instance_families(self, make_instance):
+        instance = make_instance()
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        result = CentralizedClustering(instance.graph, params, seed=1).run(keep_loads=False)
+        assert result.error_against(instance.partition) <= 0.15

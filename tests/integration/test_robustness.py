@@ -1,0 +1,83 @@
+"""Robustness integration tests: failures, noise and degraded structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, CentralizedClustering, DistributedClustering
+from repro.distsim import CrashFailures, MessageDropFailures
+from repro.graphs import cycle_of_cliques, noisy_clustered_graph, planted_partition
+
+
+class TestMessageLoss:
+    @pytest.mark.parametrize("drop", [0.05, 0.2])
+    def test_accuracy_degrades_gracefully(self, drop):
+        instance = cycle_of_cliques(3, 12, seed=0)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        result = DistributedClustering(
+            instance.graph,
+            params,
+            seed=1,
+            failures=MessageDropFailures(drop_probability=drop),
+        ).run()
+        # The algorithm still completes and keeps a majority of nodes right.
+        assert result.rounds == params.rounds
+        assert result.error_against(instance.partition) <= 0.4
+
+    def test_load_conservation_can_break_under_drops(self):
+        """A dropped commit breaks the conservation invariant: the proposer has
+        already averaged while the acceptor keeps its old state, so a seed's
+        total load can drift away from 1 in either direction.  This is
+        documented behaviour (the paper assumes a reliable network); here we
+        measure that it actually happens, and that it does *not* happen on the
+        reliable network."""
+        instance = cycle_of_cliques(3, 12, seed=0)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        lossy = DistributedClustering(
+            instance.graph,
+            params,
+            seed=2,
+            failures=MessageDropFailures(drop_probability=0.3),
+        ).run()
+        assert not np.allclose(lossy.loads.sum(axis=0), 1.0, atol=1e-6)
+
+        reliable = DistributedClustering(instance.graph, params, seed=2).run()
+        assert np.allclose(reliable.loads.sum(axis=0), 1.0, atol=1e-9)
+
+
+class TestCrashes:
+    def test_survives_small_crash_fraction(self):
+        instance = cycle_of_cliques(3, 14, seed=1)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        result = DistributedClustering(
+            instance.graph,
+            params,
+            seed=3,
+            failures=CrashFailures(crash_fraction=0.05, crash_round=params.rounds // 2),
+        ).run()
+        assert result.error_against(instance.partition) <= 0.3
+
+
+class TestStructuralNoise:
+    def test_error_increases_with_noise_but_not_catastrophically(self):
+        base = cycle_of_cliques(4, 15, seed=2)
+        params = AlgorithmParameters.from_instance(base.graph, base.partition)
+        clean = CentralizedClustering(base.graph, params, seed=4).run(keep_loads=False)
+        noisy = noisy_clustered_graph(base, noise_edges=60, seed=5)
+        noisy_params = AlgorithmParameters.from_instance(noisy.graph, noisy.partition)
+        noisy_result = CentralizedClustering(noisy.graph, noisy_params, seed=4).run(
+            keep_loads=False
+        )
+        assert clean.error_against(base.partition) <= 0.05
+        assert noisy_result.error_against(base.partition) <= 0.35
+
+    def test_weak_cluster_structure_detected_by_upsilon(self):
+        """When Υ is small the theory makes no promise — verify we can tell."""
+        from repro.graphs import gap_parameter_upsilon
+
+        strong = planted_partition(120, 3, 0.4, 0.01, seed=6, ensure_connected=True)
+        weak = planted_partition(120, 3, 0.25, 0.15, seed=7, ensure_connected=True)
+        assert gap_parameter_upsilon(strong.graph, strong.partition) > gap_parameter_upsilon(
+            weak.graph, weak.partition
+        )

@@ -1,0 +1,107 @@
+"""Unit tests for the load-balancing diagnostics and lemma validators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_of_cliques,
+    spectral_decomposition,
+    theoretical_round_count,
+)
+from repro.loadbalancing import (
+    convergence_time,
+    estimate_expected_projection_distance,
+    is_doubly_stochastic,
+    is_projection_matrix,
+    lemma41_bound,
+    projection_distance,
+)
+
+
+class TestMatrixPredicates:
+    def test_identity_is_projection_and_stochastic(self):
+        assert is_projection_matrix(np.eye(4))
+        assert is_doubly_stochastic(np.eye(4))
+
+    def test_rank_one_average_is_projection(self):
+        m = np.full((4, 4), 0.25)
+        assert is_projection_matrix(m)
+        assert is_doubly_stochastic(m)
+
+    def test_non_projection(self):
+        assert not is_projection_matrix(0.5 * np.eye(3))
+
+    def test_non_stochastic(self):
+        assert not is_doubly_stochastic(np.array([[0.5, 0.4], [0.5, 0.6]]))
+        assert not is_doubly_stochastic(np.array([[1.5, -0.5], [-0.5, 1.5]]))
+
+
+class TestProjectionDistance:
+    def test_zero_when_already_projected(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        dec = spectral_decomposition(graph, num=4)
+        q = dec.projection_matrix(4)
+        y0 = np.ones(graph.n) / graph.n  # stationary vector is in the span of f_1
+        assert projection_distance(q, y0, q @ y0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bound_formula(self):
+        q = np.eye(3)
+        y0 = np.array([1.0, 0.0, 0.0])
+        assert lemma41_bound(4, 0.75, q, y0) == pytest.approx(2 * np.sqrt(4 * 0.25))
+
+    def test_bound_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            lemma41_bound(-1, 0.5, np.eye(2), np.ones(2))
+
+
+class TestLemma41Estimate:
+    def test_estimate_within_bound_on_well_clustered_graph(self):
+        instance = cycle_of_cliques(3, 15, seed=0)
+        graph = instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        t = theoretical_round_count(graph, 3)
+        estimate = estimate_expected_projection_distance(graph, y0, 3, t, trials=6, seed=1)
+        assert estimate.within_bound
+        assert estimate.mean_distance < 0.25
+        assert estimate.trials == 6
+
+    def test_distance_grows_for_large_t(self):
+        """Remark 1: the error term increases once t is far beyond T."""
+        instance = cycle_of_cliques(3, 15, seed=0)
+        graph = instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        t = theoretical_round_count(graph, 3)
+        near = estimate_expected_projection_distance(graph, y0, 3, t, trials=5, seed=2)
+        far = estimate_expected_projection_distance(graph, y0, 3, 40 * t, trials=5, seed=2)
+        assert far.mean_distance > near.mean_distance
+
+    def test_invalid_samples(self):
+        from repro.loadbalancing import empirical_expected_matching_matrix
+
+        with pytest.raises(ValueError):
+            empirical_expected_matching_matrix(complete_graph(4), 0)
+
+
+class TestConvergenceTime:
+    def test_complete_graph_converges_fast(self):
+        graph = complete_graph(16)
+        y0 = np.zeros(16)
+        y0[0] = 1.0
+        t = convergence_time(graph, y0, tolerance=1e-2, seed=0)
+        assert t < 400
+
+    def test_clustered_graph_converges_slowly(self):
+        """Global balancing takes much longer than the local time T on a
+        well-clustered graph — the gap the algorithm exploits."""
+        instance = cycle_of_cliques(3, 12, seed=0)
+        graph = instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        t_local = theoretical_round_count(graph, 3)
+        t_global = convergence_time(graph, y0, tolerance=1e-3, max_rounds=20_000, seed=1)
+        assert t_global > t_local

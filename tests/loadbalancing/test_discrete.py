@@ -1,0 +1,90 @@
+"""Unit tests for discrete (indivisible-token) load balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, cycle_of_cliques
+from repro.loadbalancing import DiscreteLoadBalancingProcess, discrete_balancing_error
+
+
+class TestDiscreteProcess:
+    def test_token_conservation(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 20, size=graph.n)
+        proc = DiscreteLoadBalancingProcess(graph, tokens, seed=1)
+        total = proc.total_tokens
+        proc.run(50)
+        assert proc.total_tokens == total
+
+    def test_tokens_stay_integral_and_nonnegative(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        tokens = np.zeros(graph.n, dtype=np.int64)
+        tokens[0] = 1000
+        proc = DiscreteLoadBalancingProcess(graph, tokens, seed=2)
+        proc.run(30)
+        out = proc.tokens
+        assert out.dtype == np.int64
+        assert np.all(out >= 0)
+
+    def test_discrepancy_decreases_on_expander(self):
+        graph = complete_graph(16)
+        tokens = np.zeros(16, dtype=np.int64)
+        tokens[0] = 1600
+        proc = DiscreteLoadBalancingProcess(graph, tokens, seed=3)
+        initial = proc.discrepancy()
+        proc.run(200)
+        # discrete balancing reaches a constant-discrepancy neighbourhood of
+        # the average (100 per node)
+        assert proc.discrepancy() <= max(4, initial // 100)
+
+    def test_deterministic_rounding_variant(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        tokens = np.zeros(graph.n, dtype=np.int64)
+        tokens[0] = 999
+        proc = DiscreteLoadBalancingProcess(graph, tokens, seed=4, randomised_rounding=False)
+        proc.run(20)
+        assert proc.total_tokens == 999
+
+    def test_matched_pair_differs_by_at_most_one(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        rng = np.random.default_rng(5)
+        tokens = rng.integers(0, 50, size=graph.n)
+        proc = DiscreteLoadBalancingProcess(graph, tokens, seed=6)
+        partner = proc.step()
+        out = proc.tokens
+        matched = np.flatnonzero(partner >= 0)
+        assert np.all(np.abs(out[matched] - out[partner[matched]]) <= 1)
+
+    def test_input_validation(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        with pytest.raises(ValueError):
+            DiscreteLoadBalancingProcess(graph, np.ones(graph.n))  # float dtype
+        with pytest.raises(ValueError):
+            DiscreteLoadBalancingProcess(graph, np.full(graph.n, -1, dtype=np.int64))
+        with pytest.raises(ValueError):
+            DiscreteLoadBalancingProcess(graph, np.ones(graph.n - 1, dtype=np.int64))
+
+
+class TestDiscreteVsContinuous:
+    def test_deviation_bounded_by_tokens(self):
+        instance = cycle_of_cliques(3, 12, seed=0)
+        tokens = np.zeros(instance.graph.n, dtype=np.int64)
+        tokens[0] = 4096
+        report = discrete_balancing_error(instance.graph, tokens, rounds=80, seed=1)
+        # with thousands of tokens the rounding error per node stays tiny
+        # relative to the budget
+        assert report["max_deviation"] <= 64
+        assert report["discrete_discrepancy"] >= report["continuous_discrepancy"] - 1e-9
+
+    def test_report_keys(self):
+        instance = cycle_of_cliques(2, 8, seed=1)
+        tokens = np.full(instance.graph.n, 10, dtype=np.int64)
+        report = discrete_balancing_error(instance.graph, tokens, rounds=5, seed=2)
+        assert set(report) == {
+            "discrete_discrepancy",
+            "continuous_discrepancy",
+            "max_deviation",
+        }

@@ -1,0 +1,195 @@
+"""Unit tests for the random matching protocol and matching matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, connected_caveman, cycle_graph, Graph
+from repro.loadbalancing import (
+    apply_matching,
+    dbar,
+    expected_matching_matrix,
+    is_doubly_stochastic,
+    is_projection_matrix,
+    matching_matrix,
+    matching_to_edge_list,
+    sample_maximal_matching,
+    sample_random_matching,
+)
+
+
+class TestDbar:
+    def test_d_equals_one(self):
+        assert dbar(1) == 1.0
+
+    def test_monotone_decreasing_towards_limit(self):
+        values = [dbar(d) for d in range(1, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] > np.exp(-0.5) - 0.01
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            dbar(0)
+
+
+class TestSampleRandomMatching:
+    def test_is_valid_matching(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        for _ in range(20):
+            partner = sample_random_matching(graph, rng)
+            matched = np.flatnonzero(partner >= 0)
+            # involution
+            assert all(partner[partner[v]] == v for v in matched)
+            # no self matches
+            assert all(partner[v] != v for v in matched)
+            # matched pairs are edges of the graph
+            for u, v in matching_to_edge_list(partner):
+                assert graph.has_edge(int(u), int(v))
+
+    def test_at_most_half_the_nodes_matched(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        for _ in range(10):
+            partner = sample_random_matching(graph, rng)
+            assert matching_to_edge_list(partner).shape[0] <= graph.n // 2
+
+    def test_edge_inclusion_probability(self):
+        # Lemma 2.1 proof: P[{u,v} in matching] = d̄/(2d) for a d-regular graph.
+        graph = complete_graph(6)  # 5-regular
+        rng = np.random.default_rng(0)
+        target_edge = (0, 1)
+        hits = 0
+        trials = 8000
+        for _ in range(trials):
+            partner = sample_random_matching(graph, rng)
+            if partner[target_edge[0]] == target_edge[1]:
+                hits += 1
+        expected = dbar(5) / (2 * 5)
+        assert hits / trials == pytest.approx(expected, abs=0.01)
+
+    def test_isolated_nodes_never_matched(self, rng):
+        g = Graph(4, [(0, 1)])
+        for _ in range(10):
+            partner = sample_random_matching(g, rng)
+            assert partner[2] == -1 and partner[3] == -1
+
+    def test_self_loops_never_matched(self, rng):
+        g = Graph(3, [(0, 1), (2, 2)])
+        for _ in range(20):
+            partner = sample_random_matching(g, rng)
+            assert partner[2] == -1
+
+
+class TestMaximalMatching:
+    def test_maximality(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        partner = sample_maximal_matching(graph, rng)
+        # no edge has both endpoints unmatched
+        for u, v in graph.edges():
+            if u != v:
+                assert partner[u] >= 0 or partner[v] >= 0
+
+    def test_is_valid_matching(self, four_clique_instance, rng):
+        partner = sample_maximal_matching(four_clique_instance.graph, rng)
+        matched = np.flatnonzero(partner >= 0)
+        assert all(partner[partner[v]] == v for v in matched)
+
+    def test_matches_more_than_random_protocol(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        random_sizes = [
+            matching_to_edge_list(sample_random_matching(graph, rng)).shape[0] for _ in range(20)
+        ]
+        maximal_sizes = [
+            matching_to_edge_list(sample_maximal_matching(graph, rng)).shape[0] for _ in range(20)
+        ]
+        assert np.mean(maximal_sizes) > np.mean(random_sizes)
+
+
+class TestMatchingMatrix:
+    def test_lemma21_projection_and_stochastic(self, caveman_instance, rng):
+        graph = caveman_instance.graph
+        for _ in range(10):
+            partner = sample_random_matching(graph, rng)
+            m = matching_matrix(graph.n, partner, sparse=False)
+            assert is_projection_matrix(m)
+            assert is_doubly_stochastic(m)
+
+    def test_unmatched_identity(self):
+        partner = np.full(4, -1, dtype=np.int64)
+        m = matching_matrix(4, partner, sparse=False)
+        assert np.array_equal(m, np.eye(4))
+
+    def test_matched_pair_entries(self):
+        partner = np.array([1, 0, -1], dtype=np.int64)
+        m = matching_matrix(3, partner, sparse=False)
+        assert m[0, 0] == m[1, 1] == m[0, 1] == m[1, 0] == 0.5
+        assert m[2, 2] == 1.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            matching_matrix(3, np.array([0, 1]))
+
+    def test_expected_matching_matrix_formula_regular(self):
+        graph = connected_caveman(3, 8).graph  # 7-regular
+        m = expected_matching_matrix(graph, sparse=False)
+        d = 7
+        p = graph.random_walk_matrix(sparse=False)
+        expected = (1 - dbar(d) / 4) * np.eye(graph.n) + (dbar(d) / 4) * p
+        assert np.allclose(m, expected)
+
+    def test_expected_matching_matrix_monte_carlo(self):
+        """Lemma 2.1(1): the closed form matches the protocol's empirical mean."""
+        from repro.loadbalancing import empirical_expected_matching_matrix
+
+        graph = connected_caveman(3, 6).graph
+        empirical = empirical_expected_matching_matrix(graph, 4000, seed=0)
+        theoretical = expected_matching_matrix(graph, sparse=False)
+        assert np.abs(empirical - theoretical).max() < 0.03
+
+    def test_expected_matching_matrix_irregular_stochastic(self, small_graph):
+        m = expected_matching_matrix(small_graph, sparse=False)
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert np.all(m >= 0)
+
+
+class TestApplyMatching:
+    def test_averages_matched_pairs(self):
+        partner = np.array([1, 0, -1], dtype=np.int64)
+        loads = np.array([1.0, 0.0, 5.0])
+        out = apply_matching(loads, partner)
+        assert np.allclose(out, [0.5, 0.5, 5.0])
+
+    def test_matrix_version_shares_matching(self):
+        partner = np.array([2, -1, 0], dtype=np.int64)
+        loads = np.array([[1.0, 4.0], [2.0, 2.0], [3.0, 0.0]])
+        out = apply_matching(loads, partner)
+        assert np.allclose(out[0], [2.0, 2.0])
+        assert np.allclose(out[2], [2.0, 2.0])
+        assert np.allclose(out[1], [2.0, 2.0])  # untouched row equals original
+
+    def test_conserves_total_load(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        loads = rng.random((graph.n, 3))
+        totals = loads.sum(axis=0)
+        for _ in range(5):
+            partner = sample_random_matching(graph, rng)
+            loads = apply_matching(loads, partner)
+        assert np.allclose(loads.sum(axis=0), totals)
+
+    def test_does_not_modify_input(self):
+        partner = np.array([1, 0], dtype=np.int64)
+        loads = np.array([1.0, 0.0])
+        apply_matching(loads, partner)
+        assert np.array_equal(loads, [1.0, 0.0])
+
+    def test_matches_matrix_multiplication(self, caveman_instance, rng):
+        graph = caveman_instance.graph
+        partner = sample_random_matching(graph, rng)
+        loads = rng.random(graph.n)
+        direct = apply_matching(loads, partner)
+        via_matrix = matching_matrix(graph.n, partner, sparse=False) @ loads
+        assert np.allclose(direct, via_matrix)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_matching(np.ones(3), np.array([-1, -1], dtype=np.int64))

@@ -1,0 +1,138 @@
+"""Unit tests for the alternative averaging substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, cycle_of_cliques
+from repro.loadbalancing import (
+    DiffusionModel,
+    DimensionExchangeModel,
+    MaximalMatchingModel,
+    RandomMatchingModel,
+    make_averaging_model,
+)
+
+ALL_MODEL_NAMES = ("random-matching", "maximal-matching", "diffusion", "dimension-exchange")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return cycle_of_cliques(3, 12, seed=0)
+
+
+class TestFactory:
+    def test_factory_names(self, instance):
+        for name in ALL_MODEL_NAMES:
+            model = make_averaging_model(name, instance.graph)
+            assert model.name == name
+
+    def test_unknown_name(self, instance):
+        with pytest.raises(ValueError):
+            make_averaging_model("gossip", instance.graph)
+
+
+class TestConservationAndConvergence:
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_total_load_conserved(self, instance, name):
+        graph = instance.graph
+        model = make_averaging_model(name, graph)
+        rng = np.random.default_rng(0)
+        loads = rng.random((graph.n, 2))
+        totals = loads.sum(axis=0)
+        for _ in range(20):
+            loads = model.step(loads, rng)
+        assert np.allclose(loads.sum(axis=0), totals)
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_variance_contracts(self, instance, name):
+        graph = instance.graph
+        model = make_averaging_model(name, graph)
+        rng = np.random.default_rng(1)
+        loads = np.zeros(graph.n)
+        loads[0] = 1.0
+        before = loads.var()
+        for _ in range(30):
+            loads = model.step(loads, rng)
+        assert loads.var() < before
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_uniform_fixed_point(self, instance, name):
+        graph = instance.graph
+        model = make_averaging_model(name, graph)
+        rng = np.random.default_rng(2)
+        loads = np.full(graph.n, 2.0)
+        for _ in range(5):
+            loads = model.step(loads, rng)
+        assert np.allclose(loads, 2.0)
+
+
+class TestDiffusion:
+    def test_delta_validation(self, instance):
+        with pytest.raises(ValueError):
+            DiffusionModel(instance.graph, delta=0.0)
+        with pytest.raises(ValueError):
+            DiffusionModel(instance.graph, delta=1.5)
+
+    def test_one_step_matches_operator_on_regular_graph(self):
+        # On a d-regular graph the Laplacian diffusion reduces to (1-δ)I + δP.
+        from repro.graphs import connected_caveman
+
+        graph = connected_caveman(3, 8).graph
+        model = DiffusionModel(graph, delta=0.5)
+        rng = np.random.default_rng(0)
+        y = np.zeros(graph.n)
+        y[3] = 1.0
+        p = graph.random_walk_matrix(sparse=False)
+        expected = 0.5 * y + 0.5 * (p @ y)
+        assert np.allclose(model.step(y, rng), expected)
+
+    def test_conserves_load_on_irregular_graph(self, instance):
+        model = DiffusionModel(instance.graph, delta=0.8)
+        rng = np.random.default_rng(1)
+        loads = rng.random(instance.graph.n)
+        total = loads.sum()
+        for _ in range(10):
+            loads = model.step(loads, rng)
+        assert loads.sum() == pytest.approx(total)
+
+    def test_communication_scales_with_edges(self, instance):
+        model = DiffusionModel(instance.graph)
+        assert model.communication_per_round(3) == 2 * instance.graph.num_edges * 3
+
+
+class TestDimensionExchange:
+    def test_colouring_is_proper(self, instance):
+        model = DimensionExchangeModel(instance.graph)
+        # each colour class is a matching: partner arrays are involutions
+        for partner in model._matchings:
+            matched = np.flatnonzero(partner >= 0)
+            assert all(partner[partner[v]] == v for v in matched)
+
+    def test_colour_count_at_most_2delta_minus_1(self, instance):
+        model = DimensionExchangeModel(instance.graph)
+        assert model.num_colours <= 2 * instance.graph.max_degree - 1
+
+    def test_cycle_needs_at_most_three_colours(self):
+        model = DimensionExchangeModel(cycle_graph(7))
+        assert 2 <= model.num_colours <= 3
+
+
+class TestMatchingModels:
+    def test_random_matching_tracks_edge_count(self, instance):
+        model = RandomMatchingModel(instance.graph)
+        rng = np.random.default_rng(3)
+        model.step(np.ones(instance.graph.n), rng)
+        assert 0 <= model.last_matched_edges <= instance.graph.n // 2
+
+    def test_maximal_matching_model(self, instance):
+        model = MaximalMatchingModel(instance.graph)
+        rng = np.random.default_rng(4)
+        model.step(np.ones(instance.graph.n), rng)
+        assert model.last_matched_edges > 0
+
+    def test_communication_independent_of_density(self, instance):
+        sparse_model = RandomMatchingModel(cycle_graph(instance.graph.n))
+        dense_model = RandomMatchingModel(instance.graph)
+        assert sparse_model.communication_per_round(5) == dense_model.communication_per_round(5)

@@ -1,0 +1,154 @@
+"""Unit tests for the 1-D and multi-dimensional load balancing processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, cycle_of_cliques
+from repro.loadbalancing import (
+    LoadBalancingProcess,
+    MultiDimensionalLoadBalancing,
+    run_load_balancing,
+    sample_maximal_matching,
+)
+
+
+class TestLoadBalancingProcess:
+    def test_initial_state(self, four_clique_instance):
+        y0 = np.zeros(four_clique_instance.graph.n)
+        y0[0] = 1.0
+        proc = LoadBalancingProcess(four_clique_instance.graph, y0, seed=0)
+        assert proc.round == 0
+        assert proc.total_load == 1.0
+        assert np.array_equal(proc.load, y0)
+
+    def test_wrong_shape_rejected(self, four_clique_instance):
+        with pytest.raises(ValueError):
+            LoadBalancingProcess(four_clique_instance.graph, np.ones(3), seed=0)
+
+    def test_load_conservation(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        y0 = rng.random(graph.n)
+        proc = LoadBalancingProcess(graph, y0, seed=1)
+        proc.run(60)
+        assert proc.total_load == pytest.approx(float(y0.sum()), rel=1e-12)
+
+    def test_discrepancy_decreases(self):
+        graph = complete_graph(20)
+        y0 = np.zeros(20)
+        y0[0] = 1.0
+        proc = LoadBalancingProcess(graph, y0, seed=2)
+        initial = proc.discrepancy()
+        proc.run(200)
+        assert proc.discrepancy() < 0.05 * initial
+
+    def test_quadratic_potential_non_increasing(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        proc = LoadBalancingProcess(graph, y0, seed=3)
+        potentials = [proc.quadratic_potential()]
+        for _ in range(40):
+            proc.step()
+            potentials.append(proc.quadratic_potential())
+        # averaging is a contraction: the potential never increases
+        assert all(a >= b - 1e-12 for a, b in zip(potentials, potentials[1:]))
+
+    def test_history_recording(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        y0 = np.ones(graph.n)
+        proc = LoadBalancingProcess(graph, y0, seed=4, keep_history=True)
+        proc.run(5)
+        assert proc.history is not None
+        assert proc.history.as_array().shape == (6, graph.n)
+        assert len(proc.history.matched_edges) == 5
+
+    def test_custom_matching_sampler(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        proc = LoadBalancingProcess(
+            graph, y0, seed=5, matching_sampler=sample_maximal_matching
+        )
+        proc.run(30)
+        assert proc.total_load == pytest.approx(1.0)
+
+    def test_determinism(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        y0 = np.zeros(graph.n)
+        y0[0] = 1.0
+        a = LoadBalancingProcess(graph, y0, seed=7).run(20)
+        b = LoadBalancingProcess(graph, y0, seed=7).run(20)
+        assert np.array_equal(a, b)
+
+    def test_uniform_vector_is_fixed_point(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        y0 = np.full(graph.n, 3.5)
+        proc = LoadBalancingProcess(graph, y0, seed=8)
+        proc.run(10)
+        assert np.allclose(proc.load, 3.5)
+
+
+class TestMultiDimensional:
+    def test_column_sums_conserved(self, four_clique_instance, rng):
+        graph = four_clique_instance.graph
+        x0 = rng.random((graph.n, 4))
+        proc = MultiDimensionalLoadBalancing(graph, x0, seed=0)
+        sums_before = proc.column_sums.copy()
+        proc.run(50)
+        assert np.allclose(proc.column_sums, sums_before)
+
+    def test_shared_matching_across_dimensions(self, four_clique_instance):
+        """Running s vectors together equals running them separately with the same seed."""
+        graph = four_clique_instance.graph
+        x0 = np.zeros((graph.n, 2))
+        x0[0, 0] = 1.0
+        x0[17, 1] = 1.0
+        joint = MultiDimensionalLoadBalancing(graph, x0, seed=9).run(25)
+        separate0 = LoadBalancingProcess(graph, x0[:, 0], seed=9).run(25)
+        # the same seed gives the same matchings, so dimension 0 agrees exactly
+        assert np.allclose(joint[:, 0], separate0)
+
+    def test_loads_spread_within_cluster(self):
+        from repro.graphs import theoretical_round_count
+
+        instance = cycle_of_cliques(3, 20, seed=0)
+        graph, truth = instance.graph, instance.partition
+        seeds = [0, 20, 40]  # one node per clique
+        x0 = np.zeros((graph.n, 3))
+        for i, s in enumerate(seeds):
+            x0[s, i] = 1.0
+        rounds = theoretical_round_count(graph, truth.k)
+        final = MultiDimensionalLoadBalancing(graph, x0, seed=1).run(rounds)
+        for i, s in enumerate(seeds):
+            cluster = truth.cluster(truth.label_of(s))
+            inside = final[cluster, i].sum()
+            assert inside > 0.85, "most of the load should still be inside the seed's cluster"
+            assert final[cluster, i].std() < 0.02
+
+    def test_matched_edges_recorded(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        proc = MultiDimensionalLoadBalancing(graph, np.ones((graph.n, 1)), seed=2)
+        proc.run(7)
+        assert len(proc.matched_edges_per_round) == 7
+        assert all(0 <= m <= graph.n // 2 for m in proc.matched_edges_per_round)
+
+    def test_invalid_shapes(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        with pytest.raises(ValueError):
+            MultiDimensionalLoadBalancing(graph, np.ones(graph.n), seed=0)
+        with pytest.raises(ValueError):
+            MultiDimensionalLoadBalancing(graph, np.ones((graph.n + 1, 2)), seed=0)
+
+
+class TestRunLoadBalancing:
+    def test_dispatch_1d(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        out = run_load_balancing(graph, np.ones(graph.n), 5, seed=0)
+        assert out.shape == (graph.n,)
+
+    def test_dispatch_2d(self, four_clique_instance):
+        graph = four_clique_instance.graph
+        out = run_load_balancing(graph, np.ones((graph.n, 3)), 5, seed=0)
+        assert out.shape == (graph.n, 3)

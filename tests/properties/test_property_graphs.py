@@ -1,0 +1,90 @@
+"""Property-based tests for the graph substrate (CSR structure, cuts, spectra)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, conductance, cut_size, random_walk_eigenvalues, volume
+
+
+@st.composite
+def edge_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(possible), max_size=len(possible)))
+    edges = [e for e, keep in zip(possible, mask) if keep]
+    return n, edges
+
+
+class TestGraphStructureProperties:
+    @given(data=edge_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_degree_sum_equals_twice_edges(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+        assert g.volume == int(g.degrees.sum())
+
+    @given(data=edge_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_neighbourhoods_symmetric(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        for u in range(n):
+            for v in g.neighbours(u):
+                assert u in g.neighbours(int(v))
+
+    @given(data=edge_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_matrix_consistent_with_edge_list(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        a = g.adjacency_matrix(sparse=False)
+        assert a.sum() == 2 * g.num_edges
+        for u, v in edges:
+            assert a[u, v] == 1 and a[v, u] == 1
+
+    @given(data=edge_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_components_partition_the_nodes(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        components = g.connected_components()
+        all_nodes = np.concatenate(components)
+        assert sorted(all_nodes.tolist()) == list(range(n))
+
+
+class TestCutProperties:
+    @given(data=edge_sets(), subset_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_cut_volume_relations(self, data, subset_seed):
+        n, edges = data
+        g = Graph(n, edges)
+        rng = np.random.default_rng(subset_seed)
+        size = int(rng.integers(1, n))
+        subset = rng.choice(n, size=size, replace=False)
+        cut = cut_size(g, subset)
+        vol = volume(g, subset)
+        complement = np.setdiff1d(np.arange(n), subset)
+        # the cut is symmetric
+        assert cut == cut_size(g, complement)
+        # volume bounds
+        assert cut <= vol <= g.num_edges
+        if vol > 0:
+            phi = conductance(g, subset)
+            assert 0.0 <= phi <= 1.0
+            assert phi == cut / vol
+
+    @given(data=edge_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_spectrum_in_range_and_stochastic_eigenvalue(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        if g.min_degree == 0:
+            return  # random-walk matrix not defined on isolated nodes
+        vals = random_walk_eigenvalues(g)
+        assert vals.max() <= 1.0 + 1e-8
+        assert vals.min() >= -1.0 - 1e-8
+        assert vals[0] == np.max(vals)

@@ -1,0 +1,111 @@
+"""Property-based tests for the load-balancing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.loadbalancing import (
+    apply_matching,
+    matching_matrix,
+    matching_to_edge_list,
+    sample_random_matching,
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """Small connected-ish random graphs via a random spanning tree plus extras."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = set()
+    # random spanning tree to avoid isolated nodes dominating
+    order = rng.permutation(n)
+    for i in range(1, n):
+        u = int(order[i])
+        v = int(order[rng.integers(i)])
+        edges.add((min(u, v), max(u, v)))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = rng.integers(n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return Graph(n, sorted(edges)), seed
+
+
+class TestMatchingProperties:
+    @given(data=random_graphs(), matching_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_sampled_matching_is_valid(self, data, matching_seed):
+        graph, _ = data
+        rng = np.random.default_rng(matching_seed)
+        partner = sample_random_matching(graph, rng)
+        matched = np.flatnonzero(partner >= 0)
+        # involution without fixed points, pairs are edges, at most n/2 pairs
+        assert all(partner[partner[v]] == v for v in matched)
+        assert all(partner[v] != v for v in matched)
+        pairs = matching_to_edge_list(partner)
+        assert pairs.shape[0] <= graph.n // 2
+        for u, v in pairs:
+            assert graph.has_edge(int(u), int(v))
+
+    @given(data=random_graphs(), matching_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matching_matrix_is_projection_and_stochastic(self, data, matching_seed):
+        graph, _ = data
+        rng = np.random.default_rng(matching_seed)
+        partner = sample_random_matching(graph, rng)
+        m = matching_matrix(graph.n, partner, sparse=False)
+        assert np.allclose(m, m.T)
+        assert np.allclose(m @ m, m, atol=1e-12)
+        assert np.allclose(m.sum(axis=0), 1.0)
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert np.all(m >= 0)
+
+
+class TestAveragingProperties:
+    @given(
+        data=random_graphs(),
+        matching_seed=st.integers(0, 2**31 - 1),
+        load_seed=st.integers(0, 2**31 - 1),
+        dims=st.integers(1, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_one_round_invariants(self, data, matching_seed, load_seed, dims):
+        graph, _ = data
+        rng = np.random.default_rng(matching_seed)
+        partner = sample_random_matching(graph, rng)
+        loads = np.random.default_rng(load_seed).random((graph.n, dims))
+        out = apply_matching(loads, partner)
+        # conservation per dimension
+        assert np.allclose(out.sum(axis=0), loads.sum(axis=0))
+        # the range can only shrink (averaging is a contraction in max/min)
+        assert np.all(out.max(axis=0) <= loads.max(axis=0) + 1e-12)
+        assert np.all(out.min(axis=0) >= loads.min(axis=0) - 1e-12)
+        # matched partners hold identical values afterwards
+        matched = np.flatnonzero(partner >= 0)
+        assert np.allclose(out[matched], out[partner[matched]])
+        # unmatched nodes are untouched
+        unmatched = np.flatnonzero(partner < 0)
+        assert np.allclose(out[unmatched], loads[unmatched])
+
+    @given(
+        data=random_graphs(),
+        rounds=st.integers(0, 15),
+        load_seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multi_round_variance_never_increases(self, data, rounds, load_seed):
+        graph, seed = data
+        rng = np.random.default_rng(seed)
+        loads = np.random.default_rng(load_seed).random(graph.n)
+        previous_variance = loads.var()
+        for _ in range(rounds):
+            partner = sample_random_matching(graph, rng)
+            loads = apply_matching(loads, partner)
+            variance = loads.var()
+            assert variance <= previous_variance + 1e-12
+            previous_variance = variance

@@ -1,0 +1,96 @@
+"""Property-based tests for partitions and the misclassification metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import adjusted_rand_index, normalized_mutual_information, purity
+from repro.graphs import Partition, misclassification_rate, misclassified_nodes
+
+label_vectors = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+
+
+@st.composite
+def two_label_vectors(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    a = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    return a, b
+
+
+class TestPartitionProperties:
+    @given(labels=label_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_normalisation_invariants(self, labels):
+        p = Partition.from_labels(labels)
+        assert p.n == len(labels)
+        assert p.k == len(set(labels))
+        assert int(p.sizes.sum()) == p.n
+        # clusters form a disjoint cover
+        all_members = np.concatenate(p.clusters())
+        assert sorted(all_members.tolist()) == list(range(p.n))
+
+    @given(labels=label_vectors, shift=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_equality_invariant_under_label_shifts(self, labels, shift):
+        assert Partition.from_labels(labels) == Partition.from_labels([l + shift for l in labels])
+
+    @given(labels=label_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_indicator_matrix_columns_sum_to_one(self, labels):
+        p = Partition.from_labels(labels)
+        m = p.indicator_matrix()
+        assert np.allclose(m.sum(axis=0), 1.0)
+
+
+class TestMisclassificationProperties:
+    @given(pair=two_label_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_misclassification_bounds_and_identity(self, pair):
+        a, b = pair
+        pa, pb = Partition.from_labels(a), Partition.from_labels(b)
+        m = misclassified_nodes(pa, pb)
+        assert 0 <= m <= pa.n
+        assert misclassified_nodes(pa, pa) == 0
+        rate = misclassification_rate(pa, pb)
+        assert 0.0 <= rate <= 1.0
+
+    @given(pair=two_label_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_misclassification_at_most_n_minus_largest_overlap(self, pair):
+        a, b = pair
+        pa, pb = Partition.from_labels(a), Partition.from_labels(b)
+        # the best permutation matches at least the single largest overlap cell
+        from repro.graphs import confusion_matrix
+
+        largest = confusion_matrix(pa, pb).max()
+        assert misclassified_nodes(pa, pb) <= pa.n - largest
+
+
+class TestMetricProperties:
+    @given(labels=label_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_self_agreement_is_perfect(self, labels):
+        p = Partition.from_labels(labels)
+        assert adjusted_rand_index(p, p) == pytest.approx(1.0)
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+        assert purity(p, p) == pytest.approx(1.0)
+
+    @given(pair=two_label_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_metric_ranges(self, pair):
+        a, b = pair
+        pa, pb = Partition.from_labels(a), Partition.from_labels(b)
+        assert -1.0 - 1e-9 <= adjusted_rand_index(pa, pb) <= 1.0 + 1e-9
+        assert 0.0 <= normalized_mutual_information(pa, pb) <= 1.0
+        assert 0.0 < purity(pa, pb) <= 1.0
+
+    @given(pair=two_label_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_ari_symmetry(self, pair):
+        a, b = pair
+        pa, pb = Partition.from_labels(a), Partition.from_labels(b)
+        assert adjusted_rand_index(pa, pb) == adjusted_rand_index(pb, pa)

@@ -1,0 +1,86 @@
+"""Property-based tests for the node-state averaging rule and the query step."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NodeState, assign_labels_from_loads
+
+state_dicts = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=30),
+    values=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    max_size=8,
+)
+
+
+class TestNodeStateProperties:
+    @given(a=state_dicts, b=state_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_averaging_conserves_total_load(self, a, b):
+        sa, sb = NodeState(dict(a)), NodeState(dict(b))
+        merged = sa.averaged_with(sb)
+        assert 2 * merged.total_load == np.float64(sa.total_load) + np.float64(sb.total_load) or \
+            abs(2 * merged.total_load - (sa.total_load + sb.total_load)) < 1e-9
+
+    @given(a=state_dicts, b=state_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_averaging_commutative(self, a, b):
+        sa, sb = NodeState(dict(a)), NodeState(dict(b))
+        assert sa.averaged_with(sb) == sb.averaged_with(sa)
+
+    @given(a=state_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_averaging_with_self_is_identity(self, a):
+        sa = NodeState(dict(a))
+        merged = sa.averaged_with(sa)
+        for prefix, value in sa:
+            assert abs(merged.value(prefix) - value) < 1e-12
+
+    @given(a=state_dicts, b=state_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_values_bounded_by_inputs(self, a, b):
+        sa, sb = NodeState(dict(a)), NodeState(dict(b))
+        merged = sa.averaged_with(sb)
+        for prefix, value in merged:
+            assert value <= max(sa.value(prefix), sb.value(prefix)) + 1e-12
+            assert value >= 0.0
+
+    @given(a=state_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_payload_round_trip(self, a):
+        state = NodeState(dict(a))
+        assert NodeState.from_payload(state.as_payload()) == state
+
+
+class TestQueryProperties:
+    @given(
+        seed_count=st.integers(1, 6),
+        node_count=st.integers(1, 40),
+        seed=st.integers(0, 2**31 - 1),
+        threshold=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_labels_are_valid_identifiers(self, seed_count, node_count, seed, threshold):
+        rng = np.random.default_rng(seed)
+        loads = rng.random((node_count, seed_count))
+        seed_ids = rng.choice(np.arange(1, 1000), size=seed_count, replace=False)
+        labels, unlabelled = assign_labels_from_loads(loads, seed_ids, threshold)
+        assert labels.shape == (node_count,)
+        assert set(labels.tolist()) <= set(seed_ids.tolist())
+        # unlabelled nodes are exactly the rows with all entries below threshold
+        assert np.array_equal(unlabelled, ~(loads >= threshold).any(axis=1))
+
+    @given(
+        node_count=st.integers(1, 30),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lower_threshold_labels_no_fewer_nodes(self, node_count, seed):
+        rng = np.random.default_rng(seed)
+        loads = rng.random((node_count, 3))
+        seed_ids = np.array([5, 17, 2])
+        _, unlabelled_high = assign_labels_from_loads(loads, seed_ids, 0.9, fallback="none")
+        _, unlabelled_low = assign_labels_from_loads(loads, seed_ids, 0.1, fallback="none")
+        assert unlabelled_low.sum() <= unlabelled_high.sum()

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import cycle_of_cliques, read_partition, write_edge_list, write_partition
+
+
+@pytest.fixture()
+def instance_files(tmp_path):
+    instance = cycle_of_cliques(3, 12, seed=0)
+    graph_path = tmp_path / "graph.edges"
+    truth_path = tmp_path / "truth.txt"
+    write_edge_list(instance.graph, graph_path)
+    write_partition(instance.partition, truth_path)
+    return instance, graph_path, truth_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "sbm", "--out", "x.edges"])
+        assert args.family == "sbm"
+        assert args.n == 200
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["sbm", "cliques", "expanders", "lfr"])
+    def test_generate_families(self, tmp_path, family, capsys):
+        out = tmp_path / "g.edges"
+        labels = tmp_path / "labels.txt"
+        argv = [
+            "generate",
+            family,
+            "--n",
+            "120",
+            "--k",
+            "3",
+            "--cluster-size",
+            "15",
+            "--degree",
+            "8",
+            "--seed",
+            "1",
+            "--out",
+            str(out),
+            "--labels-out",
+            str(labels),
+        ]
+        assert main(argv) == 0
+        assert out.exists() and labels.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestAnalyse:
+    def test_analyse_with_labels(self, instance_files, capsys):
+        _, graph_path, truth_path = instance_files
+        assert main(["analyse", str(graph_path), "--labels", str(truth_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Upsilon" in out
+        assert "round count" in out
+
+    def test_analyse_with_k_only(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        assert main(["analyse", str(graph_path), "--k", "3"]) == 0
+        assert "round count" in capsys.readouterr().out
+
+    def test_analyse_graph_only(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        assert main(["analyse", str(graph_path)]) == 0
+        assert "connected" in capsys.readouterr().out
+
+
+class TestCluster:
+    def test_centralized_engine_scores_against_truth(self, instance_files, tmp_path, capsys):
+        instance, graph_path, truth_path = instance_files
+        out = tmp_path / "labels.txt"
+        code = main(
+            [
+                "cluster",
+                str(graph_path),
+                "--k",
+                "3",
+                "--seed",
+                "1",
+                "--out",
+                str(out),
+                "--truth",
+                str(truth_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "misclassification" in printed
+        labels = read_partition(out)
+        assert labels.n == instance.graph.n
+
+    def test_distributed_engine_reports_communication(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        code = main(
+            ["cluster", str(graph_path), "--k", "3", "--engine", "distributed", "--seed", "2",
+             "--rounds", "30"]
+        )
+        assert code == 0
+        assert "communication" in capsys.readouterr().out
+
+    def test_adaptive_engine(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        assert main(["cluster", str(graph_path), "--engine", "adaptive", "--beta", "0.3",
+                     "--seed", "3"]) == 0
+        assert "clustered" in capsys.readouterr().out
+
+    def test_missing_k_is_an_error(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        assert main(["cluster", str(graph_path)]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_adaptive_missing_beta_and_k_is_an_error(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        assert main(["cluster", str(graph_path), "--engine", "adaptive"]) == 2
+        assert "beta" in capsys.readouterr().err
