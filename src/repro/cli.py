@@ -22,6 +22,8 @@ Examples
     python -m repro analyse graph.edges --labels truth.txt
     python -m repro cluster graph.edges --k 4 --engine centralized \
         --out labels.txt --truth truth.txt
+    python -m repro cluster graph.edges --k 4 --engine distributed \
+        --backend vectorized --out labels.txt
 """
 
 from __future__ import annotations
@@ -77,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["centralized", "distributed", "adaptive"],
         default="centralized",
         help="implementation to run",
+    )
+    clu.add_argument(
+        "--backend",
+        choices=["message-passing", "vectorized"],
+        default="message-passing",
+        help=(
+            "round-engine backend for --engine distributed: 'message-passing' "
+            "simulates every node with exact communication accounting, "
+            "'vectorized' executes whole rounds as array operations "
+            "(orders of magnitude faster, no message log)"
+        ),
     )
     clu.add_argument("--seed", type=int, default=None)
     clu.add_argument("--out", type=Path, default=None, help="write one label per node to this file")
@@ -157,6 +170,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .graphs import read_edge_list, read_partition
 
     graph = read_edge_list(args.graph)
+    if args.engine != "distributed" and args.backend != "message-passing":
+        print(
+            f"warning: --backend {args.backend} only applies to --engine distributed "
+            f"(ignored by the {args.engine} engine)",
+            file=sys.stderr,
+        )
     if args.engine == "adaptive":
         if args.beta is None and args.k is None:
             print("error: the adaptive engine needs --beta or --k", file=sys.stderr)
@@ -173,7 +192,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if args.engine == "centralized":
             result = CentralizedClustering(graph, params, seed=args.seed).run(keep_loads=False)
         else:
-            result = DistributedClustering(graph, params, seed=args.seed).run()
+            result = DistributedClustering(
+                graph, params, seed=args.seed, backend=args.backend
+            ).run()
 
     print(
         f"clustered {graph.n} nodes: {result.num_clusters_found} clusters, "

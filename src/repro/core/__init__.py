@@ -4,9 +4,11 @@ Public entry points
 -------------------
 * :func:`cluster_graph` — one-call API (derive parameters, run, return labels).
 * :class:`CentralizedClustering` — the fast matrix implementation (Section 3.2 view).
-* :class:`DistributedClustering` — the message-passing implementation
-  (Section 3.1), running on :mod:`repro.distsim` with exact communication
-  accounting.
+* :class:`DistributedClustering` — the distributed implementation
+  (Section 3.1), parameterized over a round-engine backend: the
+  ``message-passing`` per-node simulator (exact communication accounting,
+  failure injection) or the ``vectorized`` array backend (orders of
+  magnitude faster; see :mod:`repro.core.engines`).
 * :class:`AlmostRegularClustering` — the Section 4.5 extension.
 * :class:`AlgorithmParameters` — the paper's parameters (β, T, s̄, threshold).
 * :mod:`repro.core.theory` — computable versions of the analysis objects
@@ -16,6 +18,13 @@ Public entry points
 from .adaptive import AdaptiveClustering, AdaptiveRunInfo
 from .almost_regular import AlmostRegularClustering, sample_degree_capped_matching
 from .centralized import CentralizedClustering, cluster_graph
+from .engines import (
+    DEFAULT_BACKEND,
+    MessagePassingEngine,
+    VectorizedEngine,
+    build_clustering_result,
+    make_engine,
+)
 from .tokens import TokenClustering
 from .distributed import DistributedClustering, LoadBalancingClusteringAlgorithm
 from .parameters import AlgorithmParameters, query_threshold, round_count, seeding_trials
@@ -41,6 +50,11 @@ __all__ = [
     "sample_degree_capped_matching",
     "CentralizedClustering",
     "cluster_graph",
+    "DEFAULT_BACKEND",
+    "MessagePassingEngine",
+    "VectorizedEngine",
+    "build_clustering_result",
+    "make_engine",
     "DistributedClustering",
     "LoadBalancingClusteringAlgorithm",
     "AlgorithmParameters",

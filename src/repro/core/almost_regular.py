@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..loadbalancing.matching import sample_random_matching
+from ..loadbalancing.matching import _resolve_proposals, sample_random_matching
 from .centralized import CentralizedClustering
 from .parameters import AlgorithmParameters
 from .result import ClusteringResult
@@ -46,7 +46,6 @@ def sample_degree_capped_matching(
             f"degree cap D={degree_cap} must be at least the maximum degree {graph.max_degree}"
         )
     n = graph.n
-    partner = np.full(n, -1, dtype=np.int64)
     active = rng.random(n) < 0.5
     proposals_to = np.full(n, -1, dtype=np.int64)
     for v in np.flatnonzero(active):
@@ -57,20 +56,8 @@ def sample_degree_capped_matching(
             continue  # proposal follows a virtual self-loop
         proposals_to[v] = graph.random_neighbour(int(v), rng)
 
-    valid = proposals_to >= 0
-    proposers = np.flatnonzero(valid)
-    targets = proposals_to[proposers]
-    non_self = targets != proposers
-    proposers, targets = proposers[non_self], targets[non_self]
-    to_non_active = ~active[targets]
-    proposers, targets = proposers[to_non_active], targets[to_non_active]
-    if proposers.size:
-        counts = np.bincount(targets, minlength=n)
-        unique = counts[targets] == 1
-        proposers, targets = proposers[unique], targets[unique]
-        partner[proposers] = targets
-        partner[targets] = proposers
-    return partner
+    proposers = np.flatnonzero(proposals_to >= 0)
+    return _resolve_proposals(n, active, proposers, proposals_to[proposers])
 
 
 class AlmostRegularClustering:
@@ -116,14 +103,14 @@ class AlmostRegularClustering:
         # MultiDimensionalLoadBalancing, which accepts a custom sampler via a
         # thin wrapper model below.
         from ..loadbalancing.models import RandomMatchingModel
-        from ..loadbalancing.matching import apply_matching, matching_to_edge_list
+        from ..loadbalancing.matching import apply_matching, count_matched_edges
 
         class _CappedMatchingModel(RandomMatchingModel):
             name = "degree-capped-matching"
 
             def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
                 partner = sampler(self.graph, rng)
-                self.last_matched_edges = int(matching_to_edge_list(partner).shape[0])
+                self.last_matched_edges = count_matched_edges(partner)
                 return apply_matching(loads, partner)
 
         engine = CentralizedClustering(

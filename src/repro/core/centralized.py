@@ -2,34 +2,36 @@
 
 Section 3.2 of the paper observes that the distributed algorithm is exactly a
 multi-dimensional load balancing process: ``s`` seed vectors evolve under the
-same random matching in every round.  This module runs that process directly
+same random matching in every round.  This driver runs that process directly
 with vectorised NumPy updates — the "natural centralised algorithm for graph
-clustering" the introduction mentions — and is the work-horse of the
-benchmarks (it is orders of magnitude faster than the message-level
-simulation while provably computing the same distribution of outputs; the
-test-suite cross-checks the two implementations on shared random matchings).
+clustering" the introduction mentions — by delegating to the shared
+:class:`~repro.core.engines.VectorizedEngine` (the array round-engine
+backend) and the backend-agnostic result assembly.
 
 The heavy lifting per round is one fancy-indexed averaging over all matched
 pairs and all ``s`` dimensions at once, so the total work is
 ``O(T · (n + m/d) · s)`` — matching the paper's near-linear running time
 remark (Section 1.2).
+
+One historical detail: this driver pins the engine's matching sampler to the
+original :func:`~repro.loadbalancing.matching.sample_random_matching` (one
+oracle draw per active node, in node order) so that every seeded experiment
+recorded before the engine refactor reproduces bit-for-bit.  New code that
+wants maximum throughput should use
+:class:`~repro.core.distributed.DistributedClustering` with
+``backend="vectorized"``, which uses the fully vectorised sampler.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..graphs.partition import Partition
-from ..loadbalancing.matching import matching_to_edge_list, sample_random_matching
+from ..loadbalancing.matching import sample_random_matching
 from ..loadbalancing.models import AveragingModel
-from ..loadbalancing.process import MultiDimensionalLoadBalancing
+from .engines import VectorizedEngine, build_clustering_result
 from .parameters import AlgorithmParameters
-from .query import assign_labels_from_loads
 from .result import ClusteringResult
-from .seeding import assign_seed_identifiers, sample_seeds, seed_load_matrix
 
 __all__ = ["CentralizedClustering", "cluster_graph"]
 
@@ -81,90 +83,35 @@ class CentralizedClustering:
         self._averaging_model = averaging_model
         self._fallback = fallback
 
-    # ------------------------------------------------------------------ #
-    # The three procedures
-    # ------------------------------------------------------------------ #
-
     def run(
         self,
         *,
-        round_callback: Callable[[int, np.ndarray], None] | None = None,
+        round_callback=None,
         keep_loads: bool = True,
     ) -> ClusteringResult:
         """Execute seeding, averaging and query; returns a :class:`ClusteringResult`.
 
         ``round_callback(t, loads)`` is invoked after every averaging round
-        with the current ``(n, s)`` configuration — used by benchmarks that
-        track the per-round error (E2, E6).
+        with a snapshot of the current ``(n, s)`` configuration — used by
+        benchmarks that track the per-round error (E2, E6).
         """
-        params = self.parameters
-        n = self.graph.n
-
-        # --- Seeding procedure ------------------------------------------------
-        seeds = sample_seeds(params, self._rng)
-        seed_ids = assign_seed_identifiers(seeds, params, self._rng)
-        loads = seed_load_matrix(n, seeds)
-
-        # --- Averaging procedure ----------------------------------------------
-        matched_edges: list[int] = []
-        if seeds.size == 0:
-            # Degenerate but possible: no node became active.  The query
-            # procedure then labels every node arbitrarily; we return the
-            # all-zero labelling and flag every node as unlabelled.
-            labels = np.zeros(n, dtype=np.int64)
-            return ClusteringResult(
-                labels=labels,
-                partition=Partition.from_labels(labels),
-                seeds=seeds,
-                seed_ids=seed_ids,
-                rounds=0,
-                parameters=params,
-                loads=np.zeros((n, 0)) if keep_loads else None,
-                unlabelled=np.ones(n, dtype=bool),
-                diagnostics={"matched_edges_per_round": []},
-            )
-
-        if self._averaging_model is None:
-            process = MultiDimensionalLoadBalancing(
-                self.graph, loads, rng=self._rng, matching_sampler=sample_random_matching
-            )
-            for t in range(params.rounds):
-                process.step()
-                if round_callback is not None:
-                    round_callback(t, process.loads)
-            loads = process.loads
-            matched_edges = process.matched_edges_per_round
-        else:
-            current = loads
-            for t in range(params.rounds):
-                current = self._averaging_model.step(current, self._rng)
-                matched = getattr(self._averaging_model, "last_matched_edges", None)
-                matched_edges.append(int(matched) if matched is not None else -1)
-                if round_callback is not None:
-                    round_callback(t, current)
-            loads = current
-
-        # --- Query procedure --------------------------------------------------
-        labels, unlabelled = assign_labels_from_loads(
-            loads, seed_ids, params.threshold, fallback=self._fallback
+        engine = VectorizedEngine(
+            self.graph,
+            self.parameters,
+            rng=self._rng,
+            fallback=self._fallback,
+            # An averaging model owns its own matching step; otherwise pin
+            # the legacy sampler for bit-for-bit seeded reproducibility.
+            matching_sampler=(
+                None if self._averaging_model is not None else sample_random_matching
+            ),
+            averaging_model=self._averaging_model,
         )
-        # Partition normalisation requires non-negative labels; map the
-        # unlabelled marker -1 (only present with fallback="none") to a fresh
-        # label so those nodes form their own "unknown" cluster.
-        partition_labels = labels.copy()
-        if np.any(partition_labels < 0):
-            partition_labels[partition_labels < 0] = int(partition_labels.max()) + 1
-
-        return ClusteringResult(
-            labels=labels,
-            partition=Partition.from_labels(partition_labels),
-            seeds=seeds,
-            seed_ids=seed_ids,
-            rounds=params.rounds,
-            parameters=params,
-            loads=loads if keep_loads else None,
-            unlabelled=unlabelled,
-            diagnostics={"matched_edges_per_round": matched_edges},
+        return build_clustering_result(
+            engine.run(round_callback=round_callback),
+            self.parameters,
+            fallback=self._fallback,
+            keep_loads=keep_loads,
         )
 
 

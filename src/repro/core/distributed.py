@@ -1,179 +1,72 @@
-"""Message-passing implementation of the clustering algorithm (Section 3.1).
+"""Driver for the distributed algorithm, parameterized over a round engine.
 
-This is the algorithm exactly as a node would run it on a real network,
-programmed against the :class:`~repro.distsim.node.NodeAlgorithm` interface:
-nodes know only ``n``, ``β`` and ``T`` (the paper's assumptions), their own
-neighbourhood and their private randomness, and everything else travels in
-messages.  One averaging round of the paper is realised as four message
-phases:
+The per-node protocol itself (Section 3.1, four message phases per averaging
+round) lives in :mod:`repro.core.protocol`; the interchangeable executors
+live in :mod:`repro.core.engines`.  This module keeps the user-facing
+driver: pick a backend, run the protocol, assemble the standard
+:class:`~repro.core.result.ClusteringResult`.
 
-``propose``
-    Matching step 1–2: every node flips the activity coin; active nodes send
-    a proposal to one uniformly random neighbour.
-``respond``
-    Matching step 3: a non-active node that received exactly one proposal
-    accepts it, sending its current state to the proposer.
-``average``
-    The proposer of an accepted proposal averages the two states (the
-    three-case rule of the Averaging Procedure) and sends the result back.
-``commit``
-    The accepting node adopts the averaged state, completing the round.
+Backends
+--------
+``"message-passing"`` (default)
+    The faithful per-node simulator: exact communication accounting,
+    failure injection, one isolated node object per processor.  This is the
+    substitute for the paper's "parallel network with n processors".
+``"vectorized"``
+    The array backend: the same protocol distribution executed as batched
+    matchings + in-place fancy-indexed averaging over all seed dimensions.
+    Orders of magnitude faster (``n = 10^5`` in seconds), no message log.
 
-Every matched edge therefore costs one proposal (1 word), one acceptance
-carrying ``O(s)`` words and one commit carrying ``O(s)`` words — which is the
-``O(k log k)`` words per matched pair of Theorem 1.1(2) when
-``β = Θ(1/k)``.
+The parity between the two is part of the test-suite contract
+(``tests/integration/test_backend_parity.py``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
-
-from ..distsim.messages import Message
-from ..distsim.network import SimulationResult, SynchronousNetwork
-from ..distsim.node import NodeAlgorithm, NodeContext
+from ..distsim.engine import RoundEngine
+from ..distsim.failures import FailureModel
 from ..graphs.graph import Graph
-from ..graphs.partition import Partition
+from .engines import DEFAULT_BACKEND, build_clustering_result, make_engine
 from .parameters import AlgorithmParameters
+from .protocol import LoadBalancingClusteringAlgorithm
 from .result import ClusteringResult
-from .state import NodeState
 
 __all__ = ["LoadBalancingClusteringAlgorithm", "DistributedClustering"]
 
 
-class LoadBalancingClusteringAlgorithm(NodeAlgorithm):
-    """Per-node behaviour of the distributed clustering algorithm.
-
-    Configuration keys read from the network's ``config`` dictionary:
-
-    ``parameters``
-        The :class:`~repro.core.parameters.AlgorithmParameters` instance.
-    ``fallback``
-        Query fallback policy, ``"argmax"`` (default) or ``"none"``.
-    ``degree_cap``
-        Optional degree bound ``D`` for the almost-regular extension
-        (Section 4.5): an active node proposes along a *virtual self-loop*
-        with probability ``(D - d_v)/D`` — equivalent to running the regular
-        protocol on the ``D``-regular graph ``G*`` with self-loops added.
-    """
-
-    PHASES = ("propose", "respond", "average", "commit")
-
-    def phases(self) -> Sequence[str]:
-        return self.PHASES
-
-    # ------------------------------------------------------------------ #
-    # Initialisation: identifier + seeding procedure
-    # ------------------------------------------------------------------ #
-
-    def initialise(self, node: NodeContext) -> None:
-        params: AlgorithmParameters = node.config["parameters"]
-        rng = node.rng
-        node.state["id"] = int(rng.integers(1, params.id_space + 1))
-        # Seeding: active in at least one of the s̄ trials, each w.p. 1/n.
-        p_any = 1.0 - (1.0 - params.activation_probability) ** params.num_seeding_trials
-        is_seed = bool(rng.random() < p_any)
-        node.state["is_seed"] = is_seed
-        node.state["load"] = (
-            NodeState.seeded(node.state["id"]) if is_seed else NodeState.empty()
-        )
-        node.state["label"] = None
-        node.state["partner"] = -1
-
-    # ------------------------------------------------------------------ #
-    # One averaging round = four phases
-    # ------------------------------------------------------------------ #
-
-    def run_phase(
-        self, node: NodeContext, round_index: int, phase: str, inbox: list[Message]
-    ) -> None:
-        if phase == "propose":
-            self._phase_propose(node)
-        elif phase == "respond":
-            self._phase_respond(node, inbox)
-        elif phase == "average":
-            self._phase_average(node, inbox)
-        elif phase == "commit":
-            self._phase_commit(node, inbox)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown phase {phase!r}")
-
-    def _phase_propose(self, node: NodeContext) -> None:
-        node.state["partner"] = -1
-        node.state["mm_active"] = bool(node.rng.random() < 0.5)
-        if not node.state["mm_active"] or node.degree == 0:
-            return
-        degree_cap = node.config.get("degree_cap")
-        if degree_cap is not None and degree_cap > node.degree:
-            # Almost-regular extension: with probability (D - d_v)/D the
-            # proposal goes along a virtual self-loop and is dropped.
-            if node.rng.random() < (degree_cap - node.degree) / degree_cap:
-                return
-        target = node.random_neighbour()
-        if target == node.node_id:
-            # A real self-loop can never form a matched pair.
-            return
-        node.send(target, "propose", None, words=1)
-
-    def _phase_respond(self, node: NodeContext, inbox: list[Message]) -> None:
-        proposals = [m for m in inbox if m.kind == "propose"]
-        if node.state.get("mm_active", False):
-            return  # active nodes never accept
-        if len(proposals) != 1:
-            return  # chosen by zero or several neighbours: not matched
-        proposer = proposals[0].sender
-        node.state["partner"] = proposer
-        load: NodeState = node.state["load"]
-        node.send(proposer, "accept", load.as_payload())
-
-    def _phase_average(self, node: NodeContext, inbox: list[Message]) -> None:
-        accepts = [m for m in inbox if m.kind == "accept"]
-        if not accepts:
-            return
-        # A node proposes to exactly one neighbour, so it can receive at most
-        # one acceptance.
-        accept = accepts[0]
-        partner_state = NodeState.from_payload(accept.payload)
-        own: NodeState = node.state["load"]
-        averaged = own.averaged_with(partner_state)
-        node.state["load"] = averaged
-        node.state["partner"] = accept.sender
-        node.send(accept.sender, "commit", averaged.as_payload())
-
-    def _phase_commit(self, node: NodeContext, inbox: list[Message]) -> None:
-        commits = [m for m in inbox if m.kind == "commit"]
-        if not commits:
-            # If this node accepted a proposal but the proposer's commit never
-            # arrived (possible only under failure injection), it keeps its
-            # old state — load is then no longer conserved, which the
-            # robustness tests measure explicitly.
-            return
-        node.state["load"] = NodeState.from_payload(commits[0].payload)
-
-    # ------------------------------------------------------------------ #
-    # Query procedure
-    # ------------------------------------------------------------------ #
-
-    def finalise(self, node: NodeContext) -> None:
-        params: AlgorithmParameters = node.config["parameters"]
-        fallback = node.config.get("fallback", "argmax")
-        load: NodeState = node.state["load"]
-        label = load.label(params.threshold)
-        node.state["unlabelled"] = label is None
-        if label is None and fallback == "argmax":
-            label = load.heaviest_prefix()
-        node.state["label"] = -1 if label is None else int(label)
-
-
 class DistributedClustering:
-    """Driver running the distributed algorithm on the simulator.
+    """Driver running the distributed algorithm on a selectable round engine.
 
     This is the distributed counterpart of
     :class:`~repro.core.centralized.CentralizedClustering`; it produces the
-    same :class:`~repro.core.result.ClusteringResult` plus an exact
-    communication log.
+    same :class:`~repro.core.result.ClusteringResult` plus — on the
+    message-passing backend — an exact communication log.
+
+    Parameters
+    ----------
+    graph, parameters:
+        The instance and the paper's parameters.
+    seed:
+        Root seed for all randomness of the chosen backend.
+    fallback:
+        Query fallback policy, ``"argmax"`` or ``"none"``.  ``None``
+        (default) means unspecified: by-name backends use ``"argmax"``, a
+        pre-built engine keeps its own declared policy.  An explicit value
+        overrides a pre-built engine's declaration when the query runs
+        centrally (vectorized), and raises when the engine labels locally
+        (message passing) — there the nodes' own policy cannot be
+        overridden after the fact.
+    degree_cap:
+        Optional degree bound ``D`` for the almost-regular extension.
+    failures:
+        Optional failure model (message-passing backend only).
+    backend:
+        Round-engine backend: ``"message-passing"`` (default),
+        ``"vectorized"``, or a pre-built
+        :class:`~repro.distsim.engine.RoundEngine` instance.
+    engine_options:
+        Extra keyword options forwarded to the backend constructor (e.g.
+        ``batch_rounds`` for the vectorized backend).
     """
 
     def __init__(
@@ -182,9 +75,11 @@ class DistributedClustering:
         parameters: AlgorithmParameters,
         *,
         seed: int | None = None,
-        fallback: str = "argmax",
+        fallback: str | None = None,
         degree_cap: int | None = None,
-        failures=None,
+        failures: FailureModel | None = None,
+        backend: str | RoundEngine = DEFAULT_BACKEND,
+        **engine_options,
     ):
         if parameters.n != graph.n:
             raise ValueError("parameters were derived for a different graph size")
@@ -194,77 +89,45 @@ class DistributedClustering:
         self._fallback = fallback
         self._degree_cap = degree_cap
         self._failures = failures
+        self._backend = backend
+        self._engine_options = engine_options
 
     def run(self) -> ClusteringResult:
-        config = {
-            "parameters": self.parameters,
-            "fallback": self._fallback,
-        }
-        if self._degree_cap is not None:
-            config["degree_cap"] = int(self._degree_cap)
-        network = SynchronousNetwork(
-            self.graph,
-            LoadBalancingClusteringAlgorithm(),
-            seed=self._seed,
-            config=config,
-            failures=self._failures,
-        )
-        sim: SimulationResult = network.run(self.parameters.rounds)
-        return self._collect(sim)
-
-    # ------------------------------------------------------------------ #
-    # Result assembly
-    # ------------------------------------------------------------------ #
-
-    def _collect(self, sim: SimulationResult) -> ClusteringResult:
-        n = self.graph.n
-        contexts = sim.contexts
-        labels = np.asarray(
-            [ctx.state.get("label", -1) for ctx in contexts], dtype=np.int64
-        )
-        unlabelled = np.asarray(
-            [bool(ctx.state.get("unlabelled", True)) for ctx in contexts], dtype=bool
-        )
-        seeds = np.asarray(
-            [v for v in range(n) if contexts[v].state.get("is_seed", False)], dtype=np.int64
-        )
-        seed_ids = np.asarray(
-            [contexts[int(v)].state["id"] for v in seeds], dtype=np.int64
-        )
-
-        # Reconstruct the (n, s) load configuration from the node states for
-        # diagnostics and for cross-checking against the centralised
-        # implementation (a real deployment would not do this).
-        loads = np.zeros((n, seeds.size), dtype=np.float64)
-        id_to_column = {int(identifier): i for i, identifier in enumerate(seed_ids)}
-        for v in range(n):
-            load: NodeState = contexts[v].state["load"]
-            for prefix, value in load:
-                column = id_to_column.get(int(prefix))
-                if column is not None:
-                    loads[v, column] = value
-
-        partition_labels = labels.copy()
-        if np.any(partition_labels < 0):
-            partition_labels[partition_labels < 0] = (
-                int(partition_labels.max()) + 1 if partition_labels.max() >= 0 else 0
+        if isinstance(self._backend, RoundEngine):
+            # A pre-built engine carries its own configuration; it must have
+            # been built for this driver's instance, otherwise the protocol
+            # would run on one graph while the result is assembled (query
+            # threshold, metadata) with another's parameters.
+            if getattr(self._backend, "graph", self.graph) != self.graph:
+                raise ValueError(
+                    "pre-built engine was constructed for a different graph"
+                )
+            if getattr(self._backend, "parameters", self.parameters) != self.parameters:
+                raise ValueError(
+                    "pre-built engine was constructed with different parameters"
+                )
+            # make_engine rejects conflicting options (including an explicit
+            # fallback differing from a locally-labelling engine's own).
+            engine = make_engine(
+                self._backend,
+                seed=self._seed,
+                fallback=self._fallback,
+                degree_cap=self._degree_cap,
+                failures=self._failures,
+                **self._engine_options,
             )
-
-        matched_per_round = [
-            stats.by_kind.get("accept", 0) for stats in sim.communication.rounds
-        ]
-        return ClusteringResult(
-            labels=labels,
-            partition=Partition.from_labels(partition_labels),
-            seeds=seeds,
-            seed_ids=seed_ids,
-            rounds=sim.rounds_executed,
-            parameters=self.parameters,
-            loads=loads,
-            communication=sim.communication,
-            unlabelled=unlabelled,
-            diagnostics={
-                "matched_edges_per_round": matched_per_round,
-                "simulation_metadata": sim.metadata,
-            },
+        else:
+            engine = make_engine(
+                self._backend,
+                self.graph,
+                self.parameters,
+                seed=self._seed,
+                fallback=self._fallback or "argmax",
+                degree_cap=self._degree_cap,
+                failures=self._failures,
+                **self._engine_options,
+            )
+        # fallback=None lets result assembly adopt the engine's declaration.
+        return build_clustering_result(
+            engine.run(), self.parameters, fallback=self._fallback
         )

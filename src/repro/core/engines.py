@@ -1,0 +1,492 @@
+"""The two concrete round-engine backends and the shared result assembly.
+
+This module implements the :class:`~repro.distsim.engine.RoundEngine`
+contract twice:
+
+* :class:`MessagePassingEngine` — the faithful per-node backend.  It drives
+  the original :class:`~repro.distsim.network.SynchronousNetwork` simulator
+  with the four-phase protocol of
+  :class:`~repro.core.protocol.LoadBalancingClusteringAlgorithm`, and is the
+  only backend with exact communication accounting and failure injection.
+* :class:`VectorizedEngine` — the array backend.  Seeding, matching and
+  averaging are whole-graph array operations: matchings are generated in
+  batches by the fully vectorised sampler
+  (:func:`~repro.loadbalancing.matching.sample_random_matching_fast`) and a
+  round is one in-place fancy-indexed averaging over all ``s`` seed
+  dimensions at once (``X ← M(t) X`` without forming ``M(t)``).  This is
+  what makes ``n = 10^5`` runs take seconds instead of hours.
+
+Both backends execute the *same protocol distribution*; the parity suite
+(``tests/integration/test_backend_parity.py``) holds them to statistically
+equivalent clusterings on the generator families.
+
+:func:`build_clustering_result` is the single, backend-agnostic path from an
+:class:`~repro.distsim.engine.EngineResult` to the user-facing
+:class:`~repro.core.result.ClusteringResult` — the query step, the partition
+normalisation and the diagnostics wiring previously duplicated between the
+centralised and distributed drivers live here now.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..distsim.engine import (
+    EngineResult,
+    RoundCallback,
+    RoundEngine,
+    get_engine_factory,
+    register_engine,
+)
+from ..distsim.failures import FailureModel
+from ..distsim.network import SynchronousNetwork
+from ..distsim.node import NodeContext
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..loadbalancing.matching import (
+    apply_matching,
+    count_matched_edges,
+    sample_random_matchings,
+)
+from ..loadbalancing.models import AveragingModel
+from .parameters import AlgorithmParameters
+from .protocol import LoadBalancingClusteringAlgorithm
+from .query import assign_labels_from_loads
+from .result import ClusteringResult
+from .seeding import assign_seed_identifiers, sample_seeds, seed_load_matrix
+from .state import NodeState
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "MessagePassingEngine",
+    "VectorizedEngine",
+    "make_engine",
+    "build_clustering_result",
+]
+
+#: Backend used by :class:`~repro.core.distributed.DistributedClustering`
+#: when none is requested: the faithful simulator, because exact
+#: communication accounting is the reason to run the distributed driver.
+DEFAULT_BACKEND = "message-passing"
+
+
+# --------------------------------------------------------------------------- #
+# Per-node (message passing) backend
+# --------------------------------------------------------------------------- #
+
+def _seed_columns(contexts: list[NodeContext]) -> tuple[np.ndarray, np.ndarray]:
+    """Seed node ids (ascending) and their identifiers from the node states."""
+    seeds = np.asarray(
+        [ctx.node_id for ctx in contexts if ctx.state.get("is_seed", False)],
+        dtype=np.int64,
+    )
+    seed_ids = np.asarray(
+        [contexts[int(v)].state["id"] for v in seeds], dtype=np.int64
+    )
+    return seeds, seed_ids
+
+
+def _loads_from_contexts(
+    contexts: list[NodeContext], seed_ids: np.ndarray
+) -> np.ndarray:
+    """Reconstruct the global ``(n, s)`` configuration from per-node states.
+
+    A real deployment could not do this (no global view exists); the
+    simulator does it for diagnostics and for cross-checking against the
+    array backend.
+    """
+    n = len(contexts)
+    loads = np.zeros((n, seed_ids.size), dtype=np.float64)
+    id_to_column = {int(identifier): i for i, identifier in enumerate(seed_ids)}
+    for v in range(n):
+        load: NodeState = contexts[v].state["load"]
+        for prefix, value in load:
+            column = id_to_column.get(int(prefix))
+            if column is not None:
+                loads[v, column] = value
+    return loads
+
+
+class MessagePassingEngine(RoundEngine):
+    """Round engine running the protocol on the per-node simulator.
+
+    Every node is an isolated :class:`~repro.distsim.node.NodeContext` with
+    its own random stream; the only inter-node channel is the message queue,
+    so the recorded communication is exactly what a real deployment would
+    send.  Supports failure injection.  Sequential Python under the hood —
+    fidelity, not speed.
+    """
+
+    name = "message-passing"
+    labels_locally = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: AlgorithmParameters,
+        *,
+        seed: int | None = None,
+        fallback: str = "argmax",
+        degree_cap: int | None = None,
+        failures: FailureModel | None = None,
+    ):
+        if parameters.n != graph.n:
+            raise ValueError("parameters were derived for a different graph size")
+        self.graph = graph
+        self.parameters = parameters
+        self._seed = seed
+        #: Query fallback the nodes apply locally in ``finalise``; public so
+        #: a driver handed a pre-built engine can detect a conflicting
+        #: fallback request (see :func:`make_engine`).
+        self.fallback = fallback
+        self._degree_cap = degree_cap
+        self._failures = failures
+
+    def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
+        self._claim_single_use()
+        config: dict[str, Any] = {
+            "parameters": self.parameters,
+            "fallback": self.fallback,
+        }
+        if self._degree_cap is not None:
+            config["degree_cap"] = int(self._degree_cap)
+        network = SynchronousNetwork(
+            self.graph,
+            LoadBalancingClusteringAlgorithm(),
+            seed=self._seed,
+            config=config,
+            failures=self._failures,
+        )
+
+        network_callback = None
+        if round_callback is not None:
+            # Seeds and identifiers are fixed after initialise; compute the
+            # column layout once instead of per round.
+            seed_ids_holder: list[np.ndarray] = []
+
+            def network_callback(round_index: int, net: SynchronousNetwork) -> None:
+                if not seed_ids_holder:
+                    seed_ids_holder.append(_seed_columns(net.contexts)[1])
+                round_callback(
+                    round_index,
+                    _loads_from_contexts(net.contexts, seed_ids_holder[0]),
+                )
+
+        sim = network.run(self.parameters.rounds, round_callback=network_callback)
+
+        contexts = sim.contexts
+        seeds, seed_ids = _seed_columns(contexts)
+        labels = np.asarray(
+            [ctx.state.get("label", -1) for ctx in contexts], dtype=np.int64
+        )
+        unlabelled = np.asarray(
+            [bool(ctx.state.get("unlabelled", True)) for ctx in contexts], dtype=bool
+        )
+        matched_per_round = [
+            stats.by_kind.get("accept", 0) for stats in sim.communication.rounds
+        ]
+        return EngineResult(
+            rounds_executed=sim.rounds_executed,
+            loads=_loads_from_contexts(contexts, seed_ids),
+            seeds=seeds,
+            seed_ids=seed_ids,
+            matched_edges_per_round=matched_per_round,
+            labels=labels,
+            unlabelled=unlabelled,
+            communication=sim.communication,
+            trace=sim.trace,
+            metadata={"backend": self.name, "fallback": self.fallback, **sim.metadata},
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized (array) backend
+# --------------------------------------------------------------------------- #
+
+class VectorizedEngine(RoundEngine):
+    """Round engine executing whole rounds as array operations.
+
+    Parameters
+    ----------
+    graph, parameters:
+        The instance and the paper's parameters (β, T, s̄, threshold).
+    seed / rng:
+        Randomness for seeding, identifiers and matchings (one global
+        stream; the per-node backend uses one stream per node instead, so
+        the two backends agree in distribution, not bit-for-bit).
+    degree_cap:
+        Optional degree bound ``D`` enabling the Section 4.5 almost-regular
+        protocol (virtual self-loops).
+    fallback:
+        Declared query fallback policy.  The array backend runs the query
+        centrally at result assembly, where this declaration is applied
+        unless the caller of :func:`build_clustering_result` requests a
+        policy explicitly.
+    matching_sampler:
+        Per-round matching sampler override.  ``None`` uses the fully
+        vectorised :func:`~repro.loadbalancing.matching.sample_random_matching_fast`;
+        the centralised driver passes the legacy per-node-oracle sampler to
+        keep historical seeded experiments bit-for-bit reproducible.
+    averaging_model:
+        Optional alternative averaging substrate (diffusion, maximal
+        matching, ...) used by the E12 ablation; bypasses the matching path.
+    batch_rounds:
+        Matchings are pre-generated in chunks of this many rounds (they are
+        independent of the load configuration, so generation and application
+        decouple); purely a throughput/memory knob.
+    """
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: AlgorithmParameters,
+        *,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        fallback: str = "argmax",
+        degree_cap: int | None = None,
+        failures: FailureModel | None = None,
+        matching_sampler: Callable[[Graph, np.random.Generator], np.ndarray] | None = None,
+        averaging_model: AveragingModel | None = None,
+        batch_rounds: int = 32,
+    ):
+        if parameters.n != graph.n:
+            raise ValueError("parameters were derived for a different graph size")
+        if failures is not None:
+            raise ValueError(
+                "failure injection requires the message-passing backend; "
+                "the vectorized backend has no per-message delivery to fail"
+            )
+        if batch_rounds < 1:
+            raise ValueError("batch_rounds must be at least 1")
+        if degree_cap is not None and degree_cap < graph.max_degree:
+            raise ValueError(
+                f"degree cap D={degree_cap} must be at least the maximum "
+                f"degree {graph.max_degree}"
+            )
+        if degree_cap is not None and matching_sampler is not None:
+            raise ValueError(
+                "degree_cap cannot be combined with a custom matching_sampler; "
+                "apply the cap inside the sampler instead"
+            )
+        if degree_cap is not None and averaging_model is not None:
+            raise ValueError(
+                "degree_cap cannot be combined with an averaging_model; "
+                "apply the cap inside the model's own matching step instead"
+            )
+        if matching_sampler is not None and averaging_model is not None:
+            raise ValueError(
+                "matching_sampler cannot be combined with an averaging_model; "
+                "the model owns its own matching step"
+            )
+        self.graph = graph
+        self.parameters = parameters
+        #: Declared query fallback, applied at result assembly (see class doc).
+        self.fallback = fallback
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._degree_cap = degree_cap
+        self._matching_sampler = matching_sampler
+        self._averaging_model = averaging_model
+        self._batch_rounds = int(batch_rounds)
+
+    def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
+        self._claim_single_use()
+        params = self.parameters
+        graph = self.graph
+        rng = self._rng
+
+        # --- Seeding procedure (vectorised over all nodes/trials) ----------
+        seeds = sample_seeds(params, rng)
+        seed_ids = assign_seed_identifiers(seeds, params, rng)
+        loads = seed_load_matrix(graph.n, seeds)
+        metadata = {
+            "backend": self.name,
+            "n": graph.n,
+            "m": graph.num_edges,
+            "fallback": self.fallback,
+        }
+
+        matched_edges: list[int] = []
+        if seeds.size == 0:
+            # Degenerate but possible: no node became active; there is no
+            # load to average, so no rounds are executed.
+            return EngineResult(
+                rounds_executed=0,
+                loads=loads,
+                seeds=seeds,
+                seed_ids=seed_ids,
+                metadata=metadata,
+            )
+
+        # --- Averaging procedure -------------------------------------------
+        if self._averaging_model is not None:
+            current = loads
+            for t in range(params.rounds):
+                current = self._averaging_model.step(current, rng)
+                matched = getattr(self._averaging_model, "last_matched_edges", None)
+                matched_edges.append(int(matched) if matched is not None else -1)
+                if round_callback is not None:
+                    # Defensive copy: the RoundCallback contract promises a
+                    # snapshot, and a model is free to reuse its buffer.
+                    round_callback(t, current.copy())
+            loads = current
+        else:
+            t = 0
+            while t < params.rounds:
+                chunk = min(self._batch_rounds, params.rounds - t)
+                matchings = sample_random_matchings(
+                    graph,
+                    rng,
+                    chunk,
+                    sampler=self._matching_sampler,
+                    degree_cap=self._degree_cap,
+                )
+                for i in range(chunk):
+                    partner = matchings[i]
+                    apply_matching(loads, partner, out=loads)
+                    matched_edges.append(count_matched_edges(partner))
+                    if round_callback is not None:
+                        # Hand out a snapshot: the buffer is updated in place,
+                        # so callers recording per-round history would
+                        # otherwise end up with T references to the final
+                        # configuration.  The copy only costs when a callback
+                        # is registered; the hot path stays allocation-free.
+                        round_callback(t + i, loads.copy())
+                t += chunk
+
+        return EngineResult(
+            rounds_executed=params.rounds,
+            loads=loads,
+            seeds=seeds,
+            seed_ids=seed_ids,
+            matched_edges_per_round=matched_edges,
+            metadata=metadata,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Shared result assembly (query + partition normalisation)
+# --------------------------------------------------------------------------- #
+
+def build_clustering_result(
+    engine_result: EngineResult,
+    parameters: AlgorithmParameters,
+    *,
+    fallback: str | None = None,
+    keep_loads: bool = True,
+) -> ClusteringResult:
+    """Turn an :class:`EngineResult` into the user-facing :class:`ClusteringResult`.
+
+    If the backend already computed per-node labels (the message-passing
+    nodes run the Query Procedure locally in ``finalise``) those are kept;
+    otherwise the query is applied centrally to the final load
+    configuration with ``fallback`` — ``None`` (default) adopts the policy
+    the engine declared in its metadata (falling back to ``"argmax"``), so
+    an engine configured with ``fallback="none"`` is honoured without the
+    caller having to repeat the choice.  Either way the partition
+    normalisation maps the unlabelled marker ``-1`` (present with
+    ``fallback="none"`` or when no seed exists) to a fresh label so those
+    nodes form their own cluster.
+    """
+    er = engine_result
+    if fallback is None:
+        fallback = er.metadata.get("fallback") or "argmax"
+    labels = er.labels
+    unlabelled = er.unlabelled
+    if labels is None:
+        if er.seed_ids.size == 0:
+            # No seeds: the query has nothing to inspect; every node gets the
+            # same arbitrary label and counts as unlabelled.
+            labels = np.zeros(parameters.n, dtype=np.int64)
+            unlabelled = np.ones(parameters.n, dtype=bool)
+        else:
+            labels, unlabelled = assign_labels_from_loads(
+                er.loads, er.seed_ids, parameters.threshold, fallback=fallback
+            )
+
+    partition_labels = labels.copy()
+    if np.any(partition_labels < 0):
+        partition_labels[partition_labels < 0] = (
+            int(partition_labels.max()) + 1 if partition_labels.max() >= 0 else 0
+        )
+
+    diagnostics: dict[str, Any] = {
+        "matched_edges_per_round": list(er.matched_edges_per_round)
+    }
+    if er.metadata:
+        metadata = dict(er.metadata)
+        if er.labels is None:
+            # The query ran centrally: record the policy actually applied,
+            # which may override the engine's declared default.
+            metadata["fallback"] = fallback
+        diagnostics["simulation_metadata"] = metadata
+
+    return ClusteringResult(
+        labels=labels,
+        partition=Partition.from_labels(partition_labels),
+        seeds=er.seeds,
+        seed_ids=er.seed_ids,
+        rounds=er.rounds_executed,
+        parameters=parameters,
+        loads=er.loads if keep_loads else None,
+        communication=er.communication,
+        unlabelled=unlabelled,
+        diagnostics=diagnostics,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Factory + registration
+# --------------------------------------------------------------------------- #
+
+def make_engine(
+    backend: str | RoundEngine,
+    graph: Graph | None = None,
+    parameters: AlgorithmParameters | None = None,
+    **options: Any,
+) -> RoundEngine:
+    """Build a round engine from a backend name (or pass one through).
+
+    ``options`` are forwarded to the backend constructor (``seed``,
+    ``fallback``, ``degree_cap``, ``failures``, and backend-specific knobs).
+    A pre-built engine is passed through — but then no construction options
+    may be supplied: silently dropping them would let e.g. a ``failures``
+    model vanish from a robustness experiment.
+    """
+    if isinstance(backend, RoundEngine):
+        conflicting = []
+        for key, value in options.items():
+            if value is None:
+                continue
+            if key == "fallback":
+                # Engines that run the query locally (labels_locally) apply
+                # their own configured fallback; a differing — or
+                # unverifiable, for an engine that declares none — request
+                # would be silently overridden by the node-computed labels.
+                # Engines that leave the query to result assembly honour the
+                # request there, so no conflict arises.
+                if backend.labels_locally and value != getattr(backend, "fallback", None):
+                    conflicting.append(key)
+            else:
+                conflicting.append(key)
+        if conflicting:
+            raise ValueError(
+                f"options {sorted(conflicting)} have no effect on a pre-built "
+                "engine; configure the engine instance itself"
+            )
+        return backend
+    if graph is None or parameters is None:
+        raise ValueError("graph and parameters are required to build an engine by name")
+    return get_engine_factory(backend)(graph, parameters, **options)
+
+
+register_engine(
+    MessagePassingEngine.name,
+    MessagePassingEngine,
+    aliases=("message", "per-node", "simulator"),
+)
+register_engine(VectorizedEngine.name, VectorizedEngine, aliases=("array", "fast"))

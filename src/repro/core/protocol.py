@@ -1,0 +1,165 @@
+"""Per-node message-passing protocol of the clustering algorithm (Section 3.1).
+
+This is the algorithm exactly as a node would run it on a real network,
+programmed against the :class:`~repro.distsim.node.NodeAlgorithm` interface:
+nodes know only ``n``, ``β`` and ``T`` (the paper's assumptions), their own
+neighbourhood and their private randomness, and everything else travels in
+messages.  One averaging round of the paper is realised as four message
+phases:
+
+``propose``
+    Matching step 1–2: every node flips the activity coin; active nodes send
+    a proposal to one uniformly random neighbour.
+``respond``
+    Matching step 3: a non-active node that received exactly one proposal
+    accepts it, sending its current state to the proposer.
+``average``
+    The proposer of an accepted proposal averages the two states (the
+    three-case rule of the Averaging Procedure) and sends the result back.
+``commit``
+    The accepting node adopts the averaged state, completing the round.
+
+Every matched edge therefore costs one proposal (1 word), one acceptance
+carrying ``O(s)`` words and one commit carrying ``O(s)`` words — which is the
+``O(k log k)`` words per matched pair of Theorem 1.1(2) when
+``β = Θ(1/k)``.
+
+The protocol class is consumed by the ``message-passing`` round engine
+(:class:`~repro.core.engines.MessagePassingEngine`); the ``vectorized``
+engine implements the same protocol distribution as array operations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..distsim.messages import Message
+from ..distsim.node import NodeAlgorithm, NodeContext
+from .parameters import AlgorithmParameters
+from .state import NodeState
+
+__all__ = ["LoadBalancingClusteringAlgorithm"]
+
+
+class LoadBalancingClusteringAlgorithm(NodeAlgorithm):
+    """Per-node behaviour of the distributed clustering algorithm.
+
+    Configuration keys read from the network's ``config`` dictionary:
+
+    ``parameters``
+        The :class:`~repro.core.parameters.AlgorithmParameters` instance.
+    ``fallback``
+        Query fallback policy, ``"argmax"`` (default) or ``"none"``.
+    ``degree_cap``
+        Optional degree bound ``D`` for the almost-regular extension
+        (Section 4.5): an active node proposes along a *virtual self-loop*
+        with probability ``(D - d_v)/D`` — equivalent to running the regular
+        protocol on the ``D``-regular graph ``G*`` with self-loops added.
+    """
+
+    PHASES = ("propose", "respond", "average", "commit")
+
+    def phases(self) -> Sequence[str]:
+        return self.PHASES
+
+    # ------------------------------------------------------------------ #
+    # Initialisation: identifier + seeding procedure
+    # ------------------------------------------------------------------ #
+
+    def initialise(self, node: NodeContext) -> None:
+        params: AlgorithmParameters = node.config["parameters"]
+        rng = node.rng
+        node.state["id"] = int(rng.integers(1, params.id_space + 1))
+        # Seeding: active in at least one of the s̄ trials, each w.p. 1/n.
+        p_any = 1.0 - (1.0 - params.activation_probability) ** params.num_seeding_trials
+        is_seed = bool(rng.random() < p_any)
+        node.state["is_seed"] = is_seed
+        node.state["load"] = (
+            NodeState.seeded(node.state["id"]) if is_seed else NodeState.empty()
+        )
+        node.state["label"] = None
+        node.state["partner"] = -1
+
+    # ------------------------------------------------------------------ #
+    # One averaging round = four phases
+    # ------------------------------------------------------------------ #
+
+    def run_phase(
+        self, node: NodeContext, round_index: int, phase: str, inbox: list[Message]
+    ) -> None:
+        if phase == "propose":
+            self._phase_propose(node)
+        elif phase == "respond":
+            self._phase_respond(node, inbox)
+        elif phase == "average":
+            self._phase_average(node, inbox)
+        elif phase == "commit":
+            self._phase_commit(node, inbox)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown phase {phase!r}")
+
+    def _phase_propose(self, node: NodeContext) -> None:
+        node.state["partner"] = -1
+        node.state["mm_active"] = bool(node.rng.random() < 0.5)
+        if not node.state["mm_active"] or node.degree == 0:
+            return
+        degree_cap = node.config.get("degree_cap")
+        if degree_cap is not None and degree_cap > node.degree:
+            # Almost-regular extension: with probability (D - d_v)/D the
+            # proposal goes along a virtual self-loop and is dropped.
+            if node.rng.random() < (degree_cap - node.degree) / degree_cap:
+                return
+        target = node.random_neighbour()
+        if target == node.node_id:
+            # A real self-loop can never form a matched pair.
+            return
+        node.send(target, "propose", None, words=1)
+
+    def _phase_respond(self, node: NodeContext, inbox: list[Message]) -> None:
+        proposals = [m for m in inbox if m.kind == "propose"]
+        if node.state.get("mm_active", False):
+            return  # active nodes never accept
+        if len(proposals) != 1:
+            return  # chosen by zero or several neighbours: not matched
+        proposer = proposals[0].sender
+        node.state["partner"] = proposer
+        load: NodeState = node.state["load"]
+        node.send(proposer, "accept", load.as_payload())
+
+    def _phase_average(self, node: NodeContext, inbox: list[Message]) -> None:
+        accepts = [m for m in inbox if m.kind == "accept"]
+        if not accepts:
+            return
+        # A node proposes to exactly one neighbour, so it can receive at most
+        # one acceptance.
+        accept = accepts[0]
+        partner_state = NodeState.from_payload(accept.payload)
+        own: NodeState = node.state["load"]
+        averaged = own.averaged_with(partner_state)
+        node.state["load"] = averaged
+        node.state["partner"] = accept.sender
+        node.send(accept.sender, "commit", averaged.as_payload())
+
+    def _phase_commit(self, node: NodeContext, inbox: list[Message]) -> None:
+        commits = [m for m in inbox if m.kind == "commit"]
+        if not commits:
+            # If this node accepted a proposal but the proposer's commit never
+            # arrived (possible only under failure injection), it keeps its
+            # old state — load is then no longer conserved, which the
+            # robustness tests measure explicitly.
+            return
+        node.state["load"] = NodeState.from_payload(commits[0].payload)
+
+    # ------------------------------------------------------------------ #
+    # Query procedure
+    # ------------------------------------------------------------------ #
+
+    def finalise(self, node: NodeContext) -> None:
+        params: AlgorithmParameters = node.config["parameters"]
+        fallback = node.config.get("fallback", "argmax")
+        load: NodeState = node.state["load"]
+        label = load.label(params.threshold)
+        node.state["unlabelled"] = label is None
+        if label is None and fallback == "argmax":
+            label = load.heaviest_prefix()
+        node.state["label"] = -1 if label is None else int(label)

@@ -8,6 +8,13 @@ would send.
 """
 
 from .accounting import CommunicationLog, RoundStats
+from .engine import (
+    EngineResult,
+    RoundEngine,
+    available_engines,
+    get_engine_factory,
+    register_engine,
+)
 from .failures import (
     CompositeFailures,
     CrashFailures,
@@ -24,6 +31,11 @@ from .tracing import RoundTrace, SimulationTrace
 __all__ = [
     "CommunicationLog",
     "RoundStats",
+    "EngineResult",
+    "RoundEngine",
+    "available_engines",
+    "get_engine_factory",
+    "register_engine",
     "CompositeFailures",
     "CrashFailures",
     "FailureModel",

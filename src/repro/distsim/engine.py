@@ -1,0 +1,175 @@
+"""The round-engine abstraction: interchangeable executors for the protocol.
+
+The paper's algorithm is a synchronous round protocol — seeding, ``T``
+averaging rounds over random matchings, then a local query — and this module
+defines the *engine* contract for executing those rounds, extracted from the
+original design in which :class:`~repro.distsim.network.SynchronousNetwork`
+was the only executor.  Two interchangeable backends implement it (in
+:mod:`repro.core.engines`):
+
+``message-passing``
+    The faithful per-node simulator built on :class:`SynchronousNetwork`:
+    one isolated :class:`~repro.distsim.node.NodeContext` per node, real
+    message queues, exact communication accounting and failure injection.
+    Fidelity over speed.
+
+``vectorized``
+    The array backend: one round is a batched random-matching draw plus a
+    fancy-indexed averaging over all seed dimensions at once.  No message
+    objects exist, so no communication log — but runs are orders of
+    magnitude faster and scale to ``n = 10^5`` and beyond.
+
+Both backends finish with the same observable outcome — the final ``(n, s)``
+load configuration together with the seed set that generated it — captured
+in :class:`EngineResult`.  Everything downstream (query, result assembly,
+scoring) is backend-agnostic and lives in :mod:`repro.core.engines`.
+
+A tiny registry maps backend names to factories so drivers, the CLI and the
+evaluation runner can select a backend by string without importing concrete
+engine classes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .accounting import CommunicationLog
+from .tracing import SimulationTrace
+
+__all__ = [
+    "EngineResult",
+    "RoundEngine",
+    "RoundCallback",
+    "register_engine",
+    "available_engines",
+    "get_engine_factory",
+]
+
+#: Observer invoked after every averaging round with ``(round_index, loads)``
+#: where ``loads`` is a snapshot of the current ``(n, s)`` configuration
+#: (safe to keep across rounds).
+RoundCallback = Callable[[int, np.ndarray], None]
+
+
+@dataclass
+class EngineResult:
+    """Backend-agnostic outcome of one protocol execution.
+
+    Attributes
+    ----------
+    rounds_executed:
+        Number of averaging rounds actually run.
+    loads:
+        Final ``(n, s)`` load configuration.  The per-node backend
+        reconstructs it from the node states (a real deployment would not);
+        the array backend produces it natively.
+    seeds:
+        Node ids of the active seed nodes, in ascending order (= column
+        order of ``loads``).
+    seed_ids:
+        Random identifier (prefix) of each seed, aligned with ``seeds``.
+    matched_edges_per_round:
+        Number of matched pairs in each round.
+    labels / unlabelled:
+        Per-node query outcome when the backend computed it locally (the
+        message-passing nodes run the query themselves); ``None`` when the
+        driver should apply the query centrally from ``loads``.
+    communication:
+        Exact message log — message-passing backend only.
+    trace:
+        Per-round simulator trace — message-passing backend only.
+    metadata:
+        Free-form provenance (backend name, seed entropy, config, ...).
+    """
+
+    rounds_executed: int
+    loads: np.ndarray
+    seeds: np.ndarray
+    seed_ids: np.ndarray
+    matched_edges_per_round: list[int] = field(default_factory=list)
+    labels: np.ndarray | None = None
+    unlabelled: np.ndarray | None = None
+    communication: CommunicationLog | None = None
+    trace: SimulationTrace | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_seeds(self) -> int:
+        return int(np.asarray(self.seeds).size)
+
+
+class RoundEngine(ABC):
+    """Executes seeding + averaging rounds of the load-balancing protocol.
+
+    An engine is constructed for one ``(graph, parameters)`` pair and run
+    once; :meth:`run` returns an :class:`EngineResult` from which the driver
+    assembles the user-facing clustering result.  Engines are free to choose
+    *how* rounds execute (per-node messages, array updates, ...) but must
+    implement the same protocol distribution: the statistical parity of the
+    backends is part of the test-suite contract.
+    """
+
+    #: Registry name of the backend (subclasses override).
+    name: str = "abstract"
+
+    #: ``True`` when the backend computes per-node labels itself (fills
+    #: ``EngineResult.labels``), so a driver-level query fallback request
+    #: cannot override the engine's configured policy; ``False`` when the
+    #: query runs centrally at result assembly.
+    labels_locally: bool = False
+
+    @abstractmethod
+    def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
+        """Execute the full protocol; ``round_callback`` observes each round."""
+
+    def _claim_single_use(self) -> None:
+        """Enforce the run-once contract (call at the top of :meth:`run`).
+
+        An engine's random streams and node states are consumed by a run; a
+        second :meth:`run` would silently continue from the consumed state
+        and produce non-reproducible results, so it is an error.  Drivers
+        constructing engines by name get a fresh engine per run and never
+        hit this.
+        """
+        if getattr(self, "_engine_ran", False):
+            raise RuntimeError(
+                "this round engine has already run; engines are single-use — "
+                "construct a fresh one for another run"
+            )
+        self._engine_ran = True
+
+
+# --------------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------------- #
+
+_ENGINE_FACTORIES: dict[str, Callable[..., RoundEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[..., RoundEngine], *, aliases: tuple[str, ...] = ()) -> None:
+    """Register an engine factory under ``name`` (and optional aliases)."""
+    for key in (name, *aliases):
+        _ENGINE_FACTORIES[key] = factory
+
+
+def available_engines() -> list[str]:
+    """Sorted list of registered backend names (including aliases)."""
+    return sorted(_ENGINE_FACTORIES)
+
+
+def get_engine_factory(name: str) -> Callable[..., RoundEngine]:
+    """Look up a registered engine factory by name.
+
+    The concrete backends register themselves when :mod:`repro.core.engines`
+    is imported; going through :func:`repro.core.engines.make_engine` (or
+    importing :mod:`repro.core`) guarantees that has happened.
+    """
+    try:
+        return _ENGINE_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_engines()) or "<none registered>"
+        raise ValueError(f"unknown round engine {name!r}; available: {known}") from None

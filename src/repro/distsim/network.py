@@ -14,11 +14,12 @@ algorithm is stated.  The simulator
 * applies an optional :class:`~repro.distsim.failures.FailureModel`.
 
 The simulation is sequential Python under the hood (per the HPC guides the
-numerically heavy work lives in the vectorised *centralised* implementation;
-the simulator's job is fidelity and exact communication accounting, not
-speed), but nodes are isolated: the only inter-node channel is the message
-queue, so the measured communication equals what a real deployment would
-send.
+numerically heavy work lives in the *vectorized* round-engine backend — see
+:mod:`repro.distsim.engine` for the engine contract extracted from this
+simulator, and :mod:`repro.core.engines` for both backends; the simulator's
+job is fidelity and exact communication accounting, not speed), but nodes
+are isolated: the only inter-node channel is the message queue, so the
+measured communication equals what a real deployment would send.
 """
 
 from __future__ import annotations

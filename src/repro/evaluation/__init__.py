@@ -13,6 +13,7 @@ from .runner import (
     TrialRecord,
     aggregate_records,
     evaluate_baseline,
+    evaluate_distributed_clustering,
     evaluate_load_balancing_clustering,
     run_trials,
     sweep,
@@ -30,6 +31,7 @@ __all__ = [
     "TrialRecord",
     "aggregate_records",
     "evaluate_baseline",
+    "evaluate_distributed_clustering",
     "evaluate_load_balancing_clustering",
     "run_trials",
     "sweep",

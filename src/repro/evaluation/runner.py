@@ -26,6 +26,7 @@ import numpy as np
 
 from ..baselines.base import BaselineClusterer
 from ..core.centralized import CentralizedClustering
+from ..core.distributed import DistributedClustering
 from ..core.parameters import AlgorithmParameters
 from ..graphs.generators import ClusteredGraph
 from .metrics import clustering_report
@@ -38,6 +39,7 @@ __all__ = [
     "aggregate_records",
     "sweep",
     "evaluate_load_balancing_clustering",
+    "evaluate_distributed_clustering",
     "evaluate_baseline",
 ]
 
@@ -144,8 +146,16 @@ def evaluate_load_balancing_clustering(
     rounds: int | None = None,
     beta: float | None = None,
     fallback: str = "argmax",
+    backend: str = "centralized",
 ) -> AlgorithmCallable:
-    """Adapter running the paper's (centralised) algorithm and scoring it."""
+    """Adapter running the paper's algorithm and scoring it.
+
+    ``backend`` selects the execution stack: ``"centralized"`` (default, the
+    historical matrix driver with the legacy random stream), or any round
+    engine registered with :mod:`repro.core.engines` — ``"vectorized"`` for
+    the fast array backend, ``"message-passing"`` for the per-node
+    simulator with exact communication accounting.
+    """
 
     def run(instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -158,18 +168,38 @@ def evaluate_load_balancing_clustering(
             )
         if rounds is not None:
             params = params.with_rounds(rounds)
-        result = CentralizedClustering(
-            instance.graph, params, seed=seed, fallback=fallback
-        ).run(keep_loads=False)
+        if backend == "centralized":
+            result = CentralizedClustering(
+                instance.graph, params, seed=seed, fallback=fallback
+            ).run(keep_loads=False)
+        else:
+            result = DistributedClustering(
+                instance.graph, params, seed=seed, fallback=fallback, backend=backend
+            ).run()
         record = clustering_report(result.partition, instance.partition)
         record.update(
             rounds=result.rounds,
             num_seeds=result.num_seeds,
             unlabelled=result.num_unlabelled,
+            backend=backend,
         )
+        if result.communication is not None:
+            record.update(words=result.communication.total_words)
         return record
 
     return run
+
+
+def evaluate_distributed_clustering(
+    *, backend: str = "vectorized", **kwargs: Any
+) -> AlgorithmCallable:
+    """Adapter running the distributed driver on a chosen round-engine backend.
+
+    Identical to :func:`evaluate_load_balancing_clustering` (all of whose
+    keyword options pass through) except that the default backend is the
+    vectorized round engine rather than the legacy centralised driver.
+    """
+    return evaluate_load_balancing_clustering(backend=backend, **kwargs)
 
 
 def evaluate_baseline(baseline: BaselineClusterer) -> AlgorithmCallable:

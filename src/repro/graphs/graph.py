@@ -219,6 +219,21 @@ class Graph:
     # American-spelling alias, used by a few baselines.
     neighbors = neighbours
 
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only ``(indptr, indices)`` views of the CSR adjacency structure.
+
+        This is the raw substrate the vectorised round engine samples random
+        neighbours from: ``indices[indptr[v]:indptr[v+1]]`` are the neighbours
+        of ``v``, so a uniform neighbour of every node in an array ``vs`` is
+        ``indices[indptr[vs] + offsets]`` with per-node uniform ``offsets`` —
+        one fancy-indexing expression instead of ``n`` Python-level calls.
+        """
+        indptr = self._csr.indptr.view()
+        indptr.setflags(write=False)
+        indices = self._csr.indices.view()
+        indices.setflags(write=False)
+        return indptr, indices
+
     def random_neighbour(self, v: int, rng: np.random.Generator) -> int:
         """Return a uniformly random neighbour of ``v``.
 

@@ -19,12 +19,15 @@ from .analysis import (
 )
 from .matching import (
     apply_matching,
+    count_matched_edges,
     dbar,
     expected_matching_matrix,
     matching_matrix,
     matching_to_edge_list,
     sample_maximal_matching,
     sample_random_matching,
+    sample_random_matching_fast,
+    sample_random_matchings,
 )
 from .models import (
     AveragingModel,
@@ -44,12 +47,15 @@ from .process import (
 __all__ = [
     # matching.py
     "apply_matching",
+    "count_matched_edges",
     "dbar",
     "expected_matching_matrix",
     "matching_matrix",
     "matching_to_edge_list",
     "sample_maximal_matching",
     "sample_random_matching",
+    "sample_random_matching_fast",
+    "sample_random_matchings",
     # discrete.py
     "DiscreteLoadBalancingProcess",
     "discrete_balancing_error",

@@ -29,7 +29,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graphs.graph import Graph
-from .matching import apply_matching, matching_to_edge_list, sample_maximal_matching, sample_random_matching
+from .matching import (
+    apply_matching,
+    count_matched_edges,
+    sample_maximal_matching,
+    sample_random_matching,
+)
 
 __all__ = [
     "AveragingModel",
@@ -68,7 +73,7 @@ class RandomMatchingModel(AveragingModel):
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         partner = sample_random_matching(self.graph, rng)
-        self.last_matched_edges = int(matching_to_edge_list(partner).shape[0])
+        self.last_matched_edges = count_matched_edges(partner)
         return apply_matching(loads, partner)
 
     def communication_per_round(self, s: int) -> float:
@@ -90,7 +95,7 @@ class MaximalMatchingModel(AveragingModel):
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         partner = sample_maximal_matching(self.graph, rng)
-        self.last_matched_edges = int(matching_to_edge_list(partner).shape[0])
+        self.last_matched_edges = count_matched_edges(partner)
         return apply_matching(loads, partner)
 
     def communication_per_round(self, s: int) -> float:

@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..graphs.graph import Graph
-from .matching import apply_matching, matching_to_edge_list, sample_random_matching
+from .matching import apply_matching, count_matched_edges, sample_random_matching
 
 __all__ = [
     "LoadBalancingHistory",
@@ -106,7 +106,7 @@ class LoadBalancingProcess:
         self._round += 1
         if self.history is not None:
             self.history.loads.append(self._load.copy())
-            self.history.matched_edges.append(int(matching_to_edge_list(partner).shape[0]))
+            self.history.matched_edges.append(count_matched_edges(partner))
         return partner
 
     def run(self, rounds: int) -> np.ndarray:
@@ -180,12 +180,21 @@ class MultiDimensionalLoadBalancing:
     def matched_edges_per_round(self) -> list[int]:
         return list(self._matched_edges)
 
-    def step(self) -> np.ndarray:
-        """Execute one round; returns the matching used (partner array)."""
-        partner = self._sampler(self.graph, self._rng)
-        self._loads = apply_matching(self._loads, partner)
+    def step(self, partner: np.ndarray | None = None) -> np.ndarray:
+        """Execute one round; returns the matching used (partner array).
+
+        ``partner`` injects a pre-sampled matching (e.g. one row of
+        :func:`~repro.loadbalancing.matching.sample_random_matchings`)
+        instead of drawing a fresh one — the hook the vectorised round engine
+        and the cross-implementation tests use to replay a shared schedule.
+        The update is applied in place: matchings are independent of the load
+        configuration, so no round ever needs the previous round's copy.
+        """
+        if partner is None:
+            partner = self._sampler(self.graph, self._rng)
+        apply_matching(self._loads, partner, out=self._loads)
         self._round += 1
-        self._matched_edges.append(int(matching_to_edge_list(partner).shape[0]))
+        self._matched_edges.append(count_matched_edges(partner))
         if self.history is not None:
             self.history.loads.append(self._loads.copy())
             self.history.matched_edges.append(self._matched_edges[-1])

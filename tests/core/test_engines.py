@@ -1,0 +1,380 @@
+"""Unit tests for the round-engine abstraction and the two backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlgorithmParameters,
+    DistributedClustering,
+    MessagePassingEngine,
+    VectorizedEngine,
+    build_clustering_result,
+    make_engine,
+)
+from repro.distsim import MessageDropFailures, RoundEngine, available_engines
+from repro.graphs import cycle_of_cliques, ring_of_expanders
+from repro.loadbalancing import (
+    apply_matching,
+    count_matched_edges,
+    sample_random_matching_fast,
+    sample_random_matchings,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return cycle_of_cliques(3, 14, seed=5)
+
+
+@pytest.fixture(scope="module")
+def params(instance):
+    return AlgorithmParameters.from_instance(instance.graph, instance.partition)
+
+
+class TestFastSampler:
+    def test_partner_is_involution_on_edges(self, instance):
+        graph = instance.graph
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            partner = sample_random_matching_fast(graph, rng)
+            matched = np.flatnonzero(partner >= 0)
+            assert np.array_equal(partner[partner[matched]], matched)
+            for v in matched:
+                assert graph.has_edge(int(v), int(partner[v]))
+                assert int(partner[v]) != int(v)
+
+    def test_matches_protocol_rate_of_legacy_sampler(self, instance):
+        from repro.loadbalancing import sample_random_matching
+
+        graph = instance.graph
+        trials = 300
+        fast = np.mean([
+            count_matched_edges(sample_random_matching_fast(graph, np.random.default_rng(1000 + t)))
+            for t in range(trials)
+        ])
+        legacy = np.mean([
+            count_matched_edges(sample_random_matching(graph, np.random.default_rng(5000 + t)))
+            for t in range(trials)
+        ])
+        # Same protocol distribution: expected matched edges agree within noise.
+        assert fast == pytest.approx(legacy, rel=0.15)
+
+    def test_degree_cap_is_valid_and_thins_matchings(self):
+        instance = ring_of_expanders(2, 24, 4, seed=3)
+        graph = instance.graph
+        cap = 4 * graph.max_degree
+        rng = np.random.default_rng(7)
+        capped = []
+        uncapped = []
+        for t in range(200):
+            partner = sample_random_matching_fast(graph, rng, degree_cap=cap)
+            matched = np.flatnonzero(partner >= 0)
+            assert np.array_equal(partner[partner[matched]], matched)
+            capped.append(matched.size // 2)
+            uncapped.append(
+                count_matched_edges(sample_random_matching_fast(graph, rng))
+            )
+        # Virtual self-loops swallow most proposals at D = 4Δ.
+        assert np.mean(capped) < 0.6 * np.mean(uncapped)
+
+    def test_degree_cap_below_max_degree_rejected(self, instance):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="degree cap"):
+            sample_random_matching_fast(instance.graph, rng, degree_cap=1)
+
+
+class TestBatchSampling:
+    def test_shape_and_validity(self, instance):
+        graph = instance.graph
+        rng = np.random.default_rng(2)
+        batch = sample_random_matchings(graph, rng, 10)
+        assert batch.shape == (10, graph.n)
+        assert batch.dtype == np.int64
+        for t in range(10):
+            matched = np.flatnonzero(batch[t] >= 0)
+            assert np.array_equal(batch[t][batch[t][matched]], matched)
+
+    def test_zero_rounds(self, instance):
+        batch = sample_random_matchings(instance.graph, np.random.default_rng(0), 0)
+        assert batch.shape == (0, instance.graph.n)
+
+    def test_negative_rounds_rejected(self, instance):
+        with pytest.raises(ValueError):
+            sample_random_matchings(instance.graph, np.random.default_rng(0), -1)
+
+
+class TestApplyMatchingOut:
+    def test_out_none_leaves_input(self):
+        loads = np.eye(4)
+        partner = np.asarray([1, 0, -1, -1])
+        result = apply_matching(loads, partner)
+        assert result is not loads
+        assert np.array_equal(loads, np.eye(4))
+        assert np.allclose(result[0], result[1])
+
+    def test_in_place_matches_copy(self):
+        rng = np.random.default_rng(3)
+        loads = rng.random((8, 3))
+        partner = np.asarray([3, 2, 1, 0, -1, 6, 5, -1])
+        expected = apply_matching(loads, partner)
+        returned = apply_matching(loads, partner, out=loads)
+        assert returned is loads
+        assert np.array_equal(loads, expected)
+
+    def test_out_shape_mismatch_rejected(self):
+        loads = np.ones((4, 2))
+        with pytest.raises(ValueError):
+            apply_matching(loads, np.full(4, -1), out=np.ones((4, 3)))
+
+    def test_integer_out_rejected(self):
+        # Averages are halves; an integer out buffer would silently truncate.
+        int_loads = np.eye(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="floating-point"):
+            apply_matching(int_loads, np.asarray([1, 0, -1, -1]), out=int_loads)
+
+
+class TestEngineFactory:
+    def test_backends_registered(self):
+        names = available_engines()
+        assert "message-passing" in names
+        assert "vectorized" in names
+
+    def test_aliases(self, instance, params):
+        assert isinstance(
+            make_engine("array", instance.graph, params), VectorizedEngine
+        )
+        assert isinstance(
+            make_engine("per-node", instance.graph, params), MessagePassingEngine
+        )
+
+    def test_unknown_backend(self, instance, params):
+        with pytest.raises(ValueError, match="unknown round engine"):
+            make_engine("quantum", instance.graph, params)
+
+    def test_engine_instance_passthrough(self, instance, params):
+        engine = VectorizedEngine(instance.graph, params, seed=0)
+        assert make_engine(engine) is engine
+
+    def test_prebuilt_engine_rejects_construction_options(self, instance, params):
+        engine = VectorizedEngine(instance.graph, params, seed=0)
+        with pytest.raises(ValueError, match="pre-built engine"):
+            make_engine(engine, seed=999)
+        with pytest.raises(ValueError, match="pre-built engine"):
+            DistributedClustering(
+                instance.graph, params, seed=999, backend=engine
+            ).run()
+        # An explicit driver fallback is fine for the vectorized engine: its
+        # query runs centrally at result assembly, where the request applies.
+        short = params.with_rounds(2)
+        engine2 = VectorizedEngine(instance.graph, short, seed=3)
+        overridden = DistributedClustering(
+            instance.graph, short, backend=engine2, fallback="none"
+        ).run()
+        assert overridden.num_unlabelled > 0
+        assert np.all(overridden.labels[overridden.unlabelled] == -1)
+
+    def test_engines_are_single_use(self, instance, params):
+        # A second run would continue from consumed random streams and
+        # silently produce different, non-reproducible results.
+        engine = VectorizedEngine(instance.graph, params, seed=0)
+        engine.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            engine.run()
+        driver = DistributedClustering(
+            instance.graph,
+            params,
+            backend=MessagePassingEngine(instance.graph, params, seed=0),
+        )
+        driver.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            driver.run()
+        # By-name drivers build a fresh engine per run and stay repeatable.
+        by_name = DistributedClustering(
+            instance.graph, params, seed=0, backend="vectorized"
+        )
+        assert np.array_equal(by_name.run().labels, by_name.run().labels)
+
+    def test_prebuilt_engine_must_match_graph_and_parameters(self, instance, params):
+        other = cycle_of_cliques(3, 14, seed=99)
+        engine = VectorizedEngine(other.graph, params, seed=0)
+        with pytest.raises(ValueError, match="different graph"):
+            DistributedClustering(instance.graph, params, backend=engine).run()
+        engine2 = VectorizedEngine(instance.graph, params.with_rounds(3), seed=0)
+        with pytest.raises(ValueError, match="different parameters"):
+            DistributedClustering(instance.graph, params, backend=engine2).run()
+
+    def test_prebuilt_engine_declared_fallback_is_honoured(self, instance, params):
+        # An engine configured with fallback="none" keeps that policy when
+        # the driver leaves the fallback unspecified: below-threshold nodes
+        # stay unlabelled (-1) instead of getting argmax labels.
+        short = params.with_rounds(2)  # under-mixed: some nodes below threshold
+        engine = VectorizedEngine(instance.graph, short, seed=3, fallback="none")
+        result = DistributedClustering(instance.graph, short, backend=engine).run()
+        assert result.num_unlabelled > 0
+        assert np.all(result.labels[result.unlabelled] == -1)
+
+    def test_prebuilt_message_engine_rejects_conflicting_fallback(
+        self, instance, params
+    ):
+        # The message-passing nodes compute labels locally with the engine's
+        # own fallback; a differing driver request must not be silently
+        # overridden by the node-computed labels.
+        engine = MessagePassingEngine(instance.graph, params, seed=0)
+        with pytest.raises(ValueError, match="pre-built engine"):
+            DistributedClustering(
+                instance.graph, params, backend=engine, fallback="none"
+            ).run()
+        engine_none = MessagePassingEngine(
+            instance.graph, params, seed=0, fallback="none"
+        )
+        result = DistributedClustering(
+            instance.graph, params, backend=engine_none, fallback="none"
+        ).run()
+        assert result.labels.size == instance.graph.n
+        # Unspecified driver fallback adopts the engine's declaration.
+        adopted = DistributedClustering(
+            instance.graph, params, backend=MessagePassingEngine(
+                instance.graph, params, seed=0, fallback="none"
+            )
+        ).run()
+        assert np.array_equal(adopted.labels, result.labels)
+
+    def test_degree_cap_with_averaging_model_rejected(self, instance, params):
+        from repro.loadbalancing import RandomMatchingModel
+
+        with pytest.raises(ValueError, match="averaging_model"):
+            VectorizedEngine(
+                instance.graph,
+                params,
+                averaging_model=RandomMatchingModel(instance.graph),
+                degree_cap=instance.graph.max_degree,
+            )
+
+    def test_degree_cap_with_custom_sampler_rejected(self, instance, params):
+        from repro.loadbalancing import sample_random_matching
+
+        with pytest.raises(ValueError, match="custom"):
+            VectorizedEngine(
+                instance.graph,
+                params,
+                matching_sampler=sample_random_matching,
+                degree_cap=instance.graph.max_degree,
+            )
+        with pytest.raises(ValueError, match="custom"):
+            sample_random_matchings(
+                instance.graph,
+                np.random.default_rng(0),
+                3,
+                sampler=sample_random_matching,
+                degree_cap=instance.graph.max_degree,
+            )
+
+    def test_vectorized_rejects_failures(self, instance, params):
+        with pytest.raises(ValueError, match="message-passing"):
+            VectorizedEngine(
+                instance.graph, params, failures=MessageDropFailures(drop_probability=0.1)
+            )
+
+    def test_distributed_driver_rejects_failures_on_vectorized(self, instance, params):
+        with pytest.raises(ValueError, match="message-passing"):
+            DistributedClustering(
+                instance.graph,
+                params,
+                seed=0,
+                backend="vectorized",
+                failures=MessageDropFailures(drop_probability=0.1),
+            ).run()
+
+
+class TestVectorizedEngine:
+    def test_result_fields_and_conservation(self, instance, params):
+        engine = VectorizedEngine(instance.graph, params, seed=11)
+        result = engine.run()
+        assert isinstance(engine, RoundEngine)
+        assert result.rounds_executed == params.rounds
+        assert result.loads.shape == (instance.graph.n, result.num_seeds)
+        assert result.labels is None  # query runs centrally
+        assert result.communication is None
+        assert len(result.matched_edges_per_round) == params.rounds
+        # Each seed's unit of load is conserved by every matching round.
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+
+    def test_round_callback_sees_every_round(self, instance, params):
+        seen = []
+        VectorizedEngine(instance.graph, params, seed=1).run(
+            round_callback=lambda t, loads: seen.append((t, loads.shape))
+        )
+        assert [t for t, _ in seen] == list(range(params.rounds))
+        assert all(shape[0] == instance.graph.n for _, shape in seen)
+
+    def test_round_callback_receives_snapshots(self, instance, params):
+        # Callers recording per-round history must get independent arrays,
+        # not T references to the engine's in-place buffer.
+        history = []
+        VectorizedEngine(instance.graph, params, seed=1).run(
+            round_callback=lambda t, loads: history.append(loads)
+        )
+        assert len(history) == params.rounds
+        assert history[0] is not history[-1]
+        assert not np.array_equal(history[0], history[-1])
+
+    def test_batch_size_does_not_change_results(self, instance, params):
+        runs = [
+            VectorizedEngine(instance.graph, params, seed=9, batch_rounds=b).run()
+            for b in (1, 7, 256)
+        ]
+        for other in runs[1:]:
+            assert np.array_equal(runs[0].loads, other.loads)
+            assert np.array_equal(runs[0].seeds, other.seeds)
+
+    def test_invalid_batch_rounds(self, instance, params):
+        with pytest.raises(ValueError):
+            VectorizedEngine(instance.graph, params, batch_rounds=0)
+
+    def test_no_seeds_degenerate(self, instance):
+        params = AlgorithmParameters.from_values(
+            instance.graph.n, 0.25, 10, activation_probability=0.0
+        )
+        result = VectorizedEngine(instance.graph, params, seed=0).run()
+        assert result.rounds_executed == 0
+        assert result.num_seeds == 0
+        clustering = build_clustering_result(result, params)
+        assert clustering.rounds == 0
+        assert clustering.num_unlabelled == instance.graph.n
+        assert np.array_equal(clustering.labels, np.zeros(instance.graph.n, dtype=np.int64))
+
+
+class TestMessagePassingEngine:
+    def test_result_carries_communication_and_local_labels(self, instance, params):
+        result = MessagePassingEngine(instance.graph, params, seed=11).run()
+        assert result.labels is not None
+        assert result.unlabelled is not None
+        assert result.communication is not None
+        assert result.trace is not None
+        assert result.communication.total_messages > 0
+        assert result.rounds_executed == params.rounds
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+
+    def test_round_callback_reconstructs_loads(self, instance, params):
+        small = params.with_rounds(3)
+        seen = []
+        MessagePassingEngine(instance.graph, small, seed=2).run(
+            round_callback=lambda t, loads: seen.append((t, float(loads.sum())))
+        )
+        assert [t for t, _ in seen] == [0, 1, 2]
+        # Total load equals the number of seeds in every round (conservation).
+        totals = {round(total) for _, total in seen}
+        assert len(totals) == 1
+
+    def test_matches_legacy_distributed_driver(self, instance, params):
+        # The default DistributedClustering backend must be the simulator,
+        # bit-for-bit: same seed, same labels, same message count.
+        engine_result = MessagePassingEngine(instance.graph, params, seed=4).run()
+        driver_result = DistributedClustering(instance.graph, params, seed=4).run()
+        assert np.array_equal(engine_result.labels, driver_result.labels)
+        assert (
+            engine_result.communication.total_words
+            == driver_result.communication.total_words
+        )
