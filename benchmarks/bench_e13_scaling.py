@@ -33,9 +33,11 @@ def _run_once(instance, seed: int) -> float:
 
 
 def test_e13_scaling(benchmark):
-    # BENCH_SMOKE=1 (CI) trims the sweep to the two smallest sizes.
+    # BENCH_SMOKE=1 (CI) trims the sweep to the two smallest sizes.  The
+    # array-native generators made instance construction negligible, so the
+    # full sweep now reaches twice as far up (n = 80 .. 1280).
     smoke = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
-    sizes = (10, 20) if smoke else (10, 20, 40)  # clique sizes -> n = 80, 160, 320
+    sizes = (10, 20) if smoke else (10, 20, 40, 80, 160)  # cliques -> n = 80 .. 1280
     rows = []
     normalised = []
     instances = {}

@@ -49,12 +49,15 @@ class WeightedGraph:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "WeightedGraph":
-        adjacency: list[dict[int, float]] = [dict() for _ in range(graph.n)]
-        for u, v in graph.edges():
-            if u == v:
-                continue
-            adjacency[u][v] = adjacency[u].get(v, 0.0) + 1.0
-            adjacency[v][u] = adjacency[v].get(u, 0.0) + 1.0
+        # Build each node's dict straight from its (symmetric) CSR neighbour
+        # slice — no per-edge Python loop over tuple pairs.
+        indptr, indices = graph.csr_arrays()
+        bounds = indptr.tolist()
+        neighbours = indices.tolist()
+        adjacency: list[dict[int, float]] = [
+            {u: 1.0 for u in neighbours[bounds[v] : bounds[v + 1]] if u != v}
+            for v in range(graph.n)
+        ]
         return cls(node_weights=np.ones(graph.n, dtype=np.float64), adjacency=adjacency)
 
     def cut_weight(self, labels: np.ndarray) -> float:

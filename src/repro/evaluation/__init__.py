@@ -17,6 +17,7 @@ from .runner import (
     evaluate_load_balancing_clustering,
     run_trials,
     sweep,
+    trial_seed,
 )
 from .tables import format_markdown_table, format_table, records_to_rows
 
@@ -35,6 +36,7 @@ __all__ = [
     "evaluate_load_balancing_clustering",
     "run_trials",
     "sweep",
+    "trial_seed",
     "format_markdown_table",
     "format_table",
     "records_to_rows",

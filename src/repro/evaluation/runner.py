@@ -19,6 +19,7 @@ Design notes
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -35,6 +36,7 @@ from .tables import format_table
 __all__ = [
     "TrialRecord",
     "ExperimentResult",
+    "trial_seed",
     "run_trials",
     "aggregate_records",
     "sweep",
@@ -99,6 +101,18 @@ class ExperimentResult:
         )
 
 
+def trial_seed(name: str, trial: int, base_seed: int = 0) -> int:
+    """Derive the per-(algorithm, trial) seed used by :func:`run_trials`.
+
+    The algorithm name enters through ``zlib.crc32`` — a *stable* digest.
+    The seed previously used ``hash(name)``, which is randomised per process
+    by ``PYTHONHASHSEED``, so experiment records silently changed between
+    runs; CRC32 makes every record reproducible run-to-run (and the formula
+    is pinned by a regression test).
+    """
+    return base_seed + 1000 * trial + zlib.crc32(name.encode("utf-8")) % 997
+
+
 def run_trials(
     instances: Iterable[tuple[dict[str, Any], ClusteredGraph]],
     algorithms: Mapping[str, AlgorithmCallable],
@@ -111,7 +125,7 @@ def run_trials(
     for config, instance in instances:
         for name, algorithm in algorithms.items():
             for trial in range(trials):
-                seed = base_seed + 1000 * trial + hash(name) % 997
+                seed = trial_seed(name, trial, base_seed)
                 values = dict(algorithm(instance, seed))
                 values.setdefault("algorithm", name)
                 full_config = dict(config)

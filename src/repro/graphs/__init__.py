@@ -35,6 +35,14 @@ from .generators import (
 )
 from .graph import Graph, GraphError
 from .lfr import lfr_benchmark, truncated_power_law
+from .sampling import (
+    bernoulli_block_edges,
+    bernoulli_triu_edges,
+    pair_to_triu_index,
+    sample_distinct_indices,
+    sample_triu_pairs_excluding,
+    triu_index_to_pair,
+)
 from .io import (
     read_edge_list,
     read_metis,
@@ -97,6 +105,13 @@ __all__ = [
     # lfr.py
     "lfr_benchmark",
     "truncated_power_law",
+    # sampling.py
+    "bernoulli_block_edges",
+    "bernoulli_triu_edges",
+    "pair_to_triu_index",
+    "sample_distinct_indices",
+    "sample_triu_pairs_excluding",
+    "triu_index_to_pair",
     # conductance.py
     "cluster_conductances",
     "conductance",

@@ -76,7 +76,10 @@ class Graph:
     def __init__(self, n: int, edges: Iterable[tuple[int, int]], *, name: str = "graph"):
         if n <= 0:
             raise GraphError(f"graph must have at least one node, got n={n}")
-        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if isinstance(edges, np.ndarray):
+            edge_array = np.asarray(edges, dtype=np.int64)
+        else:
+            edge_array = np.asarray(list(edges), dtype=np.int64)
         if edge_array.size == 0:
             edge_array = edge_array.reshape(0, 2)
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:
@@ -90,35 +93,70 @@ class Graph:
         non_loop_u = u[~loop_mask]
         non_loop_v = v[~loop_mask]
 
-        # Detect duplicates among non-loop edges (order-insensitive).
+        # Detect duplicates among non-loop edges (order-insensitive).  The
+        # check is a sort + adjacent compare: numpy's hash-based `unique` is
+        # several times slower at the 10⁷-edge scale the generators produce.
         if non_loop_u.size:
             lo = np.minimum(non_loop_u, non_loop_v)
             hi = np.maximum(non_loop_u, non_loop_v)
-            keys = lo.astype(np.int64) * n + hi
-            if np.unique(keys).size != keys.size:
+            keys = np.sort(lo * n + hi)
+            if np.any(keys[1:] == keys[:-1]):
                 raise GraphError("duplicate undirected edges are not allowed")
         loops = u[loop_mask]
-        if loops.size and np.unique(loops).size != loops.size:
-            raise GraphError("duplicate self-loops are not allowed")
+        if loops.size:
+            sorted_loops = np.sort(loops)
+            if np.any(sorted_loops[1:] == sorted_loops[:-1]):
+                raise GraphError("duplicate self-loops are not allowed")
 
         # Build symmetric CSR: each non-loop edge contributes two directed
         # arcs, each self-loop contributes a single arc v -> v.
         src = np.concatenate([non_loop_u, non_loop_v, loops])
         dst = np.concatenate([non_loop_v, non_loop_u, loops])
-        # Canonical CSR: arcs sorted by (source, destination) so that two
-        # graphs with the same edge set compare equal regardless of the
-        # order in which edges were supplied.
-        order = np.lexsort((dst, src))
-        src = src[order]
-        dst = dst[order]
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(indptr, src + 1, 1)
-        indptr = np.cumsum(indptr)
-        self._csr = _CSR(indptr=indptr, indices=dst.astype(np.int64))
-        self._n = int(n)
+        self._finalise_from_arcs(
+            int(n),
+            src,
+            dst,
+            num_edges=int(non_loop_u.size + loops.size),
+            num_self_loops=int(loops.size),
+            name=name,
+        )
+
+    def _finalise_from_arcs(
+        self,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        num_edges: int,
+        num_self_loops: int,
+        name: str,
+    ) -> None:
+        """Sort symmetric arc arrays into canonical CSR and fill the slots.
+
+        Canonical CSR: arcs sorted by (source, destination) so that two
+        graphs with the same edge set compare equal regardless of the order
+        in which edges were supplied, and so that each row's neighbour slice
+        is sorted (which :meth:`has_edge` binary-searches).
+        """
+        if n <= 3_000_000_000:
+            # Fuse (src, dst) into one int64 key: a single np.sort is ~6x
+            # faster than np.lexsort on tens of millions of arcs, and both
+            # the destination column and the row pointers fall out of the
+            # sorted keys without materialising a permutation.
+            keys = np.sort(src.astype(np.int64) * n + np.asarray(dst, dtype=np.int64))
+            indices = keys % n
+            indptr = np.searchsorted(keys, np.arange(n + 1, dtype=np.int64) * n)
+        else:  # pragma: no cover - keys would overflow int64 (n > 3e9)
+            order = np.lexsort((dst, src))
+            indices = np.asarray(dst, dtype=np.int64)[order]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(indptr, np.asarray(src, dtype=np.int64) + 1, 1)
+            indptr = np.cumsum(indptr)
+        self._csr = _CSR(indptr=indptr, indices=np.ascontiguousarray(indices, dtype=np.int64))
+        self._n = n
         self._degrees = np.diff(indptr).astype(np.int64)
-        self._num_edges = int(non_loop_u.size + loops.size)
-        self._num_self_loops = int(loops.size)
+        self._num_edges = num_edges
+        self._num_self_loops = num_self_loops
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -126,12 +164,77 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def from_edge_array(cls, n: int, edges: np.ndarray, *, name: str = "graph") -> "Graph":
+        """Build a graph from an ``(m, 2)`` int64 edge array, fully validated.
+
+        Semantically identical to ``Graph(n, edges)`` (range checks and
+        vectorised duplicate detection included) but skips the Python-level
+        ``list(edges)`` round trip: the array is consumed as-is.  This is the
+        constructor every generator uses.
+        """
+        return cls(n, np.asarray(edges, dtype=np.int64), name=name)
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        name: str = "graph",
+        validate: bool = False,
+    ) -> "Graph":
+        """Adopt existing CSR arrays as a graph — the trusted zero-copy path.
+
+        ``indptr``/``indices`` must describe a *canonical* symmetric CSR
+        structure: for every arc ``u → v`` with ``u ≠ v`` the reverse arc is
+        present, each row's neighbour slice is sorted, and self-loops appear
+        as a single arc ``v → v``.  Both :meth:`csr_arrays` outputs and
+        anything produced by :meth:`_finalise_from_arcs` qualify.  The arrays
+        are adopted without copying (when already int64 and contiguous), so
+        callers must not mutate them afterwards.
+
+        ``validate=True`` runs O(n + m) structural checks (monotone pointers,
+        per-row sortedness, endpoint range, symmetry) for untrusted input.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        n = indptr.size - 1
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphError("indptr does not describe the indices array")
+        if validate:
+            if np.any(np.diff(indptr) < 0):
+                raise GraphError("indptr must be non-decreasing")
+            if indices.size and (indices.min() < 0 or indices.max() >= n):
+                raise GraphError("edge endpoint out of range")
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            keys = rows * n + indices
+            if np.any(np.diff(keys) <= 0):
+                raise GraphError("rows must be sorted with unique entries")
+            reverse = np.searchsorted(keys, indices * n + rows)
+            if np.any(reverse >= keys.size) or np.any(keys[np.minimum(reverse, keys.size - 1)] != indices * n + rows):
+                raise GraphError("CSR structure is not symmetric")
+            loops = int(np.count_nonzero(rows == indices))
+        else:
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            loops = int(np.count_nonzero(rows == indices))
+        self = object.__new__(cls)
+        self._csr = _CSR(indptr=indptr, indices=indices)
+        self._n = int(n)
+        self._degrees = np.diff(indptr).astype(np.int64)
+        self._num_edges = int((indices.size - loops) // 2 + loops)
+        self._num_self_loops = loops
+        self.name = name
+        return self
+
+    @classmethod
     def from_adjacency(cls, adjacency: np.ndarray | sp.spmatrix, *, name: str = "graph") -> "Graph":
         """Build a graph from a dense or sparse symmetric 0/1 adjacency matrix."""
         if sp.issparse(adjacency):
             a = sp.coo_matrix(adjacency)
             mask = a.row <= a.col
-            edges = list(zip(a.row[mask].tolist(), a.col[mask].tolist()))
+            edges = np.stack([a.row[mask], a.col[mask]], axis=1).astype(np.int64)
             n = a.shape[0]
         else:
             a = np.asarray(adjacency)
@@ -142,8 +245,8 @@ class Graph:
             n = a.shape[0]
             iu = np.triu_indices(n)
             sel = a[iu] != 0
-            edges = list(zip(iu[0][sel].tolist(), iu[1][sel].tolist()))
-        return cls(n, edges, name=name)
+            edges = np.stack([iu[0][sel], iu[1][sel]], axis=1).astype(np.int64)
+        return cls.from_edge_array(n, edges, name=name)
 
     @classmethod
     def from_networkx(cls, g, *, name: str | None = None) -> "Graph":
@@ -247,19 +350,36 @@ class Graph:
         return int(self._csr.indices[start + rng.integers(end - start)])
 
     def has_edge(self, u: int, v: int) -> bool:
-        return bool(np.any(self._csr.neighbours(u) == v))
+        """O(log d_u) membership test: rows are sorted, so binary-search.
+
+        The canonical CSR built at construction keeps every neighbour slice
+        sorted, which turns the seed's O(d) linear scan into a
+        ``searchsorted`` — noticeable on the high-degree nodes of the dense
+        clique families.
+        """
+        start = self._csr.indptr[u]
+        end = self._csr.indptr[u + 1]
+        pos = start + np.searchsorted(self._csr.indices[start:end], v)
+        return bool(pos < end and self._csr.indices[pos] == v)
 
     def edges(self) -> Iterator[tuple[int, int]]:
-        """Iterate undirected edges once each, as ``(min, max)`` pairs."""
-        for u in range(self._n):
-            for v in self._csr.neighbours(u):
-                if v >= u:
-                    yield (u, int(v))
+        """Iterate undirected edges once each, as ``(min, max)`` pairs.
+
+        Prefer :meth:`edge_array` in new code — this iterator exists for the
+        few remaining tuple consumers (networkx export, tests) and is backed
+        by the vectorised array extraction rather than a per-node scan.
+        """
+        for u, v in self.edge_array().tolist():
+            yield (u, v)
+
+    def _arc_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Expanded ``(src, dst)`` arc arrays (both directions of every edge)."""
+        rows = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._csr.indptr))
+        return rows, self._csr.indices
 
     def edge_array(self) -> np.ndarray:
         """All undirected edges as an ``(m, 2)`` array (each edge once)."""
-        rows = np.repeat(np.arange(self._n), np.diff(self._csr.indptr))
-        cols = self._csr.indices
+        rows, cols = self._arc_arrays()
         mask = cols >= rows
         return np.stack([rows[mask], cols[mask]], axis=1)
 
@@ -269,10 +389,15 @@ class Graph:
 
     def adjacency_matrix(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
         """The symmetric adjacency matrix ``A`` (self-loops appear once on the diagonal)."""
-        rows = np.repeat(np.arange(self._n), np.diff(self._csr.indptr))
-        cols = self._csr.indices
-        data = np.ones(rows.shape[0], dtype=np.float64)
-        a = sp.csr_matrix((data, (rows, cols)), shape=(self._n, self._n))
+        data = np.ones(self._csr.indices.shape[0], dtype=np.float64)
+        # The internal structure already is canonical CSR, so the matrix is a
+        # straight copy of the index arrays instead of a COO round trip.  The
+        # copies keep the (mutable) scipy matrix from aliasing the immutable
+        # graph internals.
+        a = sp.csr_matrix(
+            (data, self._csr.indices.copy(), self._csr.indptr.copy()),
+            shape=(self._n, self._n),
+        )
         if sparse:
             return a
         return a.toarray()
@@ -318,15 +443,30 @@ class Graph:
 
     def induced_subgraph(self, nodes: Sequence[int]) -> "Graph":
         """Subgraph induced on ``nodes`` (relabelled to ``0..len(nodes)-1``)."""
-        nodes = np.asarray(sorted(set(int(x) for x in nodes)), dtype=np.int64)
+        nodes = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if nodes.size == 0:
+            raise GraphError("graph must have at least one node, got n=0")
+        if nodes[0] < 0 or nodes[-1] >= self._n:
+            raise GraphError("induced_subgraph node id out of range")
         index = -np.ones(self._n, dtype=np.int64)
         index[nodes] = np.arange(nodes.size)
-        sub_edges = []
-        for u in nodes:
-            for v in self._csr.neighbours(int(u)):
-                if v >= u and index[v] >= 0:
-                    sub_edges.append((int(index[u]), int(index[v])))
-        return Graph(nodes.size, sub_edges, name=f"{self.name}[induced]")
+        src, dst = self._arc_arrays()
+        keep = (index[src] >= 0) & (index[dst] >= 0)
+        src = index[src[keep]]
+        dst = index[dst[keep]]
+        loops = int(np.count_nonzero(src == dst))
+        sub = object.__new__(Graph)
+        # The filtered arcs are already symmetric, so finalising them directly
+        # skips the validated constructor's duplicate scan.
+        sub._finalise_from_arcs(
+            int(nodes.size),
+            src,
+            dst,
+            num_edges=int((src.size - loops) // 2 + loops),
+            num_self_loops=loops,
+            name=f"{self.name}[induced]",
+        )
+        return sub
 
     def with_self_loops_to_degree(self, target_degree: int) -> "Graph":
         """Return a copy where node ``v`` gains a self-loop if ``d_v < target_degree``.
@@ -341,11 +481,20 @@ class Graph:
             raise GraphError(
                 f"target degree {target_degree} below maximum degree {self.max_degree}"
             )
-        edges = list(self.edges())
-        for v in range(self._n):
-            if self._degrees[v] < target_degree and not self.has_edge(v, v):
-                edges.append((v, v))
-        return Graph(self._n, edges, name=f"{self.name}+selfloops")
+        src, dst = self._arc_arrays()
+        has_loop = np.zeros(self._n, dtype=bool)
+        has_loop[src[src == dst]] = True
+        gains = np.flatnonzero((self._degrees < target_degree) & ~has_loop)
+        out = object.__new__(Graph)
+        out._finalise_from_arcs(
+            self._n,
+            np.concatenate([src, gains]),
+            np.concatenate([dst, gains]),
+            num_edges=self._num_edges + gains.size,
+            num_self_loops=self._num_self_loops + gains.size,
+            name=f"{self.name}+selfloops",
+        )
+        return out
 
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` (used only by tests/inspection)."""
@@ -360,30 +509,42 @@ class Graph:
     # Connectivity
     # ------------------------------------------------------------------ #
 
+    def _csgraph(self) -> sp.csr_matrix:
+        """Boolean CSR adjacency for :mod:`scipy.sparse.csgraph` routines."""
+        return sp.csr_matrix(
+            (
+                np.ones(self._csr.indices.size, dtype=np.int8),
+                self._csr.indices,
+                self._csr.indptr,
+            ),
+            shape=(self._n, self._n),
+        )
+
     def connected_components(self) -> list[np.ndarray]:
-        """Connected components as arrays of node ids (BFS, iterative)."""
-        seen = np.zeros(self._n, dtype=bool)
-        components: list[np.ndarray] = []
-        for start in range(self._n):
-            if seen[start]:
-                continue
-            frontier = [start]
-            seen[start] = True
-            members = [start]
-            while frontier:
-                nxt: list[int] = []
-                for u in frontier:
-                    for v in self._csr.neighbours(u):
-                        if not seen[v]:
-                            seen[v] = True
-                            members.append(int(v))
-                            nxt.append(int(v))
-                frontier = nxt
-            components.append(np.asarray(sorted(members), dtype=np.int64))
+        """Connected components as sorted arrays of node ids.
+
+        Delegates to :func:`scipy.sparse.csgraph.connected_components` (the
+        seed used a Python-level BFS, which dominated the generators'
+        ``ensure_connected`` resample loop at large n).  The return shape is
+        unchanged: one sorted int64 array per component, components ordered
+        by their smallest member.
+        """
+        from scipy.sparse.csgraph import connected_components as _cc
+
+        num, labels = _cc(self._csgraph(), directed=False)
+        order = np.argsort(labels, kind="stable")
+        counts = np.bincount(labels, minlength=num)
+        components = [
+            np.ascontiguousarray(chunk, dtype=np.int64)
+            for chunk in np.split(order, np.cumsum(counts)[:-1])
+        ]
+        components.sort(key=lambda c: int(c[0]))
         return components
 
     def is_connected(self) -> bool:
-        return len(self.connected_components()) == 1
+        from scipy.sparse.csgraph import connected_components as _cc
+
+        return int(_cc(self._csgraph(), directed=False, return_labels=False)) == 1
 
     # ------------------------------------------------------------------ #
     # Dunder methods

@@ -39,16 +39,14 @@ def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
     with path.open("w", encoding="utf-8") as fh:
         fh.write(f"% n {graph.n}\n")
         fh.write(f"# {graph.name}\n")
-        for u, v in graph.edges():
-            fh.write(f"{u} {v}\n")
+        np.savetxt(fh, graph.edge_array(), fmt="%d")
 
 
 def read_edge_list(path: str | os.PathLike, *, name: str | None = None) -> Graph:
     """Read a graph written by :func:`write_edge_list` (or any plain edge list)."""
     path = Path(path)
-    edges: list[tuple[int, int]] = []
     declared_n: int | None = None
-    max_node = -1
+    rows: list[str] = []
     with path.open("r", encoding="utf-8") as fh:
         for raw in fh:
             line = raw.strip()
@@ -59,46 +57,65 @@ def read_edge_list(path: str | os.PathLike, *, name: str | None = None) -> Graph
                 if len(parts) == 2 and parts[0] == "n":
                     declared_n = int(parts[1])
                 continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"malformed edge list line: {line!r}")
-            u, v = int(parts[0]), int(parts[1])
-            edges.append((u, v))
-            max_node = max(max_node, u, v)
+            rows.append(line)
+    if rows:
+        try:
+            edges = np.array([r.split()[:2] for r in rows], dtype=np.int64)
+        except ValueError as exc:
+            raise GraphError(f"malformed edge list in {path}: {exc}") from None
+        if edges.shape[1] < 2:
+            raise GraphError(f"malformed edge list in {path}")
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    max_node = int(edges.max()) if edges.size else -1
     n = declared_n if declared_n is not None else max_node + 1
     if n <= 0:
         raise GraphError("edge list contains no nodes")
-    return Graph(n, edges, name=name or path.stem)
+    return Graph.from_edge_array(n, edges, name=name or path.stem)
 
 
 def write_metis(graph: Graph, path: str | os.PathLike) -> None:
     """Write ``graph`` in METIS adjacency format (1-indexed)."""
     path = Path(path)
+    indptr, indices = graph.csr_arrays()
+    bounds = indptr.tolist()
+    tokens = (indices + 1).astype(np.str_).tolist()
     with path.open("w", encoding="utf-8") as fh:
         fh.write(f"{graph.n} {graph.num_edges}\n")
-        for v in range(graph.n):
-            neigh = " ".join(str(int(u) + 1) for u in graph.neighbours(v))
-            fh.write(neigh + "\n")
+        fh.write(
+            "\n".join(" ".join(tokens[bounds[v] : bounds[v + 1]]) for v in range(graph.n))
+        )
+        fh.write("\n")
 
 
 def read_metis(path: str | os.PathLike, *, name: str | None = None) -> Graph:
     """Read a graph in METIS adjacency format (1-indexed, unweighted)."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
-        lines = [ln.strip() for ln in fh if ln.strip() and not ln.startswith("%")]
+        # Blank lines are legitimate adjacency rows (isolated nodes), so only
+        # comment lines are dropped; surplus trailing blanks are tolerated.
+        lines = [ln.strip() for ln in fh if not ln.lstrip().startswith("%")]
+    while lines and not lines[0]:
+        lines.pop(0)
     if not lines:
         raise GraphError("empty METIS file")
     header = lines[0].split()
     n = int(header[0])
+    while len(lines) - 1 > n and not lines[-1]:
+        lines.pop()
     if len(lines) - 1 != n:
         raise GraphError(f"METIS file declares {n} nodes but has {len(lines) - 1} adjacency lines")
-    edges: list[tuple[int, int]] = []
-    for v, line in enumerate(lines[1:]):
-        for token in line.split():
-            u = int(token) - 1
-            if u >= v:
-                edges.append((v, u))
-    return Graph(n, edges, name=name or path.stem)
+    # One flat parse of all neighbour tokens, then an arc -> edge mask; the
+    # per-line Python loop only splits strings.
+    neighbour_lists = [np.asarray(line.split(), dtype=np.int64) - 1 for line in lines[1:]]
+    counts = np.array([a.size for a in neighbour_lists], dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    cols = (
+        np.concatenate(neighbour_lists) if neighbour_lists else np.empty(0, dtype=np.int64)
+    )
+    keep = cols >= rows
+    edges = np.stack([rows[keep], cols[keep]], axis=1)
+    return Graph.from_edge_array(n, edges, name=name or path.stem)
 
 
 def write_partition(partition: Partition, path: str | os.PathLike) -> None:

@@ -17,6 +17,11 @@ procedure: for node ``v`` with degree ``d_v`` in community ``C``, an expected
 keeps the generator simple, exact in expectation and fast, while reproducing
 the two properties that matter for clustering benchmarks (heterogeneous
 degrees / community sizes and a tunable mixing parameter).
+
+Edge sampling is array-native (Chung–Lu candidate sampling: endpoints drawn
+proportionally to their budgets, batch-deduplicated) so cost scales with the
+number of edges, not with the Θ(|C|²) candidate pairs the seed implementation
+scanned per community.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import numpy as np
 from .generators import ClusteredGraph, _as_rng
 from .graph import Graph, GraphError
 from .partition import Partition
+from .sampling import _sorted_unique
 
 __all__ = ["truncated_power_law", "lfr_benchmark"]
 
@@ -50,6 +56,47 @@ def truncated_power_law(
     weights = support ** (-float(exponent))
     weights /= weights.sum()
     return rng.choice(np.arange(minimum, maximum + 1), size=size, p=weights).astype(np.int64)
+
+
+def _sample_weighted_pairs(
+    members: np.ndarray,
+    probs: np.ndarray,
+    target: int,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    forbidden_labels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample up to ``target`` distinct pairs with endpoints drawn ∝ ``probs``.
+
+    Candidate endpoints are drawn independently from ``members``; self-pairs,
+    same-``forbidden_labels`` pairs and duplicates are rejected in vectorised
+    batches.  Like the seed's bounded candidate loop this is best-effort: if
+    the weight distribution cannot supply ``target`` distinct pairs within a
+    few rounds, fewer are returned.  Pairs come back as a canonical
+    ``(m, 2)`` int64 array with ``u < v`` in the global numbering.
+    """
+    if target <= 0 or members.size < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    have = np.empty(0, dtype=np.int64)
+    for _ in range(8):
+        need = target - have.size
+        if need <= 0:
+            break
+        draw = 2 * need + 16
+        cu = members[rng.choice(members.size, size=draw, p=probs)]
+        cv = members[rng.choice(members.size, size=draw, p=probs)]
+        ok = cu != cv
+        if forbidden_labels is not None:
+            ok &= forbidden_labels[cu] != forbidden_labels[cv]
+        cu, cv = cu[ok], cv[ok]
+        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+        have = _sorted_unique(np.concatenate([have, keys]))
+    if have.size > target:
+        have = np.delete(
+            have, rng.choice(have.size, size=have.size - target, replace=False)
+        )
+    return np.stack([have // n, have % n], axis=1)
 
 
 def _sample_community_sizes(
@@ -134,9 +181,11 @@ def lfr_benchmark(
         # communities to the external budgets mu·d_u mu·d_v.
         internal = (1.0 - mu) * degrees
         external = mu * degrees
-        edges: set[tuple[int, int]] = set()
+        chunks: list[np.ndarray] = []
 
-        # Internal edges per community.
+        # Internal edges per community: candidate endpoints drawn ∝ budget,
+        # duplicates discarded in vectorised batches.  E[edges] matches the
+        # seed's per-pair Bernoulli scheme (sum of b_u·b_v/total over pairs).
         for c in range(len(sizes)):
             members = np.flatnonzero(labels == c)
             if members.size < 2:
@@ -145,34 +194,43 @@ def lfr_benchmark(
             total = budget.sum()
             if total <= 0:
                 continue
-            probs = np.minimum(1.0, np.outer(budget, budget) / total)
-            iu = np.triu_indices(members.size, k=1)
-            mask = rng.random(iu[0].size) < probs[iu]
-            for a, b in zip(members[iu[0][mask]], members[iu[1][mask]]):
-                edges.add((int(a), int(b)))
+            pair_weight_sum = (total * total - np.sum(budget * budget)) / (2.0 * total)
+            # Draw the count, don't fix it: the seed's per-pair Bernoulli
+            # scheme had count variance ~ Σ p(1-p); the Poissonised Chung–Lu
+            # count keeps the expectation and restores that dispersion
+            # (a deterministic round() would underdisperse every sweep
+            # statistic that looks at edge-count fluctuation).
+            max_pairs = members.size * (members.size - 1) // 2
+            target = min(int(rng.poisson(pair_weight_sum)), max_pairs)
+            chunk = _sample_weighted_pairs(
+                members, budget / total, target, n, rng
+            )
+            if chunk.size:
+                chunks.append(chunk)
 
-        # External edges across the whole graph.
+        # External edges across the whole graph, same candidate scheme but
+        # rejecting same-community pairs.
         total_external = external.sum()
         if total_external > 0 and mu > 0:
-            # sample candidate endpoints proportional to external budgets
-            expected_external_edges = int(total_external / 2)
-            probs = external / total_external
-            candidates_u = rng.choice(n, size=2 * expected_external_edges + 1, p=probs)
-            candidates_v = rng.choice(n, size=2 * expected_external_edges + 1, p=probs)
-            added = 0
-            for u, v in zip(candidates_u, candidates_v):
-                if added >= expected_external_edges:
-                    break
-                u, v = int(u), int(v)
-                if u == v or labels[u] == labels[v]:
-                    continue
-                key = (min(u, v), max(u, v))
-                if key in edges:
-                    continue
-                edges.add(key)
-                added += 1
+            target = int(total_external / 2)
+            chunk = _sample_weighted_pairs(
+                np.arange(n, dtype=np.int64),
+                external / total_external,
+                target,
+                n,
+                rng,
+                forbidden_labels=labels,
+            )
+            if chunk.size:
+                chunks.append(chunk)
 
-        graph = Graph(n, sorted(edges), name=f"lfr(n={n},mu={mu})")
+        if chunks:
+            edges = np.concatenate(chunks, axis=0)
+            # Internal chunks are pairwise disjoint (different communities)
+            # and disjoint from the external chunk, so no global dedup needed.
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+        graph = Graph.from_edge_array(n, edges, name=f"lfr(n={n},mu={mu})")
         if graph.min_degree == 0:
             continue
         if ensure_connected and not graph.is_connected():

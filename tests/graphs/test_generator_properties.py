@@ -1,0 +1,201 @@
+"""Property suite for the array-native generators.
+
+Every family is checked for the invariants the evaluation relies on:
+
+* planted-partition consistency — the returned :class:`Partition` matches
+  the block layout the generator promises;
+* degree / connectivity invariants — regularity, bounded degree ratios,
+  bridge-induced connectivity;
+* seed determinism — the new array samplers must stay reproducible, both
+  from an integer seed and from an equivalent ``Generator``;
+* distributional parity — at small n the sparse-regime SBM sampler must
+  match the seed implementation's per-pair Bernoulli distribution (same
+  expected edge counts per block; the Binomial-count construction is
+  distributionally identical, which this verifies empirically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    almost_regular_clustered_graph,
+    connected_caveman,
+    cycle_of_cliques,
+    lfr_benchmark,
+    noisy_clustered_graph,
+    path_of_cliques,
+    planted_partition,
+    random_regular_graph,
+    ring_of_expanders,
+    stochastic_block_model,
+)
+
+FAMILIES = {
+    "sbm": lambda seed: stochastic_block_model([20, 14, 10], 0.5, 0.05, seed=seed),
+    "planted": lambda seed: planted_partition(48, 3, 0.5, 0.05, seed=seed),
+    "cycle_of_cliques": lambda seed: cycle_of_cliques(4, 8, seed=seed),
+    "path_of_cliques": lambda seed: path_of_cliques(3, 7, seed=seed),
+    "caveman": lambda seed: connected_caveman(4, 6),
+    "ring_of_expanders": lambda seed: ring_of_expanders(3, 16, 4, seed=seed),
+    "random_regular": lambda seed: random_regular_graph(30, 4, seed=seed),
+    "almost_regular": lambda seed: almost_regular_clustered_graph(2, 16, 4, 6, seed=seed),
+    "noisy": lambda seed: noisy_clustered_graph(cycle_of_cliques(3, 8, seed=0), 10, seed=seed),
+    "lfr": lambda seed: lfr_benchmark(120, mu=0.2, average_degree=8, seed=seed),
+}
+
+
+class TestPlantedPartitionConsistency:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_partition_covers_all_nodes(self, family):
+        inst = FAMILIES[family](seed=1)
+        assert inst.partition.labels.shape == (inst.graph.n,)
+        assert int(inst.partition.sizes.sum()) == inst.graph.n
+
+    def test_sbm_blocks_are_contiguous(self):
+        inst = stochastic_block_model([20, 14, 10], 0.5, 0.05, seed=2)
+        labels = inst.partition.labels
+        assert list(inst.partition.sizes) == [20, 14, 10]
+        # Block layout: nodes 0..19 -> cluster 0, 20..33 -> 1, 34..43 -> 2.
+        assert np.array_equal(labels, np.repeat([0, 1, 2], [20, 14, 10]))
+
+    def test_block_families_label_blocks(self):
+        for inst, size in (
+            (cycle_of_cliques(4, 8, seed=0), 8),
+            (ring_of_expanders(3, 16, 4, seed=0), 16),
+            (connected_caveman(4, 6), 6),
+        ):
+            assert np.array_equal(
+                inst.partition.labels, np.repeat(np.arange(inst.k), size)
+            )
+
+    def test_noise_preserves_partition(self):
+        base = cycle_of_cliques(3, 8, seed=0)
+        noisy = noisy_clustered_graph(base, 12, seed=3)
+        assert noisy.partition == base.partition
+        assert noisy.graph.num_edges == base.graph.num_edges + 12
+
+
+class TestDegreeAndConnectivityInvariants:
+    def test_random_regular_is_regular(self):
+        for seed in range(5):
+            g = random_regular_graph(26, 5, seed=seed).graph
+            assert g.is_regular() and g.degree(0) == 5
+            assert g.num_self_loops == 0
+            assert g.num_edges == 26 * 5 // 2
+
+    def test_caveman_is_regular_and_connected(self):
+        g = connected_caveman(5, 7).graph
+        assert g.is_regular() and g.degree(0) == 6
+        assert g.is_connected()
+
+    def test_ring_of_expanders_degree_window(self):
+        g = ring_of_expanders(4, 20, 6, seed=3).graph
+        assert g.min_degree >= 6
+        # bridge endpoints gain at most 2 (both joins of a cluster).
+        assert g.max_degree <= 8
+        assert g.is_connected()
+
+    def test_almost_regular_degree_window(self):
+        inst = almost_regular_clustered_graph(3, 20, 4, 7, seed=4)
+        assert inst.graph.min_degree >= 4
+        assert inst.graph.degree_ratio() <= (7 + 2) / 4 + 0.5
+
+    def test_clique_families_connected(self):
+        assert cycle_of_cliques(5, 6, seed=0).graph.is_connected()
+        assert path_of_cliques(5, 6, seed=0).graph.is_connected()
+
+    def test_sbm_ensure_connected(self):
+        inst = planted_partition(60, 3, 0.5, 0.05, seed=5, ensure_connected=True)
+        assert inst.graph.is_connected()
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_same_seed_same_graph(self, family):
+        a = FAMILIES[family](seed=11)
+        b = FAMILIES[family](seed=11)
+        assert a.graph == b.graph
+        assert a.partition == b.partition
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_generator_object_equivalent_to_int_seed(self, family):
+        a = FAMILIES[family](seed=13)
+        b = FAMILIES[family](seed=np.random.default_rng(13))
+        assert a.graph == b.graph
+
+    @pytest.mark.parametrize(
+        "family", sorted(set(FAMILIES) - {"caveman"})  # caveman is deterministic
+    )
+    def test_different_seeds_differ(self, family):
+        a = FAMILIES[family](seed=1)
+        b = FAMILIES[family](seed=2)
+        assert a.graph != b.graph
+
+
+class TestSBMDistributionalParity:
+    """The sparse-regime sampler must match the seed's Bernoulli-mask scheme.
+
+    A G(N, p) edge set is a uniform M-subset conditioned on its
+    Binomial(N, p) size, which is exactly how the new sampler draws blocks —
+    so expected per-block edge counts (and their variance) must agree with
+    the dense per-pair construction the seed used.  Verified empirically
+    against the analytic values at small n.
+    """
+
+    TRIALS = 200
+
+    def test_within_and_across_block_edge_counts(self):
+        sizes = [30, 20]
+        p_in, p_out = 0.3, 0.08
+        n_pairs_in_0 = 30 * 29 // 2
+        n_pairs_in_1 = 20 * 19 // 2
+        n_pairs_across = 30 * 20
+
+        within0, within1, across = [], [], []
+        for seed in range(self.TRIALS):
+            inst = stochastic_block_model(sizes, p_in, p_out, seed=seed)
+            edges = inst.graph.edge_array()
+            in_first = edges < 30
+            w0 = int(np.sum(in_first[:, 0] & in_first[:, 1]))
+            w1 = int(np.sum(~in_first[:, 0] & ~in_first[:, 1]))
+            within0.append(w0)
+            within1.append(w1)
+            across.append(edges.shape[0] - w0 - w1)
+
+        # Means: within 4 sigma of the Binomial expectation.
+        for counts, n_pairs, p in (
+            (within0, n_pairs_in_0, p_in),
+            (within1, n_pairs_in_1, p_in),
+            (across, n_pairs_across, p_out),
+        ):
+            mean = np.mean(counts)
+            expected = n_pairs * p
+            tolerance = 4.0 * np.sqrt(n_pairs * p * (1 - p) / self.TRIALS)
+            assert abs(mean - expected) < tolerance, (mean, expected, tolerance)
+
+        # Variance sanity: Binomial, not degenerate (a buggy sampler that
+        # always emitted round(N·p) edges would fail here).
+        var = np.var(within0, ddof=1)
+        expected_var = n_pairs_in_0 * p_in * (1 - p_in)
+        assert 0.5 * expected_var < var < 2.0 * expected_var
+
+    def test_per_cluster_p_in_vector(self):
+        counts_dense = []
+        counts_sparse = []
+        for seed in range(60):
+            inst = stochastic_block_model([16, 16], [0.7, 0.2], 0.0, seed=seed)
+            edges = inst.graph.edge_array()
+            first = edges < 16
+            counts_dense.append(int(np.sum(first[:, 0] & first[:, 1])))
+            counts_sparse.append(edges.shape[0] - counts_dense[-1])
+        pairs = 16 * 15 // 2
+        assert abs(np.mean(counts_dense) - pairs * 0.7) < 4 * np.sqrt(pairs * 0.7 * 0.3 / 60)
+        assert abs(np.mean(counts_sparse) - pairs * 0.2) < 4 * np.sqrt(pairs * 0.2 * 0.8 / 60)
+
+    def test_extreme_probabilities(self):
+        full = stochastic_block_model([10, 10], 1.0, 0.0, seed=0)
+        assert full.graph.num_edges == 2 * (10 * 9 // 2)
+        empty = stochastic_block_model([10, 10], 0.0, 0.0, seed=0)
+        assert empty.graph.num_edges == 0

@@ -77,6 +77,64 @@ class TestConstruction:
         assert back == small_graph
 
 
+class TestArrayConstruction:
+    def test_from_edge_array_matches_init(self, small_graph):
+        arr = small_graph.edge_array()
+        rebuilt = Graph.from_edge_array(small_graph.n, arr, name=small_graph.name)
+        assert rebuilt == small_graph
+
+    def test_from_edge_array_validates_range(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[0, 3]]))
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[-1, 1]]))
+
+    def test_from_edge_array_validates_duplicates(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[1, 1], [1, 1]]))
+
+    def test_from_edge_array_empty(self):
+        g = Graph.from_edge_array(4, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0 and g.n == 4
+
+    def test_from_csr_roundtrip(self, small_graph):
+        indptr, indices = small_graph.csr_arrays()
+        rebuilt = Graph.from_csr(indptr, indices, name=small_graph.name)
+        assert rebuilt == small_graph
+        assert rebuilt.num_edges == small_graph.num_edges
+        assert rebuilt.num_self_loops == small_graph.num_self_loops
+        assert np.array_equal(rebuilt.degrees, small_graph.degrees)
+
+    def test_from_csr_is_zero_copy(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        indptr = g.csr_arrays()[0].copy()
+        indices = g.csr_arrays()[1].copy()
+        adopted = Graph.from_csr(indptr, indices)
+        assert adopted.csr_arrays()[0].base is indptr or adopted.csr_arrays()[0] is indptr
+        assert adopted.csr_arrays()[1].base is indices or adopted.csr_arrays()[1] is indices
+
+    def test_from_csr_counts_self_loops(self):
+        g = Graph(3, [(0, 1), (1, 1), (2, 2)])
+        rebuilt = Graph.from_csr(*g.csr_arrays())
+        assert rebuilt.num_self_loops == 2
+        assert rebuilt.num_edges == 3
+
+    def test_from_csr_rejects_inconsistent_indptr(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(np.array([0, 1]), np.empty(0, dtype=np.int64))
+
+    def test_from_csr_validate_rejects_asymmetric(self):
+        # arc 0 -> 1 without its reverse
+        with pytest.raises(GraphError):
+            Graph.from_csr(np.array([0, 1, 1]), np.array([1]), validate=True)
+
+    def test_from_csr_validate_accepts_valid(self, small_graph):
+        rebuilt = Graph.from_csr(*small_graph.csr_arrays(), validate=True)
+        assert rebuilt == small_graph
+
+
 class TestNeighbourhoods:
     def test_neighbours_sorted_and_readonly(self, small_graph):
         neigh = small_graph.neighbours(0)
@@ -100,6 +158,20 @@ class TestNeighbourhoods:
         assert small_graph.has_edge(0, 2)
         assert small_graph.has_edge(2, 0)
         assert not small_graph.has_edge(1, 3)
+
+    def test_has_edge_high_degree_hits_and_misses(self):
+        # Node 0 is adjacent to every odd node: exercises the binary search
+        # over a long sorted neighbour slice on both hit and miss paths.
+        n = 2001
+        odds = np.arange(1, n, 2, dtype=np.int64)
+        edges = np.stack([np.zeros(odds.size, dtype=np.int64), odds], axis=1)
+        g = Graph.from_edge_array(n, edges)
+        assert g.degree(0) == odds.size
+        for v in (1, 999, 1999):  # first, middle, last neighbour
+            assert g.has_edge(0, v) and g.has_edge(v, 0)
+        for v in (0, 2, 1000, 2000):  # self, interior misses, past-the-end
+            assert not g.has_edge(0, v)
+        assert not g.has_edge(1, 3)
 
     def test_edges_iteration_unique(self, small_graph):
         edges = list(small_graph.edges())

@@ -69,6 +69,22 @@ class TestMetis:
         assert int(first_line[0]) == sample_graph.n
         assert int(first_line[1]) == sample_graph.num_edges
 
+    def test_roundtrip_with_isolated_node(self, tmp_path):
+        # Isolated nodes produce blank adjacency lines, which the reader must
+        # keep (they are rows, not formatting).
+        g = Graph(4, [(0, 1), (1, 2)])  # node 3 isolated
+        path = tmp_path / "iso.metis"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back == g
+        assert back.degree(3) == 0
+
+    def test_tolerates_trailing_blank_lines(self, tmp_path):
+        path = tmp_path / "trail.metis"
+        path.write_text("2 1\n2\n1\n\n\n")
+        g = read_metis(path)
+        assert g.n == 2 and g.num_edges == 1
+
     def test_wrong_line_count_raises(self, tmp_path):
         path = tmp_path / "bad.metis"
         path.write_text("3 1\n2\n")
