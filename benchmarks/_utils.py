@@ -7,15 +7,46 @@ the experiment via its own trials), prints the result table that
 EXPERIMENTS.md quotes, and attaches the aggregated rows to
 ``benchmark.extra_info`` so they are preserved in the pytest-benchmark JSON
 output.
+
+Benchmarks share generated instances through :func:`bench_instance`, which
+routes every generator call through the on-disk npz cache
+(:mod:`repro.graphs.cache`).  The E-series files sweep overlapping instance
+families, so within one ``pytest benchmarks/`` invocation — and across
+repeated local runs — identical graphs are built once and re-loaded from
+CSR arrays afterwards.  Set ``BENCH_CACHE_DIR`` to relocate the store or
+``BENCH_CACHE=0`` to disable caching entirely (e.g. when benchmarking
+generation itself).
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.evaluation import format_table
+from repro.graphs import cached_instance
 
-__all__ = ["run_experiment", "print_table"]
+__all__ = ["bench_cache_dir", "bench_instance", "run_experiment", "print_table"]
+
+
+def bench_cache_dir() -> str | None:
+    """The benchmark suite's instance-cache directory (``None`` = disabled)."""
+    if os.environ.get("BENCH_CACHE", "1") in ("", "0"):
+        return None
+    return os.environ.get(
+        "BENCH_CACHE_DIR", str(Path(__file__).resolve().parent / ".bench-cache")
+    )
+
+
+def bench_instance(generator, *, seed: int | None = None, **params: Any):
+    """Build (or re-load) a generated instance through the benchmark cache.
+
+    Drop-in replacement for calling the generator directly:
+    ``bench_instance(planted_partition, n=400, k=2, p_in=0.3, p_out=0.02,
+    seed=7)``.
+    """
+    return cached_instance(generator, seed=seed, cache_dir=bench_cache_dir(), **params)
 
 
 def print_table(

@@ -14,7 +14,7 @@ import numpy as np
 from repro.core import AlgorithmParameters, CentralizedClustering
 from repro.graphs import cycle_of_cliques, planted_partition
 
-from _utils import run_experiment
+from _utils import bench_instance, run_experiment
 
 TRIALS = 3
 
@@ -29,14 +29,16 @@ def _experiment() -> dict:
     rows = []
     # Family 1: cycle of cliques, k = 4, growing clique size.
     for clique_size in (15, 25, 40):
-        instance = cycle_of_cliques(4, clique_size, seed=clique_size)
+        instance = bench_instance(cycle_of_cliques, k=4, clique_size=clique_size, seed=clique_size)
         errors = [_error(instance, 100 + t) for t in range(TRIALS)]
         rows.append(
             ["cycle_of_cliques", 4, instance.graph.n, float(np.mean(errors)), float(np.max(errors))]
         )
     # Family 2: balanced planted partition, k = 2, growing n.
     for n in (100, 200, 400):
-        instance = planted_partition(n, 2, 0.30, 0.02, seed=n, ensure_connected=True)
+        instance = bench_instance(
+            planted_partition, n=n, k=2, p_in=0.30, p_out=0.02, ensure_connected=True, seed=n
+        )
         errors = [_error(instance, 200 + t) for t in range(TRIALS)]
         rows.append(["planted_partition", 2, n, float(np.mean(errors)), float(np.max(errors))])
     return {

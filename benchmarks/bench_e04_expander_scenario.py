@@ -14,13 +14,13 @@ import numpy as np
 from repro.core import AlgorithmParameters, DistributedClustering
 from repro.graphs import ring_of_expanders
 
-from _utils import run_experiment
+from _utils import bench_instance, run_experiment
 
 
 def _experiment() -> dict:
     rows = []
     for cluster_size in (20, 30, 45):
-        instance = ring_of_expanders(3, cluster_size, 8, seed=cluster_size)
+        instance = bench_instance(ring_of_expanders, k=3, cluster_size=cluster_size, d=8, seed=cluster_size)
         graph, truth = instance.graph, instance.partition
         params = AlgorithmParameters.from_instance(graph, truth)
         result = DistributedClustering(graph, params, seed=9).run()

@@ -30,7 +30,7 @@ from repro.evaluation import (
 )
 from repro.graphs import planted_partition
 
-from _utils import run_experiment
+from _utils import bench_instance, run_experiment
 
 N, K, P_IN = 240, 3, 0.30
 Q_VALUES = (0.01, 0.04)
@@ -41,7 +41,10 @@ def _experiment() -> dict:
     instances = list(
         sweep(
             Q_VALUES,
-            lambda q: planted_partition(N, K, P_IN, q, seed=int(q * 10_000), ensure_connected=True),
+            lambda q: bench_instance(
+                planted_partition, n=N, k=K, p_in=P_IN, p_out=q,
+                ensure_connected=True, seed=int(q * 10_000),
+            ),
             key="q",
         )
     )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the workflow a downstream user actually has:
+Four subcommands cover the workflow a downstream user actually has:
 
 ``generate``
     Write a synthetic well-clustered instance (edge list + ground-truth
@@ -12,6 +12,11 @@ Three subcommands cover the workflow a downstream user actually has:
     Run the paper's algorithm (centralised, distributed or adaptive engine)
     on an edge-list file and write one label per node; optionally score the
     result against a ground-truth label file.
+``sweep``
+    Run a full experiment sweep (generated instance family × algorithms ×
+    trials) through the evaluation runner, optionally fanning trials across
+    worker processes (``--workers``) and re-loading instances from the
+    on-disk npz cache (``--cache-dir``).  See ``docs/experiments.md``.
 
 Examples
 --------
@@ -24,6 +29,9 @@ Examples
         --out labels.txt --truth truth.txt
     python -m repro cluster graph.edges --k 4 --engine distributed \
         --backend vectorized --out labels.txt
+    python -m repro sweep sbm --sizes 400 800 1600 --k 4 --p-in 0.3 \
+        --p-out 0.01 --trials 5 --workers 8 --cache-dir .instance-cache \
+        --json sweep.json
 """
 
 from __future__ import annotations
@@ -94,6 +102,56 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--seed", type=int, default=None)
     clu.add_argument("--out", type=Path, default=None, help="write one label per node to this file")
     clu.add_argument("--truth", type=Path, default=None, help="ground-truth labels to score against")
+
+    # sweep -------------------------------------------------------------
+    swp = sub.add_parser(
+        "sweep",
+        help="run an experiment sweep (instances x algorithms x trials), optionally in parallel",
+    )
+    swp.add_argument(
+        "family",
+        choices=["sbm", "cliques", "expanders"],
+        help="generated instance family to sweep over",
+    )
+    swp.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[400, 800],
+        help="swept sizes: n per instance (sbm) or cluster size (cliques/expanders)",
+    )
+    swp.add_argument("--k", type=int, default=4, help="number of clusters")
+    swp.add_argument("--p-in", type=float, default=0.3, help="intra-cluster edge probability (sbm)")
+    swp.add_argument("--p-out", type=float, default=0.01, help="inter-cluster edge probability (sbm)")
+    swp.add_argument("--degree", type=int, default=8, help="internal degree (expanders)")
+    swp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["ours"],
+        choices=["ours", "spectral", "label-propagation"],
+        help="algorithms to run on every instance",
+    )
+    swp.add_argument(
+        "--backend",
+        choices=["centralized", "vectorized", "message-passing"],
+        default="vectorized",
+        help="execution backend for the paper's algorithm ('ours')",
+    )
+    swp.add_argument("--trials", type=int, default=3, help="independent trials per (instance, algorithm)")
+    swp.add_argument("--seed", type=int, default=0, help="base seed for the trial-seed digests")
+    swp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the trial grid (1 = in-process serial executor)",
+    )
+    swp.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="npz instance-cache directory; instances re-load in ~100 ms on later sweeps",
+    )
+    swp.add_argument("--json", type=Path, default=None, help="write per-trial records to this JSON file")
     return parser
 
 
@@ -217,6 +275,74 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .baselines import LabelPropagation, SpectralClustering
+    from .evaluation import (
+        evaluate_baseline,
+        evaluate_load_balancing_clustering,
+        run_trials,
+        sweep,
+    )
+    from .graphs import cached_instance
+
+    cache_dir = None if args.cache_dir is None else str(args.cache_dir)
+    if args.family == "sbm":
+        def make_instance(n: int, cache_dir: str | None = None):
+            return cached_instance(
+                "planted_partition",
+                n=n, k=args.k, p_in=args.p_in, p_out=args.p_out,
+                ensure_connected=True, seed=args.seed + n, cache_dir=cache_dir,
+            )
+    elif args.family == "cliques":
+        def make_instance(size: int, cache_dir: str | None = None):
+            return cached_instance(
+                "cycle_of_cliques",
+                k=args.k, clique_size=size, seed=args.seed + size, cache_dir=cache_dir,
+            )
+    else:
+        def make_instance(size: int, cache_dir: str | None = None):
+            return cached_instance(
+                "ring_of_expanders",
+                k=args.k, cluster_size=size, d=args.degree,
+                seed=args.seed + size, cache_dir=cache_dir,
+            )
+
+    available = {
+        "ours": lambda: evaluate_load_balancing_clustering(backend=args.backend),
+        "spectral": lambda: evaluate_baseline(SpectralClustering()),
+        "label-propagation": lambda: evaluate_baseline(LabelPropagation()),
+    }
+    algorithms = {name: available[name]() for name in args.algorithms}
+
+    instances = list(sweep(args.sizes, make_instance, key="size", cache_dir=cache_dir))
+    result = run_trials(
+        instances,
+        algorithms,
+        trials=args.trials,
+        base_seed=args.seed,
+        executor="serial" if args.workers <= 1 else "process",
+        workers=args.workers,
+    )
+    print(
+        result.table(
+            ["size", "algorithm"],
+            ["size", "algorithm", "trials", "error", "ari", "nmi", "rounds"],
+            title=f"sweep: {args.family} x {args.algorithms} "
+            f"({args.trials} trials, {args.workers} worker(s))",
+        )
+    )
+    if args.json is not None:
+        payload = [
+            {"config": r.config, "trial": r.trial, "values": r.values}
+            for r in result.records
+        ]
+        args.json.write_text(json.dumps(payload, indent=2, default=float))
+        print(f"wrote {len(payload)} trial records to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -226,6 +352,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyse(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -10,6 +10,9 @@ from .metrics import (
 )
 from .runner import (
     ExperimentResult,
+    ProcessExecutor,
+    SerialExecutor,
+    TrialExecutor,
     TrialRecord,
     aggregate_records,
     evaluate_baseline,
@@ -29,6 +32,9 @@ __all__ = [
     "normalized_mutual_information",
     "purity",
     "ExperimentResult",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TrialExecutor",
     "TrialRecord",
     "aggregate_records",
     "evaluate_baseline",

@@ -1,25 +1,38 @@
-"""Experiment runner: repeated trials, sweeps and aggregation.
+"""Experiment runner: repeated trials, sweeps, parallel execution, aggregation.
 
 Every benchmark in ``benchmarks/`` follows the same shape: generate an
 instance family, run one or more algorithms for several independent trials,
 aggregate per-configuration statistics and print a table.  The small
 framework here factors that shape out so each bench file only states *what*
-to run.
+to run.  ``docs/experiments.md`` documents how the pieces (trial seeding,
+the executors and the instance cache) interact in practice.
 
 Design notes
 ------------
 * Algorithms are supplied as callables ``(instance, seed) -> dict`` returning
   a flat record; helpers are provided that adapt the paper's algorithm and
-  the baseline interface to that shape.
+  the baseline interface to that shape.  The adapters are *picklable*
+  callable objects (not closures) so they cross process boundaries.
+* Every (algorithm, trial) pair draws its seed from :func:`trial_seed`, a
+  stable crc32 digest — trials are therefore independent of execution order
+  and of each other, i.e. embarrassingly parallel.
+* Execution is pluggable through :class:`TrialExecutor`:
+  :class:`SerialExecutor` runs the classic in-process loop and
+  :class:`ProcessExecutor` fans the (config, trial) grid across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Both return records in the
+  same canonical (instance, algorithm, trial) order, and each record's
+  content depends only on its own seed, so the parallel path is
+  **bit-identical** to the sequential one (pinned by
+  ``tests/evaluation/test_runner.py::TestParallelExecution``).
 * Aggregation computes mean and standard deviation of every numeric field
   across trials; non-numeric fields must be constant within a configuration.
-* No parallelism: trials are short and pytest-benchmark expects to own the
-  timing; the runner is deliberately simple and deterministic.
 """
 
 from __future__ import annotations
 
+import os
 import zlib
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -36,6 +49,9 @@ from .tables import format_table
 __all__ = [
     "TrialRecord",
     "ExperimentResult",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
     "trial_seed",
     "run_trials",
     "aggregate_records",
@@ -108,9 +124,147 @@ def trial_seed(name: str, trial: int, base_seed: int = 0) -> int:
     The seed previously used ``hash(name)``, which is randomised per process
     by ``PYTHONHASHSEED``, so experiment records silently changed between
     runs; CRC32 makes every record reproducible run-to-run (and the formula
-    is pinned by a regression test).
+    is pinned by a regression test).  Stability across *processes* is also
+    what makes the parallel executor sound: a worker derives exactly the
+    seed the serial loop would have used.
     """
     return base_seed + 1000 * trial + zlib.crc32(name.encode("utf-8")) % 997
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+
+def _run_one_trial(
+    instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
+    algorithms: Mapping[str, AlgorithmCallable],
+    base_seed: int,
+    task: tuple[int, str, int],
+) -> dict[str, Any]:
+    """Execute one (instance, algorithm, trial) cell of the experiment grid."""
+    index, name, trial = task
+    _, instance = instances[index]
+    seed = trial_seed(name, trial, base_seed)
+    values = dict(algorithms[name](instance, seed))
+    values.setdefault("algorithm", name)
+    return values
+
+
+def _task_grid(
+    instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
+    algorithms: Mapping[str, AlgorithmCallable],
+    trials: int,
+) -> list[tuple[int, str, int]]:
+    """The canonical (instance, algorithm, trial) ordering both executors share."""
+    return [
+        (index, name, trial)
+        for index in range(len(instances))
+        for name in algorithms
+        for trial in range(trials)
+    ]
+
+
+class TrialExecutor(ABC):
+    """Strategy deciding *where* the independent trial grid executes.
+
+    Implementations receive the materialised instance list, the algorithm
+    mapping and the trial grid, and must return one ``values`` dict per task
+    **in task order**.  Because each task's randomness comes only from its
+    own :func:`trial_seed`, any executor that honours the ordering yields
+    records identical to :class:`SerialExecutor`'s.
+    """
+
+    @abstractmethod
+    def execute(
+        self,
+        instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
+        algorithms: Mapping[str, AlgorithmCallable],
+        tasks: Sequence[tuple[int, str, int]],
+        base_seed: int,
+    ) -> list[dict[str, Any]]:
+        """Run every task and return its values dict, in task order."""
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process execution — the classic sequential loop."""
+
+    def execute(self, instances, algorithms, tasks, base_seed):
+        return [_run_one_trial(instances, algorithms, base_seed, task) for task in tasks]
+
+
+# Worker-side state for ProcessExecutor, installed once per worker process by
+# the pool initializer so each task submission only ships a 3-tuple instead of
+# re-pickling the instance list for every cell of the grid.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _process_worker_init(
+    instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
+    algorithms: Mapping[str, AlgorithmCallable],
+    base_seed: int,
+) -> None:
+    _WORKER_STATE["instances"] = instances
+    _WORKER_STATE["algorithms"] = algorithms
+    _WORKER_STATE["base_seed"] = base_seed
+
+
+def _process_worker_run(task: tuple[int, str, int]) -> dict[str, Any]:
+    return _run_one_trial(
+        _WORKER_STATE["instances"],
+        _WORKER_STATE["algorithms"],
+        _WORKER_STATE["base_seed"],
+        task,
+    )
+
+
+class ProcessExecutor(TrialExecutor):
+    """Fan the trial grid across a ``ProcessPoolExecutor``.
+
+    The instance list and algorithm mapping are shipped to each worker once
+    (pool initializer); tasks are then tiny ``(index, name, trial)`` tuples.
+    Results are collected with ``Executor.map``, which preserves submission
+    order, so the merged records match the serial path bit for bit.
+
+    Requirements: instances and algorithm callables must be picklable.  The
+    ``evaluate_*`` adapters in this module are dataclass-based for exactly
+    this reason; ad-hoc lambdas/closures are fine for :class:`SerialExecutor`
+    but will raise under this one.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def execute(self, instances, algorithms, tasks, base_seed):
+        from concurrent.futures import ProcessPoolExecutor
+
+        if not tasks:
+            return []
+        # A worker crash (e.g. unpicklable algorithm) surfaces as
+        # BrokenProcessPool from map(); nothing to clean up — results-so-far
+        # are discarded and the caller sees the original error.
+        chunksize = max(1, len(tasks) // (self.workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_process_worker_init,
+            initargs=(list(instances), dict(algorithms), base_seed),
+        ) as pool:
+            return list(pool.map(_process_worker_run, tasks, chunksize=chunksize))
+
+
+def _resolve_executor(
+    executor: str | TrialExecutor, workers: int | None
+) -> TrialExecutor:
+    if isinstance(executor, TrialExecutor):
+        return executor
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor {executor!r}: expected 'serial', 'process' or a TrialExecutor"
+    )
 
 
 def run_trials(
@@ -119,18 +273,33 @@ def run_trials(
     *,
     trials: int = 3,
     base_seed: int = 0,
+    executor: str | TrialExecutor = "serial",
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Run every algorithm on every instance for ``trials`` independent seeds."""
+    """Run every algorithm on every instance for ``trials`` independent seeds.
+
+    ``executor`` selects where the (instance, algorithm, trial) grid runs:
+    ``"serial"`` (default, in-process) or ``"process"`` (a
+    :class:`ProcessExecutor` with ``workers`` processes — ``None`` means all
+    cores); a :class:`TrialExecutor` instance is used as-is.  All executors
+    produce bit-identical :class:`TrialRecord` lists because every trial's
+    randomness derives only from its own :func:`trial_seed`.
+    """
+    instance_list = list(instances)
+    tasks = _task_grid(instance_list, algorithms, trials)
+    all_values = _resolve_executor(executor, workers).execute(
+        instance_list, algorithms, tasks, base_seed
+    )
+    if len(all_values) != len(tasks):
+        raise RuntimeError(
+            f"executor returned {len(all_values)} results for {len(tasks)} tasks"
+        )
     result = ExperimentResult()
-    for config, instance in instances:
-        for name, algorithm in algorithms.items():
-            for trial in range(trials):
-                seed = trial_seed(name, trial, base_seed)
-                values = dict(algorithm(instance, seed))
-                values.setdefault("algorithm", name)
-                full_config = dict(config)
-                full_config["algorithm"] = name
-                result.add(full_config, trial, values)
+    for (index, name, trial), values in zip(tasks, all_values):
+        config, _ = instance_list[index]
+        full_config = dict(config)
+        full_config["algorithm"] = name
+        result.add(full_config, trial, values)
     return result
 
 
@@ -144,15 +313,95 @@ def aggregate_records(records: Iterable[Mapping[str, Any]], group_keys: Sequence
     return result.aggregated(group_keys)
 
 
-def sweep(values: Iterable[Any], make_instance: Callable[[Any], ClusteredGraph], key: str = "value"):
-    """Yield ``(config, instance)`` pairs for a one-parameter sweep."""
+def sweep(
+    values: Iterable[Any],
+    make_instance: Callable[..., ClusteredGraph],
+    key: str = "value",
+    *,
+    cache_dir: str | None = None,
+):
+    """Yield ``(config, instance)`` pairs for a one-parameter sweep.
+
+    When ``cache_dir`` is given it is forwarded to ``make_instance`` as a
+    keyword, so a factory built on :func:`repro.graphs.cached_instance` can
+    thread the on-disk instance cache through without the call site growing
+    a second code path::
+
+        sweep(qs,
+              lambda q, cache_dir=None: cached_instance(
+                  planted_partition, n=240, k=3, p_in=0.3, p_out=q,
+                  ensure_connected=True, seed=int(q * 10_000),
+                  cache_dir=cache_dir),
+              key="q", cache_dir=args.cache_dir)
+    """
     for value in values:
-        yield {key: value}, make_instance(value)
+        if cache_dir is None:
+            yield {key: value}, make_instance(value)
+        else:
+            yield {key: value}, make_instance(value, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------------- #
 # Adapters
 # --------------------------------------------------------------------------- #
+#
+# These are dataclasses rather than closures so that a configured adapter can
+# be pickled into ProcessExecutor workers; the evaluate_* factories below keep
+# the historical call-site API.
+
+@dataclass(frozen=True)
+class _LoadBalancingAdapter:
+    """Picklable callable running the paper's algorithm and scoring it."""
+
+    round_constant: float | None = None
+    rounds: int | None = None
+    beta: float | None = None
+    fallback: str = "argmax"
+    backend: str = "centralized"
+
+    def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {}
+        if self.round_constant is not None:
+            kwargs["round_constant"] = self.round_constant
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition, **kwargs)
+        if self.beta is not None:
+            params = AlgorithmParameters.from_graph(
+                instance.graph, instance.partition.k, beta=self.beta, **kwargs
+            )
+        if self.rounds is not None:
+            params = params.with_rounds(self.rounds)
+        if self.backend == "centralized":
+            result = CentralizedClustering(
+                instance.graph, params, seed=seed, fallback=self.fallback
+            ).run(keep_loads=False)
+        else:
+            result = DistributedClustering(
+                instance.graph, params, seed=seed, fallback=self.fallback, backend=self.backend
+            ).run()
+        record = clustering_report(result.partition, instance.partition)
+        record.update(
+            rounds=result.rounds,
+            num_seeds=result.num_seeds,
+            unlabelled=result.num_unlabelled,
+            backend=self.backend,
+        )
+        if result.communication is not None:
+            record.update(words=result.communication.total_words)
+        return record
+
+
+@dataclass(frozen=True)
+class _BaselineAdapter:
+    """Picklable callable running a baseline clusterer and scoring it."""
+
+    baseline: BaselineClusterer
+
+    def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
+        result = self.baseline.cluster(instance.graph, instance.partition.k, seed=seed)
+        record = clustering_report(result.partition, instance.partition)
+        record.update(rounds=result.rounds, words=result.words)
+        return record
+
 
 def evaluate_load_balancing_clustering(
     *,
@@ -169,39 +418,17 @@ def evaluate_load_balancing_clustering(
     engine registered with :mod:`repro.core.engines` — ``"vectorized"`` for
     the fast array backend, ``"message-passing"`` for the per-node
     simulator with exact communication accounting.
+
+    The returned callable is a picklable object, so it works under both the
+    serial and the process executors of :func:`run_trials`.
     """
-
-    def run(instance: ClusteredGraph, seed: int) -> dict[str, Any]:
-        kwargs: dict[str, Any] = {}
-        if round_constant is not None:
-            kwargs["round_constant"] = round_constant
-        params = AlgorithmParameters.from_instance(instance.graph, instance.partition, **kwargs)
-        if beta is not None:
-            params = AlgorithmParameters.from_graph(
-                instance.graph, instance.partition.k, beta=beta, **kwargs
-            )
-        if rounds is not None:
-            params = params.with_rounds(rounds)
-        if backend == "centralized":
-            result = CentralizedClustering(
-                instance.graph, params, seed=seed, fallback=fallback
-            ).run(keep_loads=False)
-        else:
-            result = DistributedClustering(
-                instance.graph, params, seed=seed, fallback=fallback, backend=backend
-            ).run()
-        record = clustering_report(result.partition, instance.partition)
-        record.update(
-            rounds=result.rounds,
-            num_seeds=result.num_seeds,
-            unlabelled=result.num_unlabelled,
-            backend=backend,
-        )
-        if result.communication is not None:
-            record.update(words=result.communication.total_words)
-        return record
-
-    return run
+    return _LoadBalancingAdapter(
+        round_constant=round_constant,
+        rounds=rounds,
+        beta=beta,
+        fallback=fallback,
+        backend=backend,
+    )
 
 
 def evaluate_distributed_clustering(
@@ -217,12 +444,5 @@ def evaluate_distributed_clustering(
 
 
 def evaluate_baseline(baseline: BaselineClusterer) -> AlgorithmCallable:
-    """Adapter running a baseline clusterer and scoring it."""
-
-    def run(instance: ClusteredGraph, seed: int) -> dict[str, Any]:
-        result = baseline.cluster(instance.graph, instance.partition.k, seed=seed)
-        record = clustering_report(result.partition, instance.partition)
-        record.update(rounds=result.rounds, words=result.words)
-        return record
-
-    return run
+    """Adapter running a baseline clusterer and scoring it (picklable)."""
+    return _BaselineAdapter(baseline)

@@ -34,6 +34,13 @@ from .generators import (
     stochastic_block_model,
 )
 from .graph import Graph, GraphError
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    InstanceCacheError,
+    cached_instance,
+    instance_cache_path,
+    instance_digest,
+)
 from .lfr import lfr_benchmark, truncated_power_law
 from .sampling import (
     bernoulli_block_edges,
@@ -102,6 +109,12 @@ __all__ = [
     "random_regular_graph",
     "ring_of_expanders",
     "stochastic_block_model",
+    # cache.py
+    "CACHE_FORMAT_VERSION",
+    "InstanceCacheError",
+    "cached_instance",
+    "instance_cache_path",
+    "instance_digest",
     # lfr.py
     "lfr_benchmark",
     "truncated_power_law",

@@ -1,0 +1,258 @@
+"""On-disk instance cache: npz-backed CSR store for generated graphs.
+
+Large generated instances (n ≥ 10⁶, tens of millions of edges) take seconds
+to build even with the array-native pipeline, and a sweep regenerates the
+same instance for every algorithm/trial combination and again for every
+benchmark that shares the workload.  The generators are seed-deterministic,
+so an instance is fully identified by *(generator name, parameters, seed)* —
+this module persists the finished CSR arrays keyed by a canonical digest of
+exactly that triple and re-loads them through the zero-copy
+:meth:`~repro.graphs.graph.Graph.from_csr` constructor, turning a multi-second
+rebuild into a ~100 ms file read.
+
+Storage format (one ``.npz`` per instance, uncompressed for load speed):
+
+``indptr``, ``indices``
+    The canonical symmetric CSR arrays exactly as ``Graph.csr_arrays()``
+    returns them; adopted on load by ``Graph.from_csr`` without copying.
+``labels``
+    The ground-truth partition's label vector.
+``meta``
+    A JSON blob recording the cache key fields (generator, params, seed),
+    the format version, the graph name and the generator's own ``params``
+    dict, checked on load so a digest collision or stale file is detected
+    rather than silently served.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
+writer can never leave a truncated file under the final name, and *any*
+failure to load — missing file, truncated npz, metadata mismatch — falls
+back to regenerating and rewriting the entry.  Corruption therefore costs
+one regeneration, never a wrong answer.
+
+One caveat the key cannot cover: the digest identifies the generator by
+*name*, not by implementation, so it trusts generators to keep their
+seed → instance mapping stable.  When a change to a generator alters the
+instance drawn for a given seed (as the PR 2 rewrite did, intentionally
+distribution-preserving), bump :data:`CACHE_FORMAT_VERSION` so persistent
+caches (e.g. ``benchmarks/.bench-cache``) are invalidated rather than
+serving pre-change graphs.
+
+The public entry point is :func:`cached_instance`; :func:`instance_digest`
+exposes the key so tests and tooling can reason about it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .generators import ClusteredGraph
+from .graph import Graph
+from .partition import Partition
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "InstanceCacheError",
+    "instance_digest",
+    "instance_cache_path",
+    "cached_instance",
+]
+
+#: Part of every cache key: bump when the npz layout changes OR when a
+#: generator's seed → instance mapping changes, so existing entries are
+#: regenerated instead of served stale.
+CACHE_FORMAT_VERSION = 1
+
+
+class InstanceCacheError(ValueError):
+    """Raised for unusable cache keys (e.g. non-serialisable parameters)."""
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter value to canonical JSON-compatible form.
+
+    Numpy scalars collapse to their Python equivalents so that e.g.
+    ``np.int64(4)`` and ``4`` produce the same digest; containers recurse.
+    Anything else (arrays, callables, rngs) is rejected — a cache key must
+    be a plain, stable description of the instance.
+    """
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    raise InstanceCacheError(
+        f"cache key parameter of type {type(value).__name__} is not serialisable; "
+        "cache keys must be built from plain scalars, strings and containers"
+    )
+
+
+def _key_json(generator: str, params: Mapping[str, Any], seed: int | None) -> str:
+    return json.dumps(
+        {
+            "generator": generator,
+            "params": _canonical(params),
+            "seed": _canonical(seed),
+            "version": CACHE_FORMAT_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def instance_digest(generator: str, params: Mapping[str, Any], seed: int | None) -> str:
+    """Canonical digest identifying one generated instance.
+
+    A SHA-256 over the sorted-JSON rendering of ``(generator name, params,
+    seed, format version)``, truncated to 16 hex characters for readable
+    file names.  Two calls produce the same digest iff they describe the
+    same instance (up to numpy-scalar vs Python-scalar differences, which
+    are canonicalised away).
+    """
+    import hashlib
+
+    return hashlib.sha256(_key_json(generator, params, seed).encode("utf-8")).hexdigest()[:16]
+
+
+def instance_cache_path(
+    cache_dir: str | Path, generator: str, params: Mapping[str, Any], seed: int | None
+) -> Path:
+    """The file an instance would be cached at (whether or not it exists)."""
+    digest = instance_digest(generator, params, seed)
+    return Path(cache_dir) / f"{generator}-{digest}.npz"
+
+
+def _store(path: Path, instance: ClusteredGraph, key_json: str) -> None:
+    """Atomically write the instance's CSR arrays + metadata to ``path``."""
+    indptr, indices = instance.graph.csr_arrays()
+    meta = {
+        "key": key_json,
+        "graph_name": instance.graph.name,
+        "instance_params": _lenient_json(instance.params),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # Uncompressed savez: warm loads are disk-bound and a 10⁶-node
+            # SBM re-loads in ~100 ms; compression would trade that for CPU.
+            np.savez(
+                handle,
+                indptr=np.asarray(indptr),
+                indices=np.asarray(indices),
+                labels=instance.partition.labels,
+                meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _lenient_json(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Best-effort JSON form of a generator's ``params`` record (for display)."""
+    try:
+        return json.loads(json.dumps(dict(params), default=str))
+    except (TypeError, ValueError):
+        return {}
+
+
+def _load(path: Path, key_json: str) -> ClusteredGraph:
+    """Load a cached instance; raises on any structural or metadata problem."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("key") != key_json:
+            raise InstanceCacheError(f"cache entry {path} does not match its key")
+        indptr = np.ascontiguousarray(data["indptr"], dtype=np.int64)
+        indices = np.ascontiguousarray(data["indices"], dtype=np.int64)
+        labels = np.asarray(data["labels"], dtype=np.int64)
+    graph = Graph.from_csr(indptr, indices, name=str(meta.get("graph_name", "cached")))
+    if labels.shape != (graph.n,):
+        raise InstanceCacheError(f"cache entry {path} has {labels.size} labels for n={graph.n}")
+    return ClusteredGraph(
+        graph=graph,
+        partition=Partition(labels),
+        params=dict(meta.get("instance_params", {})),
+    )
+
+
+def _resolve_generator(
+    generator: Callable[..., ClusteredGraph] | str,
+) -> tuple[Callable[..., ClusteredGraph], str]:
+    if callable(generator):
+        return generator, generator.__name__
+    from . import generators as _generators
+    from . import lfr as _lfr
+
+    for module in (_generators, _lfr):
+        fn = getattr(module, generator, None)
+        if callable(fn):
+            return fn, generator
+    raise InstanceCacheError(f"unknown generator name {generator!r}")
+
+
+def cached_instance(
+    generator: Callable[..., ClusteredGraph] | str,
+    *,
+    seed: int | None = None,
+    cache_dir: str | Path | None = None,
+    refresh: bool = False,
+    **params: Any,
+) -> ClusteredGraph:
+    """Generate an instance through the on-disk cache.
+
+    Parameters
+    ----------
+    generator:
+        A generator callable (e.g. :func:`~repro.graphs.generators.planted_partition`)
+        or its name as exported by :mod:`repro.graphs`.  The callable's
+        ``__name__`` is part of the cache key.
+    seed:
+        Passed to the generator as ``seed=`` and part of the cache key.
+        The generators are seed-deterministic, which is what makes the
+        cache sound; an unseeded call (``seed=None``) is still cached but
+        then pins whichever instance was drawn first.
+    cache_dir:
+        Directory holding the npz entries.  ``None`` disables caching and
+        calls the generator directly (so call sites can thread an optional
+        ``--cache-dir`` straight through).
+    refresh:
+        Regenerate and overwrite the entry even if present.
+    **params:
+        Generator keyword arguments; part of the cache key, so they must be
+        plain scalars/strings/containers (:class:`InstanceCacheError`
+        otherwise).
+
+    Returns the cached :class:`ClusteredGraph` when a valid entry exists,
+    otherwise generates, stores and returns it.  A corrupted or mismatched
+    entry is regenerated and overwritten, never served.
+    """
+    fn, name = _resolve_generator(generator)
+    if cache_dir is None:
+        return fn(**params, seed=seed)
+
+    key_json = _key_json(name, params, seed)
+    path = instance_cache_path(cache_dir, name, params, seed)
+    if not refresh and path.exists():
+        try:
+            return _load(path, key_json)
+        except Exception:
+            # Truncated file, wrong key, bad arrays, unpicklable npz — all
+            # repair the same way: fall through and regenerate.
+            pass
+    instance = fn(**params, seed=seed)
+    _store(path, instance, key_json)
+    return instance

@@ -2,20 +2,25 @@
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.baselines import SpectralClustering
 from repro.evaluation import (
     ExperimentResult,
+    ProcessExecutor,
+    SerialExecutor,
     aggregate_records,
     evaluate_baseline,
+    evaluate_distributed_clustering,
     evaluate_load_balancing_clustering,
     run_trials,
     sweep,
     trial_seed,
 )
-from repro.graphs import cycle_of_cliques
+from repro.graphs import cached_instance, cycle_of_cliques
 
 
 class TestTrialSeeds:
@@ -128,3 +133,70 @@ class TestSweepAndRunTrials:
         assert record["rounds"] == 3
         record_beta = evaluate_load_balancing_clustering(beta=0.5)(instance, seed=0)
         assert "error" in record_beta
+
+    def test_sweep_forwards_cache_dir(self, tmp_path):
+        def make_instance(size, cache_dir=None):
+            return cached_instance(
+                cycle_of_cliques, k=2, clique_size=size, seed=size, cache_dir=cache_dir
+            )
+
+        pairs = list(sweep([8, 10], make_instance, key="size", cache_dir=str(tmp_path)))
+        assert [cfg["size"] for cfg, _ in pairs] == [8, 10]
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        # Without cache_dir, make_instance is called with the value only.
+        plain = list(sweep([8], make_instance, key="size"))
+        assert plain[0][1].graph == pairs[0][1].graph
+
+
+class TestParallelExecution:
+    """The process executor must be a pure performance knob: same records."""
+
+    def _instances(self):
+        return list(sweep([2, 3], lambda k: cycle_of_cliques(k, 12, seed=k), key="k"))
+
+    def _algorithms(self):
+        return {
+            "ours": evaluate_load_balancing_clustering(),
+            "vectorized": evaluate_distributed_clustering(rounds=20),
+            "spectral": evaluate_baseline(SpectralClustering()),
+        }
+
+    @staticmethod
+    def _flat(result):
+        return [(r.config, r.trial, r.values) for r in result.records]
+
+    def test_process_records_bit_identical_to_serial(self):
+        instances, algorithms = self._instances(), self._algorithms()
+        serial = run_trials(instances, algorithms, trials=2, base_seed=11)
+        parallel = run_trials(
+            instances, algorithms, trials=2, base_seed=11, executor="process", workers=2
+        )
+        # Exact equality, including float bit patterns inside the values.
+        assert self._flat(serial) == self._flat(parallel)
+
+    def test_executor_instance_accepted(self):
+        instances, algorithms = self._instances(), self._algorithms()
+        a = run_trials(instances, algorithms, trials=1, executor=SerialExecutor())
+        b = run_trials(instances, algorithms, trials=1, executor=ProcessExecutor(2))
+        assert self._flat(a) == self._flat(b)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_trials([], {}, executor="threads")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(-2)
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(0)
+        assert ProcessExecutor(None).workers >= 1  # None = all cores
+
+    def test_adapters_are_picklable(self):
+        for adapter in self._algorithms().values():
+            clone = pickle.loads(pickle.dumps(adapter))
+            instance = cycle_of_cliques(2, 8, seed=0)
+            assert clone(instance, 3) == adapter(instance, 3)
+
+    def test_empty_grid(self):
+        result = run_trials([], {}, trials=3, executor="process", workers=2)
+        assert result.records == []

@@ -1,0 +1,142 @@
+"""Tests for the on-disk npz instance cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    InstanceCacheError,
+    cached_instance,
+    cycle_of_cliques,
+    instance_cache_path,
+    instance_digest,
+    planted_partition,
+)
+
+PARAMS = dict(n=120, k=3, p_in=0.3, p_out=0.02, ensure_connected=True)
+
+
+class TestDigest:
+    def test_deterministic(self):
+        a = instance_digest("planted_partition", PARAMS, 7)
+        b = instance_digest("planted_partition", dict(PARAMS), 7)
+        assert a == b
+
+    def test_sensitive_to_params(self):
+        base = instance_digest("planted_partition", PARAMS, 7)
+        assert instance_digest("planted_partition", {**PARAMS, "n": 121}, 7) != base
+        assert instance_digest("planted_partition", {**PARAMS, "p_out": 0.03}, 7) != base
+
+    def test_sensitive_to_seed_and_generator(self):
+        base = instance_digest("planted_partition", PARAMS, 7)
+        assert instance_digest("planted_partition", PARAMS, 8) != base
+        assert instance_digest("stochastic_block_model", PARAMS, 7) != base
+
+    def test_numpy_scalars_canonicalised(self):
+        assert instance_digest("g", {"n": np.int64(5), "p": np.float64(0.5)}, np.int32(1)) == \
+            instance_digest("g", {"n": 5, "p": 0.5}, 1)
+
+    def test_key_ordering_irrelevant(self):
+        assert instance_digest("g", {"a": 1, "b": 2}, 0) == instance_digest("g", {"b": 2, "a": 1}, 0)
+
+    def test_unserialisable_param_rejected(self):
+        with pytest.raises(InstanceCacheError):
+            instance_digest("g", {"rng": np.random.default_rng(0)}, 0)
+
+
+class TestCachedInstance:
+    def test_round_trip_equals_fresh_generation(self, tmp_path):
+        fresh = planted_partition(seed=7, **PARAMS)
+        stored = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        loaded = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        path = instance_cache_path(tmp_path, "planted_partition", PARAMS, 7)
+        assert path.exists()
+        for instance in (stored, loaded):
+            assert instance.graph == fresh.graph
+            assert instance.graph.name == fresh.graph.name
+            assert np.array_equal(instance.partition.labels, fresh.partition.labels)
+
+    def test_warm_load_does_not_regenerate(self, tmp_path, monkeypatch):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+
+        def boom(**kwargs):  # pragma: no cover - must not run
+            raise AssertionError("generator called despite warm cache")
+
+        import repro.graphs.cache as cache_module
+
+        monkeypatch.setattr(
+            cache_module, "_resolve_generator", lambda g: (boom, "planted_partition")
+        )
+        loaded = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        assert loaded.graph.n == PARAMS["n"]
+
+    def test_different_seeds_get_different_entries(self, tmp_path):
+        a = cached_instance(planted_partition, seed=1, cache_dir=tmp_path, **PARAMS)
+        b = cached_instance(planted_partition, seed=2, cache_dir=tmp_path, **PARAMS)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert a.graph != b.graph
+
+    def test_corrupted_file_falls_back_to_regeneration(self, tmp_path):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        path = instance_cache_path(tmp_path, "planted_partition", PARAMS, 7)
+        path.write_bytes(b"definitely not an npz file")
+        repaired = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        fresh = planted_partition(seed=7, **PARAMS)
+        assert repaired.graph == fresh.graph
+        # The broken entry was rewritten: the next load round-trips cleanly.
+        again = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        assert again.graph == fresh.graph
+
+    def test_key_mismatch_in_file_is_not_served(self, tmp_path):
+        cached_instance(planted_partition, seed=1, cache_dir=tmp_path, **PARAMS)
+        src = instance_cache_path(tmp_path, "planted_partition", PARAMS, 1)
+        dst = instance_cache_path(tmp_path, "planted_partition", PARAMS, 2)
+        dst.write_bytes(src.read_bytes())  # adversarially mislabel an entry
+        served = cached_instance(planted_partition, seed=2, cache_dir=tmp_path, **PARAMS)
+        fresh = planted_partition(seed=2, **PARAMS)
+        assert served.graph == fresh.graph
+
+    def test_refresh_regenerates(self, tmp_path):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        path = instance_cache_path(tmp_path, "planted_partition", PARAMS, 7)
+        before = path.stat().st_mtime_ns
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, refresh=True, **PARAMS)
+        assert path.stat().st_mtime_ns >= before
+        fresh = planted_partition(seed=7, **PARAMS)
+        assert cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, **PARAMS
+        ).graph == fresh.graph
+
+    def test_none_cache_dir_is_passthrough(self, tmp_path):
+        instance = cached_instance(planted_partition, seed=7, cache_dir=None, **PARAMS)
+        fresh = planted_partition(seed=7, **PARAMS)
+        assert instance.graph == fresh.graph
+        assert list(tmp_path.iterdir()) == []
+
+    def test_generator_by_name(self, tmp_path):
+        by_name = cached_instance(
+            "cycle_of_cliques", k=3, clique_size=10, seed=4, cache_dir=tmp_path
+        )
+        direct = cycle_of_cliques(3, 10, seed=4)
+        assert by_name.graph == direct.graph
+
+    def test_unknown_generator_name(self, tmp_path):
+        with pytest.raises(InstanceCacheError):
+            cached_instance("no_such_generator", seed=0, cache_dir=tmp_path)
+
+    def test_self_loops_survive_round_trip(self, tmp_path):
+        # Graphs with self-loops exercise the loop-counting path of from_csr.
+        from repro.graphs import ClusteredGraph, Partition
+
+        base = cycle_of_cliques(3, 10, seed=4)
+        looped = base.graph.with_self_loops_to_degree(base.graph.max_degree + 1)
+
+        def loopy_generator(*, seed=None):
+            return ClusteredGraph(graph=looped, partition=base.partition, params={})
+
+        fresh = loopy_generator(seed=0)
+        cached_instance(loopy_generator, seed=0, cache_dir=tmp_path)
+        loaded = cached_instance(loopy_generator, seed=0, cache_dir=tmp_path)
+        assert loaded.graph == fresh.graph
+        assert loaded.graph.num_self_loops == fresh.graph.num_self_loops > 0

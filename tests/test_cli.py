@@ -125,3 +125,46 @@ class TestCluster:
         _, graph_path, _ = instance_files
         assert main(["cluster", str(graph_path), "--engine", "adaptive"]) == 2
         assert "beta" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_serial_sweep_prints_table(self, capsys):
+        code = main(
+            ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
+             "--algorithms", "ours", "--backend", "centralized", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "error" in out
+
+    def test_cached_parallel_sweep_writes_json(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        json_path = tmp_path / "records.json"
+        argv = [
+            "sweep", "cliques", "--sizes", "10", "12", "--k", "3", "--trials", "2",
+            "--workers", "2", "--cache-dir", str(cache_dir), "--json", str(json_path),
+            "--algorithms", "ours", "--backend", "centralized", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        assert len(list(cache_dir.glob("*.npz"))) == 2
+        records = json.loads(json_path.read_text())
+        assert len(records) == 2 * 2  # sizes x trials
+        assert {r["config"]["size"] for r in records} == {10, 12}
+
+        # Re-running against the warm cache and serially must reproduce the
+        # exact same records (cache + parallelism are pure performance knobs).
+        capsys.readouterr()
+        json2 = tmp_path / "records2.json"
+        argv2 = [a if a != str(json_path) else str(json2) for a in argv]
+        argv2[argv2.index("--workers") + 1] = "1"
+        assert main(argv2) == 0
+        assert json.loads(json2.read_text()) == records
+
+    def test_sbm_family(self, capsys):
+        assert main(
+            ["sweep", "sbm", "--sizes", "60", "--k", "2", "--p-in", "0.4",
+             "--p-out", "0.02", "--trials", "1", "--algorithms", "spectral"]
+        ) == 0
+        assert "spectral" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Doc-consistency checks: the docs/ subsystem must track the code.
+
+CI runs these with the unit suite; they fail when a benchmark is added
+without a catalog entry or when the README stops pointing at the docs
+pages, so the documentation cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+
+def test_docs_pages_exist():
+    assert (DOCS / "architecture.md").is_file()
+    assert (DOCS / "experiments.md").is_file()
+
+
+def test_every_benchmark_is_catalogued():
+    catalog = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    bench_files = sorted(p.name for p in (REPO_ROOT / "benchmarks").glob("bench_e*.py"))
+    assert bench_files, "no benchmark files found — wrong repo layout?"
+    missing = [name for name in bench_files if name not in catalog]
+    assert not missing, (
+        f"benchmarks missing from docs/experiments.md: {missing} — "
+        "add a catalog row for each (see 'Conventions for adding an experiment')"
+    )
+
+
+def test_catalog_has_no_stale_entries():
+    catalog = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    referenced = set(re.findall(r"bench_e\d+\w*\.py", catalog))
+    existing = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_e*.py")}
+    stale = sorted(referenced - existing)
+    assert not stale, f"docs/experiments.md references deleted benchmarks: {stale}"
+
+
+def test_readme_links_docs_pages():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    assert "docs/experiments.md" in readme
+
+
+def test_architecture_names_every_package():
+    text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+    packages = [
+        p.name for p in (REPO_ROOT / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    ]
+    missing = [name for name in packages if f"{name}/" not in text]
+    assert not missing, f"docs/architecture.md does not mention packages: {missing}"
