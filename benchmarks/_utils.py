@@ -20,14 +20,85 @@ generation itself).
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.evaluation import format_table
 from repro.graphs import cached_instance
 
-__all__ = ["bench_cache_dir", "bench_instance", "run_experiment", "print_table"]
+__all__ = [
+    "bench_cache_dir",
+    "bench_instance",
+    "run_experiment",
+    "print_table",
+    "peak_rss_bytes",
+    "run_measured_subprocess",
+]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of the *current* process, in bytes.
+
+    No third-party dependency: on Linux this reads ``VmHWM`` from
+    ``/proc/self/status``, which tracks the current address space's
+    high-water mark and is **reset on exec** — unlike
+    ``getrusage().ru_maxrss``, which a forked child inherits from its
+    parent, silently reporting the parent's peak when the parent was ever
+    larger.  Elsewhere it falls back to ``ru_maxrss`` (KiB on Linux, bytes
+    on macOS).  Peak RSS is a monotone high-water mark either way, so
+    comparing two configurations requires running each in a fresh process —
+    see :func:`run_measured_subprocess`.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    import resource
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def run_measured_subprocess(code: str, *, timeout: float = 3600.0) -> dict[str, Any]:
+    """Run ``code`` in a fresh Python subprocess and parse its JSON result.
+
+    The snippet must print a single JSON object as its **last** stdout line
+    (conventionally including a ``"peak_rss"`` entry from
+    :func:`peak_rss_bytes`).  A fresh interpreter is the only way to compare
+    peak-RSS high-water marks between configurations; ``PYTHONPATH`` is
+    extended so the child can import :mod:`repro` and this module.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    extra = f"{repo_root / 'src'}{os.pathsep}{repo_root / 'benchmarks'}"
+    env["PYTHONPATH"] = (
+        extra + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else extra
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"measured subprocess failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    lines = proc.stdout.strip().splitlines()
+    if not lines:
+        raise RuntimeError(
+            "measured subprocess printed no result line; "
+            f"stderr was:\n{proc.stderr}"
+        )
+    return json.loads(lines[-1])
 
 
 def bench_cache_dir() -> str | None:

@@ -1,0 +1,238 @@
+"""E17 — out-of-core instances: peak RSS and throughput, mmap vs dense.
+
+PR 4 made the CSR adjacency storage pluggable: a graph can hold its indices
+as in-RAM arrays (``DenseStorage``, the historical behaviour) or as
+row-chunked memory-mapped shards (``MmapStorage``) that the OS pages in on
+demand, with the vectorized engine walking rows in blocks so a round's
+resident set is O(block) rather than O(m).  This benchmark records the two
+numbers that substrate is accountable for, each measured in a **fresh
+subprocess** (peak RSS is a per-process high-water mark):
+
+* ``peak_rss`` — dense path (npz cache entry loaded into RAM, unblocked
+  rounds, default batching) vs out-of-core path (sharded entry served
+  memory-mapped, shard-aligned blocked rounds, small matching batches).
+  The gate: **mmap peak RSS ≤ 0.5× dense** at n = 10⁶.
+* ``labels_crc`` — the final clustering of both runs, asserted
+  **bit-identical in every mode**: where the adjacency lives and how rounds
+  touch it must never change a result.
+
+A third section ties the substrate to the sweep layer at reduced size:
+``run_trials`` records from memory-mapped instances fanned across worker
+processes (instances ship by path, workers share adjacency pages) are
+asserted equal to the dense serial records — the `repro sweep --mmap
+--workers N` contract.
+
+``BENCH_SMOKE=1`` (CI) trims n to 10⁵ and — as with E13–E16 — records the
+RSS measurements but only *warns* on the ratio bar: a shared runner's
+baseline interpreter RSS dominates at small n.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import warnings
+
+from repro.evaluation import evaluate_load_balancing_clustering, run_trials
+from repro.graphs import cached_instance
+
+from _utils import print_table, run_measured_subprocess
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+N = 100_000 if SMOKE else 1_000_000
+K = 4
+# β sets the seed-trial count s̄ and thereby the (n, s) load matrix, which
+# both configurations hold identically in RAM (it is algorithm state, not
+# adjacency).  β = 0.5 keeps s̄ small (~5 columns, 40 MB at n = 10⁶) so the
+# measurement exposes the adjacency term the storage substrate is
+# accountable for, instead of an identical-on-both-sides load matrix.
+BETA = 0.5
+ROUNDS = 30  # fixed round budget: E17 measures memory, not convergence
+RSS_BAR = 0.5  # mmap peak RSS must be <= this fraction of dense, full mode
+
+# Sweep-parity workload (runs in-process, so it stays small in both modes).
+SWEEP_N = 20_000 if SMOKE else 50_000
+SWEEP_TRIALS = 2
+SWEEP_WORKERS = 2
+
+
+def _probabilities(n: int) -> tuple[float, float]:
+    import numpy as np
+
+    cluster = n // K
+    return float(2.0 * np.log(n) / cluster), float(2.0 / (n - cluster))
+
+
+_CHILD_TEMPLATE = """
+import json, time, zlib
+from repro.core import AlgorithmParameters
+from repro.core.engines import VectorizedEngine, build_clustering_result
+from repro.graphs import cached_instance
+from _utils import peak_rss_bytes
+
+inst = cached_instance(
+    "planted_partition", seed={seed}, cache_dir={cache_dir!r}, mmap={mmap},
+    n={n}, k={k}, p_in={p_in!r}, p_out={p_out!r}, ensure_connected=True,
+)
+params = AlgorithmParameters.from_values({n}, {beta!r}, {rounds})
+start = time.perf_counter()
+engine = VectorizedEngine(inst.graph, params, seed=17, batch_rounds={batch_rounds})
+result = build_clustering_result(engine.run(), params)
+elapsed = time.perf_counter() - start
+print(json.dumps({{
+    "peak_rss": peak_rss_bytes(),
+    "labels_crc": zlib.crc32(result.labels.tobytes()),
+    "num_seeds": int(result.num_seeds),
+    "seconds": elapsed,
+}}))
+"""
+
+
+def _measure(cache_dir: str, *, mmap: bool, batch_rounds: int) -> dict:
+    p_in, p_out = _probabilities(N)
+    code = _CHILD_TEMPLATE.format(
+        seed=N,
+        cache_dir=cache_dir,
+        mmap=mmap,
+        n=N,
+        k=K,
+        p_in=p_in,
+        p_out=p_out,
+        beta=BETA,
+        rounds=ROUNDS,
+        batch_rounds=batch_rounds,
+    )
+    return run_measured_subprocess(code)
+
+
+def _sweep_records(instances, *, executor="serial", workers=None):
+    algorithms = {
+        "ours": evaluate_load_balancing_clustering(backend="vectorized", rounds=20)
+    }
+    result = run_trials(
+        instances,
+        algorithms,
+        trials=SWEEP_TRIALS,
+        base_seed=17,
+        executor=executor,
+        workers=workers,
+    )
+    return [(r.config, r.trial, r.values) for r in result.records]
+
+
+def test_e17_outofcore(benchmark):
+    p_in, p_out = _probabilities(N)
+    spec = dict(n=N, k=K, p_in=p_in, p_out=p_out, ensure_connected=True)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Warm both cache formats once, in a subprocess: generation is
+        # E15's business (E17 measures the serving paths), and keeping the
+        # n = 10⁶ build out of this process means the measuring parent
+        # never holds the instance itself.
+        warm = (
+            "import json\n"
+            "from repro.graphs import cached_instance\n"
+            f"spec = dict(n={N}, k={K}, p_in={p_in!r}, p_out={p_out!r}, "
+            "ensure_connected=True)\n"
+            f"cached_instance('planted_partition', seed={N}, "
+            f"cache_dir={cache_dir!r}, **spec)\n"
+            f"cached_instance('planted_partition', seed={N}, "
+            f"cache_dir={cache_dir!r}, mmap=True, **spec)\n"
+            "print(json.dumps({}))\n"
+        )
+        run_measured_subprocess(warm)
+
+        # --- peak RSS + throughput, one fresh subprocess per configuration #
+        dense = _measure(cache_dir, mmap=False, batch_rounds=32)
+        mapped: dict = {}
+
+        # The out-of-core run is the timed target for the benchmark JSON.
+        # batch_rounds=2 is the out-of-core configuration's natural setting:
+        # the pre-generated matching batch is O(batch · n) and would
+        # otherwise dominate the bounded working set.
+        benchmark.pedantic(
+            lambda: mapped.update(_measure(cache_dir, mmap=True, batch_rounds=2)),
+            rounds=1,
+            iterations=1,
+        )
+
+    # Correctness gate (all modes): the storage backend and the blocked
+    # round loop must not change a single bit of the result.
+    assert mapped["labels_crc"] == dense["labels_crc"], (
+        "mmap + blocked execution changed the clustering: "
+        f"crc {mapped['labels_crc']:#x} != {dense['labels_crc']:#x}"
+    )
+    assert mapped["num_seeds"] == dense["num_seeds"]
+
+    rss_ratio = mapped["peak_rss"] / dense["peak_rss"]
+    rows = [
+        [
+            "dense (npz, unblocked)",
+            round(dense["peak_rss"] / 1e6, 1),
+            round(dense["seconds"], 2),
+            round(ROUNDS / dense["seconds"], 1),
+        ],
+        [
+            "mmap (sharded, blocked)",
+            round(mapped["peak_rss"] / 1e6, 1),
+            round(mapped["seconds"], 2),
+            round(ROUNDS / mapped["seconds"], 1),
+        ],
+    ]
+    table = print_table(
+        f"E17: out-of-core substrate, SBM n = {N:,} "
+        f"(RSS ratio {rss_ratio:.2f}, bar {RSS_BAR})",
+        ["configuration", "peak RSS MB", "seconds", "rounds/s"],
+        rows,
+    )
+
+    # --- sweep-layer parity: mmap instances across processes ------------- #
+    sp_in, sp_out = _probabilities(SWEEP_N)
+    with tempfile.TemporaryDirectory() as sweep_cache:
+        sweep_spec = dict(
+            n=SWEEP_N, k=K, p_in=sp_in, p_out=sp_out, ensure_connected=True
+        )
+        dense_inst = cached_instance(
+            "planted_partition", seed=SWEEP_N, cache_dir=sweep_cache, **sweep_spec
+        )
+        mmap_inst = cached_instance(
+            "planted_partition", seed=SWEEP_N, cache_dir=sweep_cache, mmap=True,
+            **sweep_spec,
+        )
+        serial_dense = _sweep_records([({"n": SWEEP_N}, dense_inst)])
+        parallel_mmap = _sweep_records(
+            [({"n": SWEEP_N}, mmap_inst)], executor="process", workers=SWEEP_WORKERS
+        )
+    assert parallel_mmap == serial_dense, (
+        "mmap instances fanned across processes changed the sweep records"
+    )
+
+    benchmark.extra_info["table"] = table
+    benchmark.extra_info["rss"] = {
+        "n": N,
+        "dense_peak_rss": dense["peak_rss"],
+        "mmap_peak_rss": mapped["peak_rss"],
+        "ratio": rss_ratio,
+        "bar": RSS_BAR,
+    }
+    benchmark.extra_info["seconds"] = {
+        "dense": dense["seconds"],
+        "mmap": mapped["seconds"],
+    }
+
+    if SMOKE:
+        # At n = 10⁵ the interpreter baseline (~100 MB of numpy/scipy)
+        # dominates both measurements; record, warn, don't gate.
+        if rss_ratio > RSS_BAR:
+            warnings.warn(
+                f"mmap/dense peak-RSS ratio {rss_ratio:.2f} above the {RSS_BAR} "
+                f"bar at smoke size n={N:,} (interpreter baseline dominates; "
+                "the gate applies at n=10^6 in full mode)",
+                stacklevel=1,
+            )
+    else:
+        assert rss_ratio <= RSS_BAR, (
+            f"mmap sweep peak RSS is {rss_ratio:.2f}x dense (bar {RSS_BAR}): "
+            f"{mapped['peak_rss'] / 1e6:.0f} MB vs {dense['peak_rss'] / 1e6:.0f} MB"
+        )

@@ -15,8 +15,15 @@ Four subcommands cover the workflow a downstream user actually has:
 ``sweep``
     Run a full experiment sweep (generated instance family × algorithms ×
     trials) through the evaluation runner, optionally fanning trials across
-    worker processes (``--workers``) and re-loading instances from the
-    on-disk npz cache (``--cache-dir``).  See ``docs/experiments.md``.
+    worker processes (``--workers``), re-loading instances from the
+    on-disk cache (``--cache-dir``) and serving them **memory-mapped**
+    (``--mmap``: workers share adjacency pages instead of holding private
+    copies, and the engine's row-blocked rounds keep the resident set
+    O(block)).  See ``docs/experiments.md``.
+``cache``
+    Inspect (``cache list``) or size-bound (``cache prune --max-bytes``)
+    an instance-cache directory; pruning evicts least-recently-used
+    entries first.
 
 Examples
 --------
@@ -24,6 +31,8 @@ Examples
 
     python -m repro generate sbm --n 400 --k 4 --p-in 0.3 --p-out 0.01 \
         --out graph.edges --labels-out truth.txt --seed 1
+    python -m repro generate sbm --n 1000000 --k 4 --seed 1 \
+        --cache-dir .instance-cache --shard-size 4000000
     python -m repro analyse graph.edges --labels truth.txt
     python -m repro cluster graph.edges --k 4 --engine centralized \
         --out labels.txt --truth truth.txt
@@ -31,7 +40,9 @@ Examples
         --backend vectorized --out labels.txt
     python -m repro sweep sbm --sizes 400 800 1600 --k 4 --p-in 0.3 \
         --p-out 0.01 --trials 5 --workers 8 --cache-dir .instance-cache \
-        --json sweep.json
+        --mmap --json sweep.json
+    python -m repro cache list .instance-cache
+    python -m repro cache prune .instance-cache --max-bytes 2G
 """
 
 from __future__ import annotations
@@ -42,7 +53,34 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_size"]
+
+_SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte count like ``500M``, ``2G`` or ``1048576`` into bytes."""
+    raw = text.strip().upper().removesuffix("B")
+    suffix = raw[-1:] if raw[-1:] in _SIZE_SUFFIXES and not raw[-1:].isdigit() else ""
+    number = raw[: len(raw) - len(suffix)] if suffix else raw
+    try:
+        value = float(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}: expected e.g. 500M, 2G or a plain byte count"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be non-negative, got {text!r}")
+    return int(value * _SIZE_SUFFIXES[suffix])
+
+
+def _format_bytes(nbytes: int) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,8 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--p-out", type=float, default=0.01, help="inter-cluster edge probability (sbm)")
     gen.add_argument("--mu", type=float, default=0.1, help="mixing parameter (lfr)")
     gen.add_argument("--seed", type=int, default=None)
-    gen.add_argument("--out", type=Path, required=True, help="edge-list output path")
+    gen.add_argument("--out", type=Path, default=None, help="edge-list output path")
     gen.add_argument("--labels-out", type=Path, default=None, help="ground-truth labels output path")
+    gen.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="also (or instead) write the instance into this cache as a sharded v2 entry",
+    )
+    gen.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="arcs per indices shard for the sharded cache entry (default 4M = 32 MB)",
+    )
 
     # analyse -----------------------------------------------------------
     ana = sub.add_parser("analyse", help="print structural diagnostics of a graph")
@@ -149,35 +199,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         type=Path,
         default=None,
-        help="npz instance-cache directory; instances re-load in ~100 ms on later sweeps",
+        help="instance-cache directory; instances re-load in ~100 ms on later sweeps",
+    )
+    swp.add_argument(
+        "--mmap",
+        action="store_true",
+        help=(
+            "serve instances memory-mapped from sharded cache entries (requires "
+            "--cache-dir): worker processes share adjacency pages instead of "
+            "private copies, and the vectorized engine runs its row-blocked "
+            "round loop so the per-round resident set is O(block), not O(m); "
+            "records are bit-identical to the dense path"
+        ),
+    )
+    swp.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help=(
+            "rows per adjacency block in the vectorized engine's round loop "
+            "(default: auto — unblocked for in-RAM instances, shard-aligned "
+            "for --mmap instances)"
+        ),
     )
     swp.add_argument("--json", type=Path, default=None, help="write per-trial records to this JSON file")
+
+    # cache -------------------------------------------------------------
+    cache = sub.add_parser(
+        "cache", help="inspect or prune an on-disk instance-cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_list = cache_sub.add_parser("list", help="list cache entries, most recently used first")
+    cache_list.add_argument("cache_dir", type=Path, help="cache directory to inspect")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries until the cache fits a byte budget"
+    )
+    cache_prune.add_argument("cache_dir", type=Path, help="cache directory to prune")
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        required=True,
+        help="target size, e.g. 500M or 2G (suffixes K/M/G/T, powers of 1024)",
+    )
+    cache_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="only report what would be evicted",
+    )
     return parser
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .graphs import (
-        cycle_of_cliques,
-        lfr_benchmark,
-        planted_partition,
-        ring_of_expanders,
+        cached_instance,
+        instance_shard_dir,
         write_edge_list,
         write_partition,
     )
 
+    if args.out is None and args.cache_dir is None:
+        print("error: need --out and/or --cache-dir", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.cache_dir is None:
+        print("error: --shard-size requires --cache-dir", file=sys.stderr)
+        return 2
+
     if args.family == "sbm":
-        instance = planted_partition(
-            args.n, args.k, args.p_in, args.p_out, seed=args.seed, ensure_connected=True
+        generator = "planted_partition"
+        params = dict(
+            n=args.n, k=args.k, p_in=args.p_in, p_out=args.p_out, ensure_connected=True
         )
     elif args.family == "cliques":
-        instance = cycle_of_cliques(args.k, args.cluster_size, seed=args.seed)
+        generator = "cycle_of_cliques"
+        params = dict(k=args.k, clique_size=args.cluster_size)
     elif args.family == "expanders":
-        instance = ring_of_expanders(args.k, args.cluster_size, args.degree, seed=args.seed)
+        generator = "ring_of_expanders"
+        params = dict(k=args.k, cluster_size=args.cluster_size, d=args.degree)
     else:
-        instance = lfr_benchmark(args.n, mu=args.mu, average_degree=args.degree, seed=args.seed)
+        generator = "lfr_benchmark"
+        params = dict(n=args.n, mu=args.mu, average_degree=args.degree)
 
-    write_edge_list(instance.graph, args.out)
-    print(f"wrote {instance.graph} to {args.out}")
+    # Routing generation through the cache layer means --cache-dir gets a
+    # re-usable sharded (v2) entry as a side effect; without it the call is
+    # a plain pass-through to the generator.
+    instance = cached_instance(
+        generator,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        mmap=args.cache_dir is not None,
+        shard_arcs=args.shard_size,
+        **params,
+    )
+    if args.cache_dir is not None:
+        entry = instance_shard_dir(args.cache_dir, generator, params, args.seed)
+        shards = instance.graph.storage.num_shards
+        print(f"cached {instance.graph} at {entry} ({shards} shard(s))")
+
+    if args.out is not None:
+        write_edge_list(instance.graph, args.out)
+        print(f"wrote {instance.graph} to {args.out}")
     if args.labels_out is not None:
         write_partition(instance.partition, args.labels_out)
         print(f"wrote ground-truth labels (k={instance.partition.k}) to {args.labels_out}")
@@ -288,18 +408,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .graphs import cached_instance
 
     cache_dir = None if args.cache_dir is None else str(args.cache_dir)
+    if args.mmap and cache_dir is None:
+        print("error: --mmap requires --cache-dir (the mapped entry lives there)", file=sys.stderr)
+        return 2
+    mmap = bool(args.mmap)
     if args.family == "sbm":
         def make_instance(n: int, cache_dir: str | None = None):
             return cached_instance(
                 "planted_partition",
                 n=n, k=args.k, p_in=args.p_in, p_out=args.p_out,
                 ensure_connected=True, seed=args.seed + n, cache_dir=cache_dir,
+                mmap=mmap,
             )
     elif args.family == "cliques":
         def make_instance(size: int, cache_dir: str | None = None):
             return cached_instance(
                 "cycle_of_cliques",
                 k=args.k, clique_size=size, seed=args.seed + size, cache_dir=cache_dir,
+                mmap=mmap,
             )
     else:
         def make_instance(size: int, cache_dir: str | None = None):
@@ -307,10 +433,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "ring_of_expanders",
                 k=args.k, cluster_size=size, d=args.degree,
                 seed=args.seed + size, cache_dir=cache_dir,
+                mmap=mmap,
             )
 
     available = {
-        "ours": lambda: evaluate_load_balancing_clustering(backend=args.backend),
+        "ours": lambda: evaluate_load_balancing_clustering(
+            backend=args.backend, block_size=args.block_size
+        ),
         "spectral": lambda: evaluate_baseline(SpectralClustering()),
         "label-propagation": lambda: evaluate_baseline(LabelPropagation()),
     }
@@ -343,6 +472,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .evaluation import format_table
+    from .graphs import list_cache, prune_cache
+
+    if args.cache_command == "list":
+        entries = list_cache(args.cache_dir)
+        if not entries:
+            print(f"no cache entries in {args.cache_dir}")
+            return 0
+        rows = [
+            [e.generator, e.digest, e.kind, _format_bytes(e.nbytes)]
+            for e in entries
+        ]
+        print(
+            format_table(
+                ["generator", "digest", "format", "size"],
+                rows,
+                title=f"{args.cache_dir}: {len(entries)} entries, "
+                f"{_format_bytes(sum(e.nbytes for e in entries))} (MRU first)",
+            )
+        )
+        return 0
+
+    evicted = prune_cache(args.cache_dir, args.max_bytes, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    freed = sum(e.nbytes for e in evicted)
+    remaining = sum(e.nbytes for e in list_cache(args.cache_dir))
+    print(
+        f"{verb} {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'} "
+        f"({_format_bytes(freed)}); cache now {_format_bytes(remaining)} "
+        f"/ budget {_format_bytes(args.max_bytes)}"
+    )
+    for entry in evicted:
+        print(f"  {verb}: {entry.path.name} ({_format_bytes(entry.nbytes)})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -354,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -235,7 +235,21 @@ class VectorizedEngine(RoundEngine):
     batch_rounds:
         Matchings are pre-generated in chunks of this many rounds (they are
         independent of the load configuration, so generation and application
-        decouple); purely a throughput/memory knob.
+        decouple); purely a throughput/memory knob — the chunk buffer is
+        ``(batch_rounds, n)`` int64 and chunking never changes the random
+        stream.  ``None`` (default) resolves from the storage backend: 32
+        for in-RAM graphs (the historical default), 2 for memory-mapped
+        graphs, where a 32-round buffer (256 MB at n = 10⁶) would dwarf the
+        adjacency the out-of-core substrate just moved off-RAM.
+    block_size:
+        Row-block size of the neighbour gather inside each round.  ``None``
+        (default) resolves from the graph's storage backend: in-RAM graphs
+        run the classic unblocked gather, memory-mapped graphs pick a block
+        matching their shard layout so a round's resident set is O(block)
+        rather than O(m).  Any explicit value forces blocked gathers of at
+        most that many rows.  Blocked and unblocked execution are
+        **bit-identical** for the same seed — all random draws are global;
+        only the order in which the adjacency is touched changes.
     """
 
     name = "vectorized"
@@ -252,7 +266,8 @@ class VectorizedEngine(RoundEngine):
         failures: FailureModel | None = None,
         matching_sampler: Callable[[Graph, np.random.Generator], np.ndarray] | None = None,
         averaging_model: AveragingModel | None = None,
-        batch_rounds: int = 32,
+        batch_rounds: int | None = None,
+        block_size: int | None = None,
     ):
         if parameters.n != graph.n:
             raise ValueError("parameters were derived for a different graph size")
@@ -261,7 +276,7 @@ class VectorizedEngine(RoundEngine):
                 "failure injection requires the message-passing backend; "
                 "the vectorized backend has no per-message delivery to fail"
             )
-        if batch_rounds < 1:
+        if batch_rounds is not None and batch_rounds < 1:
             raise ValueError("batch_rounds must be at least 1")
         if degree_cap is not None and degree_cap < graph.max_degree:
             raise ValueError(
@@ -283,6 +298,18 @@ class VectorizedEngine(RoundEngine):
                 "matching_sampler cannot be combined with an averaging_model; "
                 "the model owns its own matching step"
             )
+        if block_size is not None and block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if block_size is not None and matching_sampler is not None:
+            raise ValueError(
+                "block_size cannot be combined with a custom matching_sampler; "
+                "the sampler owns its own gather strategy"
+            )
+        if block_size is not None and averaging_model is not None:
+            raise ValueError(
+                "block_size cannot be combined with an averaging_model; "
+                "the model owns its own adjacency access"
+            )
         self.graph = graph
         self.parameters = parameters
         #: Declared query fallback, applied at result assembly (see class doc).
@@ -291,7 +318,22 @@ class VectorizedEngine(RoundEngine):
         self._degree_cap = degree_cap
         self._matching_sampler = matching_sampler
         self._averaging_model = averaging_model
+        if batch_rounds is None:
+            # Out-of-core graphs keep the matching buffer small so the
+            # per-round resident set the blocked gather bought is not spent
+            # on pre-generated matchings instead (see class doc).
+            batch_rounds = 32 if graph.storage.in_memory else 2
         self._batch_rounds = int(batch_rounds)
+        if (
+            block_size is None
+            and matching_sampler is None
+            and averaging_model is None
+            and not graph.storage.in_memory
+        ):
+            # Out-of-core graph: default to the storage's native blocking so
+            # the round loop never materialises the full indices array.
+            block_size = graph.storage.suggested_block_rows()
+        self._block_size = block_size
 
     def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
         self._claim_single_use()
@@ -344,6 +386,7 @@ class VectorizedEngine(RoundEngine):
                     chunk,
                     sampler=self._matching_sampler,
                     degree_cap=self._degree_cap,
+                    block_size=self._block_size,
                 )
                 for i in range(chunk):
                     partner = matchings[i]

@@ -229,6 +229,14 @@ class ProcessExecutor(TrialExecutor):
     ``evaluate_*`` adapters in this module are dataclass-based for exactly
     this reason; ad-hoc lambdas/closures are fine for :class:`SerialExecutor`
     but will raise under this one.
+
+    Memory-mapped instances (``cached_instance(..., mmap=True)``) are the
+    cheap way to fan a large graph out: their storage pickles as **just the
+    cache-entry path** (:meth:`repro.graphs.store.MmapStorage.__reduce__`),
+    so each worker re-opens the on-disk shards and all workers share one
+    copy of the adjacency in the OS page cache — instead of each
+    deserialising its own few-hundred-MB private copy, which is what a
+    dense instance costs here at n = 10⁶.
     """
 
     def __init__(self, workers: int | None = None):
@@ -358,6 +366,7 @@ class _LoadBalancingAdapter:
     beta: float | None = None
     fallback: str = "argmax"
     backend: str = "centralized"
+    block_size: int | None = None
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -371,12 +380,30 @@ class _LoadBalancingAdapter:
         if self.rounds is not None:
             params = params.with_rounds(self.rounds)
         if self.backend == "centralized":
+            if self.block_size is not None:
+                raise ValueError(
+                    "block_size applies to round-engine backends, not the "
+                    "legacy centralized driver"
+                )
             result = CentralizedClustering(
                 instance.graph, params, seed=seed, fallback=self.fallback
             ).run(keep_loads=False)
         else:
+            engine_options: dict[str, Any] = {}
+            if self.block_size is not None:
+                if self.backend in ("message-passing", "message", "per-node", "simulator"):
+                    raise ValueError(
+                        "block_size applies to the vectorized round engine; "
+                        "the per-node simulator touches one row at a time anyway"
+                    )
+                engine_options["block_size"] = self.block_size
             result = DistributedClustering(
-                instance.graph, params, seed=seed, fallback=self.fallback, backend=self.backend
+                instance.graph,
+                params,
+                seed=seed,
+                fallback=self.fallback,
+                backend=self.backend,
+                **engine_options,
             ).run()
         record = clustering_report(result.partition, instance.partition)
         record.update(
@@ -410,6 +437,7 @@ def evaluate_load_balancing_clustering(
     beta: float | None = None,
     fallback: str = "argmax",
     backend: str = "centralized",
+    block_size: int | None = None,
 ) -> AlgorithmCallable:
     """Adapter running the paper's algorithm and scoring it.
 
@@ -418,6 +446,12 @@ def evaluate_load_balancing_clustering(
     engine registered with :mod:`repro.core.engines` — ``"vectorized"`` for
     the fast array backend, ``"message-passing"`` for the per-node
     simulator with exact communication accounting.
+
+    ``block_size`` forwards the vectorized engine's row-blocked adjacency
+    gather (see :class:`~repro.core.engines.VectorizedEngine`): records are
+    bit-identical with or without it, but memory-mapped instances keep an
+    O(block) resident set.  Leave ``None`` to let the engine pick a block
+    from the instance's storage backend (unblocked for in-RAM graphs).
 
     The returned callable is a picklable object, so it works under both the
     serial and the process executors of :func:`run_trials`.
@@ -428,6 +462,7 @@ def evaluate_load_balancing_clustering(
         beta=beta,
         fallback=fallback,
         backend=backend,
+        block_size=block_size,
     )
 
 

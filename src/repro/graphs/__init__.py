@@ -34,12 +34,23 @@ from .generators import (
     stochastic_block_model,
 )
 from .graph import Graph, GraphError
+from .store import (
+    CSRStorage,
+    CSRStorageError,
+    DenseStorage,
+    MmapStorage,
+    DEFAULT_SHARD_ARCS,
+)
 from .cache import (
     CACHE_FORMAT_VERSION,
+    CacheEntry,
     InstanceCacheError,
     cached_instance,
     instance_cache_path,
     instance_digest,
+    instance_shard_dir,
+    list_cache,
+    prune_cache,
 )
 from .lfr import lfr_benchmark, truncated_power_law
 from .sampling import (
@@ -109,12 +120,22 @@ __all__ = [
     "random_regular_graph",
     "ring_of_expanders",
     "stochastic_block_model",
+    # store.py
+    "CSRStorage",
+    "CSRStorageError",
+    "DenseStorage",
+    "MmapStorage",
+    "DEFAULT_SHARD_ARCS",
     # cache.py
     "CACHE_FORMAT_VERSION",
+    "CacheEntry",
     "InstanceCacheError",
     "cached_instance",
     "instance_cache_path",
     "instance_digest",
+    "instance_shard_dir",
+    "list_cache",
+    "prune_cache",
     # lfr.py
     "lfr_benchmark",
     "truncated_power_law",

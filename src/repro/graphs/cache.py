@@ -1,4 +1,4 @@
-"""On-disk instance cache: npz-backed CSR store for generated graphs.
+"""On-disk instance cache: npz- and shard-backed CSR store for generated graphs.
 
 Large generated instances (n ≥ 10⁶, tens of millions of edges) take seconds
 to build even with the array-native pipeline, and a sweep regenerates the
@@ -6,28 +6,44 @@ same instance for every algorithm/trial combination and again for every
 benchmark that shares the workload.  The generators are seed-deterministic,
 so an instance is fully identified by *(generator name, parameters, seed)* —
 this module persists the finished CSR arrays keyed by a canonical digest of
-exactly that triple and re-loads them through the zero-copy
-:meth:`~repro.graphs.graph.Graph.from_csr` constructor, turning a multi-second
-rebuild into a ~100 ms file read.
+exactly that triple and re-loads them through the trusted
+:meth:`~repro.graphs.graph.Graph.from_csr` /
+:meth:`~repro.graphs.graph.Graph.from_storage` constructors, turning a
+multi-second rebuild into a ~100 ms file read (or an O(n) manifest open).
 
-Storage format (one ``.npz`` per instance, uncompressed for load speed):
+Two on-disk formats coexist, readable interchangeably:
 
-``indptr``, ``indices``
-    The canonical symmetric CSR arrays exactly as ``Graph.csr_arrays()``
-    returns them; adopted on load by ``Graph.from_csr`` without copying.
-``labels``
-    The ground-truth partition's label vector.
-``meta``
-    A JSON blob recording the cache key fields (generator, params, seed),
-    the format version, the graph name and the generator's own ``params``
-    dict, checked on load so a digest collision or stale file is detected
-    rather than silently served.
+**v1 — one ``.npz`` per instance** (uncompressed for load speed):
+``indptr``/``indices`` (the canonical CSR arrays exactly as
+``Graph.csr_arrays()`` returns them), ``labels`` (the ground-truth
+partition) and ``meta`` (a JSON blob with the cache key fields, checked on
+load so a digest collision or stale file is detected rather than silently
+served).  This is what plain ``cached_instance(...)`` writes.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
-writer can never leave a truncated file under the final name, and *any*
-failure to load — missing file, truncated npz, metadata mismatch — falls
-back to regenerating and rewriting the entry.  Corruption therefore costs
-one regeneration, never a wrong answer.
+**v2 — one sharded directory per instance** (``{generator}-{digest}.csr/``):
+a :class:`~repro.graphs.store.MmapStorage` layout — ``manifest.json``,
+``indptr.npy``, row-chunked ``indices-XXXX.npy`` shards — plus
+``labels.npy``.  The cache metadata (key, graph name, edge counts) lives in
+the manifest's ``extra`` block.  ``cached_instance(..., mmap=True)`` writes
+and serves this format, returning a graph whose adjacency is **memory
+mapped**: the OS pages shards in on demand, worker processes share pages
+instead of copies, and pickling ships only the directory path.
+
+Either format satisfies either request: a ``mmap=True`` call finding only a
+v1 npz converts it to a v2 entry without regenerating; a plain call finding
+only a v2 directory materialises it into RAM.
+
+Writes are atomic (temp file/directory + ``os.replace``) so a crashed or
+concurrent writer can never leave a truncated entry under the final name,
+and *any* failure to load — missing file, truncated npz, bad manifest,
+metadata mismatch — falls back to regenerating and rewriting the entry.
+Corruption therefore costs one regeneration, never a wrong answer.
+
+The cache also has a lifecycle: :func:`list_cache` enumerates entries with
+sizes and access times, and :func:`prune_cache` evicts least-recently-used
+entries (by atime, falling back to mtime) until the store fits a byte
+budget — exposed as ``repro cache list|prune`` on the CLI and as the
+``max_bytes=`` knob of :func:`cached_instance`.
 
 One caveat the key cannot cover: the digest identifies the generator by
 *name*, not by implementation, so it trusts generators to keep their
@@ -45,28 +61,38 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
 from .generators import ClusteredGraph
 from .graph import Graph
 from .partition import Partition
+from .store import MmapStorage
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "InstanceCacheError",
     "instance_digest",
     "instance_cache_path",
+    "instance_shard_dir",
     "cached_instance",
+    "CacheEntry",
+    "list_cache",
+    "prune_cache",
 ]
 
-#: Part of every cache key: bump when the npz layout changes OR when a
+#: Part of every cache key: bump when the on-disk layout changes OR when a
 #: generator's seed → instance mapping changes, so existing entries are
 #: regenerated instead of served stale.
-CACHE_FORMAT_VERSION = 1
+#:
+#: v2 (this PR): the LFR samplers were batched (new seed → instance mapping
+#: for ``lfr_benchmark``) and the sharded storage format was introduced.
+CACHE_FORMAT_VERSION = 2
 
 
 class InstanceCacheError(ValueError):
@@ -127,9 +153,17 @@ def instance_digest(generator: str, params: Mapping[str, Any], seed: int | None)
 def instance_cache_path(
     cache_dir: str | Path, generator: str, params: Mapping[str, Any], seed: int | None
 ) -> Path:
-    """The file an instance would be cached at (whether or not it exists)."""
+    """The v1 npz file an instance would be cached at (whether or not it exists)."""
     digest = instance_digest(generator, params, seed)
     return Path(cache_dir) / f"{generator}-{digest}.npz"
+
+
+def instance_shard_dir(
+    cache_dir: str | Path, generator: str, params: Mapping[str, Any], seed: int | None
+) -> Path:
+    """The v2 sharded directory an instance would be cached at."""
+    digest = instance_digest(generator, params, seed)
+    return Path(cache_dir) / f"{generator}-{digest}.csr"
 
 
 def _store(path: Path, instance: ClusteredGraph, key_json: str) -> None:
@@ -171,7 +205,7 @@ def _lenient_json(params: Mapping[str, Any]) -> dict[str, Any]:
 
 
 def _load(path: Path, key_json: str) -> ClusteredGraph:
-    """Load a cached instance; raises on any structural or metadata problem."""
+    """Load a v1 npz instance; raises on any structural or metadata problem."""
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"]).decode("utf-8"))
         if meta.get("key") != key_json:
@@ -182,6 +216,71 @@ def _load(path: Path, key_json: str) -> ClusteredGraph:
     graph = Graph.from_csr(indptr, indices, name=str(meta.get("graph_name", "cached")))
     if labels.shape != (graph.n,):
         raise InstanceCacheError(f"cache entry {path} has {labels.size} labels for n={graph.n}")
+    return ClusteredGraph(
+        graph=graph,
+        partition=Partition(labels),
+        params=dict(meta.get("instance_params", {})),
+    )
+
+
+def _store_sharded(
+    directory: Path,
+    instance: ClusteredGraph,
+    key_json: str,
+    *,
+    shard_arcs: int | None = None,
+) -> None:
+    """Atomically write a v2 sharded entry (manifest + shards + labels)."""
+    indptr, indices = instance.graph.csr_arrays()
+    extra = {
+        "key": key_json,
+        "graph_name": instance.graph.name,
+        "instance_params": _lenient_json(instance.params),
+        "num_edges": int(instance.graph.num_edges),
+        "num_self_loops": int(instance.graph.num_self_loops),
+    }
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=directory.parent, suffix=".csr.tmp"))
+    try:
+        MmapStorage.write(
+            tmp, np.asarray(indptr), np.asarray(indices), shard_arcs=shard_arcs, extra=extra
+        )
+        np.save(tmp / "labels.npy", np.asarray(instance.partition.labels, dtype=np.int64))
+        try:
+            os.replace(tmp, directory)
+        except OSError:
+            # The destination exists and is non-empty (a concurrent or stale
+            # writer); clear it and retry — the tmp directory is complete, so
+            # the window without a valid entry is as small as it can be.
+            shutil.rmtree(directory, ignore_errors=True)
+            os.replace(tmp, directory)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
+def _load_sharded(directory: Path, key_json: str, *, mmap: bool) -> ClusteredGraph:
+    """Load a v2 sharded instance, memory-mapped or materialised into RAM."""
+    storage = MmapStorage(directory)
+    meta = storage.extra
+    if meta.get("key") != key_json:
+        raise InstanceCacheError(f"cache entry {directory} does not match its key")
+    labels = np.asarray(np.load(directory / "labels.npy"), dtype=np.int64)
+    counts = {}
+    if "num_edges" in meta and "num_self_loops" in meta:
+        counts = {
+            "num_edges": int(meta["num_edges"]),
+            "num_self_loops": int(meta["num_self_loops"]),
+        }
+    graph = Graph.from_storage(
+        storage if mmap else storage.materialize(),
+        name=str(meta.get("graph_name", "cached")),
+        **counts,
+    )
+    if labels.shape != (graph.n,):
+        raise InstanceCacheError(
+            f"cache entry {directory} has {labels.size} labels for n={graph.n}"
+        )
     return ClusteredGraph(
         graph=graph,
         partition=Partition(labels),
@@ -210,6 +309,9 @@ def cached_instance(
     seed: int | None = None,
     cache_dir: str | Path | None = None,
     refresh: bool = False,
+    mmap: bool = False,
+    shard_arcs: int | None = None,
+    max_bytes: int | None = None,
     **params: Any,
 ) -> ClusteredGraph:
     """Generate an instance through the on-disk cache.
@@ -226,11 +328,26 @@ def cached_instance(
         cache sound; an unseeded call (``seed=None``) is still cached but
         then pins whichever instance was drawn first.
     cache_dir:
-        Directory holding the npz entries.  ``None`` disables caching and
+        Directory holding the cache entries.  ``None`` disables caching and
         calls the generator directly (so call sites can thread an optional
-        ``--cache-dir`` straight through).
+        ``--cache-dir`` straight through); combining ``cache_dir=None``
+        with ``mmap=True`` raises, since the memory-mapped substrate *is*
+        the on-disk entry.
     refresh:
         Regenerate and overwrite the entry even if present.
+    mmap:
+        Serve the instance **memory-mapped** from a v2 sharded entry: the
+        returned graph's adjacency is backed by
+        :class:`~repro.graphs.store.MmapStorage` (OS-paged shards, shared
+        across processes, pickled by path).  A v1 npz entry found under the
+        same key is converted to v2 without regenerating.
+    shard_arcs:
+        Arcs per indices shard for v2 writes (default
+        :data:`~repro.graphs.store.DEFAULT_SHARD_ARCS`).
+    max_bytes:
+        Optional size bound for the whole ``cache_dir``: after a write, the
+        least-recently-used entries (by atime) are pruned until the store
+        fits, never evicting the entry just produced.
     **params:
         Generator keyword arguments; part of the cache key, so they must be
         plain scalars/strings/containers (:class:`InstanceCacheError`
@@ -242,17 +359,190 @@ def cached_instance(
     """
     fn, name = _resolve_generator(generator)
     if cache_dir is None:
+        if mmap:
+            raise InstanceCacheError(
+                "mmap=True requires a cache_dir: the memory-mapped substrate "
+                "is the on-disk cache entry itself"
+            )
         return fn(**params, seed=seed)
 
     key_json = _key_json(name, params, seed)
-    path = instance_cache_path(cache_dir, name, params, seed)
-    if not refresh and path.exists():
-        try:
-            return _load(path, key_json)
-        except Exception:
-            # Truncated file, wrong key, bad arrays, unpicklable npz — all
-            # repair the same way: fall through and regenerate.
-            pass
+    npz_path = instance_cache_path(cache_dir, name, params, seed)
+    shard_dir = instance_shard_dir(cache_dir, name, params, seed)
+    serving_path = shard_dir if mmap else npz_path
+    if not refresh:
+        # Either format satisfies either request; prefer the native one.
+        if mmap and shard_dir.is_dir():
+            try:
+                return _load_sharded(shard_dir, key_json, mmap=True)
+            except Exception:
+                pass
+        if npz_path.exists():
+            try:
+                instance = _load(npz_path, key_json)
+                if not mmap:
+                    return instance
+                # v1 → v2 conversion: re-shard the loaded arrays instead of
+                # regenerating, then serve the memory-mapped entry.  The v2
+                # directory satisfies dense requests too (materialised), so
+                # keeping the npz would only double the entry's footprint.
+                _store_sharded(shard_dir, instance, key_json, shard_arcs=shard_arcs)
+                try:
+                    npz_path.unlink()
+                except OSError:  # pragma: no cover - concurrent eviction
+                    pass
+                _prune_after_write(cache_dir, max_bytes, serving_path)
+                return _load_sharded(shard_dir, key_json, mmap=True)
+            except Exception:
+                # Truncated file, wrong key, bad arrays, unpicklable npz —
+                # all repair the same way: fall through and regenerate.
+                pass
+        if not mmap and shard_dir.is_dir():
+            try:
+                return _load_sharded(shard_dir, key_json, mmap=False)
+            except Exception:
+                pass
     instance = fn(**params, seed=seed)
-    _store(path, instance, key_json)
+    if mmap:
+        _store_sharded(shard_dir, instance, key_json, shard_arcs=shard_arcs)
+        instance = _load_sharded(shard_dir, key_json, mmap=True)
+    else:
+        _store(npz_path, instance, key_json)
+    _prune_after_write(cache_dir, max_bytes, serving_path)
     return instance
+
+
+# --------------------------------------------------------------------------- #
+# Cache lifecycle: enumeration and size-bounded LRU eviction
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cache entry (a v1 ``.npz`` file or a v2 ``.csr`` directory)."""
+
+    path: Path
+    generator: str
+    digest: str
+    kind: str  #: ``"npz"`` (v1) or ``"sharded"`` (v2)
+    nbytes: int
+    atime: float  #: last access (falls back to mtime on noatime mounts)
+    mtime: float
+
+    def remove(self) -> None:
+        """Delete the entry from disk (idempotent)."""
+        if self.kind == "sharded":
+            shutil.rmtree(self.path, ignore_errors=True)
+        else:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _entry_stats(path: Path) -> tuple[int, float, float]:
+    """(total bytes, newest atime, newest mtime) of a file or directory."""
+    if path.is_dir():
+        nbytes, atime, mtime = 0, 0.0, 0.0
+        for child in path.iterdir():
+            try:
+                st = child.stat()
+            except OSError:
+                continue
+            nbytes += st.st_size
+            atime = max(atime, st.st_atime)
+            mtime = max(mtime, st.st_mtime)
+        return nbytes, atime, mtime
+    st = path.stat()
+    return st.st_size, st.st_atime, st.st_mtime
+
+
+def list_cache(cache_dir: str | Path) -> list[CacheEntry]:
+    """Enumerate the entries of a cache directory, most recently used first.
+
+    Only paths matching the cache naming scheme (``{generator}-{digest}.npz``
+    or ``{generator}-{digest}.csr/``) are listed; anything else in the
+    directory is left alone, so pruning can never eat unrelated files.
+    """
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return []
+    entries: list[CacheEntry] = []
+    for path in cache_dir.iterdir():
+        if path.suffix == ".npz" and path.is_file():
+            kind = "npz"
+        elif path.suffix == ".csr" and path.is_dir():
+            kind = "sharded"
+        else:
+            continue
+        stem = path.name[: -len(path.suffix)]
+        generator, sep, digest = stem.rpartition("-")
+        if not sep or not digest:
+            continue
+        try:
+            nbytes, atime, mtime = _entry_stats(path)
+        except OSError:
+            continue
+        entries.append(
+            CacheEntry(
+                path=path,
+                generator=generator,
+                digest=digest,
+                kind=kind,
+                nbytes=nbytes,
+                atime=atime or mtime,
+                mtime=mtime,
+            )
+        )
+    entries.sort(key=lambda e: (e.atime, e.mtime), reverse=True)
+    return entries
+
+
+def prune_cache(
+    cache_dir: str | Path,
+    max_bytes: int,
+    *,
+    protect: Iterable[str | Path] = (),
+    dry_run: bool = False,
+) -> list[CacheEntry]:
+    """Evict least-recently-used entries until the cache fits ``max_bytes``.
+
+    Eviction order is oldest ``atime`` first (mtime as tiebreak), the
+    classic LRU policy — on ``relatime``/``noatime`` mounts where atimes are
+    coarse this degrades gracefully to least-recently-written.  Entries
+    whose path appears in ``protect`` are never evicted (used by
+    :func:`cached_instance` so a bound can never delete the instance it just
+    produced).  Returns the evicted entries; with ``dry_run=True`` nothing
+    is deleted, the return value shows what would be.
+
+    Evicting an entry that some process currently serves memory-mapped is
+    safe for that process — :class:`~repro.graphs.store.MmapStorage` maps
+    every shard eagerly, and POSIX keeps unlinked-but-mapped pages readable
+    — but a process that tries to *open* the entry after eviction
+    regenerates it.  Under a ``max_bytes`` budget smaller than a sweep's
+    working set this can thrash (evict → regenerate → evict); size the
+    budget to the instance family, or prune between sweeps.
+    """
+    if max_bytes < 0:
+        raise InstanceCacheError(f"max_bytes must be non-negative, got {max_bytes}")
+    protected = {Path(p).resolve() for p in protect}
+    entries = list_cache(cache_dir)
+    total = sum(e.nbytes for e in entries)
+    evicted: list[CacheEntry] = []
+    # Walk from the least recently used end of the listing.
+    for entry in reversed(entries):
+        if total <= max_bytes:
+            break
+        if entry.path.resolve() in protected:
+            continue
+        if not dry_run:
+            entry.remove()
+        evicted.append(entry)
+        total -= entry.nbytes
+    return evicted
+
+
+def _prune_after_write(
+    cache_dir: str | Path, max_bytes: int | None, just_written: Path
+) -> None:
+    if max_bytes is not None:
+        prune_cache(cache_dir, max_bytes, protect=(just_written,))

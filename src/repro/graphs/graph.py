@@ -16,6 +16,14 @@ guides).  The structure is immutable after construction: algorithms never
 mutate the topology, which lets us safely share one ``Graph`` instance across
 the distributed simulator, the centralised implementation and the baselines.
 
+*Where* the CSR arrays live is delegated to a pluggable
+:class:`~repro.graphs.store.CSRStorage` backend: :class:`~repro.graphs.store.DenseStorage`
+(in-RAM int64 arrays, the default and the historical behaviour) or
+:class:`~repro.graphs.store.MmapStorage` (row-chunked ``.npy`` shards paged
+in on demand, for instances that outgrow RAM and for cheap multi-process
+sharing).  Every accessor below goes through the storage contract, so the
+two backends are interchangeable everywhere a ``Graph`` is consumed.
+
 Self-loops are supported because the almost-regular extension of the paper
 (Section 4.5) conceptually adds ``D - d_v`` self-loops at every node to view
 the graph as ``D``-regular.
@@ -23,28 +31,18 @@ the graph as ``D``-regular.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 import scipy.sparse as sp
+
+from .store import CSRStorage, DenseStorage
 
 __all__ = ["Graph", "GraphError"]
 
 
 class GraphError(ValueError):
     """Raised when a graph is constructed from inconsistent data."""
-
-
-@dataclass(frozen=True)
-class _CSR:
-    """Minimal immutable CSR container for the adjacency structure."""
-
-    indptr: np.ndarray
-    indices: np.ndarray
-
-    def neighbours(self, v: int) -> np.ndarray:
-        return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
 
 class Graph:
@@ -71,7 +69,7 @@ class Graph:
     distribution used by the matching protocol.
     """
 
-    __slots__ = ("_n", "_csr", "_degrees", "_num_edges", "_num_self_loops", "name")
+    __slots__ = ("_n", "_store", "_degrees", "_num_edges", "_num_self_loops", "name")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]], *, name: str = "graph"):
         if n <= 0:
@@ -152,7 +150,7 @@ class Graph:
             indptr = np.zeros(n + 1, dtype=np.int64)
             np.add.at(indptr, np.asarray(src, dtype=np.int64) + 1, 1)
             indptr = np.cumsum(indptr)
-        self._csr = _CSR(indptr=indptr, indices=np.ascontiguousarray(indices, dtype=np.int64))
+        self._store = DenseStorage(indptr, indices)
         self._n = n
         self._degrees = np.diff(indptr).astype(np.int64)
         self._num_edges = num_edges
@@ -220,10 +218,59 @@ class Graph:
             rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
             loops = int(np.count_nonzero(rows == indices))
         self = object.__new__(cls)
-        self._csr = _CSR(indptr=indptr, indices=indices)
+        self._store = DenseStorage(indptr, indices)
         self._n = int(n)
         self._degrees = np.diff(indptr).astype(np.int64)
         self._num_edges = int((indices.size - loops) // 2 + loops)
+        self._num_self_loops = loops
+        self.name = name
+        return self
+
+    @classmethod
+    def from_storage(
+        cls,
+        storage: CSRStorage,
+        *,
+        name: str = "graph",
+        num_edges: int | None = None,
+        num_self_loops: int | None = None,
+    ) -> "Graph":
+        """Adopt a :class:`~repro.graphs.store.CSRStorage` backend as a graph.
+
+        This is how the out-of-core substrate enters the graph layer: the
+        instance cache opens a sharded entry as an
+        :class:`~repro.graphs.store.MmapStorage` and wraps it here without
+        ever materialising the indices.  The storage must describe a
+        canonical symmetric CSR structure (same contract as
+        :meth:`from_csr`, which is trusted likewise).
+
+        ``num_edges`` / ``num_self_loops`` let a caller that persisted the
+        counts (the v2 cache manifest) skip the O(m) self-loop scan; when
+        omitted they are recovered with one streaming pass over the row
+        blocks, so opening stays O(block)-resident even for sharded storage.
+        """
+        n = storage.n
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        indptr = storage.indptr
+        if indptr[0] != 0 or int(indptr[-1]) != storage.num_arcs:
+            raise GraphError("indptr does not describe the indices array")
+        if num_self_loops is None:
+            loops = 0
+            for r0, r1, block in storage.iter_row_blocks():
+                rows = np.repeat(
+                    np.arange(r0, r1, dtype=np.int64), np.diff(indptr[r0 : r1 + 1])
+                )
+                loops += int(np.count_nonzero(rows == block))
+        else:
+            loops = int(num_self_loops)
+        self = object.__new__(cls)
+        self._store = storage
+        self._n = int(n)
+        self._degrees = np.diff(indptr).astype(np.int64)
+        self._num_edges = (
+            int((storage.num_arcs - loops) // 2 + loops) if num_edges is None else int(num_edges)
+        )
         self._num_self_loops = loops
         self.name = name
         return self
@@ -313,9 +360,19 @@ class Graph:
             return float("inf")
         return self.max_degree / self.min_degree
 
+    @property
+    def storage(self) -> CSRStorage:
+        """The adjacency storage backend (dense in-RAM or memory-mapped).
+
+        Out-of-core consumers (the blocked round engine, streaming scans)
+        use this to iterate row blocks without materialising the indices;
+        everyone else keeps calling the graph-level accessors below.
+        """
+        return self._store
+
     def neighbours(self, v: int) -> np.ndarray:
         """Read-only array of neighbours of ``v`` (includes ``v`` for a self-loop)."""
-        out = self._csr.neighbours(v).view()
+        out = self._store.row_slice(v).view()
         out.setflags(write=False)
         return out
 
@@ -330,10 +387,15 @@ class Graph:
         of ``v``, so a uniform neighbour of every node in an array ``vs`` is
         ``indices[indptr[vs] + offsets]`` with per-node uniform ``offsets`` —
         one fancy-indexing expression instead of ``n`` Python-level calls.
+
+        For multi-shard :class:`~repro.graphs.store.MmapStorage` the indices
+        half is a **materialising O(m) copy** (there is no single underlying
+        buffer); out-of-core consumers should iterate
+        ``graph.storage.iter_row_blocks()`` instead.
         """
-        indptr = self._csr.indptr.view()
+        indptr = self._store.indptr.view()
         indptr.setflags(write=False)
-        indices = self._csr.indices.view()
+        indices = self._store.indices_array().view()
         indices.setflags(write=False)
         return indptr, indices
 
@@ -343,11 +405,10 @@ class Graph:
         This is the "random neighbour oracle" of Section 1.2 of the paper;
         it is O(1) thanks to the CSR layout.
         """
-        start = self._csr.indptr[v]
-        end = self._csr.indptr[v + 1]
-        if end == start:
+        row = self._store.row_slice(v)
+        if row.size == 0:
             raise GraphError(f"node {v} has no neighbours")
-        return int(self._csr.indices[start + rng.integers(end - start)])
+        return int(row[rng.integers(row.size)])
 
     def has_edge(self, u: int, v: int) -> bool:
         """O(log d_u) membership test: rows are sorted, so binary-search.
@@ -357,10 +418,9 @@ class Graph:
         ``searchsorted`` — noticeable on the high-degree nodes of the dense
         clique families.
         """
-        start = self._csr.indptr[u]
-        end = self._csr.indptr[u + 1]
-        pos = start + np.searchsorted(self._csr.indices[start:end], v)
-        return bool(pos < end and self._csr.indices[pos] == v)
+        row = self._store.row_slice(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate undirected edges once each, as ``(min, max)`` pairs.
@@ -374,8 +434,8 @@ class Graph:
 
     def _arc_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Expanded ``(src, dst)`` arc arrays (both directions of every edge)."""
-        rows = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._csr.indptr))
-        return rows, self._csr.indices
+        rows = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._store.indptr))
+        return rows, self._store.indices_array()
 
     def edge_array(self) -> np.ndarray:
         """All undirected edges as an ``(m, 2)`` array (each edge once)."""
@@ -389,13 +449,13 @@ class Graph:
 
     def adjacency_matrix(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
         """The symmetric adjacency matrix ``A`` (self-loops appear once on the diagonal)."""
-        data = np.ones(self._csr.indices.shape[0], dtype=np.float64)
+        data = np.ones(self._store.num_arcs, dtype=np.float64)
         # The internal structure already is canonical CSR, so the matrix is a
         # straight copy of the index arrays instead of a COO round trip.  The
         # copies keep the (mutable) scipy matrix from aliasing the immutable
         # graph internals.
         a = sp.csr_matrix(
-            (data, self._csr.indices.copy(), self._csr.indptr.copy()),
+            (data, np.array(self._store.indices_array()), self._store.indptr.copy()),
             shape=(self._n, self._n),
         )
         if sparse:
@@ -513,9 +573,9 @@ class Graph:
         """Boolean CSR adjacency for :mod:`scipy.sparse.csgraph` routines."""
         return sp.csr_matrix(
             (
-                np.ones(self._csr.indices.size, dtype=np.int8),
-                self._csr.indices,
-                self._csr.indptr,
+                np.ones(self._store.num_arcs, dtype=np.int8),
+                np.asarray(self._store.indices_array()),
+                self._store.indptr,
             ),
             shape=(self._n, self._n),
         )
@@ -562,11 +622,13 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
+        # Storage-agnostic: a dense and an mmap-backed graph with the same
+        # canonical CSR contents compare equal.
         return (
             self._n == other._n
-            and np.array_equal(self._csr.indptr, other._csr.indptr)
-            and np.array_equal(self._csr.indices, other._csr.indices)
+            and np.array_equal(self._store.indptr, other._store.indptr)
+            and np.array_equal(self._store.indices_array(), other._store.indices_array())
         )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._num_edges, self._csr.indices.tobytes()))
+        return hash((self._n, self._num_edges, self._store.indices_array().tobytes()))

@@ -99,6 +99,77 @@ def _sample_weighted_pairs(
     return np.stack([have // n, have % n], axis=1)
 
 
+def _sample_same_label_pairs(
+    weights: np.ndarray,
+    labels: np.ndarray,
+    target_c: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample up to ``target_c[c]`` distinct pairs *per community* ``c``,
+    batched over all communities at once, with unordered pair weight
+    ∝ ``w_u · w_v / tot_c`` for ``u ≠ v`` in community ``c`` (``tot_c`` =
+    the community's weight mass).
+
+    Drawing both endpoints globally and rejecting cross-community pairs
+    would accept only ~1/C of candidates with C communities — hopeless at
+    LFR scale (hundreds of communities).  Instead the first endpoint is
+    drawn ∝ ``w`` globally and the second ∝ ``w`` *within the first's
+    community*, via one shared inverse-CDF over the community-sorted weight
+    array: ``P(u) · P(v | c(u)) + P(v) · P(u | c(v)) ∝ w_u w_v / tot_c``,
+    exactly the per-community candidate scheme, with O(1) candidate
+    efficiency regardless of C.  Self-pairs and duplicates are rejected in
+    vectorised batches, and the per-community targets are enforced as hard
+    quotas (uniform random trim of each community's surplus — its collected
+    pairs are exchangeable), so a community whose distinct-pair set
+    saturates can never spill its unmet target into other communities.
+    """
+    num_labels = int(target_c.size)
+    total_target = int(target_c.sum())
+    if total_target <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.argsort(labels, kind="stable")
+    w_sorted = weights[order].astype(np.float64)
+    cum = np.cumsum(w_sorted)
+    total = float(cum[-1]) if cum.size else 0.0
+    if total <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    counts = np.bincount(labels, minlength=num_labels)
+    starts = np.zeros(num_labels + 1, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)
+    cum0 = np.concatenate([[0.0], cum])
+    base = cum0[starts[:-1]]  # weight mass before each community block
+    tot_c = cum0[starts[1:]] - base  # weight mass of each community
+    have = np.empty(0, dtype=np.int64)
+    for _ in range(8):
+        have_c = np.bincount(labels[have // n], minlength=num_labels)
+        need = int(np.maximum(target_c - have_c, 0).sum())
+        if need <= 0:
+            break
+        draw = 2 * need + 16
+        iu = np.searchsorted(cum, rng.random(draw) * total, side="right")
+        iu = np.minimum(iu, cum.size - 1)
+        cu = order[iu]
+        c = labels[cu]
+        # Second endpoint: invert the same CDF restricted to c's block.
+        iv = np.searchsorted(cum, base[c] + rng.random(draw) * tot_c[c], side="right")
+        iv = np.clip(iv, starts[c], starts[c + 1] - 1)  # guard float roundoff
+        cv = order[iv]
+        ok = cu != cv
+        cu, cv = cu[ok], cv[ok]
+        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+        have = _sorted_unique(np.concatenate([have, keys]))
+        # Enforce quotas: keep a uniform random target_c-subset per
+        # community (rank the community's pairs by a fresh random key).
+        cc = labels[have // n]
+        perm = np.lexsort((rng.random(have.size), cc))
+        cc_perm = cc[perm]
+        group_start = np.searchsorted(cc_perm, np.arange(num_labels))
+        rank = np.arange(have.size) - group_start[cc_perm]
+        have = np.sort(have[perm[rank < target_c[cc_perm]]])
+    return np.stack([have // n, have % n], axis=1)
+
+
 def _sample_community_sizes(
     n: int,
     exponent: float,
@@ -106,16 +177,25 @@ def _sample_community_sizes(
     max_size: int,
     rng: np.random.Generator,
     max_attempts: int = 1000,
-) -> list[int]:
-    """Sample community sizes from a truncated power law summing exactly to n."""
+) -> np.ndarray:
+    """Sample community sizes from a truncated power law summing exactly to n.
+
+    Batched: one vectorised power-law draw of ``⌈n / min_size⌉`` candidates
+    (an upper bound on how many communities can fit) replaces the seed's
+    one-size-at-a-time Python loop, which at n ≥ 10⁶ with thousands of
+    communities dominated generation.  The prefix ending at the first
+    cumulative sum ≥ n is kept and the last community shrunk to land exactly
+    on ``n`` — the same acceptance rule as before (retry when the shrink
+    would drop it below ``min_size``), just computed with ``cumsum`` +
+    ``searchsorted`` instead of per-draw Python arithmetic.
+    """
+    count = int(np.ceil(n / min_size))
     for _ in range(max_attempts):
-        sizes: list[int] = []
-        total = 0
-        while total < n:
-            size = int(truncated_power_law(exponent, min_size, max_size, 1, rng)[0])
-            sizes.append(size)
-            total += size
-        overshoot = total - n
+        sizes = truncated_power_law(exponent, min_size, max_size, count, rng)
+        totals = np.cumsum(sizes)
+        stop = int(np.searchsorted(totals, n))  # first prefix reaching n
+        sizes = sizes[: stop + 1].copy()
+        overshoot = int(totals[stop]) - n
         # shrink the last community; retry if it would fall below the minimum
         if sizes[-1] - overshoot >= min_size:
             sizes[-1] -= overshoot
@@ -183,28 +263,32 @@ def lfr_benchmark(
         external = mu * degrees
         chunks: list[np.ndarray] = []
 
-        # Internal edges per community: candidate endpoints drawn ∝ budget,
-        # duplicates discarded in vectorised batches.  E[edges] matches the
-        # seed's per-pair Bernoulli scheme (sum of b_u·b_v/total over pairs).
-        for c in range(len(sizes)):
-            members = np.flatnonzero(labels == c)
-            if members.size < 2:
-                continue
-            budget = internal[members]
-            total = budget.sum()
-            if total <= 0:
-                continue
-            pair_weight_sum = (total * total - np.sum(budget * budget)) / (2.0 * total)
-            # Draw the count, don't fix it: the seed's per-pair Bernoulli
-            # scheme had count variance ~ Σ p(1-p); the Poissonised Chung–Lu
-            # count keeps the expectation and restores that dispersion
-            # (a deterministic round() would underdisperse every sweep
-            # statistic that looks at edge-count fluctuation).
-            max_pairs = members.size * (members.size - 1) // 2
-            target = min(int(rng.poisson(pair_weight_sum)), max_pairs)
-            chunk = _sample_weighted_pairs(
-                members, budget / total, target, n, rng
-            )
+        # Internal edges, all communities in ONE batched draw.  The seed
+        # looped over communities (members ∝ budget/total_c, count ~
+        # min(Poisson(W_c / total_c), pairs_c) with W_c = (total_c² − Σ b²)/2
+        # and pairs_c the community's distinct-pair count); at n ≥ 10⁶ with
+        # thousands of communities that Python loop dominated.  The batched
+        # version draws the same per-community counts in one vectorised
+        # Poisson call and hands them to :func:`_sample_same_label_pairs`,
+        # which samples pairs with weight ∝ b_u b_v / total_c — exactly the
+        # per-community scheme's candidate distribution — under hard
+        # per-community quotas.  (The Poissonised counts deliberately keep
+        # the dispersion of the original per-pair Bernoulli scheme.)
+        num_communities = len(sizes)
+        total_c = np.bincount(labels, weights=internal, minlength=num_communities)
+        sq_c = np.bincount(labels, weights=internal**2, minlength=num_communities)
+        members_c = np.asarray(sizes, dtype=np.int64)
+        pair_weight_c = np.zeros(num_communities)
+        eligible = (total_c > 0) & (members_c >= 2)
+        pair_weight_c[eligible] = (
+            total_c[eligible] ** 2 - sq_c[eligible]
+        ) / (2.0 * total_c[eligible])
+        pair_weight_c = np.maximum(pair_weight_c, 0.0)
+        endpoint_weight = np.where(eligible[labels], internal, 0.0)
+        if pair_weight_c.sum() > 0:
+            max_pairs_c = members_c * (members_c - 1) // 2
+            target_c = np.minimum(rng.poisson(pair_weight_c), max_pairs_c)
+            chunk = _sample_same_label_pairs(endpoint_weight, labels, target_c, n, rng)
             if chunk.size:
                 chunks.append(chunk)
 
@@ -226,12 +310,60 @@ def lfr_benchmark(
 
         if chunks:
             edges = np.concatenate(chunks, axis=0)
-            # Internal chunks are pairwise disjoint (different communities)
-            # and disjoint from the external chunk, so no global dedup needed.
+            # The internal chunk holds same-community pairs only and the
+            # external chunk cross-community pairs only, so no global dedup
+            # is needed between them.
         else:
             edges = np.empty((0, 2), dtype=np.int64)
+
+        # Repair isolated nodes.  Chung–Lu candidate sampling leaves node v
+        # isolated with probability ≈ e^{-d_v}; at n ≥ 10⁵ *some* isolated
+        # node is therefore near-certain, and the resample loop below could
+        # never terminate at scale.  Attach each isolated node to a uniform
+        # other member of its community (community sizes are ≥ min_community
+        # ≥ 2) — the standard LFR-style repair: it perturbs only the
+        # vanishing degree-0 tail and stays seed-deterministic.
+        occupied = np.zeros(n, dtype=bool)
+        if edges.size:
+            occupied[edges[:, 0]] = True
+            occupied[edges[:, 1]] = True
+        lonely = np.flatnonzero(~occupied)
+        if lonely.size:
+            order = np.argsort(labels, kind="stable")
+            counts = np.bincount(labels, minlength=num_communities)
+            starts = np.zeros(num_communities + 1, dtype=np.int64)
+            starts[1:] = np.cumsum(counts)
+            c = labels[lonely]
+            span = counts[c]
+            partner = np.empty(lonely.size, dtype=np.int64)
+            multi = span >= 2
+            if np.any(multi):
+                # Uniform member of the community excluding the node itself:
+                # draw among the first span-1 slots and map a self-collision
+                # to the last slot (the collision-free standard trick).
+                cm, sm, um = c[multi], span[multi], lonely[multi]
+                cand = order[starts[cm] + rng.integers(0, sm - 1)]
+                collision = cand == um
+                cand[collision] = order[starts[cm[collision]] + sm[collision] - 1]
+                partner[multi] = cand
+            if np.any(~multi):
+                # A singleton community (possible with min_community=1) has
+                # no other member; fall back to a uniform other node
+                # anywhere — (u + offset) mod n with offset in [1, n) is
+                # uniform over the n-1 non-self nodes.
+                us = lonely[~multi]
+                partner[~multi] = (us + rng.integers(1, n, size=us.size)) % n
+            lo = np.minimum(lonely, partner)
+            hi = np.maximum(lonely, partner)
+            repair_keys = _sorted_unique(lo * n + hi)
+            repairs = np.stack([repair_keys // n, repair_keys % n], axis=1)
+            # An isolated node has no incident edge yet, so repairs can only
+            # collide with each other (two lonely nodes picking one another)
+            # — which the key dedup above removed.
+            edges = np.concatenate([edges, repairs], axis=0)
+
         graph = Graph.from_edge_array(n, edges, name=f"lfr(n={n},mu={mu})")
-        if graph.min_degree == 0:
+        if graph.min_degree == 0:  # pragma: no cover - repaired above
             continue
         if ensure_connected and not graph.is_connected():
             continue

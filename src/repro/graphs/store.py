@@ -1,0 +1,506 @@
+"""Pluggable storage backends for the CSR adjacency structure.
+
+Every :class:`~repro.graphs.graph.Graph` holds its adjacency as canonical
+CSR arrays — but *where those arrays live* is a storage concern, not a graph
+concern.  Up to PR 3 the answer was hard-coded: two in-RAM int64 arrays, so
+an n = 10⁷ instance (hundreds of MB of indices) had to fit in memory once
+per process, and every ``ProcessExecutor`` worker deserialised its own full
+copy.  This module makes the answer pluggable:
+
+:class:`DenseStorage`
+    Today's in-RAM arrays, bit-for-bit the previous behaviour.  This is what
+    every constructor builds by default.
+
+:class:`MmapStorage`
+    An on-disk substrate: the indices array is split into **row-chunked
+    ``.npy`` shards** described by a JSON manifest, and shards are opened
+    with ``np.load(mmap_mode="r")``.  The OS pages adjacency in on demand,
+    several worker processes mapping the same entry share the page cache
+    instead of holding private copies, and pickling ships only the manifest
+    path (see ``__reduce__``) so fanning an instance across workers costs
+    bytes, not gigabytes.  Instances larger than RAM become usable: the
+    vectorised round engine's blocked loop (``block_size=``) walks the
+    shards in row order and the storage drops its mapping of each shard as
+    the loop moves past it, so a round's resident set is O(block) rather
+    than O(m).
+
+The contract both backends implement is :class:`CSRStorage`.  Only the row
+pointers (``n + 1`` int64, ~8 MB at n = 10⁶) are guaranteed to be ordinary
+in-RAM arrays; the indices are reachable three ways with different cost
+models:
+
+* :meth:`CSRStorage.row_slice` — one row, zero-copy;
+* :meth:`CSRStorage.iter_row_blocks` — ordered row blocks, O(block) resident
+  (the out-of-core iteration primitive);
+* :meth:`CSRStorage.indices_array` — the full array; zero-copy for dense
+  and single-shard mmap storage, a **materialising O(m) copy** for sharded
+  storage.  Consumers that genuinely need the whole array (spectral
+  decompositions, scipy matrices) pay this knowingly.
+
+``materialize()`` converts any backend into a :class:`DenseStorage`, which
+is how the cache serves a v2 (sharded) entry to a caller that asked for a
+plain in-RAM graph.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = [
+    "CSRStorageError",
+    "CSRStorage",
+    "DenseStorage",
+    "MmapStorage",
+    "DEFAULT_SHARD_ARCS",
+    "MANIFEST_NAME",
+]
+
+#: Default number of arcs (int64 entries) per indices shard: 4M arcs = 32 MB,
+#: large enough that sequential shard reads amortise syscall overhead, small
+#: enough that one shard is a reasonable per-round working set.
+DEFAULT_SHARD_ARCS = 4_000_000
+
+#: File name of the JSON manifest inside a sharded storage directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Manifest schema version of the sharded on-disk layout.
+SHARDED_LAYOUT_VERSION = 1
+
+
+class CSRStorageError(ValueError):
+    """Raised when a storage directory or manifest is structurally unusable."""
+
+
+class CSRStorage(ABC):
+    """Contract for CSR adjacency storage.
+
+    The arrays described are always the *canonical* symmetric CSR structure
+    (see :meth:`~repro.graphs.graph.Graph.from_csr`): row pointers of shape
+    ``(n + 1,)`` and a concatenated, per-row-sorted indices array of shape
+    ``(num_arcs,)``, both int64.  Implementations are immutable after
+    construction — the graph layer relies on that to share one instance
+    across engines and processes.
+    """
+
+    # -- shape and residency ------------------------------------------- #
+
+    @property
+    @abstractmethod
+    def indptr(self) -> np.ndarray:
+        """Row pointers, always an ordinary in-RAM ``(n + 1,)`` int64 array."""
+
+    @property
+    def n(self) -> int:
+        """Number of rows (nodes)."""
+        return self.indptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Total number of stored arcs (directed edge slots)."""
+        return int(self.indptr[-1])
+
+    @property
+    @abstractmethod
+    def nbytes(self) -> int:
+        """Payload size of the structure (indptr + indices) in bytes."""
+
+    @property
+    @abstractmethod
+    def in_memory(self) -> bool:
+        """``True`` when the full indices array is resident RAM (dense)."""
+
+    # -- access paths --------------------------------------------------- #
+
+    @abstractmethod
+    def indices_array(self) -> np.ndarray:
+        """The full indices array.
+
+        Zero-copy where possible (dense storage; single-shard mmap returns
+        the memmap itself, paged in lazily); a sharded mmap storage has no
+        single underlying buffer and **materialises an O(m) in-RAM copy** —
+        out-of-core consumers should prefer :meth:`iter_row_blocks`.
+        """
+
+    @abstractmethod
+    def row_slice(self, v: int) -> np.ndarray:
+        """The sorted neighbour slice ``indices[indptr[v]:indptr[v+1]]``."""
+
+    @abstractmethod
+    def iter_row_blocks(
+        self, block_size: int | None = None
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(row_start, row_stop, block)`` covering all rows in order.
+
+        ``block`` is ``indices[indptr[row_start]:indptr[row_stop]]``.  Blocks
+        hold at most ``block_size`` rows (``None`` = backend-native chunking:
+        one block for dense storage, one per shard for mmap storage) and
+        never span a shard boundary, so a block is always a zero-copy view
+        of one underlying buffer.  :class:`MmapStorage` additionally drops
+        its mapping of each shard once iteration moves past it, which is
+        what bounds the resident set of a blocked engine round.
+        """
+
+    def materialize(self) -> "DenseStorage":
+        """An in-RAM :class:`DenseStorage` with identical contents."""
+        return DenseStorage(self.indptr, self.indices_array())
+
+    def suggested_block_rows(self, target_arcs: int = DEFAULT_SHARD_ARCS) -> int:
+        """A row-block size whose blocks hold roughly ``target_arcs`` arcs."""
+        mean_degree = max(1, self.num_arcs // max(1, self.n))
+        return max(1, min(self.n, target_arcs // mean_degree))
+
+
+class DenseStorage(CSRStorage):
+    """The in-RAM backend: two contiguous int64 arrays, zero behaviour change.
+
+    Every validated or trusted :class:`~repro.graphs.graph.Graph`
+    constructor builds one of these; it is exactly the ``_CSR`` container
+    the graph used to hold inline, promoted to the storage contract.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if self._indptr.ndim != 1 or self._indptr.size < 1:
+            raise CSRStorageError("indptr must be a one-dimensional array of size n + 1")
+        if self._indices.ndim != 1:
+            raise CSRStorageError("indices must be a one-dimensional array")
+        # The storage is the graph's immutable substrate, and (unlike the
+        # graph-level accessors, which wrap read-only views) it hands out
+        # its arrays directly — so freeze them.  Adoption is still
+        # zero-copy; the flag change is visible to a caller that handed us
+        # its own array, which is exactly the documented contract ("callers
+        # must not mutate them afterwards").
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._indptr.nbytes + self._indices.nbytes)
+
+    @property
+    def in_memory(self) -> bool:
+        return True
+
+    def indices_array(self) -> np.ndarray:
+        return self._indices
+
+    def row_slice(self, v: int) -> np.ndarray:
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def iter_row_blocks(self, block_size=None):
+        n = self.n
+        if block_size is None:
+            yield 0, n, self._indices
+            return
+        if block_size < 1:
+            raise CSRStorageError(f"block_size must be >= 1, got {block_size}")
+        for r0 in range(0, n, block_size):
+            r1 = min(n, r0 + block_size)
+            yield r0, r1, self._indices[self._indptr[r0] : self._indptr[r1]]
+
+    def materialize(self) -> "DenseStorage":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenseStorage):
+            return NotImplemented
+        return np.array_equal(self._indptr, other._indptr) and np.array_equal(
+            self._indices, other._indices
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - storages are rarely hashed
+        return hash((self._indptr.tobytes(), self._indices.tobytes()))
+
+
+def _shard_file_name(index: int) -> str:
+    return f"indices-{index:04d}.npy"
+
+
+class MmapStorage(CSRStorage):
+    """The out-of-core backend: row-chunked ``.npy`` shards + JSON manifest.
+
+    Layout of a storage directory::
+
+        manifest.json      {"format": "csr-sharded", "layout_version": 1,
+                            "n": ..., "num_arcs": ...,
+                            "shards": [{"file": "indices-0000.npy",
+                                        "row_start": r0, "row_stop": r1,
+                                        "arc_start": a0, "arc_stop": a1}, ...],
+                            "extra": {...}}        # caller metadata (cache key etc.)
+        indptr.npy         full (n + 1,) int64 row pointers (loaded into RAM)
+        indices-XXXX.npy   one shard of the indices array per entry above
+
+    Every shard is mapped **eagerly** at construction with
+    ``np.load(mmap_mode="r")`` — mapping costs one ``mmap`` syscall per
+    shard and touches no data pages.  The OS pages shards in on demand, and
+    because file-backed read-only mappings are shared, any number of worker
+    processes opening the same directory share one copy of the adjacency
+    in the page cache.  Eager mapping also makes an open storage immune to
+    its entry being deleted from disk (e.g. by cache pruning in another
+    process): POSIX keeps unlinked-but-mapped pages readable for the
+    lifetime of the mapping.  :meth:`iter_row_blocks` releases each shard's
+    *resident pages* (``madvise(MADV_DONTNEED)``, best-effort) after moving
+    past it, so streaming consumers keep an O(shard) resident set without
+    ever unmapping.
+
+    Pickling ships **only the directory path** (``__reduce__``): a
+    ``ProcessPoolExecutor`` worker receiving an mmap-backed graph re-opens
+    the manifest instead of deserialising hundreds of MB of arrays.
+
+    Write side: :meth:`write` splits an in-RAM CSR pair into shards of at
+    most ``shard_arcs`` arcs, cutting **only at row boundaries** (a single
+    row larger than ``shard_arcs`` becomes one oversized shard) so that any
+    row's neighbour slice lives in exactly one shard.
+    """
+
+    __slots__ = ("_directory", "_indptr", "_shards", "_arrays", "_extra", "_num_arcs")
+
+    def __init__(self, directory: str | Path):
+        self._directory = Path(directory)
+        manifest_path = self._directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise CSRStorageError(f"no manifest at {manifest_path}") from exc
+        except (OSError, ValueError) as exc:
+            raise CSRStorageError(f"unreadable manifest at {manifest_path}: {exc}") from exc
+        if manifest.get("format") != "csr-sharded":
+            raise CSRStorageError(f"{manifest_path} is not a csr-sharded manifest")
+        self._indptr = np.ascontiguousarray(
+            np.load(self._directory / "indptr.npy"), dtype=np.int64
+        )
+        self._shards = list(manifest.get("shards", []))
+        self._extra = dict(manifest.get("extra", {}))
+        self._num_arcs = int(manifest.get("num_arcs", self._indptr[-1]))
+        n = int(manifest.get("n", self._indptr.size - 1))
+        if self._indptr.size != n + 1 or int(self._indptr[-1]) != self._num_arcs:
+            raise CSRStorageError(f"{manifest_path} disagrees with indptr.npy")
+        if not self._shards and self._num_arcs:
+            raise CSRStorageError(f"{manifest_path} lists no shards for {self._num_arcs} arcs")
+        covered = 0
+        for shard in self._shards:
+            if int(shard["arc_start"]) != covered:
+                raise CSRStorageError(f"{manifest_path} has non-contiguous shards")
+            covered = int(shard["arc_stop"])
+        if covered != self._num_arcs:
+            raise CSRStorageError(f"{manifest_path} shards cover {covered}/{self._num_arcs} arcs")
+        self._indptr.setflags(write=False)
+        # Map every shard now (cheap: no data pages are touched) so the
+        # storage keeps working even if the entry is unlinked later.
+        self._arrays = [self._map_shard(i) for i in range(len(self._shards))]
+
+    # -- manifest-side metadata ----------------------------------------- #
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def extra(self) -> dict[str, Any]:
+        """Caller metadata stored in the manifest (the cache key lives here)."""
+        return self._extra
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    # -- CSRStorage ------------------------------------------------------ #
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def num_arcs(self) -> int:
+        return self._num_arcs
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._indptr.nbytes + 8 * self._num_arcs)
+
+    @property
+    def in_memory(self) -> bool:
+        return False
+
+    def _map_shard(self, index: int) -> np.ndarray:
+        shard = self._shards[index]
+        expected = int(shard["arc_stop"]) - int(shard["arc_start"])
+        if expected == 0:
+            # A zero-length buffer cannot be memory-mapped; an empty array
+            # is exactly equivalent.
+            return np.empty(0, dtype=np.int64)
+        path = self._directory / shard["file"]
+        try:
+            arr = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise CSRStorageError(f"cannot map shard {path}: {exc}") from exc
+        if arr.ndim != 1 or arr.size != expected:
+            raise CSRStorageError(
+                f"shard {path} holds {arr.size} arcs, manifest says {expected}"
+            )
+        return arr
+
+    def _release_shard(self, index: int) -> None:
+        # Best-effort: drop the shard's resident pages (they re-read from
+        # the page cache / disk on next touch) without unmapping, so the
+        # array stays valid.  `_mmap` is numpy's underlying mmap object;
+        # absent or unsupported platforms simply keep the pages.
+        mm = getattr(self._arrays[index], "_mmap", None)
+        if mm is not None and hasattr(_mmap, "MADV_DONTNEED"):
+            try:
+                mm.madvise(_mmap.MADV_DONTNEED)
+            except (ValueError, OSError):  # pragma: no cover - platform quirk
+                pass
+
+    def indices_array(self) -> np.ndarray:
+        if not self._shards:
+            out = np.empty(0, dtype=np.int64)
+        elif len(self._shards) == 1:
+            return self._arrays[0]  # mapped read-only already
+        else:
+            # Materialising concatenation: no single underlying buffer.
+            out = np.concatenate(self._arrays)
+        out.setflags(write=False)
+        return out
+
+    def materialize(self) -> DenseStorage:
+        arr = self.indices_array()
+        if isinstance(arr, np.memmap):
+            arr = np.array(arr)  # single shard: copy out of the mapping
+        return DenseStorage(self._indptr, arr)
+
+    def _shard_of_row(self, v: int) -> int:
+        # Shards partition the row range; binary-search by row_start.
+        lo, hi = 0, len(self._shards) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if int(self._shards[mid]["row_start"]) <= v:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def row_slice(self, v: int) -> np.ndarray:
+        start, stop = int(self._indptr[v]), int(self._indptr[v + 1])
+        if start == stop:
+            return np.empty(0, dtype=np.int64)
+        index = self._shard_of_row(int(v))
+        base = int(self._shards[index]["arc_start"])
+        return self._arrays[index][start - base : stop - base]
+
+    def iter_row_blocks(self, block_size=None):
+        if block_size is not None and block_size < 1:
+            raise CSRStorageError(f"block_size must be >= 1, got {block_size}")
+        for i, shard in enumerate(self._shards):
+            r0, r1 = int(shard["row_start"]), int(shard["row_stop"])
+            base = int(shard["arc_start"])
+            arr = self._arrays[i]
+            if block_size is None:
+                yield r0, r1, arr
+            else:
+                for b0 in range(r0, r1, block_size):
+                    b1 = min(r1, b0 + block_size)
+                    yield b0, b1, arr[self._indptr[b0] - base : self._indptr[b1] - base]
+            self._release_shard(i)
+
+    def suggested_block_rows(self, target_arcs: int = DEFAULT_SHARD_ARCS) -> int:
+        # Blocked consumers of mmap storage should not exceed one shard per
+        # block (a block never spans shards anyway); align the suggestion.
+        rows = super().suggested_block_rows(target_arcs)
+        max_shard_rows = max(
+            (int(s["row_stop"]) - int(s["row_start"]) for s in self._shards), default=rows
+        )
+        return max(1, min(rows, max_shard_rows))
+
+    # -- process boundary ------------------------------------------------ #
+
+    def __reduce__(self):
+        # Ship the path, not the arrays: the receiving process re-opens the
+        # manifest and shares the page cache with every other process
+        # mapping the same entry.
+        return (type(self), (str(self._directory),))
+
+    # -- writer ----------------------------------------------------------- #
+
+    @staticmethod
+    def write(
+        directory: str | Path,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        shard_arcs: int | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> Path:
+        """Write a sharded storage directory for the given CSR arrays.
+
+        Not atomic by itself — callers that need crash safety (the instance
+        cache) write into a temporary directory and ``os.replace`` it into
+        place.  Returns the directory path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.size < 1 or indptr[0] != 0 or int(indptr[-1]) != indices.size:
+            raise CSRStorageError("indptr does not describe the indices array")
+        shard_arcs = DEFAULT_SHARD_ARCS if shard_arcs is None else int(shard_arcs)
+        if shard_arcs < 1:
+            raise CSRStorageError(f"shard_arcs must be >= 1, got {shard_arcs}")
+        n = indptr.size - 1
+        np.save(directory / "indptr.npy", indptr)
+        shards: list[dict[str, int | str]] = []
+        row = 0
+        while row < n:
+            arc_start = int(indptr[row])
+            # Furthest row whose slice still fits in this shard; always make
+            # progress even when a single row exceeds shard_arcs.
+            row_stop = int(np.searchsorted(indptr, arc_start + shard_arcs, side="right")) - 1
+            row_stop = max(row + 1, min(n, row_stop))
+            arc_stop = int(indptr[row_stop])
+            file_name = _shard_file_name(len(shards))
+            np.save(directory / file_name, indices[arc_start:arc_stop])
+            shards.append(
+                {
+                    "file": file_name,
+                    "row_start": row,
+                    "row_stop": row_stop,
+                    "arc_start": arc_start,
+                    "arc_stop": arc_stop,
+                }
+            )
+            row = row_stop
+        manifest = {
+            "format": "csr-sharded",
+            "layout_version": SHARDED_LAYOUT_VERSION,
+            "n": n,
+            "num_arcs": int(indices.size),
+            "shards": shards,
+            "extra": dict(extra or {}),
+        }
+        manifest_path = directory / MANIFEST_NAME
+        manifest_path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+        # Durability matters less than atomicity here, but fsyncing the
+        # manifest last means a visible manifest implies complete shards.
+        try:
+            fd = os.open(manifest_path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError:  # pragma: no cover - fsync unavailable (exotic fs)
+            pass
+        return directory

@@ -1,17 +1,23 @@
-"""Tests for the on-disk npz instance cache."""
+"""Tests for the on-disk instance cache (v1 npz, v2 sharded, lifecycle)."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.graphs import (
     InstanceCacheError,
+    MmapStorage,
     cached_instance,
     cycle_of_cliques,
     instance_cache_path,
     instance_digest,
+    instance_shard_dir,
+    list_cache,
     planted_partition,
+    prune_cache,
 )
 
 PARAMS = dict(n=120, k=3, p_in=0.3, p_out=0.02, ensure_connected=True)
@@ -125,6 +131,10 @@ class TestCachedInstance:
         with pytest.raises(InstanceCacheError):
             cached_instance("no_such_generator", seed=0, cache_dir=tmp_path)
 
+    def test_mmap_requires_cache_dir(self):
+        with pytest.raises(InstanceCacheError):
+            cached_instance(planted_partition, seed=7, cache_dir=None, mmap=True, **PARAMS)
+
     def test_self_loops_survive_round_trip(self, tmp_path):
         # Graphs with self-loops exercise the loop-counting path of from_csr.
         from repro.graphs import ClusteredGraph, Partition
@@ -140,3 +150,167 @@ class TestCachedInstance:
         loaded = cached_instance(loopy_generator, seed=0, cache_dir=tmp_path)
         assert loaded.graph == fresh.graph
         assert loaded.graph.num_self_loops == fresh.graph.num_self_loops > 0
+
+
+class TestShardedEntries:
+    def test_mmap_round_trip(self, tmp_path):
+        fresh = planted_partition(seed=7, **PARAMS)
+        stored = cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS
+        )
+        loaded = cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS
+        )
+        assert instance_shard_dir(tmp_path, "planted_partition", PARAMS, 7).is_dir()
+        for instance in (stored, loaded):
+            assert isinstance(instance.graph.storage, MmapStorage)
+            assert instance.graph == fresh.graph
+            assert instance.graph.num_edges == fresh.graph.num_edges
+            assert np.array_equal(instance.partition.labels, fresh.partition.labels)
+
+    def test_v1_entry_converts_without_regeneration(self, tmp_path, monkeypatch):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        fresh = planted_partition(seed=7, **PARAMS)
+
+        def boom(**kwargs):  # pragma: no cover - must not run
+            raise AssertionError("generator called despite v1 entry on disk")
+
+        import repro.graphs.cache as cache_module
+
+        monkeypatch.setattr(
+            cache_module, "_resolve_generator", lambda g: (boom, "planted_partition")
+        )
+        converted = cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS
+        )
+        assert isinstance(converted.graph.storage, MmapStorage)
+        assert converted.graph == fresh.graph
+
+    def test_v2_entry_serves_dense_requests(self, tmp_path, monkeypatch):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS)
+
+        def boom(**kwargs):  # pragma: no cover - must not run
+            raise AssertionError("generator called despite v2 entry on disk")
+
+        import repro.graphs.cache as cache_module
+
+        monkeypatch.setattr(
+            cache_module, "_resolve_generator", lambda g: (boom, "planted_partition")
+        )
+        dense = cached_instance(planted_partition, seed=7, cache_dir=tmp_path, **PARAMS)
+        assert dense.graph.storage.in_memory
+        assert dense.graph == planted_partition(seed=7, **PARAMS).graph
+
+    def test_shard_arcs_controls_sharding(self, tmp_path):
+        instance = cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, mmap=True, shard_arcs=200,
+            **PARAMS,
+        )
+        assert instance.graph.storage.num_shards > 1
+
+    def test_corrupted_manifest_falls_back_to_regeneration(self, tmp_path):
+        cached_instance(planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS)
+        entry = instance_shard_dir(tmp_path, "planted_partition", PARAMS, 7)
+        (entry / "manifest.json").write_text("not json")
+        repaired = cached_instance(
+            planted_partition, seed=7, cache_dir=tmp_path, mmap=True, **PARAMS
+        )
+        assert repaired.graph == planted_partition(seed=7, **PARAMS).graph
+
+    def test_mislabelled_sharded_entry_is_not_served(self, tmp_path):
+        import shutil
+
+        cached_instance(planted_partition, seed=1, cache_dir=tmp_path, mmap=True, **PARAMS)
+        src = instance_shard_dir(tmp_path, "planted_partition", PARAMS, 1)
+        dst = instance_shard_dir(tmp_path, "planted_partition", PARAMS, 2)
+        shutil.copytree(src, dst)  # adversarially mislabel an entry
+        served = cached_instance(
+            planted_partition, seed=2, cache_dir=tmp_path, mmap=True, **PARAMS
+        )
+        assert served.graph == planted_partition(seed=2, **PARAMS).graph
+
+    def test_self_loops_survive_sharded_round_trip(self, tmp_path):
+        from repro.graphs import ClusteredGraph
+
+        base = cycle_of_cliques(3, 10, seed=4)
+        looped = base.graph.with_self_loops_to_degree(base.graph.max_degree + 1)
+
+        def loopy_generator(*, seed=None):
+            return ClusteredGraph(graph=looped, partition=base.partition, params={})
+
+        cached_instance(loopy_generator, seed=0, cache_dir=tmp_path, mmap=True)
+        loaded = cached_instance(loopy_generator, seed=0, cache_dir=tmp_path, mmap=True)
+        assert loaded.graph == looped
+        assert loaded.graph.num_self_loops == looped.num_self_loops > 0
+
+
+class TestCacheLifecycle:
+    def _fill(self, tmp_path, seeds=(1, 2, 3)):
+        for seed in seeds:
+            cached_instance(planted_partition, seed=seed, cache_dir=tmp_path, **PARAMS)
+
+    def test_list_cache_sees_both_formats(self, tmp_path):
+        cached_instance(planted_partition, seed=1, cache_dir=tmp_path, **PARAMS)
+        cached_instance(planted_partition, seed=2, cache_dir=tmp_path, mmap=True, **PARAMS)
+        entries = list_cache(tmp_path)
+        assert sorted(e.kind for e in entries) == ["npz", "sharded"]
+        assert all(e.generator == "planted_partition" for e in entries)
+        assert all(e.nbytes > 0 for e in entries)
+
+    def test_list_cache_ignores_unrelated_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "nodigest.npz").write_bytes(b"x")
+        self._fill(tmp_path, seeds=(1,))
+        assert len(list_cache(tmp_path)) == 1
+
+    def test_prune_to_zero_removes_everything(self, tmp_path):
+        self._fill(tmp_path)
+        evicted = prune_cache(tmp_path, 0)
+        assert len(evicted) == 3
+        assert list_cache(tmp_path) == []
+        assert (tmp_path).is_dir()
+
+    def test_prune_is_lru_by_atime(self, tmp_path):
+        self._fill(tmp_path)
+        entries = {e.digest: e for e in list_cache(tmp_path)}
+        paths = sorted(tmp_path.glob("*.npz"))
+        # Force a deterministic LRU order regardless of filesystem atime
+        # granularity: oldest first in glob order.
+        for i, path in enumerate(paths):
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        total = sum(e.nbytes for e in entries.values())
+        one_entry = max(e.nbytes for e in entries.values())
+        evicted = prune_cache(tmp_path, total - 1)
+        assert len(evicted) == 1
+        assert evicted[0].path == paths[0]
+        survivors = {e.path for e in list_cache(tmp_path)}
+        assert set(paths[1:]) == survivors
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        self._fill(tmp_path)
+        would = prune_cache(tmp_path, 0, dry_run=True)
+        assert len(would) == 3
+        assert len(list_cache(tmp_path)) == 3
+
+    def test_prune_protects_named_entries(self, tmp_path):
+        self._fill(tmp_path)
+        keep = instance_cache_path(tmp_path, "planted_partition", PARAMS, 2)
+        evicted = prune_cache(tmp_path, 0, protect=[keep])
+        assert keep not in {e.path for e in evicted}
+        assert {e.path for e in list_cache(tmp_path)} == {keep}
+
+    def test_max_bytes_bounds_the_store_but_keeps_fresh_entry(self, tmp_path):
+        # A budget below a single entry still keeps the instance just made.
+        self._fill(tmp_path, seeds=(1, 2))
+        cached_instance(
+            planted_partition, seed=3, cache_dir=tmp_path, max_bytes=1, **PARAMS
+        )
+        entries = list_cache(tmp_path)
+        assert len(entries) == 1
+        assert entries[0].path == instance_cache_path(
+            tmp_path, "planted_partition", PARAMS, 3
+        )
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(InstanceCacheError):
+            prune_cache(tmp_path, -1)

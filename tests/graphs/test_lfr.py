@@ -56,6 +56,49 @@ class TestLFRBenchmark:
 
         assert external_fraction(0.05) < external_fraction(0.4)
 
+    def test_realized_mixing_and_degree_match_request(self):
+        """The batched samplers must hit the requested mu and average degree
+        in expectation — a collapsed internal-edge draw (e.g. rejection
+        sampling with 1/C acceptance) shows up here as doubled mixing and
+        halved degree."""
+        mus, degs = [], []
+        for seed in range(3):
+            instance = lfr_benchmark(
+                2000, mu=0.1, average_degree=10, seed=seed, ensure_connected=False
+            )
+            labels = instance.partition.labels
+            edges = instance.graph.edge_array()
+            mus.append(float(np.mean(labels[edges[:, 0]] != labels[edges[:, 1]])))
+            degs.append(2.0 * instance.graph.num_edges / instance.graph.n)
+        assert abs(np.mean(mus) - 0.1) < 0.04, f"realized mu {np.mean(mus):.3f}"
+        # The truncated power law's mean sits a little below average_degree;
+        # the bound only needs to catch collapse/doubling, not bias < 20 %.
+        assert 7.0 < np.mean(degs) < 13.0, f"mean degree {np.mean(degs):.2f}"
+
+    def test_singleton_communities_supported(self):
+        # min_community=1 permits size-1 communities, whose lone member can
+        # only be repaired by attaching outside the community.
+        instance = lfr_benchmark(
+            1000, mu=0.1, min_community=1, seed=0, ensure_connected=False
+        )
+        assert instance.graph.min_degree >= 1
+
+    def test_internal_edges_respect_community_capacity(self):
+        """Per-community quotas: no community can hold more internal edges
+        than it has distinct pairs (saturation must not spill elsewhere)."""
+        instance = lfr_benchmark(
+            500, mu=0.0, average_degree=12, seed=2, ensure_connected=False
+        )
+        labels = instance.partition.labels
+        edges = instance.graph.edge_array()
+        sizes = np.bincount(labels)
+        internal = np.bincount(
+            labels[edges[:, 0]], minlength=sizes.size,
+            weights=(labels[edges[:, 0]] == labels[edges[:, 1]]).astype(float),
+        )
+        # mu=0: the only cross-community edges are isolated-node repairs.
+        assert np.all(internal <= sizes * (sizes - 1) // 2)
+
     def test_degrees_heterogeneous(self):
         instance = lfr_benchmark(300, mu=0.1, average_degree=12, seed=4)
         assert instance.graph.degree_ratio() > 1.5

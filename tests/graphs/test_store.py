@@ -1,0 +1,167 @@
+"""Tests for the pluggable CSR storage layer (dense and memory-mapped)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRStorageError,
+    DenseStorage,
+    Graph,
+    MmapStorage,
+    planted_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_partition(150, 3, 0.3, 0.02, seed=11, ensure_connected=True)
+
+
+@pytest.fixture()
+def sharded_dir(tmp_path, instance):
+    indptr, indices = instance.graph.csr_arrays()
+    directory = tmp_path / "entry.csr"
+    MmapStorage.write(
+        directory, np.asarray(indptr), np.asarray(indices), shard_arcs=400,
+        extra={"marker": "x"},
+    )
+    return directory
+
+
+class TestDenseStorage:
+    def test_round_trip_and_shape(self, instance):
+        indptr, indices = instance.graph.csr_arrays()
+        store = DenseStorage(indptr, indices)
+        assert store.n == instance.graph.n
+        assert store.num_arcs == indices.size
+        assert store.in_memory
+        assert store.nbytes == indptr.nbytes + indices.nbytes
+        assert np.array_equal(store.indices_array(), indices)
+
+    def test_zero_copy_adoption(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        store = DenseStorage(indptr, indices)
+        assert np.shares_memory(store.indices_array(), indices)
+        assert store.materialize() is store
+
+    def test_row_blocks_cover_everything(self, instance):
+        indptr, indices = instance.graph.csr_arrays()
+        store = DenseStorage(indptr, indices)
+        for block_size in (1, 7, 64, 10_000):
+            parts = list(store.iter_row_blocks(block_size))
+            assert parts[0][0] == 0 and parts[-1][1] == store.n
+            assert all(r1 - r0 <= block_size for r0, r1, _ in parts)
+            assert np.array_equal(np.concatenate([b for _, _, b in parts]), indices)
+
+    def test_invalid_block_size(self, instance):
+        store = instance.graph.storage
+        with pytest.raises(CSRStorageError):
+            list(store.iter_row_blocks(0))
+
+
+class TestMmapStorage:
+    def test_open_matches_dense(self, sharded_dir, instance):
+        store = MmapStorage(sharded_dir)
+        indptr, indices = instance.graph.csr_arrays()
+        assert not store.in_memory
+        assert store.num_shards > 1
+        assert np.array_equal(store.indptr, indptr)
+        assert np.array_equal(store.indices_array(), indices)
+        assert store.extra["marker"] == "x"
+        assert store.nbytes == indptr.nbytes + 8 * indices.size
+
+    def test_row_slices_match(self, sharded_dir, instance):
+        store = MmapStorage(sharded_dir)
+        for v in range(instance.graph.n):
+            assert np.array_equal(store.row_slice(v), instance.graph.neighbours(v))
+
+    def test_row_blocks_respect_shards(self, sharded_dir, instance):
+        store = MmapStorage(sharded_dir)
+        _, indices = instance.graph.csr_arrays()
+        for block_size in (None, 3, 50):
+            parts = list(store.iter_row_blocks(block_size))
+            assert np.array_equal(np.concatenate([b for _, _, b in parts]), indices)
+
+    def test_materialize(self, sharded_dir, instance):
+        dense = MmapStorage(sharded_dir).materialize()
+        assert isinstance(dense, DenseStorage)
+        assert np.array_equal(dense.indices_array(), instance.graph.csr_arrays()[1])
+
+    def test_pickles_by_path(self, sharded_dir):
+        store = MmapStorage(sharded_dir)
+        blob = pickle.dumps(store)
+        # The payload must be the manifest path, not the arrays.
+        assert len(blob) < 1024
+        clone = pickle.loads(blob)
+        assert np.array_equal(clone.indices_array(), store.indices_array())
+
+    def test_single_row_larger_than_shard(self, tmp_path):
+        # A star: row 0 has degree 40, far above shard_arcs=8; the writer
+        # must emit one oversized shard rather than split the row.
+        edges = np.stack([np.zeros(40, dtype=np.int64), np.arange(1, 41)], axis=1)
+        g = Graph.from_edge_array(41, edges)
+        indptr, indices = g.csr_arrays()
+        directory = tmp_path / "star.csr"
+        MmapStorage.write(directory, np.asarray(indptr), np.asarray(indices), shard_arcs=8)
+        store = MmapStorage(directory)
+        assert np.array_equal(store.indices_array(), indices)
+        assert np.array_equal(store.row_slice(0), g.neighbours(0))
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(CSRStorageError):
+            MmapStorage(tmp_path)
+
+    def test_truncated_shard_rejected(self, sharded_dir):
+        shard_file = sorted(sharded_dir.glob("indices-*.npy"))[0]
+        # Rewrite the first shard with too few entries; shards are mapped
+        # eagerly, so opening the storage must fail loudly instead of
+        # serving a wrong adjacency.
+        np.save(shard_file, np.zeros(1, dtype=np.int64))
+        with pytest.raises(CSRStorageError):
+            MmapStorage(sharded_dir)
+
+    def test_arrays_are_read_only(self, sharded_dir, instance):
+        mm = MmapStorage(sharded_dir)
+        dense = instance.graph.storage
+        for store in (mm, dense):
+            assert not store.indptr.flags.writeable
+            assert not store.indices_array().flags.writeable
+            assert not store.row_slice(0).flags.writeable
+
+    def test_survives_entry_deletion_while_open(self, sharded_dir, instance):
+        """POSIX unlink-while-mapped: a cache prune racing a live mmap graph
+        must not break the graph already holding the mapping."""
+        import shutil
+
+        store = MmapStorage(sharded_dir)
+        expected = instance.graph.csr_arrays()[1]
+        shutil.rmtree(sharded_dir)
+        assert np.array_equal(store.indices_array(), expected)
+        parts = [b for _, _, b in store.iter_row_blocks(11)]
+        assert np.array_equal(np.concatenate(parts), expected)
+
+    def test_graph_from_storage_counts(self, sharded_dir, instance):
+        g = Graph.from_storage(MmapStorage(sharded_dir), name="mm")
+        assert g == instance.graph
+        assert g.num_edges == instance.graph.num_edges
+        assert g.num_self_loops == instance.graph.num_self_loops
+        assert g.volume == instance.graph.volume
+
+    def test_graph_accessors_storage_agnostic(self, sharded_dir, instance):
+        rng = np.random.default_rng(5)
+        g = Graph.from_storage(MmapStorage(sharded_dir))
+        ref = instance.graph
+        assert g.degrees.tolist() == ref.degrees.tolist()
+        assert g.has_edge(0, int(ref.neighbours(0)[0]))
+        assert not g.has_edge(0, 0)
+        assert int(g.random_neighbour(3, rng)) in set(ref.neighbours(3).tolist())
+        assert np.array_equal(g.edge_array(), ref.edge_array())
+        assert (g.adjacency_matrix() != ref.adjacency_matrix()).nnz == 0
+        assert g.is_connected() == ref.is_connected()
+        sub = g.induced_subgraph(range(30))
+        assert sub == ref.induced_subgraph(range(30))

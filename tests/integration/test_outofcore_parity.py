@@ -1,0 +1,148 @@
+"""Out-of-core parity: storage backends and blocked rounds never change results.
+
+The storage layer's contract is that *where the adjacency lives* (in-RAM
+arrays vs memory-mapped shards) and *how the round loop touches it*
+(unblocked global gathers vs row blocks) are pure execution concerns: for
+one seed, every combination must produce **bit-identical** outputs.  These
+tests pin that contract at the three levels users consume it:
+
+* the engine (``VectorizedEngine(block_size=...)`` on dense vs mmap graphs),
+* the experiment runner (``run_trials`` records, serial vs process executor,
+  dense vs mmap instances),
+* the process boundary (an mmap instance pickles by path, not by payload).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters
+from repro.core.engines import VectorizedEngine, build_clustering_result
+from repro.evaluation import (
+    evaluate_load_balancing_clustering,
+    run_trials,
+    sweep,
+)
+from repro.graphs import MmapStorage, cached_instance
+
+PARAMS = dict(n=400, k=4, p_in=0.3, p_out=0.01, ensure_connected=True)
+SEED = 29
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("instance-cache")
+
+
+@pytest.fixture(scope="module")
+def dense_instance(cache_dir):
+    return cached_instance("planted_partition", seed=SEED, cache_dir=cache_dir, **PARAMS)
+
+
+@pytest.fixture(scope="module")
+def mmap_instance(cache_dir):
+    instance = cached_instance(
+        "planted_partition", seed=SEED, cache_dir=cache_dir, mmap=True, shard_arcs=2000,
+        **PARAMS,
+    )
+    assert isinstance(instance.graph.storage, MmapStorage)
+    assert instance.graph.storage.num_shards > 1
+    return instance
+
+
+class TestEngineParity:
+    def _labels(self, graph, *, block_size=None):
+        params = AlgorithmParameters.from_values(graph.n, 0.25, 40)
+        engine = VectorizedEngine(graph, params, seed=7, block_size=block_size)
+        result = build_clustering_result(engine.run(), params)
+        return result.labels
+
+    def test_blocked_matches_unblocked_on_dense(self, dense_instance):
+        reference = self._labels(dense_instance.graph)
+        for block in (1, 17, 400, 10_000):
+            assert np.array_equal(reference, self._labels(dense_instance.graph, block_size=block))
+
+    def test_mmap_matches_dense(self, dense_instance, mmap_instance):
+        reference = self._labels(dense_instance.graph)
+        # Auto block size (storage-native) and explicit ones.
+        assert np.array_equal(reference, self._labels(mmap_instance.graph))
+        for block in (13, 250):
+            assert np.array_equal(reference, self._labels(mmap_instance.graph, block_size=block))
+
+    def test_block_size_validation(self, dense_instance):
+        params = AlgorithmParameters.from_values(dense_instance.graph.n, 0.25, 5)
+        with pytest.raises(ValueError):
+            VectorizedEngine(dense_instance.graph, params, block_size=0)
+        with pytest.raises(ValueError):
+            VectorizedEngine(
+                dense_instance.graph,
+                params,
+                block_size=8,
+                matching_sampler=lambda g, r: np.full(g.n, -1, dtype=np.int64),
+            )
+
+
+class TestSweepParity:
+    def _run(self, instances, *, executor="serial", workers=None, block_size=None):
+        algorithms = {
+            "ours": evaluate_load_balancing_clustering(
+                backend="vectorized", rounds=30, block_size=block_size
+            )
+        }
+        result = run_trials(
+            instances,
+            algorithms,
+            trials=2,
+            base_seed=5,
+            executor=executor,
+            workers=workers,
+        )
+        return [(r.config, r.trial, r.values) for r in result.records]
+
+    def test_records_identical_across_storage_and_blocking(
+        self, cache_dir, dense_instance, mmap_instance
+    ):
+        dense = [({"size": PARAMS["n"]}, dense_instance)]
+        mapped = [({"size": PARAMS["n"]}, mmap_instance)]
+        reference = self._run(dense)
+        assert self._run(mapped) == reference
+        assert self._run(dense, block_size=37) == reference
+        assert self._run(mapped, block_size=37) == reference
+
+    def test_process_executor_with_mmap_instances(self, dense_instance, mmap_instance):
+        """The acceptance shape of `repro sweep --mmap --workers N`: records
+        from mmap instances fanned across processes match the dense serial
+        path bit for bit."""
+        dense = [({"size": PARAMS["n"]}, dense_instance)]
+        mapped = [({"size": PARAMS["n"]}, mmap_instance)]
+        reference = self._run(dense)
+        assert self._run(mapped, executor="process", workers=2) == reference
+
+    def test_sweep_factory_threads_mmap(self, cache_dir):
+        def make(n, cache_dir=None):
+            return cached_instance(
+                "planted_partition", seed=SEED, cache_dir=cache_dir, mmap=True,
+                **{**PARAMS, "n": n},
+            )
+
+        pairs = list(sweep([300], make, key="n", cache_dir=str(cache_dir)))
+        assert len(pairs) == 1
+        assert isinstance(pairs[0][1].graph.storage, MmapStorage)
+
+
+class TestProcessBoundary:
+    def test_mmap_instance_pickles_by_path(self, mmap_instance):
+        blob = pickle.dumps(mmap_instance)
+        # The adjacency is ~50 KB as arrays; by-path pickling stays tiny.
+        assert len(blob) < 8 * 1024
+        clone = pickle.loads(blob)
+        assert isinstance(clone.graph.storage, MmapStorage)
+        assert clone.graph == mmap_instance.graph
+
+    def test_dense_instance_still_pickles_by_value(self, dense_instance):
+        clone = pickle.loads(pickle.dumps(dense_instance))
+        assert clone.graph == dense_instance.graph
+        assert clone.graph.storage.in_memory

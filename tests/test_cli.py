@@ -168,3 +168,103 @@ class TestSweep:
              "--p-out", "0.02", "--trials", "1", "--algorithms", "spectral"]
         ) == 0
         assert "spectral" in capsys.readouterr().out
+
+
+class TestGenerateSharded:
+    def test_shard_size_requires_cache_dir(self, capsys):
+        assert main(["generate", "sbm", "--n", "60", "--shard-size", "100"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_needs_out_or_cache_dir(self, capsys):
+        assert main(["generate", "sbm", "--n", "60"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_writes_sharded_cache_entry(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "generate", "sbm", "--n", "120", "--k", "3", "--seed", "4",
+            "--cache-dir", str(cache_dir), "--shard-size", "500",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out and "shard(s)" in out
+        entries = list(cache_dir.glob("*.csr"))
+        assert len(entries) == 1
+        assert (entries[0] / "manifest.json").is_file()
+        assert len(list(entries[0].glob("indices-*.npy"))) > 1
+
+    def test_cache_dir_combines_with_out(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "g.edges"
+        argv = [
+            "generate", "cliques", "--k", "3", "--cluster-size", "8", "--seed", "1",
+            "--cache-dir", str(cache_dir), "--out", str(out),
+        ]
+        assert main(argv) == 0
+        assert out.exists()
+        assert list(cache_dir.glob("*.csr"))
+
+
+class TestSweepMmap:
+    def test_mmap_requires_cache_dir(self, capsys):
+        assert main(["sweep", "cliques", "--sizes", "10", "--mmap"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_mmap_sweep_matches_dense_records(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        dense_json = tmp_path / "dense.json"
+        argv = [
+            "sweep", "sbm", "--sizes", "120", "--k", "3", "--trials", "2",
+            "--cache-dir", str(cache_dir), "--seed", "0", "--backend", "vectorized",
+            "--json", str(dense_json),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        mmap_json = tmp_path / "mmap.json"
+        argv_mmap = [a if a != str(dense_json) else str(mmap_json) for a in argv]
+        argv_mmap += ["--mmap", "--workers", "2", "--block-size", "50"]
+        assert main(argv_mmap) == 0
+        assert list(cache_dir.glob("*.csr")), "mmap sweep should write sharded entries"
+        assert json.loads(mmap_json.read_text()) == json.loads(dense_json.read_text())
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir):
+        assert main([
+            "generate", "cliques", "--k", "3", "--cluster-size", "10", "--seed", "2",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+
+    def test_list_empty(self, tmp_path, capsys):
+        assert main(["cache", "list", str(tmp_path)]) == 0
+        assert "no cache entries" in capsys.readouterr().out
+
+    def test_list_entries(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle_of_cliques" in out and "sharded" in out
+
+    def test_prune_dry_run_then_real(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", str(tmp_path), "--max-bytes", "0", "--dry-run"]) == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.csr"))
+        assert main(["cache", "prune", str(tmp_path), "--max-bytes", "0"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.csr"))
+
+    def test_size_suffix_parsing(self):
+        from repro.cli import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("1K") == 1024
+        assert parse_size("1.5M") == int(1.5 * 1024**2)
+        assert parse_size("2GB") == 2 * 1024**3
+        with pytest.raises(Exception):
+            parse_size("banana")
