@@ -28,7 +28,6 @@ iterations and the push-sum length per iteration are exposed.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..graphs.graph import Graph
 from ..graphs.partition import Partition
@@ -107,7 +106,12 @@ class DecentralizedOrthogonalIteration(BaselineClusterer):
     def cluster(self, graph: Graph, k: int, *, seed: int | None = None) -> BaselineResult:
         rng = np.random.default_rng(seed)
         n = graph.n
-        a = graph.adjacency_matrix(sparse=True)
+        # Matrix-free A·Q: the orthogonal-iteration matvecs stream through
+        # the graph storage's row blocks, so the baseline runs against
+        # memory-mapped instances without materialising the adjacency —
+        # and its mixing-time bound below requests only λ₂ instead of the
+        # full (dense) spectrum.
+        a = graph.adjacency_operator()
         iterations = (
             self.iterations
             if self.iterations is not None

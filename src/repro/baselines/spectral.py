@@ -31,7 +31,12 @@ def spectral_embedding(
     """The ``(n, k)`` spectral embedding used by spectral clustering.
 
     Columns are the top ``k`` eigenvectors of the symmetrised random walk
-    operator.  With ``degree_correct=True`` each row is scaled by
+    operator.  Above the dense threshold the decomposition runs Lanczos
+    against the graph's matrix-free
+    :meth:`~repro.graphs.graph.Graph.normalized_adjacency_operator` with a
+    deterministic seeded start vector, so the baseline embeds memory-mapped
+    instances without materialising the adjacency and repeated runs are
+    bit-identical.  With ``degree_correct=True`` each row is scaled by
     ``1/√d_v`` (mapping back from the symmetric operator to the random walk
     eigenbasis), and with ``normalise_rows=True`` the rows are projected to
     the unit sphere, which is the standard normalisation for k-means

@@ -8,6 +8,11 @@ Four subcommands cover the workflow a downstream user actually has:
 ``analyse``
     Print the structural diagnostics of a graph/partition pair: degrees,
     conductances, eigenvalue gap, Υ and the prescribed round count ``T``.
+    Accepts an edge-list file or a sharded cache-entry directory; with
+    ``--mmap`` the entry stays memory-mapped and the spectral diagnostics
+    run matrix-free (streamed Lanczos over the storage's row blocks), so
+    n = 10⁶ instances analyse without the eigensolves ever materialising
+    the adjacency (the connectivity check still builds an O(m) matrix).
 ``cluster``
     Run the paper's algorithm (centralised, distributed or adaptive engine)
     on an edge-list file and write one label per node; optionally score the
@@ -34,6 +39,7 @@ Examples
     python -m repro generate sbm --n 1000000 --k 4 --seed 1 \
         --cache-dir .instance-cache --shard-size 4000000
     python -m repro analyse graph.edges --labels truth.txt
+    python -m repro analyse .instance-cache/planted_partition-0123abcd.csr --mmap
     python -m repro cluster graph.edges --k 4 --engine centralized \
         --out labels.txt --truth truth.txt
     python -m repro cluster graph.edges --k 4 --engine distributed \
@@ -122,9 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     # analyse -----------------------------------------------------------
     ana = sub.add_parser("analyse", help="print structural diagnostics of a graph")
-    ana.add_argument("graph", type=Path, help="edge-list file")
+    ana.add_argument(
+        "graph",
+        type=Path,
+        help=(
+            "edge-list file, or a sharded cache-entry directory "
+            "({generator}-{digest}.csr/ as written by `generate --cache-dir`)"
+        ),
+    )
     ana.add_argument("--labels", type=Path, default=None, help="partition file to analyse against")
     ana.add_argument("--k", type=int, default=None, help="number of clusters (if no labels given)")
+    ana.add_argument(
+        "--mmap",
+        action="store_true",
+        help=(
+            "keep a sharded entry memory-mapped instead of materialising it: "
+            "the spectral diagnostics run matrix-free Lanczos over the "
+            "storage's row blocks and never materialise the adjacency "
+            "(the connectivity check still builds an O(m) scipy matrix)"
+        ),
+    )
 
     # cluster -----------------------------------------------------------
     clu = sub.add_parser("cluster", help="run the load-balancing clustering algorithm")
@@ -304,22 +327,53 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_analyse_graph(path: Path, *, mmap: bool):
+    """Resolve the ``analyse`` graph argument: edge list or sharded entry.
+
+    Returns ``(graph, labels)`` where ``labels`` is the entry's ground-truth
+    label array when the argument is a cache entry that carries one
+    (``labels.npy``), else ``None``.
+    """
+    from .graphs import open_shard_entry, read_edge_list
+    from .graphs.store import MANIFEST_NAME
+
+    if path.is_dir():
+        if (path / MANIFEST_NAME).is_file():
+            graph, labels, _ = open_shard_entry(path, mmap=mmap)
+            return graph, labels
+        raise SystemExit(
+            f"error: {path} is a directory but not a sharded cache entry "
+            f"(no {MANIFEST_NAME}); expected an edge-list file or a "
+            "{generator}-{digest}.csr/ entry directory"
+        )
+    if mmap:
+        raise SystemExit(
+            f"error: --mmap needs a sharded cache-entry directory, got {path} "
+            "(create one with `repro generate ... --cache-dir`)"
+        )
+    return read_edge_list(path), None
+
+
 def _cmd_analyse(args: argparse.Namespace) -> int:
     from .graphs import (
+        Partition,
         analyse_cluster_structure,
         cluster_conductances,
-        read_edge_list,
         read_partition,
     )
 
-    graph = read_edge_list(args.graph)
-    print(f"graph      : {graph}")
+    graph, entry_labels = _load_analyse_graph(args.graph, mmap=args.mmap)
+    print(f"graph      : {graph}" + (" [mmap]" if args.mmap else ""))
     print(f"degree     : min={graph.min_degree} max={graph.max_degree} ratio={graph.degree_ratio():.2f}")
     print(f"connected  : {graph.is_connected()}")
-    if args.labels is None and args.k is None:
+    if args.labels is None and args.k is None and entry_labels is None:
         return 0
-    if args.labels is not None:
-        partition = read_partition(args.labels)
+    if args.labels is not None or (entry_labels is not None and args.k is None):
+        if args.labels is not None:
+            partition = read_partition(args.labels)
+        else:
+            partition = Partition(entry_labels)
+            print("labels     : ground truth from cache entry (labels.npy)")
         report = analyse_cluster_structure(graph, partition)
         phis = cluster_conductances(graph, partition)
         print(f"clusters   : k={partition.k} sizes={partition.sizes.tolist()}")

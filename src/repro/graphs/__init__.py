@@ -50,6 +50,7 @@ from .cache import (
     instance_digest,
     instance_shard_dir,
     list_cache,
+    open_shard_entry,
     prune_cache,
 )
 from .lfr import lfr_benchmark, truncated_power_law
@@ -83,10 +84,12 @@ from .spectral import (
     analyse_cluster_structure,
     cluster_gap,
     gap_parameter_upsilon,
+    lanczos_start_vector,
     lazy_mixing_time_bound,
     random_walk_eigenvalues,
     spectral_decomposition,
     spectral_gap,
+    symmetric_walk_matrix,
     theoretical_round_count,
     top_eigenpairs,
     top_eigenvector_projection,
@@ -135,6 +138,7 @@ __all__ = [
     "instance_digest",
     "instance_shard_dir",
     "list_cache",
+    "open_shard_entry",
     "prune_cache",
     # lfr.py
     "lfr_benchmark",
@@ -162,10 +166,12 @@ __all__ = [
     "analyse_cluster_structure",
     "cluster_gap",
     "gap_parameter_upsilon",
+    "lanczos_start_vector",
     "lazy_mixing_time_bound",
     "random_walk_eigenvalues",
     "spectral_decomposition",
     "spectral_gap",
+    "symmetric_walk_matrix",
     "theoretical_round_count",
     "top_eigenpairs",
     "top_eigenvector_projection",

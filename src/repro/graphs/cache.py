@@ -80,6 +80,7 @@ __all__ = [
     "instance_digest",
     "instance_cache_path",
     "instance_shard_dir",
+    "open_shard_entry",
     "cached_instance",
     "CacheEntry",
     "list_cache",
@@ -259,13 +260,30 @@ def _store_sharded(
         raise
 
 
-def _load_sharded(directory: Path, key_json: str, *, mmap: bool) -> ClusteredGraph:
-    """Load a v2 sharded instance, memory-mapped or materialised into RAM."""
+def open_shard_entry(
+    directory: str | Path, *, mmap: bool = True, expected_key: str | None = None
+) -> tuple[Graph, np.ndarray | None, dict[str, Any]]:
+    """Open a sharded (v2) entry directory as ``(graph, labels, params)``.
+
+    The one place the manifest schema is interpreted: the cache loader and
+    the CLI's ``analyse <entry.csr>`` path both come through here, so a
+    schema change (renaming a count field, adding metadata) lands in a
+    single helper.  ``labels`` is the entry's ground-truth array or
+    ``None`` when the directory carries no ``labels.npy``;
+    ``expected_key`` (the cache loader's digest check) raises before the
+    potentially O(m) edge-count recovery of a count-less manifest.
+    """
+    directory = Path(directory)
     storage = MmapStorage(directory)
     meta = storage.extra
-    if meta.get("key") != key_json:
+    if expected_key is not None and meta.get("key") != expected_key:
         raise InstanceCacheError(f"cache entry {directory} does not match its key")
-    labels = np.asarray(np.load(directory / "labels.npy"), dtype=np.int64)
+    labels_path = directory / "labels.npy"
+    labels = (
+        np.asarray(np.load(labels_path), dtype=np.int64)
+        if labels_path.is_file()
+        else None
+    )
     counts = {}
     if "num_edges" in meta and "num_self_loops" in meta:
         counts = {
@@ -274,18 +292,24 @@ def _load_sharded(directory: Path, key_json: str, *, mmap: bool) -> ClusteredGra
         }
     graph = Graph.from_storage(
         storage if mmap else storage.materialize(),
-        name=str(meta.get("graph_name", "cached")),
+        name=str(meta.get("graph_name", directory.name)),
         **counts,
     )
+    return graph, labels, dict(meta.get("instance_params", {}))
+
+
+def _load_sharded(directory: Path, key_json: str, *, mmap: bool) -> ClusteredGraph:
+    """Load a v2 sharded instance, memory-mapped or materialised into RAM."""
+    graph, labels, params = open_shard_entry(
+        directory, mmap=mmap, expected_key=key_json
+    )
+    if labels is None:
+        raise InstanceCacheError(f"cache entry {directory} has no labels.npy")
     if labels.shape != (graph.n,):
         raise InstanceCacheError(
             f"cache entry {directory} has {labels.size} labels for n={graph.n}"
         )
-    return ClusteredGraph(
-        graph=graph,
-        partition=Partition(labels),
-        params=dict(meta.get("instance_params", {})),
-    )
+    return ClusteredGraph(graph=graph, partition=Partition(labels), params=params)
 
 
 def _resolve_generator(

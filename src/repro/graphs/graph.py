@@ -488,14 +488,81 @@ class Graph:
     def normalized_laplacian(self, *, sparse: bool = True) -> sp.csr_matrix | np.ndarray:
         """The symmetric normalised Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
         a = self.adjacency_matrix(sparse=True)
-        inv_sqrt = np.zeros(self._n)
-        nz = self._degrees > 0
-        inv_sqrt[nz] = 1.0 / np.sqrt(self._degrees[nz])
-        d_half = sp.diags(inv_sqrt)
+        d_half = sp.diags(self._inv_sqrt_degrees())
         lap = sp.identity(self._n, format="csr") - d_half @ a @ d_half
         if sparse:
             return sp.csr_matrix(lap)
         return lap.toarray()
+
+    def _inv_sqrt_degrees(self) -> np.ndarray:
+        """The ``D^{-1/2}`` scaling vector; isolated nodes get 0.
+
+        Shared by every degree-normalised view (the normalised Laplacian,
+        the symmetric walk operator and its materialised twin in
+        :mod:`repro.graphs.spectral`) so the isolated-node convention
+        lives in exactly one place — the operator/matrix bit-parity
+        contract depends on them agreeing.
+        """
+        inv_sqrt = np.zeros(self._n, dtype=np.float64)
+        nz = self._degrees > 0
+        inv_sqrt[nz] = 1.0 / np.sqrt(self._degrees[nz])
+        return inv_sqrt
+
+    # ------------------------------------------------------------------ #
+    # Matrix-free operator views
+    # ------------------------------------------------------------------ #
+
+    def adjacency_operator(self, *, block_size: int | None = None):
+        """A matrix-free :class:`scipy.sparse.linalg.LinearOperator` view of ``A``.
+
+        Unlike :meth:`adjacency_matrix` this never materialises the
+        adjacency: every ``matvec``/``matmat`` streams over the storage's
+        row blocks (:meth:`~repro.graphs.store.CSRStorage.matvec`), so the
+        resident set stays O(block) even for sharded memory-mapped graphs.
+        ``A`` is symmetric, so ``rmatvec`` is the same product.
+
+        ``block_size`` bounds the rows touched per block (``None`` = a
+        bounded default: shard-sized blocks for dense storage — the gather
+        allocates an O(arcs · q) float64 temporary per block, so one whole-
+        array block would defeat the point — and one block per shard for
+        mmap storage, already O(shard)-resident).  The produced floats are
+        bit-identical for every block size and storage backend.
+        """
+        import scipy.sparse.linalg as spla
+
+        store = self._store
+
+        def _mv(x: np.ndarray) -> np.ndarray:
+            return store.matvec(x, block_size=block_size)
+
+        return spla.LinearOperator(
+            shape=(self._n, self._n), dtype=np.float64,
+            matvec=_mv, rmatvec=_mv, matmat=_mv,
+        )
+
+    def normalized_adjacency_operator(self, *, block_size: int | None = None):
+        """Matrix-free view of ``N = D^{-1/2} A D^{-1/2}`` (symmetric walk operator).
+
+        ``N`` is similar to the random walk matrix ``P = D^{-1} A`` and
+        shares its eigenvalues; the spectral toolbox runs Lanczos against
+        this operator so eigensolves stream the adjacency the same way the
+        round engine streams matching rounds.  Isolated nodes contribute
+        zero rows/columns (their scaling factor is defined as 0).
+        """
+        import scipy.sparse.linalg as spla
+
+        store = self._store
+        inv_sqrt = self._inv_sqrt_degrees()
+
+        def _mv(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=np.float64)
+            scale = inv_sqrt if x.ndim == 1 else inv_sqrt[:, np.newaxis]
+            return scale * store.matvec(scale * x, block_size=block_size)
+
+        return spla.LinearOperator(
+            shape=(self._n, self._n), dtype=np.float64,
+            matvec=_mv, rmatvec=_mv, matmat=_mv,
+        )
 
     # ------------------------------------------------------------------ #
     # Subgraphs and transformations

@@ -19,12 +19,19 @@ This module computes:
 * the projection matrix ``Q`` onto the span of the top ``k`` eigenvectors
   (used by Lemma 4.1), and
 * mixing-time style diagnostics used in benchmark E2.
+
+The eigensolves are **matrix-free**: above the dense threshold Lanczos runs
+against :meth:`~repro.graphs.graph.Graph.normalized_adjacency_operator`,
+whose matvecs stream the adjacency through the storage's row blocks — a
+memory-mapped n = 10⁶ instance never materialises O(m), let alone the n × n
+dense operator (8 TB at that size).  Start vectors are deterministic and
+seeded (:func:`lanczos_start_vector`), so repeated eigensolves are
+bit-identical and never touch numpy's global RNG.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 import scipy.linalg as la
@@ -38,6 +45,8 @@ from .partition import Partition
 __all__ = [
     "SpectralDecomposition",
     "spectral_decomposition",
+    "symmetric_walk_matrix",
+    "lanczos_start_vector",
     "top_eigenpairs",
     "random_walk_eigenvalues",
     "spectral_gap",
@@ -53,6 +62,11 @@ __all__ = [
 # Graphs up to this many nodes use a dense symmetric eigensolver; beyond it we
 # switch to Lanczos for the requested number of extreme eigenpairs.
 _DENSE_LIMIT = 1500
+
+#: Fixed seed of the deterministic Lanczos start vector.  A function of this
+#: constant and ``n`` only, so every eigensolve of a same-size graph starts
+#: from the same vector and repeated calls are bit-identical.
+_V0_SEED = 0x5BEC7A11
 
 
 @dataclass(frozen=True)
@@ -105,37 +119,78 @@ class SpectralDecomposition:
         return fk @ fk.T
 
 
-def _symmetric_walk_operator(graph: Graph) -> sp.csr_matrix:
-    """``N = D^{-1/2} A D^{-1/2}``, similar to ``P`` and symmetric."""
+def symmetric_walk_matrix(graph: Graph) -> sp.csr_matrix:
+    """``N = D^{-1/2} A D^{-1/2}`` **materialised** as a scipy CSR matrix.
+
+    This is the in-RAM realisation of
+    :meth:`~repro.graphs.graph.Graph.normalized_adjacency_operator`; the
+    spectral pipeline itself only builds it below the dense threshold, but
+    benchmarks (E18) use it as the materialising comparison arm.
+    """
     a = graph.adjacency_matrix(sparse=True)
-    deg = graph.degrees.astype(np.float64)
-    inv_sqrt = np.zeros_like(deg)
-    nz = deg > 0
-    inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
-    d_half = sp.diags(inv_sqrt)
+    d_half = sp.diags(graph._inv_sqrt_degrees())
     return sp.csr_matrix(d_half @ a @ d_half)
 
 
-def spectral_decomposition(graph: Graph, *, num: int | None = None) -> SpectralDecomposition:
+def lanczos_start_vector(n: int) -> np.ndarray:
+    """The deterministic unit-norm Lanczos start vector for an ``n``-node graph.
+
+    Seeded from a module constant and ``n`` alone: without an explicit
+    ``v0`` ARPACK draws its start vector from numpy's *global* RNG, which
+    made every spectral result for n > ``_DENSE_LIMIT`` nondeterministic —
+    and perturbed unrelated seeded code that shares the global stream.
+    """
+    v0 = np.random.default_rng(_V0_SEED).standard_normal(n)
+    return v0 / np.linalg.norm(v0)
+
+
+def spectral_decomposition(
+    graph: Graph, *, num: int | None = None, dense: bool | None = None
+) -> SpectralDecomposition:
     """Compute eigenpairs of the random walk matrix of ``graph``.
 
     Parameters
     ----------
     num:
-        Number of largest eigenpairs to compute.  ``None`` means all of them
-        (always the case for graphs below the dense-solver threshold).
+        Number of largest eigenpairs to compute.  ``None`` means all of
+        them, which requires the dense solver and is therefore only
+        available below the dense threshold (or with an explicit
+        ``dense=True``): a full spectrum needs an n × n float64 matrix,
+        ~8 TB at n = 10⁶ — the historical silent blowup this guard replaces.
+    dense:
+        ``None`` (default) picks automatically: dense ``eigh`` for graphs
+        up to ``_DENSE_LIMIT`` nodes (or when ``num`` demands ≥ n − 1
+        eigenpairs), matrix-free Lanczos otherwise.  ``True`` forces the
+        materialising dense path, ``False`` forces the streamed Lanczos
+        path (``num`` required) — used by parity tests and benchmarks.
 
     Notes
     -----
     Eigenvectors are orthonormal with respect to the Euclidean inner product
     on the *symmetrised* operator; for a regular graph they are eigenvectors
     of ``P`` itself, which is the setting of the paper's analysis.
+
+    The Lanczos path runs against the graph's
+    :meth:`~repro.graphs.graph.Graph.normalized_adjacency_operator` — the
+    adjacency streams through the storage's row blocks (never materialised,
+    O(block) resident for memory-mapped graphs) — with a deterministic
+    seeded start vector, so results are reproducible bit for bit.
     """
     n = graph.n
-    sym = _symmetric_walk_operator(graph)
-    if num is None or num >= n - 1 or n <= _DENSE_LIMIT:
-        dense = sym.toarray()
-        vals, vecs = la.eigh(dense)
+    use_dense = dense
+    if use_dense is None:
+        use_dense = num is None or num >= n - 1 or n <= _DENSE_LIMIT
+        if use_dense and n > _DENSE_LIMIT:
+            wanted = "all" if num is None else f"{num}"
+            raise ValueError(
+                f"computing {wanted} eigenpairs of an n={n} graph requires a dense "
+                f"n x n operator (~{8 * n * n / 1e9:.1f} GB); request "
+                f"num <= {n - 2} eigenpairs for the matrix-free Lanczos path, "
+                "or pass dense=True to force the materialisation"
+            )
+    if use_dense:
+        dense_op = symmetric_walk_matrix(graph).toarray()
+        vals, vecs = la.eigh(dense_op)
         order = np.argsort(vals)[::-1]
         vals = vals[order]
         vecs = vecs[:, order]
@@ -143,8 +198,17 @@ def spectral_decomposition(graph: Graph, *, num: int | None = None) -> SpectralD
             vals = vals[:num]
             vecs = vecs[:, :num]
         return SpectralDecomposition(eigenvalues=vals, eigenvectors=vecs)
-    k = min(num, n - 2)
-    vals, vecs = spla.eigsh(sym, k=k, which="LA")
+    if num is None:
+        raise ValueError("dense=False requires num: Lanczos computes extreme eigenpairs only")
+    if num > n - 2:
+        # ARPACK requires k < n - 1; raising beats silently returning fewer
+        # eigenpairs than asked (the auto path routes such requests dense).
+        raise ValueError(
+            f"Lanczos can compute at most n - 2 = {n - 2} eigenpairs of an "
+            f"n={n} graph; request fewer or pass dense=True"
+        )
+    operator = graph.normalized_adjacency_operator()
+    vals, vecs = spla.eigsh(operator, k=num, which="LA", v0=lanczos_start_vector(n))
     order = np.argsort(vals)[::-1]
     return SpectralDecomposition(eigenvalues=vals[order], eigenvectors=vecs[:, order])
 
@@ -155,9 +219,11 @@ def top_eigenpairs(graph: Graph, k: int) -> tuple[np.ndarray, np.ndarray]:
     return dec.eigenvalues[:k], dec.eigenvectors[:, :k]
 
 
-def random_walk_eigenvalues(graph: Graph, *, num: int | None = None) -> np.ndarray:
+def random_walk_eigenvalues(
+    graph: Graph, *, num: int | None = None, dense: bool | None = None
+) -> np.ndarray:
     """Eigenvalues of ``P`` in descending order."""
-    return spectral_decomposition(graph, num=num).eigenvalues
+    return spectral_decomposition(graph, num=num, dense=dense).eigenvalues
 
 
 def spectral_gap(graph: Graph) -> float:
@@ -215,12 +281,16 @@ def lazy_mixing_time_bound(graph: Graph, *, eps: float = 0.25) -> float:
     the lazy spectral gap.  Benchmarks compare this global mixing time with
     the (much smaller) local round count ``T`` on well-clustered graphs to
     illustrate the paper's comparison with Kempe–McSherry.
+
+    Only ``λ_2`` enters the bound (the second largest lazy eigenvalue in
+    absolute value equals the second largest eigenvalue, because lazy
+    eigenvalues are non-negative), so only two eigenpairs are requested —
+    the historical ``num=None`` call forced the dense O(n²)-memory branch
+    at any size, which made this bound (and the Kempe–McSherry baseline
+    that calls it) unusable at the scales the rest of the stack handles.
     """
-    vals = random_walk_eigenvalues(graph)
-    lazy_vals = (1.0 + vals) / 2.0
-    # The second largest lazy eigenvalue in absolute value equals the second
-    # largest eigenvalue because lazy eigenvalues are non-negative.
-    gap = 1.0 - float(lazy_vals[1]) if lazy_vals.size > 1 else 1.0
+    vals = random_walk_eigenvalues(graph, num=min(graph.n, 2))
+    gap = 1.0 - (1.0 + float(vals[1])) / 2.0 if vals.size > 1 else 1.0
     if gap <= 0:
         return float("inf")
     return float(np.log(graph.n / eps) / gap)

@@ -34,8 +34,15 @@ models:
   (the out-of-core iteration primitive);
 * :meth:`CSRStorage.indices_array` — the full array; zero-copy for dense
   and single-shard mmap storage, a **materialising O(m) copy** for sharded
-  storage.  Consumers that genuinely need the whole array (spectral
-  decompositions, scipy matrices) pay this knowingly.
+  storage.  Consumers that genuinely need the whole array (scipy matrices)
+  pay this knowingly.
+
+On top of the block iterator the contract also provides
+:meth:`CSRStorage.matvec` — the streamed adjacency product ``A @ x`` — so
+matrix consumers (eigensolves, power iteration) can run **matrix-free**
+against either backend through
+:meth:`~repro.graphs.graph.Graph.adjacency_operator` instead of
+materialising a scipy matrix.
 
 ``materialize()`` converts any backend into a :class:`DenseStorage`, which
 is how the cache serves a v2 (sharded) entry to a caller that asked for a
@@ -146,6 +153,55 @@ class CSRStorage(ABC):
         its mapping of each shard once iteration moves past it, which is
         what bounds the resident set of a blocked engine round.
         """
+
+    def matvec(self, x: np.ndarray, *, block_size: int | None = None) -> np.ndarray:
+        """``A @ x`` for the 0/1 adjacency this storage describes, streamed.
+
+        ``x`` may be a vector of shape ``(n,)`` or a matrix of shape
+        ``(n, q)``; the result has the same shape in float64.  The product is
+        driven entirely by :meth:`iter_row_blocks`, so the indices array is
+        **never materialised**: the resident set is O(block) plus the dense
+        input/output vectors, which is what lets eigensolves run against
+        sharded memory-mapped storage at n = 10⁶ (see
+        :meth:`~repro.graphs.graph.Graph.adjacency_operator`).
+
+        Each row's neighbour values are summed independently with
+        ``np.add.reduceat`` (a block never splits a row), so the result is
+        **bit-identical** for every ``block_size`` and every backend — a
+        dense and a sharded storage of the same graph produce the same
+        floats, which the streamed-vs-dense eigensolve parity tests rely on.
+
+        Because the structure is symmetric, this is also ``A.T @ x``
+        (``rmatvec`` in scipy terms).
+        """
+        x = np.asarray(x)
+        if x.ndim not in (1, 2) or x.shape[0] != self.n:
+            raise CSRStorageError(
+                f"matvec operand has shape {x.shape}, expected ({self.n},) or ({self.n}, q)"
+            )
+        x = x.astype(np.float64, copy=False)
+        if block_size is None and self.in_memory:
+            # Dense storage's native chunking is ONE block — the whole
+            # indices array — and the gather below materialises an
+            # O(arcs · q) float64 temporary per block.  Bound it to the
+            # same working set a shard gives mmap storage; the result is
+            # bit-identical for every block size by construction.
+            block_size = self.suggested_block_rows()
+        indptr = self.indptr
+        out = np.zeros(x.shape, dtype=np.float64)
+        for r0, r1, block in self.iter_row_blocks(block_size):
+            if block.size == 0:
+                continue
+            base = int(indptr[r0])
+            starts = indptr[r0:r1] - base
+            lengths = np.diff(indptr[r0 : r1 + 1])
+            nonempty = lengths > 0
+            # reduceat cannot express empty segments (it would re-use the
+            # next row's first value), so reduce only the non-empty rows and
+            # scatter; empty rows keep the zero the output started with.
+            sums = np.add.reduceat(x[block], starts[nonempty], axis=0)
+            out[r0:r1][nonempty] = sums
+        return out
 
     def materialize(self) -> "DenseStorage":
         """An in-RAM :class:`DenseStorage` with identical contents."""

@@ -1,0 +1,209 @@
+"""Dense-vs-streaming parity for the matrix-free spectral pipeline.
+
+The operator layer promises that the streamed adjacency product
+(`CSRStorage.matvec` → `Graph.adjacency_operator`) is *bit-identical*
+across storage backends and block sizes, matches the materialised scipy
+matrices to rounding, and that the Lanczos path built on it is seeded and
+deterministic.  Each promise is pinned here, together with the regression
+tests for the three bugs this layer fixed (global-RNG start vectors, the
+dense-spectrum blowup in ``lazy_mixing_time_bound``, the ``np.matrix``
+round trip in ``expected_matching_matrix``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRStorageError,
+    Graph,
+    MmapStorage,
+    cycle_of_cliques,
+    lanczos_start_vector,
+    lazy_mixing_time_bound,
+    planted_partition,
+    random_walk_eigenvalues,
+    spectral_decomposition,
+    symmetric_walk_matrix,
+)
+from repro.graphs import spectral as spectral_module
+
+
+@pytest.fixture(scope="module")
+def awkward_graph() -> Graph:
+    """Self-loops, an isolated node, degree-0 rows at both block edges."""
+    edges = [
+        (0, 1), (1, 2), (2, 2),      # a path with a self-loop
+        (4, 5), (5, 6), (6, 4),      # a triangle (node 3 stays isolated)
+        (7, 8), (8, 8),              # a pendant edge plus a self-loop
+    ]
+    return Graph(9, edges, name="awkward")
+
+
+@pytest.fixture(scope="module")
+def clustered_graph() -> Graph:
+    inst = planted_partition(240, 3, 0.3, 0.02, seed=11, ensure_connected=True)
+    return inst.graph
+
+
+def _mmap_twin(graph: Graph, tmp_path, shard_arcs: int) -> Graph:
+    indptr, indices = graph.csr_arrays()
+    directory = tmp_path / f"twin-{shard_arcs}.csr"
+    MmapStorage.write(directory, np.asarray(indptr), np.asarray(indices), shard_arcs=shard_arcs)
+    return Graph.from_storage(MmapStorage(directory), name=graph.name)
+
+
+class TestStorageMatvec:
+    @pytest.mark.parametrize("block_size", [None, 1, 2, 3, 64, 10_000])
+    def test_matches_scipy_matrix(self, awkward_graph, block_size):
+        x = np.random.default_rng(0).standard_normal(awkward_graph.n)
+        ref = awkward_graph.adjacency_matrix(sparse=True) @ x
+        got = awkward_graph.storage.matvec(x, block_size=block_size)
+        assert np.allclose(got, ref, atol=1e-12)
+
+    def test_bit_identical_across_block_sizes(self, clustered_graph):
+        x = np.random.default_rng(1).standard_normal(clustered_graph.n)
+        reference = clustered_graph.storage.matvec(x)
+        for block_size in (1, 7, 50, 239, 10_000):
+            assert np.array_equal(
+                clustered_graph.storage.matvec(x, block_size=block_size), reference
+            )
+
+    @pytest.mark.parametrize("shard_arcs", [1, 5, 400, 10**9])
+    def test_bit_identical_across_backends(self, awkward_graph, tmp_path, shard_arcs):
+        # shard_arcs=1 puts every row in its own shard; 10^9 yields a single
+        # shard — both must reproduce the dense floats exactly.
+        twin = _mmap_twin(awkward_graph, tmp_path, shard_arcs)
+        x = np.random.default_rng(2).standard_normal(awkward_graph.n)
+        assert np.array_equal(
+            twin.storage.matvec(x), awkward_graph.storage.matvec(x)
+        )
+
+    def test_matrix_operand(self, awkward_graph):
+        x = np.random.default_rng(3).standard_normal((awkward_graph.n, 4))
+        ref = awkward_graph.adjacency_matrix(sparse=True) @ x
+        assert np.allclose(awkward_graph.storage.matvec(x), ref, atol=1e-12)
+
+    def test_isolated_node_row_is_zero(self, awkward_graph):
+        y = awkward_graph.storage.matvec(np.ones(awkward_graph.n))
+        assert y[3] == 0.0
+
+    def test_rejects_wrong_shape(self, awkward_graph):
+        with pytest.raises(CSRStorageError):
+            awkward_graph.storage.matvec(np.ones(awkward_graph.n + 1))
+        with pytest.raises(CSRStorageError):
+            awkward_graph.storage.matvec(np.ones((awkward_graph.n, 2, 2)))
+
+
+class TestGraphOperators:
+    def test_adjacency_operator_matvec_and_matmat(self, clustered_graph):
+        rng = np.random.default_rng(4)
+        a = clustered_graph.adjacency_matrix(sparse=True)
+        op = clustered_graph.adjacency_operator()
+        x = rng.standard_normal(clustered_graph.n)
+        xs = rng.standard_normal((clustered_graph.n, 3))
+        assert np.allclose(op @ x, a @ x, atol=1e-12)
+        assert np.allclose(np.asarray(op @ xs), a @ xs, atol=1e-12)
+        # symmetric structure: rmatvec is the same product
+        assert np.allclose(op.rmatvec(x), a.T @ x, atol=1e-12)
+
+    def test_normalized_operator_matches_materialised(self, awkward_graph):
+        sym = symmetric_walk_matrix(awkward_graph)
+        op = awkward_graph.normalized_adjacency_operator()
+        x = np.random.default_rng(5).standard_normal(awkward_graph.n)
+        assert np.allclose(op @ x, sym @ x, atol=1e-12)
+
+    def test_operator_on_mmap_graph(self, clustered_graph, tmp_path):
+        twin = _mmap_twin(clustered_graph, tmp_path, shard_arcs=300)
+        x = np.random.default_rng(6).standard_normal(clustered_graph.n)
+        assert np.array_equal(
+            twin.normalized_adjacency_operator() @ x,
+            clustered_graph.normalized_adjacency_operator() @ x,
+        )
+
+
+class TestStreamedEigensolve:
+    def test_streamed_matches_dense_eigenvalues(self, clustered_graph):
+        streamed = spectral_decomposition(clustered_graph, num=5, dense=False)
+        materialised = spectral_decomposition(clustered_graph, num=5, dense=True)
+        assert np.allclose(
+            streamed.eigenvalues, materialised.eigenvalues, rtol=1e-8, atol=1e-10
+        )
+
+    def test_streamed_identical_for_mmap_backend(self, clustered_graph, tmp_path):
+        twin = _mmap_twin(clustered_graph, tmp_path, shard_arcs=128)
+        dense_backed = spectral_decomposition(clustered_graph, num=4, dense=False)
+        mmap_backed = spectral_decomposition(twin, num=4, dense=False)
+        assert np.array_equal(dense_backed.eigenvalues, mmap_backed.eigenvalues)
+
+    def test_repeat_calls_bit_identical(self, clustered_graph):
+        # Regression: eigsh used to draw its start vector from numpy's
+        # global RNG, so repeated large-graph eigensolves disagreed.
+        first = spectral_decomposition(clustered_graph, num=3, dense=False)
+        second = spectral_decomposition(clustered_graph, num=3, dense=False)
+        assert np.array_equal(first.eigenvalues, second.eigenvalues)
+        assert np.array_equal(first.eigenvectors, second.eigenvectors)
+
+    def test_repeat_calls_bit_identical_above_dense_limit(self):
+        big = cycle_of_cliques(4, 401, seed=0).graph  # n = 1604 > _DENSE_LIMIT
+        assert big.n > spectral_module._DENSE_LIMIT
+        first = random_walk_eigenvalues(big, num=5)
+        second = random_walk_eigenvalues(big, num=5)
+        assert np.array_equal(first, second)
+
+    def test_global_rng_untouched(self, clustered_graph):
+        # Regression: the v0-less eigsh *consumed* global-RNG state, which
+        # perturbed unrelated seeded code sharing np.random.
+        np.random.seed(1234)
+        before = np.random.get_state()[1].copy()
+        spectral_decomposition(clustered_graph, num=3, dense=False)
+        assert np.array_equal(before, np.random.get_state()[1])
+
+    def test_start_vector_deterministic_and_normalised(self):
+        v = lanczos_start_vector(1000)
+        assert np.array_equal(v, lanczos_start_vector(1000))
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_full_spectrum_raises_above_dense_limit(self):
+        big = cycle_of_cliques(4, 401, seed=0).graph
+        with pytest.raises(ValueError, match="dense"):
+            spectral_decomposition(big)
+        with pytest.raises(ValueError, match="dense"):
+            spectral_decomposition(big, num=big.n - 1)
+
+    def test_lanczos_requires_num(self, clustered_graph):
+        with pytest.raises(ValueError, match="num"):
+            spectral_decomposition(clustered_graph, dense=False)
+
+    def test_lanczos_caps_at_n_minus_2(self, clustered_graph):
+        # Forced streaming cannot satisfy num >= n - 1 (ARPACK needs
+        # k < n - 1); it must raise, not silently return fewer eigenpairs.
+        with pytest.raises(ValueError, match="at most"):
+            spectral_decomposition(
+                clustered_graph, num=clustered_graph.n - 1, dense=False
+            )
+
+
+class TestMixingBoundRegression:
+    def test_no_densification_above_dense_limit(self, monkeypatch):
+        # Regression: lazy_mixing_time_bound requested the FULL spectrum
+        # (num=None), which routed through the dense n x n branch at any
+        # size.  Poisoning the dense machinery proves the bound now stays
+        # on the matrix-free path end to end.
+        big = cycle_of_cliques(4, 401, seed=0).graph  # n = 1604 > _DENSE_LIMIT
+
+        def _boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("dense spectral path must not run")
+
+        monkeypatch.setattr(spectral_module, "symmetric_walk_matrix", _boom)
+        monkeypatch.setattr(spectral_module.la, "eigh", _boom)
+        bound = lazy_mixing_time_bound(big)
+        assert np.isfinite(bound) and bound > 0.0
+
+    def test_bound_value_unchanged(self, four_clique_instance):
+        # num=2 must give the same bound the full-spectrum call produced.
+        g = four_clique_instance.graph
+        vals = random_walk_eigenvalues(g)  # small graph: full dense spectrum
+        expected = float(np.log(g.n / 0.25) / (1.0 - (1.0 + vals[1]) / 2.0))
+        assert lazy_mixing_time_bound(g) == pytest.approx(expected)

@@ -151,6 +151,14 @@ class TestMatchingMatrix:
         assert np.allclose(m.sum(axis=1), 1.0)
         assert np.all(m >= 0)
 
+    def test_expected_matching_matrix_returns_plain_ndarray(self, small_graph):
+        # Regression: the irregular branch used np.asarray(m.todense()),
+        # which round-trips through the deprecated np.matrix type.
+        for graph in (small_graph, connected_caveman(3, 8).graph):
+            dense = expected_matching_matrix(graph, sparse=False)
+            assert type(dense) is np.ndarray
+            assert dense.ndim == 2
+
 
 class TestApplyMatching:
     def test_averages_matched_pairs(self):

@@ -76,6 +76,37 @@ class TestAnalyse:
         assert main(["analyse", str(graph_path)]) == 0
         assert "connected" in capsys.readouterr().out
 
+    @pytest.fixture()
+    def sharded_entry(self, tmp_path):
+        from repro.graphs import cached_instance, instance_shard_dir
+
+        params = dict(k=3, clique_size=12)
+        cached_instance(
+            "cycle_of_cliques", seed=0, cache_dir=tmp_path, mmap=True, **params
+        )
+        return instance_shard_dir(tmp_path, "cycle_of_cliques", params, 0)
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_analyse_sharded_entry(self, sharded_entry, mmap, capsys):
+        argv = ["analyse", str(sharded_entry)] + (["--mmap"] if mmap else [])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # The entry's labels.npy supplies the ground truth automatically.
+        assert "ground truth from cache entry" in out
+        assert "Upsilon" in out
+        assert ("[mmap]" in out) == mmap
+
+    def test_analyse_mmap_requires_entry_directory(self, instance_files):
+        _, graph_path, _ = instance_files
+        with pytest.raises(SystemExit, match="sharded cache-entry"):
+            main(["analyse", str(graph_path), "--mmap"])
+
+    def test_analyse_rejects_non_entry_directory(self, tmp_path):
+        # A directory without a manifest is a clear error, not an
+        # IsADirectoryError traceback from the edge-list reader.
+        with pytest.raises(SystemExit, match="not a sharded cache entry"):
+            main(["analyse", str(tmp_path)])
+
 
 class TestCluster:
     def test_centralized_engine_scores_against_truth(self, instance_files, tmp_path, capsys):
