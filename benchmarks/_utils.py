@@ -37,7 +37,33 @@ __all__ = [
     "print_table",
     "peak_rss_bytes",
     "run_measured_subprocess",
+    "thread_ladder",
 ]
+
+
+def thread_ladder(maximum: int = 8, *, minimum: int = 1) -> tuple[int, ...]:
+    """Powers-of-two thread/worker ladder for the scaling benchmarks.
+
+    The ladder runs ``minimum, 2*minimum, 4*minimum, ...`` up to a cap that
+    is ``maximum`` by default, overridden by the ``BENCH_MAX_THREADS``
+    environment variable, and always clamped to the machine's core count —
+    oversubscribed rungs measure scheduler noise, not scaling.  The cap
+    never drops below ``minimum``, so the ladder is never empty.  Shared by
+    bench_e16 (process workers) and bench_e19 (kernel threads) so one
+    environment knob trims both on small runners.
+    """
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    cap = maximum
+    env = os.environ.get("BENCH_MAX_THREADS", "").strip()
+    if env:
+        cap = int(env)
+    cap = min(cap, os.cpu_count() or 1)
+    cap = max(cap, minimum)
+    ladder = [minimum]
+    while ladder[-1] * 2 <= cap:
+        ladder.append(ladder[-1] * 2)
+    return tuple(ladder)
 
 
 def peak_rss_bytes() -> int:

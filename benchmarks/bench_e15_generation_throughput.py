@@ -21,19 +21,33 @@ The acceptance bar of the refactor: at n = 10⁵ the array-native generator
 must be ≥ 20x faster than the seed path, and n = 10⁶ must build (connected)
 in seconds rather than the hours the dense path would need.
 
+PR 6 adds a second comparison for the **LFR** generator: its two-stage
+budget-proportional endpoint draws moved from inverse-CDF sampling
+(``Generator.choice(p=...)`` and ``searchsorted`` against a global
+cumulative sum — O(log n) per endpoint, with the CDF rebuilt per batch)
+onto Walker alias tables (:class:`repro.graphs.sampling.AliasTable` /
+:class:`~repro.graphs.sampling.SegmentedAliasTable` — O(k) build, O(1) per
+draw).  The pre-alias samplers are reproduced below verbatim and patched
+into :mod:`repro.graphs.lfr` for a full legacy generation run, so
+``lfr_speedup`` compares complete end-to-end generations of the same
+instance family; the bar is ≥ 2x at the comparison size.
+
 ``BENCH_SMOKE=1`` (CI) trims the sweep to n = 10⁴ and, as with E14, records
-the speedup without a hard gate — shared-runner timing is too noisy.
+the speedups without hard gates — shared-runner timing is too noisy.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 
 import numpy as np
 
+import repro.graphs.lfr as lfr_mod
 from repro.core import AlgorithmParameters, DistributedClustering
-from repro.graphs import Graph, planted_partition
+from repro.graphs import Graph, lfr_benchmark, planted_partition
+from repro.graphs.sampling import _sorted_unique
 
 from _utils import print_table
 
@@ -42,6 +56,7 @@ ROUNDS = 10
 BETA = 0.125  # 1/(2k) for k = 4
 K = 4
 SPEEDUP_BAR = 20.0
+LFR_SPEEDUP_BAR = 2.0
 
 
 def _probabilities(n: int) -> tuple[float, float]:
@@ -92,6 +107,105 @@ def _time_legacy(n: int) -> float:
     return time.perf_counter() - start
 
 
+def _legacy_sample_weighted_pairs(
+    members, probs, target, n, rng, *, forbidden_labels=None
+):
+    """The pre-alias cross-community sampler: ``Generator.choice(p=...)``
+    endpoint draws, which rebuild and binary-search a CDF on every batch.
+    Kept verbatim for comparison."""
+    if target <= 0 or members.size < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    have = np.empty(0, dtype=np.int64)
+    for _ in range(8):
+        need = target - have.size
+        if need <= 0:
+            break
+        draw = 2 * need + 16
+        cu = members[rng.choice(members.size, size=draw, p=probs)]
+        cv = members[rng.choice(members.size, size=draw, p=probs)]
+        ok = cu != cv
+        if forbidden_labels is not None:
+            ok &= forbidden_labels[cu] != forbidden_labels[cv]
+        cu, cv = cu[ok], cv[ok]
+        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+        have = _sorted_unique(np.concatenate([have, keys]))
+    if have.size > target:
+        have = np.delete(
+            have, rng.choice(have.size, size=have.size - target, replace=False)
+        )
+    return np.stack([have // n, have % n], axis=1)
+
+
+def _legacy_sample_same_label_pairs(weights, labels, target_c, n, rng):
+    """The pre-alias per-community sampler: both endpoints drawn by
+    ``searchsorted`` against one shared cumulative sum over the
+    community-sorted weights.  Kept verbatim for comparison."""
+    num_labels = int(target_c.size)
+    total_target = int(target_c.sum())
+    if total_target <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.argsort(labels, kind="stable")
+    w_sorted = weights[order].astype(np.float64)
+    cum = np.cumsum(w_sorted)
+    total = float(cum[-1]) if cum.size else 0.0
+    if total <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    counts = np.bincount(labels, minlength=num_labels)
+    starts = np.zeros(num_labels + 1, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)
+    cum0 = np.concatenate([[0.0], cum])
+    base = cum0[starts[:-1]]
+    tot_c = cum0[starts[1:]] - base
+    have = np.empty(0, dtype=np.int64)
+    for _ in range(8):
+        have_c = np.bincount(labels[have // n], minlength=num_labels)
+        need = int(np.maximum(target_c - have_c, 0).sum())
+        if need <= 0:
+            break
+        draw = 2 * need + 16
+        iu = np.searchsorted(cum, rng.random(draw) * total, side="right")
+        iu = np.minimum(iu, cum.size - 1)
+        cu = order[iu]
+        c = labels[cu]
+        iv = np.searchsorted(cum, base[c] + rng.random(draw) * tot_c[c], side="right")
+        iv = np.clip(iv, starts[c], starts[c + 1] - 1)
+        cv = order[iv]
+        ok = cu != cv
+        cu, cv = cu[ok], cv[ok]
+        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+        have = _sorted_unique(np.concatenate([have, keys]))
+        cc = labels[have // n]
+        perm = np.lexsort((rng.random(have.size), cc))
+        cc_perm = cc[perm]
+        group_start = np.searchsorted(cc_perm, np.arange(num_labels))
+        rank = np.arange(have.size) - group_start[cc_perm]
+        have = np.sort(have[perm[rank < target_c[cc_perm]]])
+    return np.stack([have // n, have % n], axis=1)
+
+
+@contextlib.contextmanager
+def _legacy_lfr_samplers():
+    """Swap the pre-alias endpoint samplers into :mod:`repro.graphs.lfr`.
+
+    The alias-table refactor touched only these two module globals, so
+    patching them reproduces the complete legacy generation path — the
+    comparison times two full ``lfr_benchmark`` runs, not a microbenchmark.
+    """
+    originals = (lfr_mod._sample_weighted_pairs, lfr_mod._sample_same_label_pairs)
+    lfr_mod._sample_weighted_pairs = _legacy_sample_weighted_pairs
+    lfr_mod._sample_same_label_pairs = _legacy_sample_same_label_pairs
+    try:
+        yield
+    finally:
+        lfr_mod._sample_weighted_pairs, lfr_mod._sample_same_label_pairs = originals
+
+
+def _time_lfr(n: int) -> float:
+    start = time.perf_counter()
+    lfr_benchmark(n, mu=0.1, average_degree=10, seed=n, ensure_connected=False)
+    return time.perf_counter() - start
+
+
 def _run_end_to_end(instance) -> float:
     params = AlgorithmParameters.from_values(instance.graph.n, BETA, ROUNDS)
     start = time.perf_counter()
@@ -135,6 +249,14 @@ def test_e15_generation_throughput(benchmark):
     new_seconds = next(r["gen_seconds"] for r in records if r["n"] == compare_at)
     speedup = legacy_seconds / new_seconds
 
+    # LFR generation: alias-table endpoint draws vs the pre-alias
+    # inverse-CDF samplers, full end-to-end runs of the same family.
+    lfr_at = 10_000 if SMOKE else 1_000_000
+    with _legacy_lfr_samplers():
+        lfr_legacy_seconds = _time_lfr(lfr_at)
+    lfr_seconds = _time_lfr(lfr_at)
+    lfr_speedup = lfr_legacy_seconds / lfr_seconds
+
     table = print_table(
         "E15: array-native instance generation (SBM, k = 4, degree Θ(log n))",
         ["n", "edges", "gen s", "edges/s", "gen+run s"],
@@ -145,10 +267,21 @@ def test_e15_generation_throughput(benchmark):
         ["legacy s", "array-native s", "speedup"],
         [[round(legacy_seconds, 3), round(new_seconds, 4), round(speedup, 1)]],
     )
-    benchmark.extra_info["table"] = table + "\n" + extra
+    lfr_table = print_table(
+        f"E15: LFR generation, inverse-CDF vs alias-table draws at n = {lfr_at}",
+        ["inverse-CDF s", "alias s", "speedup"],
+        [[round(lfr_legacy_seconds, 3), round(lfr_seconds, 3), round(lfr_speedup, 1)]],
+    )
+    benchmark.extra_info["table"] = table + "\n" + extra + "\n" + lfr_table
     benchmark.extra_info["records"] = records
     benchmark.extra_info["legacy_seconds"] = legacy_seconds
     benchmark.extra_info["generation_speedup"] = speedup
+    benchmark.extra_info["lfr"] = {
+        "n": lfr_at,
+        "legacy_seconds": lfr_legacy_seconds,
+        "alias_seconds": lfr_seconds,
+        "speedup": lfr_speedup,
+    }
 
     # Timed target for the pytest-benchmark JSON: regenerating the largest
     # instance (the configuration this refactor exists for).
@@ -165,17 +298,27 @@ def test_e15_generation_throughput(benchmark):
         assert max(r["gen_seconds"] for r in records) < 60.0
 
     if SMOKE:
-        # Shared CI runners: record the measurement, warn instead of gating.
-        if speedup < SPEEDUP_BAR:
-            import warnings
+        # Shared CI runners: record the measurements, warn instead of gating.
+        import warnings
 
+        if speedup < SPEEDUP_BAR:
             warnings.warn(
                 f"smoke generation speedup {speedup:.1f}x below the informal "
                 f"{SPEEDUP_BAR}x bar (timing noise on shared runners is expected)",
+                stacklevel=1,
+            )
+        if lfr_speedup < LFR_SPEEDUP_BAR:
+            warnings.warn(
+                f"smoke LFR alias-sampling speedup {lfr_speedup:.1f}x below the "
+                f"informal {LFR_SPEEDUP_BAR}x bar (timing noise expected)",
                 stacklevel=1,
             )
     else:
         assert speedup >= SPEEDUP_BAR, (
             f"array-native generator speedup {speedup:.1f}x below the "
             f"{SPEEDUP_BAR}x bar at n = {compare_at}"
+        )
+        assert lfr_speedup >= LFR_SPEEDUP_BAR, (
+            f"LFR alias-sampling speedup {lfr_speedup:.1f}x below the "
+            f"{LFR_SPEEDUP_BAR}x bar at n = {lfr_at}"
         )

@@ -1,0 +1,214 @@
+"""E19 — threaded round-engine throughput and thread-scaling.
+
+PR 6 adds the third ``RoundEngine`` backend: fused numba kernels
+(:mod:`repro.core.kernels`) that run the three-step matching protocol and
+the matched-pair averaging as two compiled loops over the CSR arrays, with
+counter-based per-node randomness so results are **bit-identical across
+thread counts and repeat runs**.  This benchmark records, on sparse SBM
+instances (k = 4, expected degree Θ(log n)):
+
+* ``vec_seconds`` — a T = 10 round run on the vectorized backend (the
+  incumbent array path), per instance size,
+* ``par_seconds@t`` — the same run on the parallel backend for every rung
+  of the thread ladder (``thread_ladder()``: powers of two up to
+  ``BENCH_MAX_THREADS``/core count),
+* ``speedup`` — ``vec_seconds`` over the best parallel time at the largest
+  size; the backend's acceptance bar is ≥ 2x at n = 10⁶ on a ≥ 8-core
+  machine with numba installed.
+
+Correctness gates hold in **every** mode, because they are the backend's
+actual contract: all thread counts and a repeat run must produce
+bit-identical loads, seeds and per-round matching counts.
+
+``BENCH_SMOKE=1`` (CI) trims the sweep to n = 10⁴ and demotes the speedup
+bar to a warning — as does a missing numba install (the factory then falls
+back to the vectorized backend, which this bench records rather than
+hides) or a small core count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import numpy as np
+
+from repro._accel import HAVE_NUMBA
+from repro.core import AlgorithmParameters, make_engine
+
+from _utils import bench_instance, print_table, thread_ladder
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+SIZES = (10_000,) if SMOKE else (10_000, 100_000, 1_000_000)
+THREAD_LADDER = thread_ladder(8)
+ROUNDS = 10
+BETA = 0.125  # 1/(2k) for k = 4
+K = 4
+SPEEDUP_BAR = 2.0  # at the largest size, full mode, numba, >= 8 cores
+
+
+def _probabilities(n: int) -> tuple[float, float]:
+    """Sparse-regime SBM probabilities: expected degree Θ(log n)."""
+    cluster = n // K
+    return 2.0 * np.log(n) / cluster, 2.0 / (n - cluster)
+
+
+def _build(backend: str, graph, params, n: int, **options):
+    # Without numba the 'parallel' factory falls back to the vectorized
+    # backend with a RuntimeWarning; the bench measures that configuration
+    # honestly instead of failing on the warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return make_engine(backend, graph, params, seed=n, **options)
+
+
+def _timed_run(backend: str, graph, params, n: int, **options):
+    engine = _build(backend, graph, params, n, **options)
+    start = time.perf_counter()
+    result = engine.run()
+    return time.perf_counter() - start, result
+
+
+def _fingerprint(result):
+    return (
+        result.seeds.tobytes(),
+        result.seed_ids.tobytes(),
+        result.loads.tobytes(),
+        tuple(result.matched_edges_per_round),
+    )
+
+
+def test_e19_parallel_engine(benchmark):
+    # Warm-up at the smallest size so numba's compile time (cached on disk,
+    # but paid once per process) never lands inside a timed run.
+    p_in, p_out = _probabilities(SIZES[0])
+    warm = bench_instance(
+        "planted_partition",
+        n=SIZES[0],
+        k=K,
+        p_in=p_in,
+        p_out=p_out,
+        ensure_connected=True,
+        seed=SIZES[0],
+    )
+    warm_params = AlgorithmParameters.from_values(warm.graph.n, BETA, ROUNDS)
+    _build("parallel", warm.graph, warm_params, SIZES[0]).run()
+
+    rows = []
+    records = []
+    for n in SIZES:
+        p_in, p_out = _probabilities(n)
+        instance = bench_instance(
+            "planted_partition",
+            n=n,
+            k=K,
+            p_in=p_in,
+            p_out=p_out,
+            ensure_connected=True,
+            seed=n,
+        )
+        graph = instance.graph
+        params = AlgorithmParameters.from_values(graph.n, BETA, ROUNDS)
+
+        vec_seconds, _ = _timed_run("vectorized", graph, params, n)
+
+        par_seconds: dict[int, float] = {}
+        reference = None
+        kernel = None
+        for threads in THREAD_LADDER:
+            elapsed, result = _timed_run(
+                "parallel", graph, params, n, threads=threads
+            )
+            par_seconds[threads] = elapsed
+            kernel = result.metadata.get("kernel", "vectorized-fallback")
+            # Correctness gate (all modes): every thread count produces the
+            # same bits.
+            if reference is None:
+                reference = _fingerprint(result)
+            else:
+                assert _fingerprint(result) == reference, (
+                    f"parallel backend with {threads} threads changed the "
+                    f"result at n={n}"
+                )
+        # Correctness gate (all modes): repeat runs are bit-identical.
+        _, repeat = _timed_run(
+            "parallel", graph, params, n, threads=THREAD_LADDER[0]
+        )
+        assert _fingerprint(repeat) == reference, (
+            f"repeat parallel run changed the result at n={n}"
+        )
+
+        best = min(par_seconds.values())
+        speedup = vec_seconds / best
+        records.append(
+            {
+                "n": n,
+                "edges": graph.num_edges,
+                "kernel": kernel,
+                "vec_seconds": vec_seconds,
+                "par_seconds": {str(t): s for t, s in par_seconds.items()},
+                "speedup": speedup,
+            }
+        )
+        rows.append(
+            [
+                n,
+                kernel,
+                round(vec_seconds, 3),
+                " ".join(
+                    f"{t}:{par_seconds[t]:.3f}" for t in THREAD_LADDER
+                ),
+                round(speedup, 2),
+            ]
+        )
+
+    table = print_table(
+        f"E19: parallel round engine vs vectorized (SBM, T = {ROUNDS})",
+        ["n", "kernel", "vec s", "parallel s @threads", "speedup"],
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+    benchmark.extra_info["records"] = records
+    benchmark.extra_info["thread_ladder"] = list(THREAD_LADDER)
+    benchmark.extra_info["have_numba"] = HAVE_NUMBA
+
+    # Timed target for the pytest-benchmark JSON: the widest parallel run on
+    # the largest instance.
+    largest = records[-1]
+    n = largest["n"]
+    p_in, p_out = _probabilities(n)
+    instance = bench_instance(
+        "planted_partition",
+        n=n,
+        k=K,
+        p_in=p_in,
+        p_out=p_out,
+        ensure_connected=True,
+        seed=n,
+    )
+    params = AlgorithmParameters.from_values(instance.graph.n, BETA, ROUNDS)
+    benchmark.pedantic(
+        lambda: _build(
+            "parallel", instance.graph, params, n, threads=max(THREAD_LADDER)
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = largest["speedup"]
+    if SMOKE or not HAVE_NUMBA or max(THREAD_LADDER) < 8:
+        # Smoke runs, no-numba fallback configurations and small machines:
+        # record the measurement, warn instead of gating.
+        if speedup < SPEEDUP_BAR:
+            warnings.warn(
+                f"parallel-engine speedup {speedup:.2f}x at n={n} below the "
+                f"{SPEEDUP_BAR}x bar (kernel={largest['kernel']}, "
+                f"{os.cpu_count()} cpu(s); timing noise expected)",
+                stacklevel=1,
+            )
+    else:
+        assert speedup >= SPEEDUP_BAR, (
+            f"parallel-engine speedup {speedup:.2f}x at n={n} below the "
+            f"{SPEEDUP_BAR}x bar"
+        )

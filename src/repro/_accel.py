@@ -1,0 +1,83 @@
+"""Optional numba acceleration shim.
+
+The threaded kernels (:mod:`repro.core.kernels`) and the alias-table build
+loop (:mod:`repro.graphs.sampling`) compile to multi-core / tight machine
+code when `numba <https://numba.pydata.org>`_ is installed, but numba is an
+*optional* extra (``pip install .[numba]``): every accelerated code path has
+a pure-numpy twin and the full test suite passes without the dependency.
+This module is the single place that knows whether numba is importable, so
+the rest of the codebase never guards the import itself.
+
+``maybe_njit`` is the decorator the dual-path functions use: with numba it
+is :func:`numba.njit` (lazy compilation at first call, on-disk cache); without
+it the function runs as plain Python over numpy arrays — same algorithm,
+same results, just slower.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numba  # type: ignore[import-not-found]
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the no-numba CI leg covers this
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+
+__all__ = [
+    "HAVE_NUMBA",
+    "numba",
+    "maybe_njit",
+    "available_threads",
+    "resolve_threads",
+]
+
+
+def maybe_njit(**options: Any) -> Callable[[Callable], Callable]:
+    """``numba.njit(**options)`` when numba is available, identity otherwise.
+
+    Decorated functions must therefore be written in the numba-compatible
+    subset (scalar loops over preallocated numpy arrays) *and* be valid
+    plain Python — that discipline is what keeps the two paths one body of
+    code instead of two implementations that can drift apart.
+    """
+    if HAVE_NUMBA:
+        return numba.njit(**options)
+
+    def identity(func: Callable) -> Callable:
+        return func
+
+    return identity
+
+
+def available_threads() -> int:
+    """Upper bound on usable compute threads for the threaded kernels.
+
+    With numba this is its thread-pool size (which already honours
+    ``NUMBA_NUM_THREADS``); without it the process CPU count — the value is
+    then only used for reporting and ladder clamping, as the pure-numpy
+    fallback is single-threaded anyway.
+    """
+    if HAVE_NUMBA:
+        return int(numba.config.NUMBA_NUM_THREADS)
+    return os.cpu_count() or 1
+
+
+def resolve_threads(threads: int | None) -> int:
+    """Clamp a requested thread count to what the runtime can deliver.
+
+    ``None`` means "use everything available".  Requests above the pool
+    size are clamped rather than rejected: benchmark ladders ask for
+    1/2/4/8 threads regardless of the host, and numba raises on
+    ``set_num_threads`` values above its fixed pool size.
+    """
+    limit = available_threads()
+    if threads is None:
+        return limit
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    return min(threads, limit)

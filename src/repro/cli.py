@@ -44,6 +44,8 @@ Examples
         --out labels.txt --truth truth.txt
     python -m repro cluster graph.edges --k 4 --engine distributed \
         --backend vectorized --out labels.txt
+    python -m repro cluster graph.edges --k 4 --engine distributed \
+        --backend parallel --threads 8 --out labels.txt
     python -m repro sweep sbm --sizes 400 800 1600 --k 4 --p-in 0.3 \
         --p-out 0.01 --trials 5 --workers 8 --cache-dir .instance-cache \
         --mmap --json sweep.json
@@ -163,13 +165,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clu.add_argument(
         "--backend",
-        choices=["message-passing", "vectorized"],
+        choices=["message-passing", "vectorized", "parallel"],
         default="message-passing",
         help=(
             "round-engine backend for --engine distributed: 'message-passing' "
             "simulates every node with exact communication accounting, "
             "'vectorized' executes whole rounds as array operations "
-            "(orders of magnitude faster, no message log)"
+            "(orders of magnitude faster, no message log), 'parallel' runs "
+            "fused multi-core kernels (optional numba; falls back to "
+            "'vectorized' with a warning when numba is missing)"
+        ),
+    )
+    clu.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help=(
+            "compute threads for --backend parallel (default: the full "
+            "thread pool); results are bit-identical at any thread count"
         ),
     )
     clu.add_argument("--seed", type=int, default=None)
@@ -206,9 +219,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument(
         "--backend",
-        choices=["centralized", "vectorized", "message-passing"],
+        choices=["centralized", "vectorized", "message-passing", "parallel"],
         default="vectorized",
         help="execution backend for the paper's algorithm ('ours')",
+    )
+    swp.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help=(
+            "compute threads per trial for --backend parallel; combine with "
+            "--workers carefully (each worker process runs this many threads)"
+        ),
     )
     swp.add_argument("--trials", type=int, default=3, help="independent trials per (instance, algorithm)")
     swp.add_argument("--seed", type=int, default=0, help="base seed for the trial-seed digests")
@@ -402,12 +424,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .graphs import read_edge_list, read_partition
 
     graph = read_edge_list(args.graph)
+    # Incompatible engine/backend combinations are errors, not warnings: a
+    # silently ignored --backend (or --threads) means the user measured a
+    # different engine than they asked for.
     if args.engine != "distributed" and args.backend != "message-passing":
         print(
-            f"warning: --backend {args.backend} only applies to --engine distributed "
-            f"(ignored by the {args.engine} engine)",
+            f"error: --backend {args.backend} only applies to --engine distributed "
+            f"(the {args.engine} engine has no round-engine backend)",
             file=sys.stderr,
         )
+        return 2
+    if args.threads is not None and args.backend != "parallel":
+        print(
+            f"error: --threads only applies to --backend parallel "
+            f"(the {args.backend} backend has no thread knob)",
+            file=sys.stderr,
+        )
+        return 2
     if args.engine == "adaptive":
         if args.beta is None and args.k is None:
             print("error: the adaptive engine needs --beta or --k", file=sys.stderr)
@@ -424,8 +457,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if args.engine == "centralized":
             result = CentralizedClustering(graph, params, seed=args.seed).run(keep_loads=False)
         else:
+            engine_options = {} if args.threads is None else {"threads": args.threads}
             result = DistributedClustering(
-                graph, params, seed=args.seed, backend=args.backend
+                graph, params, seed=args.seed, backend=args.backend, **engine_options
             ).run()
 
     print(
@@ -465,6 +499,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.mmap and cache_dir is None:
         print("error: --mmap requires --cache-dir (the mapped entry lives there)", file=sys.stderr)
         return 2
+    if args.threads is not None and args.backend != "parallel":
+        print(
+            f"error: --threads only applies to --backend parallel "
+            f"(the {args.backend} backend has no thread knob)",
+            file=sys.stderr,
+        )
+        return 2
     mmap = bool(args.mmap)
     if args.family == "sbm":
         def make_instance(n: int, cache_dir: str | None = None):
@@ -492,7 +533,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     available = {
         "ours": lambda: evaluate_load_balancing_clustering(
-            backend=args.backend, block_size=args.block_size
+            backend=args.backend, block_size=args.block_size, threads=args.threads
         ),
         "spectral": lambda: evaluate_baseline(SpectralClustering()),
         "label-propagation": lambda: evaluate_baseline(LabelPropagation()),

@@ -7,8 +7,9 @@ Public entry points
 * :class:`DistributedClustering` — the distributed implementation
   (Section 3.1), parameterized over a round-engine backend: the
   ``message-passing`` per-node simulator (exact communication accounting,
-  failure injection) or the ``vectorized`` array backend (orders of
-  magnitude faster; see :mod:`repro.core.engines`).
+  failure injection), the ``vectorized`` array backend (orders of
+  magnitude faster) or the ``parallel`` threaded-kernel backend
+  (multi-core via optional numba; see :mod:`repro.core.engines`).
 * :class:`AlmostRegularClustering` — the Section 4.5 extension.
 * :class:`AlgorithmParameters` — the paper's parameters (β, T, s̄, threshold).
 * :mod:`repro.core.theory` — computable versions of the analysis objects
@@ -21,6 +22,7 @@ from .centralized import CentralizedClustering, cluster_graph
 from .engines import (
     DEFAULT_BACKEND,
     MessagePassingEngine,
+    ParallelEngine,
     VectorizedEngine,
     build_clustering_result,
     make_engine,
@@ -52,6 +54,7 @@ __all__ = [
     "cluster_graph",
     "DEFAULT_BACKEND",
     "MessagePassingEngine",
+    "ParallelEngine",
     "VectorizedEngine",
     "build_clustering_result",
     "make_engine",

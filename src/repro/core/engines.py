@@ -1,7 +1,7 @@
-"""The two concrete round-engine backends and the shared result assembly.
+"""The concrete round-engine backends and the shared result assembly.
 
 This module implements the :class:`~repro.distsim.engine.RoundEngine`
-contract twice:
+contract three times:
 
 * :class:`MessagePassingEngine` — the faithful per-node backend.  It drives
   the original :class:`~repro.distsim.network.SynchronousNetwork` simulator
@@ -15,8 +15,17 @@ contract twice:
   round is one in-place fancy-indexed averaging over all ``s`` seed
   dimensions at once (``X ← M(t) X`` without forming ``M(t)``).  This is
   what makes ``n = 10^5`` runs take seconds instead of hours.
+* :class:`ParallelEngine` — the threaded backend.  Each round is two fused
+  loops over the CSR arrays (proposal + resolution, then matched-pair
+  averaging) compiled by numba's ``njit(parallel=True)``
+  (:mod:`repro.core.kernels`); all randomness is counter-based, so results
+  are bit-identical across thread counts and repeat runs.  numba is an
+  optional extra — the ``parallel`` factory falls back to
+  :class:`VectorizedEngine` (with a warning) when it is missing, as it does
+  for memory-mapped graphs, which need the vectorised engine's blocked
+  gathers.
 
-Both backends execute the *same protocol distribution*; the parity suite
+All backends execute the *same protocol distribution*; the parity suite
 (``tests/integration/test_backend_parity.py``) holds them to statistically
 equivalent clusterings on the generator families.
 
@@ -29,10 +38,12 @@ centralised and distributed drivers live here now.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable
 
 import numpy as np
 
+from .._accel import HAVE_NUMBA, numba, resolve_threads
 from ..distsim.engine import (
     EngineResult,
     RoundCallback,
@@ -51,6 +62,7 @@ from ..loadbalancing.matching import (
     sample_random_matchings,
 )
 from ..loadbalancing.models import AveragingModel
+from .kernels import ParallelMatchingKernel
 from .parameters import AlgorithmParameters
 from .protocol import LoadBalancingClusteringAlgorithm
 from .query import assign_labels_from_loads
@@ -62,6 +74,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "MessagePassingEngine",
     "VectorizedEngine",
+    "ParallelEngine",
     "make_engine",
     "build_clustering_result",
 ]
@@ -412,6 +425,166 @@ class VectorizedEngine(RoundEngine):
 
 
 # --------------------------------------------------------------------------- #
+# Parallel (threaded kernel) backend
+# --------------------------------------------------------------------------- #
+
+class ParallelEngine(RoundEngine):
+    """Round engine executing fused threaded kernels over the CSR arrays.
+
+    Each round is two compiled loops (:mod:`repro.core.kernels`): proposal +
+    resolution of the three-step matching protocol, then in-place
+    matched-pair load averaging.  All randomness inside the round loop is
+    counter-based — node ``v``'s draw in round ``t`` is a hash of
+    ``(seed, t, v)`` — so results are **bit-identical across thread counts
+    and repeat runs**, and equivalent in distribution (not bit-for-bit) to
+    the other backends.
+
+    Parameters
+    ----------
+    graph, parameters:
+        The instance and the paper's parameters.  The graph must use
+        in-memory storage: the fused kernels index the full CSR arrays, so
+        a memory-mapped graph belongs on the vectorised engine's blocked
+        gathers instead (the ``parallel`` *factory* performs that fallback
+        with a warning; direct construction is an error).
+    seed:
+        Seeding randomness (via ``numpy.random.default_rng``) and the base
+        of the counter-based round streams.  ``None`` draws a fresh counter
+        base from OS entropy.
+    degree_cap:
+        Optional degree bound ``D`` enabling the Section 4.5 almost-regular
+        protocol (virtual self-loop slots), as on the other backends.
+    fallback:
+        Declared query fallback policy, applied at result assembly.
+    threads:
+        Compute threads for the numba kernels; ``None`` uses the full pool.
+        Requests above the pool size are clamped.  A pure performance knob:
+        the counter-based draws make the result independent of it.  Ignored
+        (with the kernels falling back to their single-threaded numpy
+        reference path) when numba is not installed.
+    use_numba:
+        ``"auto"`` (default) compiles when numba is available; ``False``
+        forces the bit-identical numpy reference path; ``True`` requires
+        numba.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: AlgorithmParameters,
+        *,
+        seed: int | None = None,
+        fallback: str = "argmax",
+        degree_cap: int | None = None,
+        failures: FailureModel | None = None,
+        threads: int | None = None,
+        use_numba: bool | str = "auto",
+    ):
+        if parameters.n != graph.n:
+            raise ValueError("parameters were derived for a different graph size")
+        if failures is not None:
+            raise ValueError(
+                "failure injection requires the message-passing backend; "
+                "the parallel backend has no per-message delivery to fail"
+            )
+        if degree_cap is not None and degree_cap < graph.max_degree:
+            raise ValueError(
+                f"degree cap D={degree_cap} must be at least the maximum "
+                f"degree {graph.max_degree}"
+            )
+        if threads is not None and threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if not graph.storage.in_memory:
+            raise ValueError(
+                "the parallel backend requires in-memory storage; "
+                "use backend='vectorized' (blocked gathers) for memory-mapped "
+                "graphs, or the 'parallel' factory, which falls back for you"
+            )
+        self.graph = graph
+        self.parameters = parameters
+        #: Declared query fallback, applied at result assembly (see class doc).
+        self.fallback = fallback
+        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._counter_seed = int(seed)
+        else:
+            self._counter_seed = int(np.random.SeedSequence().entropy) & ((1 << 64) - 1)
+        self._degree_cap = degree_cap
+        self._threads = threads
+        self._use_numba = use_numba
+        # Build the kernel now so configuration errors (use_numba=True
+        # without numba) surface at construction, like every other knob.
+        storage = graph.storage.materialize()
+        self._kernel = ParallelMatchingKernel(
+            storage.indptr,
+            storage.indices_array(),
+            graph.degrees,
+            seed=self._counter_seed,
+            degree_cap=degree_cap,
+            use_numba=use_numba,
+        )
+
+    def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
+        self._claim_single_use()
+        params = self.parameters
+        graph = self.graph
+        rng = self._rng
+        kernel = self._kernel
+
+        # --- Seeding procedure (identical machinery to the vectorised path) --
+        seeds = sample_seeds(params, rng)
+        seed_ids = assign_seed_identifiers(seeds, params, rng)
+        loads = seed_load_matrix(graph.n, seeds)
+        threads = resolve_threads(self._threads) if kernel.using_numba else 1
+        metadata = {
+            "backend": self.name,
+            "n": graph.n,
+            "m": graph.num_edges,
+            "fallback": self.fallback,
+            "kernel": "numba-parallel" if kernel.using_numba else "numpy-reference",
+            "threads": threads,
+        }
+
+        matched_edges: list[int] = []
+        if seeds.size == 0:
+            return EngineResult(
+                rounds_executed=0,
+                loads=loads,
+                seeds=seeds,
+                seed_ids=seed_ids,
+                metadata=metadata,
+            )
+
+        # --- Averaging procedure: fused rounds --------------------------------
+        previous_threads = None
+        if kernel.using_numba:  # pragma: no cover - needs numba
+            previous_threads = numba.get_num_threads()
+            numba.set_num_threads(threads)
+        try:
+            for t in range(params.rounds):
+                partner = kernel.round(t)
+                kernel.average(loads, partner)
+                matched_edges.append(count_matched_edges(partner))
+                if round_callback is not None:
+                    # Snapshot: loads is updated in place (see VectorizedEngine).
+                    round_callback(t, loads.copy())
+        finally:
+            if previous_threads is not None:  # pragma: no cover - needs numba
+                numba.set_num_threads(previous_threads)
+
+        return EngineResult(
+            rounds_executed=params.rounds,
+            loads=loads,
+            seeds=seeds,
+            seed_ids=seed_ids,
+            matched_edges_per_round=matched_edges,
+            metadata=metadata,
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Shared result assembly (query + partition normalisation)
 # --------------------------------------------------------------------------- #
 
@@ -527,9 +700,42 @@ def make_engine(
     return get_engine_factory(backend)(graph, parameters, **options)
 
 
+def _parallel_engine_factory(
+    graph: Graph, parameters: AlgorithmParameters, **options: Any
+) -> RoundEngine:
+    """Build a :class:`ParallelEngine`, degrading gracefully where promised.
+
+    Two situations fall back to :class:`VectorizedEngine` with a warning
+    instead of erroring: numba not installed (unless the caller forced a
+    path with ``use_numba``, in which case :class:`ParallelEngine` decides),
+    and memory-mapped storage, which the fused kernels cannot index without
+    materialising the graph.  The parallel-only knobs are stripped before
+    the fallback so the vectorised constructor sees only options it owns.
+    """
+    reason = None
+    if not graph.storage.in_memory:
+        reason = "the graph uses memory-mapped storage"
+    elif options.get("use_numba", "auto") == "auto" and not HAVE_NUMBA:
+        reason = "numba is not installed"
+    if reason is not None:
+        warnings.warn(
+            f"backend 'parallel' unavailable ({reason}); "
+            "falling back to the vectorized backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for key in ("threads", "use_numba"):
+            options.pop(key, None)
+        return VectorizedEngine(graph, parameters, **options)
+    return ParallelEngine(graph, parameters, **options)
+
+
 register_engine(
     MessagePassingEngine.name,
     MessagePassingEngine,
     aliases=("message", "per-node", "simulator"),
 )
 register_engine(VectorizedEngine.name, VectorizedEngine, aliases=("array", "fast"))
+register_engine(
+    ParallelEngine.name, _parallel_engine_factory, aliases=("threaded", "jit")
+)

@@ -1,0 +1,333 @@
+"""Fused kernels and the counter-based RNG behind the ``parallel`` backend.
+
+The vectorised engine already removed Python-level per-node loops, but every
+round still walks the whole graph several times (coin draw, slot draw, gather,
+bincount resolution, fancy-indexed averaging), each pass streaming O(n) or
+O(m) arrays through memory.  The kernels here fuse a full round — activity
+coins, capped-slot proposal, proposal resolution and matched-pair load
+averaging — into two tight loops over the CSR arrays, which numba's
+``njit(parallel=True)`` turns into multi-core machine code.
+
+Determinism contract
+--------------------
+Thread scheduling must not influence results, so no shared generator state is
+consumed: every random draw is a *counter-based* hash.  A per-``(seed, round,
+stream)`` key is derived with splitmix64-style mixing, and node ``v``'s draw
+is ``mix64(key + (v+1)·γ)`` — a pure function of ``(seed, round, stream,
+node)``.  Consequences, pinned by ``tests/core/test_kernels.py``:
+
+* results are bit-identical across thread counts and repeat runs;
+* the numba kernels and the pure-numpy reference path below perform the
+  *same* IEEE-754 operations per node, so they agree bit-for-bit — the
+  reference path is not an approximation but the same function, slower.
+
+The stream is deliberately different from the ``numpy.random.Generator``
+stream of the vectorised backend: the two backends are equivalent in
+distribution (same three-step protocol), not bit-for-bit, exactly like the
+message-passing/vectorized pair (see ``tests/integration/test_backend_parity``).
+
+Numba is optional (see :mod:`repro._accel`): without it,
+:class:`ParallelMatchingKernel` runs the reference path and the ``parallel``
+backend *factory* falls back to the vectorised engine instead.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from .._accel import HAVE_NUMBA
+from ..loadbalancing.matching import _resolve_proposals, apply_matching
+
+__all__ = [
+    "STREAM_ACTIVITY",
+    "STREAM_SLOT",
+    "mix64",
+    "stream_key",
+    "counter_uniforms",
+    "matching_round_reference",
+    "ParallelMatchingKernel",
+]
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment ("golden gamma") and finaliser multipliers.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: ``u64 >> 11`` leaves 53 uniform bits; scaling by 2^-53 gives a float64
+#: uniform on [0, 1) with every value exactly representable.
+_INV_2POW53 = 2.0**-53
+
+#: Stream tags: one independent draw stream per protocol step of a round.
+STREAM_ACTIVITY = 0
+STREAM_SLOT = 1
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finaliser on a Python int (mod 2^64).
+
+    Computed in plain Python integers (masked to 64 bits) so key derivation
+    never touches numpy scalar arithmetic, whose uint64 overflow semantics
+    differ between scalar and array paths.
+    """
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def stream_key(seed: int, round_index: int, stream: int) -> int:
+    """The 64-bit key of one ``(seed, round, stream)`` draw stream.
+
+    Three chained mixing steps decorrelate the inputs; node draws then hash
+    ``key + (v+1)·γ`` so distinct nodes read distinct counters (the ``+1``
+    keeps node 0 off the raw key itself).
+    """
+    key = mix64((int(seed) & _MASK64) ^ _GAMMA)
+    key = mix64((key + (int(round_index) & _MASK64) * _MIX1) & _MASK64)
+    return mix64((key + (int(stream) & _MASK64) * _MIX2) & _MASK64)
+
+
+def counter_uniforms(key: int, n: int) -> np.ndarray:
+    """Uniform [0, 1) float64 draws for nodes ``0..n-1`` under ``key``.
+
+    The vectorised twin of the per-node hash inside the numba kernels: same
+    integer mixing (uint64 *array* ops wrap silently, matching the scalar
+    wrap in compiled code), same ``(x >> 11) · 2^-53`` conversion, hence
+    bit-identical values.
+    """
+    idx = np.arange(1, n + 1, dtype=np.uint64)
+    x = np.uint64(key) + idx * np.uint64(_GAMMA)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX2)
+    x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) * _INV_2POW53
+
+
+def matching_round_reference(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    key_active: int,
+    key_slot: int,
+    degree_cap: int = 0,
+) -> np.ndarray:
+    """One matching round from counter-based draws, in pure numpy.
+
+    Same three-step protocol as
+    :func:`~repro.loadbalancing.matching.sample_random_matching_fast`, but
+    with the generator stream replaced by the per-node counter hashes — this
+    is the function the numba matching kernel must agree with bit-for-bit.
+    ``degree_cap = 0`` means uncapped; a positive value enables the
+    Section 4.5 virtual-slot protocol.
+    """
+    n = int(degrees.shape[0])
+    active = counter_uniforms(key_active, n) < 0.5
+    proposers = np.flatnonzero(active & (degrees > 0))
+    if proposers.size:
+        u01 = counter_uniforms(key_slot, n)[proposers]
+        if degree_cap > 0:
+            slots = (u01 * float(degree_cap)).astype(np.int64)
+            np.minimum(slots, degree_cap - 1, out=slots)
+            real = slots < degrees[proposers]
+            proposers = proposers[real]
+            slots = slots[real]
+        else:
+            d = degrees[proposers]
+            slots = (u01 * d.astype(np.float64)).astype(np.int64)
+            np.minimum(slots, d - 1, out=slots)
+        targets = indices[indptr[proposers] + slots]
+    else:
+        targets = proposers
+    return _resolve_proposals(n, active, proposers, targets)
+
+
+# --------------------------------------------------------------------------- #
+# Numba kernels (compiled lazily, only when numba is installed)
+# --------------------------------------------------------------------------- #
+
+_NUMBA_KERNELS: SimpleNamespace | None = None
+
+
+def _build_numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
+    from numba import njit, prange
+
+    GAMMA = np.uint64(_GAMMA)
+    MIX1 = np.uint64(_MIX1)
+    MIX2 = np.uint64(_MIX2)
+    S30 = np.uint64(30)
+    S27 = np.uint64(27)
+    S31 = np.uint64(31)
+    S11 = np.uint64(11)
+    INV53 = _INV_2POW53
+
+    @njit(cache=True)
+    def _uniform(key, counter):
+        # splitmix64 finaliser of key + counter·γ; all-uint64 arithmetic so
+        # numba never promotes to float64 mid-mix.
+        x = key + counter * GAMMA
+        x ^= x >> S30
+        x *= MIX1
+        x ^= x >> S27
+        x *= MIX2
+        x ^= x >> S31
+        return np.float64(x >> S11) * INV53
+
+    @njit(parallel=True, cache=True)
+    def matching(indptr, indices, key_active, key_slot, degree_cap, active, prop, partner):
+        n = partner.shape[0]
+        # Pass 1 — coins + proposals: each thread writes only its own node's
+        # slots, so the loop is embarrassingly parallel.
+        for v in prange(n):
+            partner[v] = -1
+            prop[v] = -1
+            counter = np.uint64(v + 1)
+            is_active = _uniform(key_active, counter) < 0.5
+            active[v] = is_active
+            if is_active:
+                lo = indptr[v]
+                d = indptr[v + 1] - lo
+                if d > 0:
+                    u01 = _uniform(key_slot, counter)
+                    cap = degree_cap if degree_cap > 0 else d
+                    slot = np.int64(u01 * np.float64(cap))
+                    if slot > cap - 1:
+                        slot = cap - 1
+                    if slot < d:
+                        target = indices[lo + slot]
+                        if target != v:
+                            prop[v] = target
+        # Pass 2 — resolution from the target side: a non-active node v scans
+        # its (sorted) CSR row for active proposers aiming at it.  A proposer
+        # u with prop[u] == v that wins is written only by v's thread (u
+        # proposed to exactly one node), so the cross-writes are race-free.
+        for v in prange(n):
+            if active[v]:
+                continue
+            lo = indptr[v]
+            hi = indptr[v + 1]
+            count = 0
+            winner = np.int64(-1)
+            prev = np.int64(-1)
+            for e in range(lo, hi):
+                u = indices[e]
+                if u == prev or u == v:
+                    # Skip self-loops and (sorted-row) parallel arcs so a
+                    # proposer is counted once, matching the bincount over
+                    # proposers in the reference resolution.
+                    continue
+                prev = u
+                if active[u] and prop[u] == v:
+                    count += 1
+                    if count > 1:
+                        break
+                    winner = u
+            if count == 1:
+                partner[v] = winner
+                partner[winner] = v
+
+    @njit(parallel=True, cache=True)
+    def average(loads, partner):
+        n = partner.shape[0]
+        s = loads.shape[1]
+        # Each matched pair is processed once, by its lower endpoint's
+        # thread; 0.5·(a+b) is the exact expression of apply_matching, so
+        # the two averaging paths agree bit-for-bit.
+        for v in prange(n):
+            p = partner[v]
+            if p > v:
+                for j in range(s):
+                    mean = 0.5 * (loads[v, j] + loads[p, j])
+                    loads[v, j] = mean
+                    loads[p, j] = mean
+
+    return SimpleNamespace(matching=matching, average=average)
+
+
+def _numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is None:
+        _NUMBA_KERNELS = _build_numba_kernels()
+    return _NUMBA_KERNELS
+
+
+# --------------------------------------------------------------------------- #
+# Engine-facing wrapper
+# --------------------------------------------------------------------------- #
+
+class ParallelMatchingKernel:
+    """Per-run state of the fused round kernels.
+
+    Holds the (contiguous, int64) CSR arrays, the counter seed and the
+    reusable output buffers, and dispatches each round to the numba kernels
+    or the numpy reference path.  ``use_numba``:
+
+    * ``"auto"`` — numba when installed, reference path otherwise;
+    * ``True`` — require numba (raise if missing);
+    * ``False`` — force the reference path (how the determinism tests pin
+      the stream on machines without numba).
+
+    Both paths return the *same* partner arrays for the same seed, so which
+    one ran is a pure performance fact — recorded in ``using_numba`` for the
+    engine's metadata.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        *,
+        seed: int,
+        degree_cap: int | None = None,
+        use_numba: bool | str = "auto",
+    ):
+        if use_numba not in ("auto", True, False):
+            raise ValueError(f"use_numba must be 'auto', True or False, got {use_numba!r}")
+        if use_numba is True and not HAVE_NUMBA:
+            raise ValueError("use_numba=True but numba is not installed")
+        self.using_numba = HAVE_NUMBA if use_numba == "auto" else bool(use_numba)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.degrees = np.ascontiguousarray(degrees, dtype=np.int64)
+        self.seed = int(seed)
+        self.degree_cap = int(degree_cap) if degree_cap is not None else 0
+        if self.using_numba:  # pragma: no cover - needs numba
+            n = self.degrees.shape[0]
+            self._active = np.empty(n, dtype=np.bool_)
+            self._prop = np.empty(n, dtype=np.int64)
+            self._partner = np.empty(n, dtype=np.int64)
+
+    def round(self, round_index: int) -> np.ndarray:
+        """Partner array of round ``round_index`` (buffer reused across rounds)."""
+        key_active = stream_key(self.seed, round_index, STREAM_ACTIVITY)
+        key_slot = stream_key(self.seed, round_index, STREAM_SLOT)
+        if self.using_numba:  # pragma: no cover - needs numba
+            _numba_kernels().matching(
+                self.indptr,
+                self.indices,
+                np.uint64(key_active),
+                np.uint64(key_slot),
+                np.int64(self.degree_cap),
+                self._active,
+                self._prop,
+                self._partner,
+            )
+            return self._partner
+        return matching_round_reference(
+            self.indptr, self.indices, self.degrees,
+            key_active, key_slot, self.degree_cap,
+        )
+
+    def average(self, loads: np.ndarray, partner: np.ndarray) -> None:
+        """In-place matched-pair averaging ``x ← M(t) x`` on ``loads``."""
+        if self.using_numba:  # pragma: no cover - needs numba
+            _numba_kernels().average(loads, partner)
+        else:
+            apply_matching(loads, partner, out=loads)

@@ -197,12 +197,30 @@ class SerialExecutor(TrialExecutor):
 # re-pickling the instance list for every cell of the grid.
 _WORKER_STATE: dict[str, Any] = {}
 
+#: Thread-pool knobs pinned to 1 in every ProcessExecutor worker (unless the
+#: caller exported them explicitly): with N worker *processes* already running
+#: one trial each, a threaded kernel (numba's pool, OpenMP, OpenBLAS) inside
+#: every worker would oversubscribe the machine N×threads-fold and thrash.
+_WORKER_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "NUMBA_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+)
+
+
+def _pin_worker_threads() -> None:
+    """Default the worker's thread-pool env knobs to 1 (no override of
+    explicit settings — ``setdefault`` keeps anything the user exported)."""
+    for var in _WORKER_THREAD_ENV_VARS:
+        os.environ.setdefault(var, "1")
+
 
 def _process_worker_init(
     instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
     algorithms: Mapping[str, AlgorithmCallable],
     base_seed: int,
 ) -> None:
+    _pin_worker_threads()
     _WORKER_STATE["instances"] = instances
     _WORKER_STATE["algorithms"] = algorithms
     _WORKER_STATE["base_seed"] = base_seed
@@ -367,6 +385,7 @@ class _LoadBalancingAdapter:
     fallback: str = "argmax"
     backend: str = "centralized"
     block_size: int | None = None
+    threads: int | None = None
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -379,6 +398,11 @@ class _LoadBalancingAdapter:
             )
         if self.rounds is not None:
             params = params.with_rounds(self.rounds)
+        if self.threads is not None and self.backend not in ("parallel", "threaded", "jit"):
+            raise ValueError(
+                "threads applies to the parallel round engine; "
+                f"backend {self.backend!r} has no thread knob"
+            )
         if self.backend == "centralized":
             if self.block_size is not None:
                 raise ValueError(
@@ -396,7 +420,15 @@ class _LoadBalancingAdapter:
                         "block_size applies to the vectorized round engine; "
                         "the per-node simulator touches one row at a time anyway"
                     )
+                if self.backend in ("parallel", "threaded", "jit"):
+                    raise ValueError(
+                        "block_size applies to the vectorized round engine; "
+                        "the parallel engine's fused kernels index the full "
+                        "CSR arrays"
+                    )
                 engine_options["block_size"] = self.block_size
+            if self.threads is not None:
+                engine_options["threads"] = self.threads
             result = DistributedClustering(
                 instance.graph,
                 params,
@@ -438,6 +470,7 @@ def evaluate_load_balancing_clustering(
     fallback: str = "argmax",
     backend: str = "centralized",
     block_size: int | None = None,
+    threads: int | None = None,
 ) -> AlgorithmCallable:
     """Adapter running the paper's algorithm and scoring it.
 
@@ -445,13 +478,20 @@ def evaluate_load_balancing_clustering(
     historical matrix driver with the legacy random stream), or any round
     engine registered with :mod:`repro.core.engines` — ``"vectorized"`` for
     the fast array backend, ``"message-passing"`` for the per-node
-    simulator with exact communication accounting.
+    simulator with exact communication accounting, ``"parallel"`` for the
+    threaded-kernel backend (falls back to ``vectorized`` with a warning
+    when numba is missing or the instance is memory-mapped).
 
     ``block_size`` forwards the vectorized engine's row-blocked adjacency
     gather (see :class:`~repro.core.engines.VectorizedEngine`): records are
     bit-identical with or without it, but memory-mapped instances keep an
     O(block) resident set.  Leave ``None`` to let the engine pick a block
     from the instance's storage backend (unblocked for in-RAM graphs).
+
+    ``threads`` forwards the parallel engine's thread-count knob (a pure
+    performance setting: its counter-based draws make records bit-identical
+    at any thread count).  Combining it with a backend that has no thread
+    knob is an error, not a silent no-op.
 
     The returned callable is a picklable object, so it works under both the
     serial and the process executors of :func:`run_trials`.
@@ -463,6 +503,7 @@ def evaluate_load_balancing_clustering(
         fallback=fallback,
         backend=backend,
         block_size=block_size,
+        threads=threads,
     )
 
 

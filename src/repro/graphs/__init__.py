@@ -55,6 +55,8 @@ from .cache import (
 )
 from .lfr import lfr_benchmark, truncated_power_law
 from .sampling import (
+    AliasTable,
+    SegmentedAliasTable,
     bernoulli_block_edges,
     bernoulli_triu_edges,
     pair_to_triu_index,
@@ -144,6 +146,8 @@ __all__ = [
     "lfr_benchmark",
     "truncated_power_law",
     # sampling.py
+    "AliasTable",
+    "SegmentedAliasTable",
     "bernoulli_block_edges",
     "bernoulli_triu_edges",
     "pair_to_triu_index",

@@ -91,9 +91,13 @@ __all__ = [
 #: generator's seed → instance mapping changes, so existing entries are
 #: regenerated instead of served stale.
 #:
-#: v2 (this PR): the LFR samplers were batched (new seed → instance mapping
-#: for ``lfr_benchmark``) and the sharded storage format was introduced.
-CACHE_FORMAT_VERSION = 2
+#: v2: the LFR samplers were batched (new seed → instance mapping for
+#: ``lfr_benchmark``) and the sharded storage format was introduced.
+#:
+#: v3 (this PR): the LFR endpoint draws moved from inverse-CDF /
+#: ``Generator.choice`` to Walker alias tables — same distribution, different
+#: consumption of the seeded stream, hence a new seed → instance mapping.
+CACHE_FORMAT_VERSION = 3
 
 
 class InstanceCacheError(ValueError):

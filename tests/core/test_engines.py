@@ -1,20 +1,22 @@
-"""Unit tests for the round-engine abstraction and the two backends."""
+"""Unit tests for the round-engine abstraction and the three backends."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro._accel import HAVE_NUMBA
 from repro.core import (
     AlgorithmParameters,
     DistributedClustering,
     MessagePassingEngine,
+    ParallelEngine,
     VectorizedEngine,
     build_clustering_result,
     make_engine,
 )
 from repro.distsim import MessageDropFailures, RoundEngine, available_engines
-from repro.graphs import cycle_of_cliques, ring_of_expanders
+from repro.graphs import MmapStorage, cached_instance, cycle_of_cliques, ring_of_expanders
 from repro.loadbalancing import (
     apply_matching,
     count_matched_edges,
@@ -378,3 +380,146 @@ class TestMessagePassingEngine:
             engine_result.communication.total_words
             == driver_result.communication.total_words
         )
+
+
+class TestParallelEngine:
+    def test_result_fields_conservation_and_metadata(self, instance, params):
+        engine = ParallelEngine(instance.graph, params, seed=11)
+        result = engine.run()
+        assert isinstance(engine, RoundEngine)
+        assert result.rounds_executed == params.rounds
+        assert result.loads.shape == (instance.graph.n, result.num_seeds)
+        assert result.labels is None  # query runs centrally
+        assert result.communication is None
+        assert len(result.matched_edges_per_round) == params.rounds
+        assert np.allclose(result.loads.sum(axis=0), 1.0)
+        metadata = result.metadata
+        assert metadata["backend"] == "parallel"
+        assert metadata["kernel"] == (
+            "numba-parallel" if HAVE_NUMBA else "numpy-reference"
+        )
+        assert metadata["threads"] >= 1
+
+    def test_repeat_runs_bit_identical(self, instance, params):
+        a = ParallelEngine(instance.graph, params, seed=42).run()
+        b = ParallelEngine(instance.graph, params, seed=42).run()
+        assert np.array_equal(a.seeds, b.seeds)
+        assert np.array_equal(a.seed_ids, b.seed_ids)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.matched_edges_per_round == b.matched_edges_per_round
+
+    def test_thread_request_does_not_change_results(self, instance, params):
+        # threads is a pure performance knob: counter-based draws make the
+        # result independent of it (and of the machine's pool size).
+        runs = [
+            ParallelEngine(instance.graph, params, seed=9, threads=t).run()
+            for t in (1, 2, 8)
+        ]
+        for other in runs[1:]:
+            assert np.array_equal(runs[0].loads, other.loads)
+            assert runs[0].matched_edges_per_round == other.matched_edges_per_round
+
+    def test_round_callback_receives_snapshots(self, instance, params):
+        history = []
+        ParallelEngine(instance.graph, params, seed=1).run(
+            round_callback=lambda t, loads: history.append(loads)
+        )
+        assert len(history) == params.rounds
+        assert history[0] is not history[-1]
+        assert not np.array_equal(history[0], history[-1])
+
+    def test_rejects_failures(self, instance, params):
+        with pytest.raises(ValueError, match="message-passing"):
+            ParallelEngine(
+                instance.graph, params, failures=MessageDropFailures(drop_probability=0.5)
+            )
+
+    def test_rejects_low_degree_cap(self, instance, params):
+        with pytest.raises(ValueError, match="degree cap"):
+            ParallelEngine(
+                instance.graph, params, degree_cap=instance.graph.max_degree - 1
+            )
+
+    def test_rejects_invalid_threads(self, instance, params):
+        with pytest.raises(ValueError, match="threads"):
+            ParallelEngine(instance.graph, params, threads=0)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_use_numba_true_requires_numba(self, instance, params):
+        with pytest.raises(ValueError, match="numba is not installed"):
+            ParallelEngine(instance.graph, params, use_numba=True)
+
+    def test_rejects_mmap_storage(self, tmp_path, params):
+        instance = cached_instance(
+            "cycle_of_cliques",
+            k=3,
+            clique_size=14,
+            seed=5,
+            cache_dir=tmp_path,
+            mmap=True,
+            shard_arcs=500,
+        )
+        assert isinstance(instance.graph.storage, MmapStorage)
+        with pytest.raises(ValueError, match="in-memory storage"):
+            ParallelEngine(instance.graph, params)
+
+    def test_factory_falls_back_for_mmap_storage(self, tmp_path, params):
+        instance = cached_instance(
+            "cycle_of_cliques",
+            k=3,
+            clique_size=14,
+            seed=5,
+            cache_dir=tmp_path,
+            mmap=True,
+            shard_arcs=500,
+        )
+        with pytest.warns(RuntimeWarning, match="memory-mapped"):
+            engine = make_engine(
+                "parallel", instance.graph, params, seed=3, threads=4
+            )
+        # The parallel-only knobs are stripped before the fallback.
+        assert isinstance(engine, VectorizedEngine)
+        assert engine.run().rounds_executed == params.rounds
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_factory_falls_back_without_numba(self, instance, params):
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            engine = make_engine("parallel", instance.graph, params, seed=3)
+        assert isinstance(engine, VectorizedEngine)
+
+    def test_factory_honours_forced_reference_path(self, instance, params):
+        # use_numba=False bypasses the numba availability check entirely:
+        # the caller asked for the reference path, which always exists.
+        engine = make_engine(
+            "parallel", instance.graph, params, seed=3, use_numba=False
+        )
+        assert isinstance(engine, ParallelEngine)
+        assert engine.run().metadata["kernel"] == "numpy-reference"
+
+    def test_aliases_reach_parallel_factory(self, instance, params):
+        for alias in ("threaded", "jit"):
+            engine = make_engine(
+                alias, instance.graph, params, seed=1, use_numba=False
+            )
+            assert isinstance(engine, ParallelEngine)
+
+    def test_no_seeds_degenerate(self, instance):
+        params = AlgorithmParameters.from_values(
+            instance.graph.n, 0.25, 10, activation_probability=0.0
+        )
+        result = ParallelEngine(instance.graph, params, seed=0).run()
+        assert result.rounds_executed == 0
+        assert result.num_seeds == 0
+
+    def test_distributed_driver_runs_parallel_backend(self, instance, params):
+        result = DistributedClustering(
+            instance.graph,
+            params,
+            seed=6,
+            backend="parallel",
+            use_numba="auto" if HAVE_NUMBA else False,
+        ).run()
+        assert result.rounds == params.rounds
+        assert result.labels.shape == (instance.graph.n,)
+        metadata = result.diagnostics["simulation_metadata"]
+        assert metadata["backend"] == "parallel"

@@ -1,0 +1,260 @@
+"""Unit tests for the counter-based RNG and the fused parallel kernels.
+
+The determinism contract of the ``parallel`` backend lives here: the
+counter-based stream is pinned to hardcoded values (any change to the mixing
+constants or the float conversion is a breaking change to every seeded
+experiment on that backend), the reference round is held to the three-step
+protocol, and the numba kernels — when numba is installed — must agree with
+the reference path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._accel import HAVE_NUMBA
+from repro.core.kernels import (
+    STREAM_ACTIVITY,
+    STREAM_SLOT,
+    ParallelMatchingKernel,
+    counter_uniforms,
+    matching_round_reference,
+    mix64,
+    stream_key,
+)
+from repro.graphs import cycle_of_cliques, ring_of_expanders
+from repro.loadbalancing import apply_matching, count_matched_edges
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return cycle_of_cliques(4, 12, seed=9)
+
+
+def _csr(graph):
+    storage = graph.storage.materialize()
+    return storage.indptr, storage.indices_array(), graph.degrees
+
+
+class TestCounterRNG:
+    def test_mix64_pinned(self):
+        # splitmix64 finaliser: changing any constant or shift breaks these.
+        assert mix64(0) == 0x0
+        assert mix64(1) == 0x5692161D100B05E5
+        assert mix64(0x123456789ABCDEF) == 0xB2C058E4EBB5112C
+        assert mix64((1 << 64) - 1) == 0xB4D055FCF2CBBD7B
+
+    def test_mix64_wraps_to_64_bits(self):
+        assert mix64(1 << 64) == mix64(0)
+        assert 0 <= mix64(987654321) < 1 << 64
+
+    def test_stream_key_pinned(self):
+        assert stream_key(0, 0, STREAM_ACTIVITY) == 0x33FE8BD4F9C57863
+        assert stream_key(0, 0, STREAM_SLOT) == 0x903816F0EB83C47F
+        assert stream_key(123, 7, 1) == 0x1909DBADFC58CEAA
+
+    def test_stream_key_separates_inputs(self):
+        keys = {
+            stream_key(seed, rnd, stream)
+            for seed in range(4)
+            for rnd in range(4)
+            for stream in (STREAM_ACTIVITY, STREAM_SLOT)
+        }
+        assert len(keys) == 4 * 4 * 2
+
+    def test_counter_uniforms_pinned(self):
+        # Exact float64 values: the conversion is (hash >> 11) * 2^-53, so
+        # equality must be bitwise, not approximate.
+        u = counter_uniforms(stream_key(42, 3, STREAM_ACTIVITY), 5)
+        expected = np.array(
+            [
+                0.4847417848811997,
+                0.6713887708069676,
+                0.23568651794076245,
+                0.8582148811067032,
+                0.5652642446716056,
+            ]
+        )
+        assert u.dtype == np.float64
+        assert np.array_equal(u, expected)
+
+    def test_counter_uniforms_matches_scalar_mix(self):
+        # The array path must perform the same integer mixing as a scalar
+        # evaluation of mix64(key + (v+1)·γ) — this is the equivalence that
+        # makes the numba kernels (scalar code) bit-identical by construction.
+        key = stream_key(7, 11, STREAM_SLOT)
+        n = 257
+        u = counter_uniforms(key, n)
+        gamma = 0x9E3779B97F4A7C15
+        mask = (1 << 64) - 1
+        for v in range(0, n, 13):
+            x = (key + (v + 1) * gamma) & mask
+            x ^= x >> 30
+            x = (x * 0xBF58476D1CE4E5B9) & mask
+            x ^= x >> 27
+            x = (x * 0x94D049BB133111EB) & mask
+            x ^= x >> 31
+            assert u[v] == (x >> 11) * 2.0**-53
+
+    def test_counter_uniforms_unit_interval_and_mean(self):
+        u = counter_uniforms(stream_key(1, 0, 0), 20_000)
+        assert np.all((0.0 <= u) & (u < 1.0))
+        assert abs(float(u.mean()) - 0.5) < 0.02
+
+
+class TestMatchingRoundReference:
+    def test_valid_matching_on_edges(self, instance):
+        graph = instance.graph
+        indptr, indices, degrees = _csr(graph)
+        for t in range(10):
+            partner = matching_round_reference(
+                indptr,
+                indices,
+                degrees,
+                stream_key(3, t, STREAM_ACTIVITY),
+                stream_key(3, t, STREAM_SLOT),
+            )
+            matched = np.flatnonzero(partner >= 0)
+            assert np.array_equal(partner[partner[matched]], matched)
+            for v in matched[:20]:
+                assert graph.has_edge(int(v), int(partner[v]))
+
+    def test_deterministic(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        args = (
+            stream_key(5, 2, STREAM_ACTIVITY),
+            stream_key(5, 2, STREAM_SLOT),
+        )
+        a = matching_round_reference(indptr, indices, degrees, *args)
+        b = matching_round_reference(indptr, indices, degrees, *args)
+        assert np.array_equal(a, b)
+
+    def test_rounds_differ(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        rounds = [
+            matching_round_reference(
+                indptr,
+                indices,
+                degrees,
+                stream_key(5, t, STREAM_ACTIVITY),
+                stream_key(5, t, STREAM_SLOT),
+            )
+            for t in range(4)
+        ]
+        assert any(not np.array_equal(rounds[0], r) for r in rounds[1:])
+
+    def test_degree_cap_thins_matchings(self):
+        instance = ring_of_expanders(4, 16, 6, seed=2)
+        indptr, indices, degrees = _csr(instance.graph)
+        cap = 4 * instance.graph.max_degree
+        uncapped = 0
+        capped = 0
+        for t in range(60):
+            keys = (
+                stream_key(11, t, STREAM_ACTIVITY),
+                stream_key(11, t, STREAM_SLOT),
+            )
+            uncapped += count_matched_edges(
+                matching_round_reference(indptr, indices, degrees, *keys)
+            )
+            capped += count_matched_edges(
+                matching_round_reference(indptr, indices, degrees, *keys, cap)
+            )
+        # With D = 4·max_degree most virtual slots are self-loops, so far
+        # fewer proposals survive.
+        assert 0 < capped < uncapped
+
+    def test_matched_pairs_are_active_nonactive(self, instance):
+        # Step 3 of the protocol: a matched pair is one active proposer and
+        # one non-active target.
+        indptr, indices, degrees = _csr(instance.graph)
+        key_active = stream_key(17, 0, STREAM_ACTIVITY)
+        key_slot = stream_key(17, 0, STREAM_SLOT)
+        partner = matching_round_reference(
+            indptr, indices, degrees, key_active, key_slot
+        )
+        active = counter_uniforms(key_active, instance.graph.n) < 0.5
+        for v in np.flatnonzero(partner >= 0):
+            assert active[int(v)] != active[int(partner[v])]
+
+
+class TestParallelMatchingKernel:
+    def test_invalid_use_numba_rejected(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        with pytest.raises(ValueError, match="use_numba"):
+            ParallelMatchingKernel(
+                indptr, indices, degrees, seed=1, use_numba="yes"
+            )
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_use_numba_true_requires_numba(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        with pytest.raises(ValueError, match="numba is not installed"):
+            ParallelMatchingKernel(
+                indptr, indices, degrees, seed=1, use_numba=True
+            )
+
+    def test_repeat_rounds_bit_identical(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        a = ParallelMatchingKernel(indptr, indices, degrees, seed=33)
+        b = ParallelMatchingKernel(indptr, indices, degrees, seed=33)
+        for t in range(5):
+            assert np.array_equal(a.round(t).copy(), b.round(t).copy())
+
+    def test_round_matches_reference_function(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        kernel = ParallelMatchingKernel(indptr, indices, degrees, seed=21)
+        for t in range(5):
+            expected = matching_round_reference(
+                kernel.indptr,
+                kernel.indices,
+                kernel.degrees,
+                stream_key(21, t, STREAM_ACTIVITY),
+                stream_key(21, t, STREAM_SLOT),
+            )
+            assert np.array_equal(kernel.round(t).copy(), expected)
+
+    def test_average_matches_apply_matching(self, instance):
+        graph = instance.graph
+        indptr, indices, degrees = _csr(graph)
+        kernel = ParallelMatchingKernel(indptr, indices, degrees, seed=4)
+        rng = np.random.default_rng(0)
+        loads = rng.random((graph.n, 3))
+        partner = kernel.round(0).copy()
+        expected = apply_matching(loads, partner)
+        kernel.average(loads, partner)
+        assert np.array_equal(loads, expected)
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_matches_reference_bitwise(self, instance):
+        # The contract the whole backend rests on: compiled and reference
+        # paths perform the same IEEE-754 operations per node.
+        graph = instance.graph
+        indptr, indices, degrees = _csr(graph)
+        for degree_cap in (None, 2 * graph.max_degree):
+            jit = ParallelMatchingKernel(
+                indptr, indices, degrees, seed=77, degree_cap=degree_cap,
+                use_numba=True,
+            )
+            ref = ParallelMatchingKernel(
+                indptr, indices, degrees, seed=77, degree_cap=degree_cap,
+                use_numba=False,
+            )
+            assert jit.using_numba and not ref.using_numba
+            rng = np.random.default_rng(1)
+            loads_jit = rng.random((graph.n, 2))
+            loads_ref = loads_jit.copy()
+            for t in range(8):
+                p_jit = jit.round(t)
+                p_ref = ref.round(t)
+                assert np.array_equal(p_jit, p_ref)
+                jit.average(loads_jit, p_jit)
+                ref.average(loads_ref, p_ref)
+                assert np.array_equal(loads_jit, loads_ref)
+
+    def test_seeds_decorrelate(self, instance):
+        indptr, indices, degrees = _csr(instance.graph)
+        a = ParallelMatchingKernel(indptr, indices, degrees, seed=1).round(0)
+        b = ParallelMatchingKernel(indptr, indices, degrees, seed=2).round(0)
+        assert not np.array_equal(a, b)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -200,3 +202,78 @@ class TestParallelExecution:
     def test_empty_grid(self):
         result = run_trials([], {}, trials=3, executor="process", workers=2)
         assert result.records == []
+
+
+class TestWorkerThreadPinning:
+    """ProcessExecutor workers default threaded kernels to one thread."""
+
+    def test_pins_unset_vars_to_one(self, monkeypatch):
+        from repro.evaluation.runner import (
+            _WORKER_THREAD_ENV_VARS,
+            _pin_worker_threads,
+        )
+
+        for var in _WORKER_THREAD_ENV_VARS:
+            monkeypatch.setenv(var, "sentinel")  # record for restore
+            monkeypatch.delenv(var)
+        _pin_worker_threads()
+        for var in _WORKER_THREAD_ENV_VARS:
+            assert os.environ[var] == "1"
+
+    def test_explicit_settings_survive(self, monkeypatch):
+        from repro.evaluation.runner import (
+            _WORKER_THREAD_ENV_VARS,
+            _pin_worker_threads,
+        )
+
+        for var in _WORKER_THREAD_ENV_VARS:
+            monkeypatch.setenv(var, "4")
+        _pin_worker_threads()
+        for var in _WORKER_THREAD_ENV_VARS:
+            assert os.environ[var] == "4"
+
+    def test_covers_the_oversubscription_knobs(self):
+        from repro.evaluation.runner import _WORKER_THREAD_ENV_VARS
+
+        assert set(_WORKER_THREAD_ENV_VARS) >= {
+            "OMP_NUM_THREADS",
+            "NUMBA_NUM_THREADS",
+            "OPENBLAS_NUM_THREADS",
+        }
+
+
+class TestThreadsKnob:
+    """``threads`` is a parallel-engine option; elsewhere it is an error."""
+
+    def _instance(self):
+        return cycle_of_cliques(2, 10, seed=0)
+
+    def test_threads_requires_a_parallel_backend(self):
+        instance = self._instance()
+        for backend in ("centralized", "vectorized", "message-passing"):
+            adapter = evaluate_load_balancing_clustering(
+                backend=backend, threads=2
+            )
+            with pytest.raises(ValueError, match="thread knob"):
+                adapter(instance, seed=0)
+
+    def test_block_size_rejected_on_parallel_aliases(self):
+        instance = self._instance()
+        for backend in ("parallel", "threaded", "jit"):
+            adapter = evaluate_load_balancing_clustering(
+                backend=backend, block_size=64
+            )
+            with pytest.raises(ValueError, match="fused kernels"):
+                adapter(instance, seed=0)
+
+    def test_threads_runs_on_parallel_backend(self):
+        adapter = evaluate_load_balancing_clustering(
+            backend="parallel", threads=1, rounds=20
+        )
+        with warnings.catch_warnings():
+            # Without numba the factory downgrades to the vectorized engine
+            # (and drops the thread knob) with a RuntimeWarning.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            record = adapter(self._instance(), seed=1)
+        assert record["backend"] == "parallel"
+        assert "error" in record and "rounds" in record

@@ -1,0 +1,117 @@
+"""Unit tests for the Walker alias tables behind the LFR endpoint draws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import AliasTable, SegmentedAliasTable
+
+
+class TestAliasTable:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty 1-d"):
+            AliasTable(np.empty(0))
+        with pytest.raises(ValueError, match="non-empty 1-d"):
+            AliasTable(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="finite"):
+            AliasTable(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="finite"):
+            AliasTable(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError, match="positive sum"):
+            AliasTable(np.zeros(4))
+
+    def test_build_is_deterministic_and_consumes_no_randomness(self):
+        w = np.array([0.1, 3.0, 0.0, 1.5, 2.4])
+        a = AliasTable(w)
+        b = AliasTable(w)
+        assert np.array_equal(a.prob, b.prob)
+        assert np.array_equal(a.alias, b.alias)
+
+    def test_draw_is_seed_deterministic(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        x = table.draw(np.random.default_rng(7), 100)
+        y = table.draw(np.random.default_rng(7), 100)
+        assert np.array_equal(x, y)
+
+    def test_draw_spends_two_stream_values_per_sample(self):
+        # One uniform integer + one uniform float per sample: callers embed
+        # the table in larger seeded pipelines and rely on a fixed budget.
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        rng_a = np.random.default_rng(3)
+        table.draw(rng_a, 10)
+        rng_b = np.random.default_rng(3)
+        rng_b.integers(0, 3, size=10)
+        rng_b.random(10)
+        assert rng_a.integers(0, 1 << 62) == rng_b.integers(0, 1 << 62)
+
+    def test_frequencies_match_weights(self):
+        w = np.array([5.0, 1.0, 0.0, 3.0, 1.0])
+        table = AliasTable(w)
+        draws = table.draw(np.random.default_rng(0), 200_000)
+        freq = np.bincount(draws, minlength=w.size) / draws.size
+        assert np.allclose(freq, w / w.sum(), atol=0.01)
+
+    def test_zero_weights_never_drawn(self):
+        w = np.array([0.0, 1.0, 0.0, 2.0, 0.0])
+        draws = AliasTable(w).draw(np.random.default_rng(1), 50_000)
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_single_entry(self):
+        draws = AliasTable(np.array([2.5])).draw(np.random.default_rng(0), 64)
+        assert np.all(draws == 0)
+
+
+class TestSegmentedAliasTable:
+    def test_validation(self):
+        w = np.ones(6)
+        with pytest.raises(ValueError, match="segment"):
+            SegmentedAliasTable(w, np.array([0]))
+        with pytest.raises(ValueError, match="ascend"):
+            SegmentedAliasTable(w, np.array([0, 4, 2, 6]))
+        with pytest.raises(ValueError, match="ascend"):
+            SegmentedAliasTable(w, np.array([0, 3]))
+        with pytest.raises(ValueError, match="ascend"):
+            SegmentedAliasTable(w, np.array([1, 6]))
+        with pytest.raises(ValueError, match="finite"):
+            SegmentedAliasTable(np.array([1.0, np.inf]), np.array([0, 2]))
+
+    def test_draws_stay_inside_their_segment(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        starts = np.array([0, 3, 3, 7])  # middle segment empty
+        table = SegmentedAliasTable(w, starts)
+        rng = np.random.default_rng(2)
+        segments = np.array([0] * 500 + [2] * 500)
+        pos = table.draw_in_segments(segments, rng)
+        assert np.all(pos[:500] < 3)
+        assert np.all((3 <= pos[500:]) & (pos[500:] < 7))
+
+    def test_empty_segment_draw_rejected(self):
+        table = SegmentedAliasTable(np.ones(4), np.array([0, 2, 2, 4]))
+        with pytest.raises(ValueError, match="empty segment"):
+            table.draw_in_segments(np.array([1]), np.random.default_rng(0))
+
+    def test_in_segment_frequencies_match_weights(self):
+        w = np.array([1.0, 3.0, 4.0, 2.0, 2.0])
+        starts = np.array([0, 2, 5])
+        table = SegmentedAliasTable(w, starts)
+        rng = np.random.default_rng(4)
+        pos = table.draw_in_segments(np.full(150_000, 1), rng)
+        freq = np.bincount(pos - 2, minlength=3) / pos.size
+        assert np.allclose(freq, w[2:] / w[2:].sum(), atol=0.01)
+
+    def test_matches_unsegmented_table_on_single_segment(self):
+        w = np.array([0.5, 1.5, 3.0, 2.0])
+        seg = SegmentedAliasTable(w, np.array([0, 4]))
+        flat = AliasTable(w)
+        assert np.array_equal(seg.prob, flat.prob)
+        assert np.array_equal(seg.alias, flat.alias)
+
+    def test_seed_deterministic(self):
+        w = np.arange(1.0, 9.0)
+        starts = np.array([0, 4, 8])
+        table = SegmentedAliasTable(w, starts)
+        segs = np.array([0, 1, 1, 0, 1])
+        a = table.draw_in_segments(segs, np.random.default_rng(9))
+        b = table.draw_in_segments(segs, np.random.default_rng(9))
+        assert np.array_equal(a, b)

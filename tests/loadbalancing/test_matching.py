@@ -201,3 +201,84 @@ class TestApplyMatching:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             apply_matching(np.ones(3), np.array([-1, -1], dtype=np.int64))
+
+
+class TestBlockedNeighbourGather:
+    """Bit-identity of the blocked gather with the unblocked fancy-indexing
+    gather, across the row-block geometries that have bitten before."""
+
+    @staticmethod
+    def _gather_both(graph, proposers, slots, block_size):
+        from repro.loadbalancing.matching import _blocked_neighbour_gather
+
+        indptr = graph.storage.indptr
+        unblocked = graph.storage.indices_array()[indptr[proposers] + slots]
+        blocked = _blocked_neighbour_gather(
+            graph.storage, indptr, proposers, slots, block_size
+        )
+        return unblocked, blocked
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return connected_caveman(4, 6).graph
+
+    def test_empty_proposer_set(self, graph):
+        empty = np.empty(0, dtype=np.int64)
+        unblocked, blocked = self._gather_both(graph, empty, empty, 3)
+        assert blocked.shape == (0,)
+        assert np.array_equal(unblocked, blocked)
+
+    def test_single_row_blocks(self, graph):
+        # block_size=1 makes every row its own block: the maximal number of
+        # boundaries the position runs can straddle.
+        proposers = np.arange(graph.n, dtype=np.int64)
+        slots = np.zeros(graph.n, dtype=np.int64)
+        unblocked, blocked = self._gather_both(graph, proposers, slots, 1)
+        assert np.array_equal(unblocked, blocked)
+
+    def test_block_boundaries_inside_proposer_runs(self, graph):
+        # Block sizes that are not divisors of n put boundaries mid-run:
+        # consecutive proposers' positions are then served by different
+        # blocks, and the binary-searched split must hand each its own rows.
+        rng = np.random.default_rng(5)
+        degrees = graph.degrees
+        proposers = np.flatnonzero(rng.random(graph.n) < 0.7).astype(np.int64)
+        slots = rng.integers(0, degrees[proposers])
+        for block_size in (1, 2, 3, 5, 7, graph.n, graph.n + 13):
+            unblocked, blocked = self._gather_both(graph, proposers, slots, block_size)
+            assert np.array_equal(unblocked, blocked), block_size
+
+    def test_last_slot_of_each_row(self, graph):
+        # The final arc of a row sits right against the next block's first
+        # position — an off-by-one in the searchsorted bounds shows up here.
+        proposers = np.arange(graph.n, dtype=np.int64)
+        slots = graph.degrees[proposers] - 1
+        for block_size in (1, 4, 9):
+            unblocked, blocked = self._gather_both(graph, proposers, slots, block_size)
+            assert np.array_equal(unblocked, blocked), block_size
+
+    def test_degree_capped_sampler_bit_identical_when_blocked(self, graph):
+        from repro.loadbalancing import sample_random_matching_fast
+
+        cap = 2 * graph.max_degree
+        for block_size in (1, 3, 16):
+            a = sample_random_matching_fast(
+                graph, np.random.default_rng(11), degree_cap=cap
+            )
+            b = sample_random_matching_fast(
+                graph,
+                np.random.default_rng(11),
+                degree_cap=cap,
+                block_size=block_size,
+            )
+            assert np.array_equal(a, b), block_size
+
+    def test_uncapped_sampler_bit_identical_when_blocked(self, graph):
+        from repro.loadbalancing import sample_random_matching_fast
+
+        for block_size in (1, 5):
+            a = sample_random_matching_fast(graph, np.random.default_rng(23))
+            b = sample_random_matching_fast(
+                graph, np.random.default_rng(23), block_size=block_size
+            )
+            assert np.array_equal(a, b), block_size

@@ -157,6 +157,37 @@ class TestCluster:
         assert main(["cluster", str(graph_path), "--engine", "adaptive"]) == 2
         assert "beta" in capsys.readouterr().err
 
+    def test_backend_without_distributed_engine_is_an_error(self, instance_files, capsys):
+        # Silently ignoring --backend would mean the user measured a
+        # different engine than the one named on the command line.
+        _, graph_path, _ = instance_files
+        code = main(
+            ["cluster", str(graph_path), "--k", "3", "--backend", "vectorized"]
+        )
+        assert code == 2
+        assert "--engine distributed" in capsys.readouterr().err
+
+    def test_threads_without_parallel_backend_is_an_error(self, instance_files, capsys):
+        _, graph_path, _ = instance_files
+        code = main(
+            ["cluster", str(graph_path), "--k", "3", "--engine", "distributed",
+             "--backend", "vectorized", "--threads", "2"]
+        )
+        assert code == 2
+        assert "--backend parallel" in capsys.readouterr().err
+
+    def test_parallel_backend_runs(self, instance_files, capsys):
+        # Without numba the factory falls back to the vectorized backend
+        # with a warning; either way the command succeeds.
+        _, graph_path, _ = instance_files
+        code = main(
+            ["cluster", str(graph_path), "--k", "3", "--engine", "distributed",
+             "--backend", "parallel", "--threads", "2", "--seed", "2",
+             "--rounds", "20"]
+        )
+        assert code == 0
+        assert "clustered" in capsys.readouterr().out
+
 
 class TestSweep:
     def test_serial_sweep_prints_table(self, capsys):
@@ -199,6 +230,24 @@ class TestSweep:
              "--p-out", "0.02", "--trials", "1", "--algorithms", "spectral"]
         ) == 0
         assert "spectral" in capsys.readouterr().out
+
+    def test_threads_without_parallel_backend_is_an_error(self, capsys):
+        code = main(
+            ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
+             "--algorithms", "ours", "--backend", "vectorized", "--threads", "2"]
+        )
+        assert code == 2
+        assert "--backend parallel" in capsys.readouterr().err
+
+    def test_parallel_backend_sweep(self, capsys):
+        code = main(
+            ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
+             "--algorithms", "ours", "--backend", "parallel", "--threads", "1",
+             "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "error" in out
 
 
 class TestGenerateSharded:
