@@ -112,9 +112,10 @@ def _legacy_sample_weighted_pairs(
 ):
     """The pre-alias cross-community sampler: ``Generator.choice(p=...)``
     endpoint draws, which rebuild and binary-search a CDF on every batch.
-    Kept verbatim for comparison."""
+    Draw mechanics kept verbatim; only the return value is adapted to the
+    fused-key chunk protocol the attempt iterator now expects."""
     if target <= 0 or members.size < 2:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
     have = np.empty(0, dtype=np.int64)
     for _ in range(8):
         need = target - have.size
@@ -133,17 +134,18 @@ def _legacy_sample_weighted_pairs(
         have = np.delete(
             have, rng.choice(have.size, size=have.size - target, replace=False)
         )
-    return np.stack([have // n, have % n], axis=1)
+    return have
 
 
 def _legacy_sample_same_label_pairs(weights, labels, target_c, n, rng):
     """The pre-alias per-community sampler: both endpoints drawn by
     ``searchsorted`` against one shared cumulative sum over the
-    community-sorted weights.  Kept verbatim for comparison."""
+    community-sorted weights.  Draw mechanics kept verbatim; only the
+    return value is adapted to the fused-key chunk protocol."""
     num_labels = int(target_c.size)
     total_target = int(target_c.sum())
     if total_target <= 0:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
     order = np.argsort(labels, kind="stable")
     w_sorted = weights[order].astype(np.float64)
     cum = np.cumsum(w_sorted)
@@ -180,7 +182,7 @@ def _legacy_sample_same_label_pairs(weights, labels, target_c, n, rng):
         group_start = np.searchsorted(cc_perm, np.arange(num_labels))
         rank = np.arange(have.size) - group_start[cc_perm]
         have = np.sort(have[perm[rank < target_c[cc_perm]]])
-    return np.stack([have // n, have % n], axis=1)
+    return have
 
 
 @contextlib.contextmanager

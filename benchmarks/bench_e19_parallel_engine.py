@@ -17,7 +17,9 @@ instances (k = 4, expected degree Θ(log n)):
   machine with numba installed.
 
 Correctness gates hold in **every** mode, because they are the backend's
-actual contract: all thread counts and a repeat run must produce
+actual contract: all thread counts, a repeat run and — since PR 7 lifted
+the in-memory-CSR restriction — a run on **memory-mapped storage** (fused
+kernels block-sliced over ``iter_row_blocks``) must all produce
 bit-identical loads, seeds and per-round matching counts.
 
 ``BENCH_SMOKE=1`` (CI) trims the sweep to n = 10⁴ and demotes the speedup
@@ -29,13 +31,16 @@ hides) or a small core count.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 import warnings
+from pathlib import Path
 
 import numpy as np
 
 from repro._accel import HAVE_NUMBA
 from repro.core import AlgorithmParameters, make_engine
+from repro.graphs import Graph, MmapStorage
 
 from _utils import bench_instance, print_table, thread_ladder
 
@@ -139,6 +144,22 @@ def test_e19_parallel_engine(benchmark):
             f"repeat parallel run changed the result at n={n}"
         )
 
+        # Correctness gate (all modes, PR 7): the parallel backend on
+        # memory-mapped storage runs the fused kernels block-sliced over
+        # ``iter_row_blocks`` — the counter-based per-node RNG makes that
+        # bit-identical to the monolithic in-RAM kernels.
+        with tempfile.TemporaryDirectory() as tmp:
+            indptr, indices = graph.csr_arrays()
+            entry = Path(tmp) / "entry.csr"
+            MmapStorage.write(entry, np.asarray(indptr), np.asarray(indices))
+            mm_graph = Graph.from_storage(MmapStorage(entry), name=graph.name)
+            mmap_seconds, mm_result = _timed_run(
+                "parallel", mm_graph, params, n, threads=THREAD_LADDER[0]
+            )
+            assert _fingerprint(mm_result) == reference, (
+                f"parallel backend on mmap storage changed the result at n={n}"
+            )
+
         best = min(par_seconds.values())
         speedup = vec_seconds / best
         records.append(
@@ -148,6 +169,7 @@ def test_e19_parallel_engine(benchmark):
                 "kernel": kernel,
                 "vec_seconds": vec_seconds,
                 "par_seconds": {str(t): s for t, s in par_seconds.items()},
+                "par_mmap_seconds": mmap_seconds,
                 "speedup": speedup,
             }
         )
@@ -159,13 +181,14 @@ def test_e19_parallel_engine(benchmark):
                 " ".join(
                     f"{t}:{par_seconds[t]:.3f}" for t in THREAD_LADDER
                 ),
+                round(mmap_seconds, 3),
                 round(speedup, 2),
             ]
         )
 
     table = print_table(
         f"E19: parallel round engine vs vectorized (SBM, T = {ROUNDS})",
-        ["n", "kernel", "vec s", "parallel s @threads", "speedup"],
+        ["n", "kernel", "vec s", "parallel s @threads", "mmap s", "speedup"],
         rows,
     )
     benchmark.extra_info["table"] = table

@@ -50,14 +50,19 @@ class WeightedGraph:
     @classmethod
     def from_graph(cls, graph: Graph) -> "WeightedGraph":
         # Build each node's dict straight from its (symmetric) CSR neighbour
-        # slice — no per-edge Python loop over tuple pairs.
-        indptr, indices = graph.csr_arrays()
-        bounds = indptr.tolist()
-        neighbours = indices.tolist()
-        adjacency: list[dict[int, float]] = [
-            {u: 1.0 for u in neighbours[bounds[v] : bounds[v + 1]] if u != v}
-            for v in range(graph.n)
-        ]
+        # slices, one row block at a time — no per-edge Python loop over
+        # tuple pairs, and no materialised indices array for memory-mapped
+        # storage (the adjacency dicts dwarf the block anyway, but an mmap
+        # instance should never pay an extra O(m) array copy on top).
+        indptr = graph.storage.indptr
+        adjacency: list[dict[int, float]] = []
+        for r0, r1, block in graph.storage.iter_row_blocks():
+            bounds = (indptr[r0 : r1 + 1] - int(indptr[r0])).tolist()
+            neighbours = np.asarray(block).tolist()
+            adjacency.extend(
+                {u: 1.0 for u in neighbours[bounds[i] : bounds[i + 1]] if u != r0 + i}
+                for i in range(r1 - r0)
+            )
         return cls(node_weights=np.ones(graph.n, dtype=np.float64), adjacency=adjacency)
 
     def cut_weight(self, labels: np.ndarray) -> float:

@@ -9,10 +9,12 @@ Four subcommands cover the workflow a downstream user actually has:
     Print the structural diagnostics of a graph/partition pair: degrees,
     conductances, eigenvalue gap, Υ and the prescribed round count ``T``.
     Accepts an edge-list file or a sharded cache-entry directory; with
-    ``--mmap`` the entry stays memory-mapped and the spectral diagnostics
-    run matrix-free (streamed Lanczos over the storage's row blocks), so
-    n = 10⁶ instances analyse without the eigensolves ever materialising
-    the adjacency (the connectivity check still builds an O(m) matrix).
+    ``--mmap`` the entry stays memory-mapped and the structural and
+    spectral diagnostics run streamed — matrix-free Lanczos over the
+    storage's row blocks for the spectral quantities, union-find over the
+    same blocks for connectivity — so the no-labels pass analyses n = 10⁶
+    instances without ever materialising the adjacency (the per-cluster
+    conductances of a supplied partition still build the O(m) edge array).
 ``cluster``
     Run the paper's algorithm (centralised, distributed or adaptive engine)
     on an edge-list file and write one label per node; optionally score the
@@ -145,9 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "keep a sharded entry memory-mapped instead of materialising it: "
-            "the spectral diagnostics run matrix-free Lanczos over the "
-            "storage's row blocks and never materialise the adjacency "
-            "(the connectivity check still builds an O(m) scipy matrix)"
+            "the spectral diagnostics run matrix-free Lanczos and the "
+            "connectivity check streamed union-find, both over the storage's "
+            "row blocks, so the adjacency is never materialised"
         ),
     )
 
@@ -251,10 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "serve instances memory-mapped from sharded cache entries (requires "
-            "--cache-dir): worker processes share adjacency pages instead of "
-            "private copies, and the vectorized engine runs its row-blocked "
-            "round loop so the per-round resident set is O(block), not O(m); "
-            "records are bit-identical to the dense path"
+            "--cache-dir): a cold sbm entry is generated straight into its "
+            "shards (streamed, O(n + block) peak RSS), worker processes share "
+            "adjacency pages instead of private copies, and the vectorized and "
+            "parallel engines run row-blocked round loops so the per-round "
+            "resident set is O(block), not O(m); records are bit-identical to "
+            "the dense path"
         ),
     )
     swp.add_argument(
@@ -264,7 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "rows per adjacency block in the vectorized engine's round loop "
             "(default: auto — unblocked for in-RAM instances, shard-aligned "
-            "for --mmap instances)"
+            "for --mmap instances; the parallel engine always shard-aligns "
+            "its blocked kernels on --mmap instances)"
         ),
     )
     swp.add_argument("--json", type=Path, default=None, help="write per-trial records to this JSON file")

@@ -442,11 +442,12 @@ class ParallelEngine(RoundEngine):
     Parameters
     ----------
     graph, parameters:
-        The instance and the paper's parameters.  The graph must use
-        in-memory storage: the fused kernels index the full CSR arrays, so
-        a memory-mapped graph belongs on the vectorised engine's blocked
-        gathers instead (the ``parallel`` *factory* performs that fallback
-        with a warning; direct construction is an error).
+        The instance and the paper's parameters.  Any storage backend
+        works: in-memory graphs run the monolithic fused kernels over the
+        CSR arrays; memory-mapped graphs run the *same* kernels
+        block-sliced over ``iter_row_blocks`` (bit-identical — the
+        counter-based draws depend only on ``(seed, round, node)``), so at
+        most one shard-sized block of the adjacency is resident per sweep.
     seed:
         Seeding randomness (via ``numpy.random.default_rng``) and the base
         of the counter-based round streams.  ``None`` draws a fresh counter
@@ -496,12 +497,6 @@ class ParallelEngine(RoundEngine):
             )
         if threads is not None and threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        if not graph.storage.in_memory:
-            raise ValueError(
-                "the parallel backend requires in-memory storage; "
-                "use backend='vectorized' (blocked gathers) for memory-mapped "
-                "graphs, or the 'parallel' factory, which falls back for you"
-            )
         self.graph = graph
         self.parameters = parameters
         #: Declared query fallback, applied at result assembly (see class doc).
@@ -516,10 +511,10 @@ class ParallelEngine(RoundEngine):
         self._use_numba = use_numba
         # Build the kernel now so configuration errors (use_numba=True
         # without numba) surface at construction, like every other knob.
-        storage = graph.storage.materialize()
-        self._kernel = ParallelMatchingKernel(
-            storage.indptr,
-            storage.indices_array(),
+        # from_storage keeps out-of-core backends block-sliced instead of
+        # materialising an O(m) index array.
+        self._kernel = ParallelMatchingKernel.from_storage(
+            graph.storage,
             graph.degrees,
             seed=self._counter_seed,
             degree_cap=degree_cap,
@@ -544,6 +539,7 @@ class ParallelEngine(RoundEngine):
             "m": graph.num_edges,
             "fallback": self.fallback,
             "kernel": "numba-parallel" if kernel.using_numba else "numpy-reference",
+            "blocked": kernel.blocked,
             "threads": threads,
         }
 
@@ -705,17 +701,16 @@ def _parallel_engine_factory(
 ) -> RoundEngine:
     """Build a :class:`ParallelEngine`, degrading gracefully where promised.
 
-    Two situations fall back to :class:`VectorizedEngine` with a warning
+    One situation falls back to :class:`VectorizedEngine` with a warning
     instead of erroring: numba not installed (unless the caller forced a
-    path with ``use_numba``, in which case :class:`ParallelEngine` decides),
-    and memory-mapped storage, which the fused kernels cannot index without
-    materialising the graph.  The parallel-only knobs are stripped before
-    the fallback so the vectorised constructor sees only options it owns.
+    path with ``use_numba``, in which case :class:`ParallelEngine` decides).
+    Memory-mapped storage no longer triggers a fallback — the kernels run
+    block-sliced over ``iter_row_blocks`` with bit-identical results.  The
+    parallel-only knobs are stripped before the fallback so the vectorised
+    constructor sees only options it owns.
     """
     reason = None
-    if not graph.storage.in_memory:
-        reason = "the graph uses memory-mapped storage"
-    elif options.get("use_numba", "auto") == "auto" and not HAVE_NUMBA:
+    if options.get("use_numba", "auto") == "auto" and not HAVE_NUMBA:
         reason = "numba is not installed"
     if reason is not None:
         warnings.warn(

@@ -38,7 +38,11 @@ from types import SimpleNamespace
 import numpy as np
 
 from .._accel import HAVE_NUMBA
-from ..loadbalancing.matching import _resolve_proposals, apply_matching
+from ..loadbalancing.matching import (
+    _blocked_neighbour_gather,
+    _resolve_proposals,
+    apply_matching,
+)
 
 __all__ = [
     "STREAM_ACTIVITY",
@@ -47,6 +51,7 @@ __all__ = [
     "stream_key",
     "counter_uniforms",
     "matching_round_reference",
+    "matching_round_blocked",
     "ParallelMatchingKernel",
 ]
 
@@ -128,21 +133,70 @@ def matching_round_reference(
     Section 4.5 virtual-slot protocol.
     """
     n = int(degrees.shape[0])
+    active, proposers, slots = _proposal_slots(degrees, key_active, key_slot, degree_cap)
+    if proposers.size:
+        targets = indices[indptr[proposers] + slots]
+    else:
+        targets = proposers
+    return _resolve_proposals(n, active, proposers, targets)
+
+
+def _proposal_slots(
+    degrees: np.ndarray, key_active: int, key_slot: int, degree_cap: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Steps 1–2 of the protocol from counter-based draws.
+
+    Returns ``(active, proposers, slots)``: the activity coins, the active
+    positive-degree nodes whose proposal survived the (optional) virtual-slot
+    cap, and each survivor's slot within its CSR row.  Pure O(n) — the
+    adjacency is only needed afterwards, to gather ``indices[indptr[p] + slot]``,
+    which is what lets the blocked path restrict every adjacency access to
+    one row block at a time.
+    """
+    n = int(degrees.shape[0])
     active = counter_uniforms(key_active, n) < 0.5
     proposers = np.flatnonzero(active & (degrees > 0))
+    if not proposers.size:
+        return active, proposers, proposers
+    u01 = counter_uniforms(key_slot, n)[proposers]
+    if degree_cap > 0:
+        slots = (u01 * float(degree_cap)).astype(np.int64)
+        np.minimum(slots, degree_cap - 1, out=slots)
+        real = slots < degrees[proposers]
+        proposers = proposers[real]
+        slots = slots[real]
+    else:
+        d = degrees[proposers]
+        slots = (u01 * d.astype(np.float64)).astype(np.int64)
+        np.minimum(slots, d - 1, out=slots)
+    return active, proposers, slots
+
+
+def matching_round_blocked(
+    storage,
+    degrees: np.ndarray,
+    key_active: int,
+    key_slot: int,
+    degree_cap: int = 0,
+    block_size: int | None = None,
+) -> np.ndarray:
+    """The reference round with every adjacency access block-sliced.
+
+    Bit-identical to :func:`matching_round_reference` on the same CSR
+    contents: the counter-based draws are pure functions of
+    ``(key, node)`` so the proposal step never needs the adjacency, the
+    target gather visits positions in ascending order one row block at a
+    time (:func:`~repro.loadbalancing.matching._blocked_neighbour_gather`),
+    and the resolution step is an O(n) bincount.  Peak adjacency residency
+    is therefore one block, which is what makes the ``parallel`` backend
+    safe on memory-mapped storage.
+    """
+    n = int(degrees.shape[0])
+    active, proposers, slots = _proposal_slots(degrees, key_active, key_slot, degree_cap)
     if proposers.size:
-        u01 = counter_uniforms(key_slot, n)[proposers]
-        if degree_cap > 0:
-            slots = (u01 * float(degree_cap)).astype(np.int64)
-            np.minimum(slots, degree_cap - 1, out=slots)
-            real = slots < degrees[proposers]
-            proposers = proposers[real]
-            slots = slots[real]
-        else:
-            d = degrees[proposers]
-            slots = (u01 * d.astype(np.float64)).astype(np.int64)
-            np.minimum(slots, d - 1, out=slots)
-        targets = indices[indptr[proposers] + slots]
+        targets = _blocked_neighbour_gather(
+            storage, storage.indptr, proposers, slots, block_size
+        )
     else:
         targets = proposers
     return _resolve_proposals(n, active, proposers, targets)
@@ -233,6 +287,67 @@ def _build_numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
                 partner[winner] = v
 
     @njit(parallel=True, cache=True)
+    def matching_pass1_block(
+        indptr, block, row_start, row_stop, arc_base,
+        key_active, key_slot, degree_cap, active, prop, partner,
+    ):
+        # Pass 1 of `matching`, restricted to rows [row_start, row_stop) whose
+        # arcs live in `block` (global arc e at block[e - arc_base]).  The
+        # counter-based draws make this slicing invisible: node v's coins are
+        # functions of (key, v) alone, so running the pass block-by-block is
+        # bit-identical to the monolithic kernel.
+        for v in prange(row_start, row_stop):
+            partner[v] = -1
+            prop[v] = -1
+            counter = np.uint64(v + 1)
+            is_active = _uniform(key_active, counter) < 0.5
+            active[v] = is_active
+            if is_active:
+                lo = indptr[v]
+                d = indptr[v + 1] - lo
+                if d > 0:
+                    u01 = _uniform(key_slot, counter)
+                    cap = degree_cap if degree_cap > 0 else d
+                    slot = np.int64(u01 * np.float64(cap))
+                    if slot > cap - 1:
+                        slot = cap - 1
+                    if slot < d:
+                        target = block[lo - arc_base + slot]
+                        if target != v:
+                            prop[v] = target
+
+    @njit(parallel=True, cache=True)
+    def matching_pass2_block(
+        indptr, block, row_start, row_stop, arc_base, active, prop, partner
+    ):
+        # Pass 2 of `matching` for rows [row_start, row_stop): runs only
+        # after pass 1 has completed for *all* blocks, because a target scans
+        # prop[u] of neighbours that may live in other blocks.  partner[u]
+        # for a winner u outside the block is still race-free — u proposed to
+        # exactly one node, so only this v writes it.
+        for v in prange(row_start, row_stop):
+            if active[v]:
+                continue
+            lo = indptr[v] - arc_base
+            hi = indptr[v + 1] - arc_base
+            count = 0
+            winner = np.int64(-1)
+            prev = np.int64(-1)
+            for e in range(lo, hi):
+                u = block[e]
+                if u == prev or u == v:
+                    continue
+                prev = u
+                if active[u] and prop[u] == v:
+                    count += 1
+                    if count > 1:
+                        break
+                    winner = u
+            if count == 1:
+                partner[v] = winner
+                partner[winner] = v
+
+    @njit(parallel=True, cache=True)
     def average(loads, partner):
         n = partner.shape[0]
         s = loads.shape[1]
@@ -247,7 +362,12 @@ def _build_numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
                     loads[v, j] = mean
                     loads[p, j] = mean
 
-    return SimpleNamespace(matching=matching, average=average)
+    return SimpleNamespace(
+        matching=matching,
+        matching_pass1_block=matching_pass1_block,
+        matching_pass2_block=matching_pass2_block,
+        average=average,
+    )
 
 
 def _numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
@@ -264,18 +384,24 @@ def _numba_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba
 class ParallelMatchingKernel:
     """Per-run state of the fused round kernels.
 
-    Holds the (contiguous, int64) CSR arrays, the counter seed and the
-    reusable output buffers, and dispatches each round to the numba kernels
-    or the numpy reference path.  ``use_numba``:
+    Holds the CSR source (contiguous int64 arrays, or any
+    :class:`~repro.graphs.store.CSRStorage` via :meth:`from_storage`), the
+    counter seed and the reusable output buffers, and dispatches each round
+    to the numba kernels or the numpy reference path.  ``use_numba``:
 
     * ``"auto"`` — numba when installed, reference path otherwise;
     * ``True`` — require numba (raise if missing);
     * ``False`` — force the reference path (how the determinism tests pin
       the stream on machines without numba).
 
-    Both paths return the *same* partner arrays for the same seed, so which
-    one ran is a pure performance fact — recorded in ``using_numba`` for the
-    engine's metadata.
+    Out-of-core storage (and any storage when ``block_size`` is forced) runs
+    **block-sliced**: the same kernels are applied one ``iter_row_blocks``
+    window at a time, which the counter-based draws make bit-identical to
+    the monolithic execution — node ``v``'s randomness depends only on
+    ``(seed, round, v)``, never on which slice of the adjacency was resident
+    when it was computed.  All paths return the *same* partner arrays for
+    the same seed, so which one ran is a pure performance fact — recorded in
+    ``using_numba`` for the engine's metadata.
     """
 
     def __init__(
@@ -294,24 +420,122 @@ class ParallelMatchingKernel:
             raise ValueError("use_numba=True but numba is not installed")
         self.using_numba = HAVE_NUMBA if use_numba == "auto" else bool(use_numba)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.indices = (
+            np.ascontiguousarray(indices, dtype=np.int64)
+            if indices is not None
+            else None
+        )
         self.degrees = np.ascontiguousarray(degrees, dtype=np.int64)
         self.seed = int(seed)
         self.degree_cap = int(degree_cap) if degree_cap is not None else 0
+        self._storage = None
+        self._block_size: int | None = None
+        if self.indices is None:
+            raise ValueError("either CSR arrays or from_storage(...) must be used")
         if self.using_numba:  # pragma: no cover - needs numba
-            n = self.degrees.shape[0]
-            self._active = np.empty(n, dtype=np.bool_)
-            self._prop = np.empty(n, dtype=np.int64)
-            self._partner = np.empty(n, dtype=np.int64)
+            self._alloc_buffers()
+
+    @classmethod
+    def from_storage(
+        cls,
+        storage,
+        degrees: np.ndarray,
+        *,
+        seed: int,
+        degree_cap: int | None = None,
+        use_numba: bool | str = "auto",
+        block_size: int | None = None,
+    ) -> "ParallelMatchingKernel":
+        """Kernel over a :class:`CSRStorage` backend.
+
+        In-memory storage with no forced ``block_size`` takes the monolithic
+        path zero-copy; anything else (memory-mapped shards, or an explicit
+        ``block_size``) runs the kernels block-sliced over
+        ``iter_row_blocks`` so at most one block of the adjacency is
+        resident at a time.
+        """
+        if storage.in_memory and block_size is None:
+            dense = storage.materialize()
+            return cls(
+                dense.indptr,
+                dense.indices_array(),
+                degrees,
+                seed=seed,
+                degree_cap=degree_cap,
+                use_numba=use_numba,
+            )
+        self = cls.__new__(cls)
+        if use_numba not in ("auto", True, False):
+            raise ValueError(f"use_numba must be 'auto', True or False, got {use_numba!r}")
+        if use_numba is True and not HAVE_NUMBA:
+            raise ValueError("use_numba=True but numba is not installed")
+        self.using_numba = HAVE_NUMBA if use_numba == "auto" else bool(use_numba)
+        self.indptr = np.ascontiguousarray(storage.indptr, dtype=np.int64)
+        self.indices = None
+        self.degrees = np.ascontiguousarray(degrees, dtype=np.int64)
+        self.seed = int(seed)
+        self.degree_cap = int(degree_cap) if degree_cap is not None else 0
+        self._storage = storage
+        self._block_size = int(block_size) if block_size is not None else None
+        if self.using_numba:  # pragma: no cover - needs numba
+            self._alloc_buffers()
+        return self
+
+    @property
+    def blocked(self) -> bool:
+        """Whether rounds run block-sliced instead of over monolithic arrays."""
+        return self._storage is not None
+
+    def _alloc_buffers(self) -> None:  # pragma: no cover - needs numba
+        n = self.degrees.shape[0]
+        self._active = np.empty(n, dtype=np.bool_)
+        self._prop = np.empty(n, dtype=np.int64)
+        self._partner = np.empty(n, dtype=np.int64)
 
     def round(self, round_index: int) -> np.ndarray:
         """Partner array of round ``round_index`` (buffer reused across rounds)."""
         key_active = stream_key(self.seed, round_index, STREAM_ACTIVITY)
         key_slot = stream_key(self.seed, round_index, STREAM_SLOT)
         if self.using_numba:  # pragma: no cover - needs numba
-            _numba_kernels().matching(
+            if self._storage is None:
+                _numba_kernels().matching(
+                    self.indptr,
+                    self.indices,
+                    np.uint64(key_active),
+                    np.uint64(key_slot),
+                    np.int64(self.degree_cap),
+                    self._active,
+                    self._prop,
+                    self._partner,
+                )
+            else:
+                self._round_numba_blocked(key_active, key_slot)
+            return self._partner
+        if self._storage is not None:
+            return matching_round_blocked(
+                self._storage,
+                self.degrees,
+                key_active,
+                key_slot,
+                self.degree_cap,
+                self._block_size,
+            )
+        return matching_round_reference(
+            self.indptr, self.indices, self.degrees,
+            key_active, key_slot, self.degree_cap,
+        )
+
+    def _round_numba_blocked(self, key_active: int, key_slot: int) -> None:  # pragma: no cover - needs numba
+        # Two sweeps over the storage: pass 2 reads prop[u] of neighbours
+        # that may live in any block, so pass 1 must finish everywhere first.
+        kernels = _numba_kernels()
+        for r0, r1, block in self._storage.iter_row_blocks(self._block_size):
+            kernels.matching_pass1_block(
                 self.indptr,
-                self.indices,
+                np.asarray(block),
+                np.int64(r0),
+                np.int64(r1),
+                self.indptr[r0],
                 np.uint64(key_active),
                 np.uint64(key_slot),
                 np.int64(self.degree_cap),
@@ -319,11 +543,17 @@ class ParallelMatchingKernel:
                 self._prop,
                 self._partner,
             )
-            return self._partner
-        return matching_round_reference(
-            self.indptr, self.indices, self.degrees,
-            key_active, key_slot, self.degree_cap,
-        )
+        for r0, r1, block in self._storage.iter_row_blocks(self._block_size):
+            kernels.matching_pass2_block(
+                self.indptr,
+                np.asarray(block),
+                np.int64(r0),
+                np.int64(r1),
+                self.indptr[r0],
+                self._active,
+                self._prop,
+                self._partner,
+            )
 
     def average(self, loads: np.ndarray, partner: np.ndarray) -> None:
         """In-place matched-pair averaging ``x ← M(t) x`` on ``loads``."""

@@ -423,8 +423,9 @@ class _LoadBalancingAdapter:
                 if self.backend in ("parallel", "threaded", "jit"):
                     raise ValueError(
                         "block_size applies to the vectorized round engine; "
-                        "the parallel engine's fused kernels index the full "
-                        "CSR arrays"
+                        "the parallel engine picks its own blocking (full "
+                        "CSR arrays in RAM, shard-aligned blocks on "
+                        "memory-mapped storage)"
                     )
                 engine_options["block_size"] = self.block_size
             if self.threads is not None:
@@ -479,8 +480,9 @@ def evaluate_load_balancing_clustering(
     engine registered with :mod:`repro.core.engines` — ``"vectorized"`` for
     the fast array backend, ``"message-passing"`` for the per-node
     simulator with exact communication accounting, ``"parallel"`` for the
-    threaded-kernel backend (falls back to ``vectorized`` with a warning
-    when numba is missing or the instance is memory-mapped).
+    threaded-kernel backend (runs block-sliced with bit-identical results
+    on memory-mapped instances; falls back to ``vectorized`` with a warning
+    only when numba is missing).
 
     ``block_size`` forwards the vectorized engine's row-blocked adjacency
     gather (see :class:`~repro.core.engines.VectorizedEngine`): records are

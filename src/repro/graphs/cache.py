@@ -33,6 +33,15 @@ Either format satisfies either request: a ``mmap=True`` call finding only a
 v1 npz converts it to a v2 entry without regenerating; a plain call finding
 only a v2 directory materialises it into RAM.
 
+v2 entries have two *write* paths producing byte-identical directories: the
+materialising build (generate in RAM, then shard) and the **streamed build**
+(:func:`generate_to_cache`), which consumes the generator's edge-chunk
+stream straight into a :class:`~repro.graphs.store.ShardWriter` via an
+on-disk key spill — O(n + window) peak residency, so instances larger than
+RAM can be *generated*, not just served.  ``cached_instance(..., mmap=True)``
+uses the streamed build automatically when the generator has a ``*_chunks``
+variant (see its ``streaming`` parameter).
+
 Writes are atomic (temp file/directory + ``os.replace``) so a crashed or
 concurrent writer can never leave a truncated entry under the final name,
 and *any* failure to load — missing file, truncated npz, bad manifest,
@@ -65,14 +74,14 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
-from .generators import ClusteredGraph
-from .graph import Graph
+from .generators import ClusteredGraph, EdgeChunkStream
+from .graph import Graph, GraphError
 from .partition import Partition
-from .store import MmapStorage
+from .store import DEFAULT_SHARD_ARCS, MmapStorage, ShardWriter
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -82,6 +91,7 @@ __all__ = [
     "instance_shard_dir",
     "open_shard_entry",
     "cached_instance",
+    "generate_to_cache",
     "CacheEntry",
     "list_cache",
     "prune_cache",
@@ -94,10 +104,17 @@ __all__ = [
 #: v2: the LFR samplers were batched (new seed → instance mapping for
 #: ``lfr_benchmark``) and the sharded storage format was introduced.
 #:
-#: v3 (this PR): the LFR endpoint draws moved from inverse-CDF /
-#: ``Generator.choice`` to Walker alias tables — same distribution, different
-#: consumption of the seeded stream, hence a new seed → instance mapping.
-CACHE_FORMAT_VERSION = 3
+#: v3: the LFR endpoint draws moved from inverse-CDF / ``Generator.choice``
+#: to Walker alias tables — same distribution, different consumption of the
+#: seeded stream, hence a new seed → instance mapping.
+#:
+#: v4 (this PR): LFR candidate draws are capped at
+#: :data:`~repro.graphs.lfr._MAX_CANDIDATE_BATCH` keys per rng call so a
+#: rejection round's working set is bounded; rounds needing more draw the
+#: same budget in sub-batches, which consumes the seeded stream differently
+#: at large n — a new seed → instance mapping (small instances, whose rounds
+#: fit one sub-batch, are unchanged but share the version bump).
+CACHE_FORMAT_VERSION = 4
 
 
 class InstanceCacheError(ValueError):
@@ -331,6 +348,257 @@ def _resolve_generator(
     raise InstanceCacheError(f"unknown generator name {generator!r}")
 
 
+def _resolve_chunk_generator(
+    generator: Callable[..., Any] | str,
+) -> tuple[Callable[..., Iterator[EdgeChunkStream]], str]:
+    """Resolve a generator to its chunk-stream variant and its *base* name.
+
+    The base name (``lfr_benchmark``, not ``lfr_benchmark_chunks``) is what
+    enters the cache key, so a streamed write and a materialising write of
+    the same instance land on the same digest — which is what makes the two
+    paths interchangeable entries rather than parallel caches.
+    """
+    from . import generators as _generators
+    from . import lfr as _lfr
+
+    if callable(generator):
+        name = generator.__name__
+        if name.endswith("_chunks"):
+            return generator, name[: -len("_chunks")]
+        generator = name
+    _, base = _resolve_generator(generator)
+    for module in (_generators, _lfr):
+        chunk_fn = getattr(module, f"{base}_chunks", None)
+        if callable(chunk_fn):
+            return chunk_fn, base
+    raise InstanceCacheError(
+        f"generator {base!r} has no chunk-stream variant ({base}_chunks); "
+        "streamed generation needs one"
+    )
+
+
+#: int64 fused keys per spill-file read chunk during the shard-building pass
+#: (4M keys = 32 MB resident) — the same working-set scale as a default shard.
+_SPILL_READ_KEYS = 4_000_000
+
+
+def _spill_attempt(
+    stream: EdgeChunkStream, spill: Path
+) -> tuple[int, int, np.ndarray]:
+    """Pass A of the streamed build: spill one attempt's keys, count degrees.
+
+    Writes every fused-key chunk to ``spill`` verbatim (raw int64, no
+    framing — the keys are globally unique per the chunk protocol, so order
+    never matters again) while accumulating the exact arc count of every
+    row: a non-loop key ``u·n + v`` contributes one arc to row ``u`` and one
+    to row ``v``, a self-loop one arc to its row, matching the canonical
+    CSR build.  Returns ``(num_keys, num_self_loops, degrees)``; the O(n)
+    degree array is the only allocation that survives the pass.
+    """
+    n = stream.n
+    degrees = np.zeros(n, dtype=np.int64)
+    num_keys = 0
+    loops = 0
+    with open(spill, "wb") as fh:
+        for chunk in stream.chunks:
+            keys = np.ascontiguousarray(chunk, dtype=np.int64)
+            if keys.size == 0:
+                continue
+            if int(keys.min()) < 0 or int(keys.max()) >= n * n:
+                raise GraphError(
+                    f"edge key outside [0, n²) for n={n}: the chunk stream "
+                    "violated the fused-key protocol"
+                )
+            u = keys // n
+            non_loop = u != keys % n
+            degrees += np.bincount(u, minlength=n)
+            degrees += np.bincount(keys[non_loop] % n, minlength=n)
+            loops += int(keys.size - np.count_nonzero(non_loop))
+            num_keys += keys.size
+            keys.tofile(fh)
+    return num_keys, loops, degrees
+
+
+def _spill_windows(indptr: np.ndarray, window_arcs: int) -> Iterator[tuple[int, int]]:
+    """Row windows of at most ``window_arcs`` arcs (cut like shard flushes).
+
+    The same greedy row-boundary rule :class:`~repro.graphs.store.ShardWriter`
+    uses: extend the window to the furthest row whose slice still fits, but
+    always advance by at least one row so an oversized single row becomes an
+    oversized single window rather than a livelock.
+    """
+    n = indptr.size - 1
+    r0 = 0
+    while r0 < n:
+        limit = int(indptr[r0]) + window_arcs
+        r1 = int(np.searchsorted(indptr, limit, side="right")) - 1
+        r1 = max(r0 + 1, min(n, r1))
+        yield r0, r1
+        r0 = r1
+
+
+def _shards_from_spill(
+    tmp: Path,
+    spill: Path,
+    stream: EdgeChunkStream,
+    degrees: np.ndarray,
+    extra: dict[str, Any],
+    *,
+    shard_arcs: int | None,
+    window_arcs: int,
+) -> None:
+    """Pass B of the streamed build: spill file → sharded entry directory.
+
+    Builds the canonical CSR shards window by window.  Row ``u``'s arcs all
+    carry fused keys in the disjoint range ``[u·n, (u+1)·n)``, so sorting
+    each window's arc keys equals slicing one global sort — per-window
+    output is bit-identical to the materialising ``np.sort`` build, and the
+    finished directory is byte-identical to
+    :func:`_store_sharded` of the same instance.  Every window re-scans the
+    spill file sequentially (O(windows · m) read volume, page-cache friendly);
+    the resident set is O(window + read chunk + n), never O(m).
+    """
+    n = stream.n
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    writer = ShardWriter(tmp, n, shard_arcs=shard_arcs)
+    for r0, r1 in _spill_windows(indptr, window_arcs):
+        parts: list[np.ndarray] = []
+        with open(spill, "rb") as fh:
+            while True:
+                keys = np.fromfile(fh, dtype=np.int64, count=_SPILL_READ_KEYS)
+                if keys.size == 0:
+                    break
+                u = keys // n
+                v = keys % n
+                mine = (u >= r0) & (u < r1)
+                if np.any(mine):
+                    parts.append(keys[mine])
+                flipped = (v >= r0) & (v < r1) & (u != v)
+                if np.any(flipped):
+                    parts.append(v[flipped] * n + u[flipped])
+        arcs = (
+            np.sort(np.concatenate(parts)) if parts else np.empty(0, dtype=np.int64)
+        )
+        if arcs.size > 1 and bool(np.any(arcs[1:] == arcs[:-1])):
+            # Same failure the trusted in-RAM build detects on its global
+            # sorted key array; a duplicate undirected edge duplicates an
+            # arc key inside one row, hence inside one window.
+            raise GraphError("duplicate undirected edges are not allowed")
+        writer.append_rows(degrees[r0:r1], arcs % n)
+    # Store the normalised (first-appearance-ordered) label vector, exactly
+    # as the materialising path persists `instance.partition.labels` — raw
+    # generator labels would load to the same Partition but break the
+    # byte-identity of the two write paths.
+    np.save(tmp / "labels.npy", Partition(stream.labels).labels)
+    writer.finalise(extra=extra)
+
+
+def generate_to_cache(
+    generator: Callable[..., Any] | str,
+    *,
+    seed: int | None = None,
+    cache_dir: str | Path,
+    refresh: bool = False,
+    shard_arcs: int | None = None,
+    window_arcs: int | None = None,
+    max_bytes: int | None = None,
+    **params: Any,
+) -> ClusteredGraph:
+    """Generate an instance **straight into** a sharded cache entry.
+
+    The out-of-core complement of ``cached_instance(..., mmap=True)``: where
+    that path materialises the full edge array and CSR structure in RAM
+    before sharding it, this one consumes the generator's
+    :class:`~repro.graphs.generators.EdgeChunkStream` chunk by chunk — keys
+    are spilled to a flat scratch file while per-row degrees accumulate
+    (pass A), then the shards are built window by window from the spill
+    (pass B) and the entry is atomically renamed into place.  Peak residency
+    is O(n + window), never O(m), which is what makes n = 10⁷ generation
+    feasible on a RAM budget the instance itself exceeds.
+
+    Both paths consume the *same* seeded chunk stream and the same shard
+    cut rule, so the finished entry — digest, manifest, shard bytes, labels
+    — is identical to what the materialising path writes for the same
+    ``(generator, params, seed)``; rejection retries (connectivity,
+    min-degree) also replay identically because an attempt's chunks are
+    fully consumed before the next attempt draws.
+
+    ``generator`` may be a base generator (name or callable) with a
+    ``*_chunks`` variant, or the chunk variant itself; the cache key always
+    uses the base name.  ``window_arcs`` bounds pass B's working set
+    (default: one shard's worth).  Remaining parameters match
+    :func:`cached_instance`; the graph is returned memory-mapped.
+    """
+    fn_chunks, name = _resolve_chunk_generator(generator)
+    cache_path = Path(cache_dir)
+    key_json = _key_json(name, params, seed)
+    shard_dir = instance_shard_dir(cache_path, name, params, seed)
+    if not refresh and shard_dir.is_dir():
+        try:
+            return _load_sharded(shard_dir, key_json, mmap=True)
+        except Exception:
+            pass
+    cache_path.mkdir(parents=True, exist_ok=True)
+    window = DEFAULT_SHARD_ARCS if window_arcs is None else int(window_arcs)
+    if window < 1:
+        raise InstanceCacheError(f"window_arcs must be >= 1, got {window_arcs}")
+    spill_fd, spill_name = tempfile.mkstemp(dir=cache_path, suffix=".keys.tmp")
+    os.close(spill_fd)
+    spill = Path(spill_name)
+    try:
+        for stream in fn_chunks(**params, seed=seed):
+            num_keys, loops, degrees = _spill_attempt(stream, spill)
+            min_degree = int(degrees.min()) if degrees.size else 0
+            if min_degree < stream.min_degree_required:
+                continue  # pragma: no cover - generators repair degree-0 nodes
+            extra = {
+                "key": key_json,
+                "graph_name": stream.name,
+                "instance_params": _lenient_json(stream.params),
+                "num_edges": num_keys,
+                "num_self_loops": loops,
+            }
+            tmp = Path(tempfile.mkdtemp(dir=cache_path, suffix=".csr.tmp"))
+            try:
+                _shards_from_spill(
+                    tmp,
+                    spill,
+                    stream,
+                    degrees,
+                    extra,
+                    shard_arcs=shard_arcs,
+                    window_arcs=window,
+                )
+                if stream.ensure_connected:
+                    graph = Graph.from_storage(
+                        MmapStorage(tmp),
+                        name=stream.name,
+                        num_edges=num_keys,
+                        num_self_loops=loops,
+                    )
+                    if not graph.is_connected():
+                        shutil.rmtree(tmp, ignore_errors=True)
+                        continue
+                try:
+                    os.replace(tmp, shard_dir)
+                except OSError:
+                    # Same stale-destination repair as _store_sharded.
+                    shutil.rmtree(shard_dir, ignore_errors=True)
+                    os.replace(tmp, shard_dir)
+            except BaseException:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+            _prune_after_write(cache_path, max_bytes, shard_dir)
+            return _load_sharded(shard_dir, key_json, mmap=True)
+    finally:
+        try:
+            spill.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    raise GraphError("generator produced no attempts")  # pragma: no cover
+
+
 def cached_instance(
     generator: Callable[..., ClusteredGraph] | str,
     *,
@@ -338,6 +606,7 @@ def cached_instance(
     cache_dir: str | Path | None = None,
     refresh: bool = False,
     mmap: bool = False,
+    streaming: bool | None = None,
     shard_arcs: int | None = None,
     max_bytes: int | None = None,
     **params: Any,
@@ -369,6 +638,17 @@ def cached_instance(
         :class:`~repro.graphs.store.MmapStorage` (OS-paged shards, shared
         across processes, pickled by path).  A v1 npz entry found under the
         same key is converted to v2 without regenerating.
+    streaming:
+        How a **missing** ``mmap=True`` entry is generated.  ``None`` (the
+        default) streams the generator's edge chunks straight into the
+        sharded entry via :func:`generate_to_cache` whenever the generator
+        has a ``*_chunks`` variant — O(n + window) peak residency — and
+        falls back to the materialising build otherwise.  ``False`` forces
+        the materialising build; ``True`` requires the chunk variant and
+        raises without it.  The finished entry is byte-identical either
+        way, so this knob changes memory behaviour, never results.
+        ``streaming=True`` with ``mmap=False`` raises: the streamed build
+        only produces sharded entries.
     shard_arcs:
         Arcs per indices shard for v2 writes (default
         :data:`~repro.graphs.store.DEFAULT_SHARD_ARCS`).
@@ -386,6 +666,11 @@ def cached_instance(
     entry is regenerated and overwritten, never served.
     """
     fn, name = _resolve_generator(generator)
+    if streaming and not mmap:
+        raise InstanceCacheError(
+            "streaming=True requires mmap=True: the streamed build writes "
+            "a sharded entry and serves it memory-mapped"
+        )
     if cache_dir is None:
         if mmap:
             raise InstanceCacheError(
@@ -430,11 +715,29 @@ def cached_instance(
                 return _load_sharded(shard_dir, key_json, mmap=False)
             except Exception:
                 pass
-    instance = fn(**params, seed=seed)
     if mmap:
+        stream_build = streaming
+        if stream_build is None:
+            try:
+                _resolve_chunk_generator(generator)
+                stream_build = True
+            except InstanceCacheError:
+                stream_build = False
+        if stream_build:
+            return generate_to_cache(
+                generator,
+                seed=seed,
+                cache_dir=cache_dir,
+                refresh=True,
+                shard_arcs=shard_arcs,
+                max_bytes=max_bytes,
+                **params,
+            )
+        instance = fn(**params, seed=seed)
         _store_sharded(shard_dir, instance, key_json, shard_arcs=shard_arcs)
         instance = _load_sharded(shard_dir, key_json, mmap=True)
     else:
+        instance = fn(**params, seed=seed)
         _store(npz_path, instance, key_json)
     _prune_after_write(cache_dir, max_bytes, serving_path)
     return instance

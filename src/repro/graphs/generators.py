@@ -38,7 +38,7 @@ seed-deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -53,8 +53,11 @@ from .sampling import (
 
 __all__ = [
     "ClusteredGraph",
+    "EdgeChunkStream",
     "stochastic_block_model",
+    "stochastic_block_model_chunks",
     "planted_partition",
+    "planted_partition_chunks",
     "cycle_of_cliques",
     "path_of_cliques",
     "ring_of_expanders",
@@ -106,6 +109,61 @@ def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+@dataclass
+class EdgeChunkStream:
+    """One generation *attempt*, emitted as bounded chunks of fused edge keys.
+
+    The out-of-core generation protocol: instead of returning a finished
+    :class:`ClusteredGraph`, a ``<generator>_chunks`` function yields one
+    ``EdgeChunkStream`` per acceptance attempt.  ``chunks`` iterates 1-d
+    int64 arrays of *fused edge keys* ``u·n + v`` with ``0 ≤ u ≤ v < n``,
+    unique within and across the attempt's chunks (so the union of chunks is
+    exactly the attempt's edge set, 8 bytes per edge and no ``(m, 2)``
+    transient).  The consumer applies the acceptance rule — every node degree
+    at least ``min_degree_required``, connectivity when ``ensure_connected``
+    — and on rejection simply pulls the next attempt, which resumes the
+    generator's seeded rng exactly where the in-RAM retry loop would; after
+    the last attempt the generator raises :class:`GraphError`, so exhaustion
+    behaves identically on both paths.
+
+    Key fusing bounds ``n`` by ``n² ≤ 2⁶³`` (≈ 3·10⁹ nodes) — the same bound
+    the canonical CSR sort in :class:`~repro.graphs.graph.Graph` already has.
+    """
+
+    n: int
+    name: str
+    labels: np.ndarray
+    params: dict
+    chunks: Iterator[np.ndarray]
+    ensure_connected: bool = False
+    min_degree_required: int = 0
+
+
+def _instance_from_chunk_streams(attempts: Iterator[EdgeChunkStream]) -> ClusteredGraph:
+    """In-RAM consumer of a chunk-stream generator: build, validate, retry.
+
+    This is what keeps the default dense path and the streaming cache path
+    on one code path: both consume the *same* attempt iterator (identical
+    rng draws), this one by concatenating the keys and handing the decoded
+    ``(m, 2)`` array to the validated constructor.
+    """
+    for stream in attempts:
+        parts = [np.asarray(c, dtype=np.int64) for c in stream.chunks]
+        keys = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        edges = np.stack([keys // stream.n, keys % stream.n], axis=1)
+        graph = Graph.from_edge_array(stream.n, edges, name=stream.name)
+        if graph.min_degree < stream.min_degree_required:
+            continue  # pragma: no cover - generators repair degree-0 nodes
+        if stream.ensure_connected and not graph.is_connected():
+            continue
+        return ClusteredGraph(
+            graph=graph,
+            partition=Partition.from_labels(stream.labels),
+            params=stream.params,
+        )
+    raise GraphError("generator produced no attempts")  # pragma: no cover
 
 
 def _balanced_sizes(n: int, k: int) -> list[int]:
@@ -162,7 +220,42 @@ def stochastic_block_model(
     exact Binomial and then picks that many distinct pairs, so cost is
     proportional to the number of edges rather than to the Θ(n²) candidate
     pairs.  The edge-set distribution is identical to the classical per-pair
-    Bernoulli formulation.
+    Bernoulli formulation.  This in-RAM constructor and the out-of-core
+    cache writer both consume :func:`stochastic_block_model_chunks`, so the
+    two paths draw identical instances from identical seeds.
+    """
+    return _instance_from_chunk_streams(
+        stochastic_block_model_chunks(
+            sizes,
+            p_in,
+            p_out,
+            seed=seed,
+            ensure_connected=ensure_connected,
+            max_connect_attempts=max_connect_attempts,
+            name=name,
+        )
+    )
+
+
+def stochastic_block_model_chunks(
+    sizes: Sequence[int],
+    p_in: float | Sequence[float],
+    p_out: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = False,
+    max_connect_attempts: int = 20,
+    name: str | None = None,
+) -> Iterator[EdgeChunkStream]:
+    """Chunk-stream variant of :func:`stochastic_block_model`.
+
+    Yields one :class:`EdgeChunkStream` per acceptance attempt whose chunks
+    are the per-block fused edge keys (one chunk per within-cluster
+    triangular block, one per between-cluster rectangular block) — blocks
+    occupy disjoint key ranges and each block's pairs are distinct, so the
+    keys are unique across the whole attempt without any global dedup.
+    Randomness consumption is identical to the in-RAM constructor, which is
+    in fact a consumer of this function.
     """
     sizes = [int(s) for s in sizes]
     k = len(sizes)
@@ -181,46 +274,43 @@ def stochastic_block_model(
     n = int(sum(sizes))
     labels = _labels_from_sizes(sizes)
     offsets = np.concatenate([[0], np.cumsum(sizes)])
+    graph_name = name or f"sbm(n={n},k={k})"
+    params = {
+        "generator": "stochastic_block_model",
+        "sizes": sizes,
+        "p_in": p_in_vec.tolist(),
+        "p_out": float(p_out),
+    }
 
-    def sample_once(r: np.random.Generator) -> np.ndarray:
-        chunks: list[np.ndarray] = []
+    def sample_keys(r: np.random.Generator) -> Iterator[np.ndarray]:
         # Within-cluster blocks: triangular Bernoulli sampling per cluster.
         for c in range(k):
             block = bernoulli_triu_edges(sizes[c], p_in_vec[c], r)
             if block.size:
-                chunks.append(block + offsets[c])
+                yield (block[:, 0] + offsets[c]) * n + (block[:, 1] + offsets[c])
         # Between-cluster blocks: rectangular Bernoulli sampling per pair.
         if p_out > 0:
             for a in range(k):
                 for b in range(a + 1, k):
                     block = bernoulli_block_edges(sizes[a], sizes[b], p_out, r)
                     if block.size:
-                        block[:, 0] += offsets[a]
-                        block[:, 1] += offsets[b]
-                        chunks.append(block)
-        return _concat_edges(chunks)
+                        yield (block[:, 0] + offsets[a]) * n + (block[:, 1] + offsets[b])
 
-    graph_name = name or f"sbm(n={n},k={k})"
-    for attempt in range(max_connect_attempts):
-        graph = Graph.from_edge_array(n, sample_once(rng), name=graph_name)
-        if not ensure_connected or graph.is_connected():
-            break
-    else:  # pragma: no cover - requires persistent bad luck
+    def attempts() -> Iterator[EdgeChunkStream]:
+        for _ in range(max_connect_attempts):
+            yield EdgeChunkStream(
+                n=n,
+                name=graph_name,
+                labels=labels,
+                params=params,
+                chunks=sample_keys(rng),
+                ensure_connected=ensure_connected,
+            )
         raise GraphError(
             f"could not sample a connected SBM in {max_connect_attempts} attempts"
         )
 
-    partition = Partition.from_labels(labels)
-    return ClusteredGraph(
-        graph=graph,
-        partition=partition,
-        params={
-            "generator": "stochastic_block_model",
-            "sizes": sizes,
-            "p_in": p_in_vec.tolist(),
-            "p_out": float(p_out),
-        },
-    )
+    return attempts()
 
 
 def planted_partition(
@@ -234,6 +324,26 @@ def planted_partition(
 ) -> ClusteredGraph:
     """SBM with ``k`` balanced clusters of total size ``n``."""
     return stochastic_block_model(
+        _balanced_sizes(n, k),
+        p_in,
+        p_out,
+        seed=seed,
+        ensure_connected=ensure_connected,
+        name=f"planted(n={n},k={k},p={p_in},q={p_out})",
+    )
+
+
+def planted_partition_chunks(
+    n: int,
+    k: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = False,
+) -> Iterator[EdgeChunkStream]:
+    """Chunk-stream variant of :func:`planted_partition` (same signature)."""
+    return stochastic_block_model_chunks(
         _balanced_sizes(n, k),
         p_in,
         p_out,

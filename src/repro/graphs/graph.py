@@ -45,6 +45,44 @@ class GraphError(ValueError):
     """Raised when a graph is constructed from inconsistent data."""
 
 
+def _find_roots(parent: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Vectorised union-find *find* with path halving for a batch of nodes.
+
+    Mutates ``parent`` in place (halving only ever re-points a node at its
+    grandparent, so concurrent batch entries for the same node write the
+    same value) and returns the root of every entry in ``nodes``.
+    """
+    cur = nodes
+    while True:
+        par = parent[cur]
+        grand = parent[par]
+        if np.array_equal(par, grand):
+            return par
+        parent[cur] = grand  # path halving
+        cur = grand
+
+
+def _union_edge_batch(parent: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
+    """Union every edge ``(u[i], v[i])`` into the ``parent`` forest.
+
+    Hooks the larger root under the smaller one.  Conflicting scatter
+    writes within one pass can drop a union, but every dropped pair stays
+    live (its roots still differ) and is retried; each pass strictly
+    decreases the parent of at least one root, so the loop terminates.
+    """
+    while u.size:
+        ru = _find_roots(parent, u)
+        rv = _find_roots(parent, v)
+        live = ru != rv
+        if not live.any():
+            return
+        ru = ru[live]
+        rv = rv[live]
+        hi = np.maximum(ru, rv)
+        parent[hi] = np.minimum(ru, rv)
+        u, v = ru, rv
+
+
 class Graph:
     """An immutable undirected graph stored in CSR form.
 
@@ -637,7 +675,13 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     def _csgraph(self) -> sp.csr_matrix:
-        """Boolean CSR adjacency for :mod:`scipy.sparse.csgraph` routines."""
+        """Boolean CSR adjacency for :mod:`scipy.sparse.csgraph` routines.
+
+        Materialises the index array, so it is **not** on the connectivity
+        path any more (``connected_components``/``is_connected`` run a
+        streamed union-find instead); retained for inspection and for any
+        future csgraph consumer that genuinely needs a scipy matrix.
+        """
         return sp.csr_matrix(
             (
                 np.ones(self._store.num_arcs, dtype=np.int8),
@@ -647,31 +691,61 @@ class Graph:
             shape=(self._n, self._n),
         )
 
+    def _component_roots(self) -> np.ndarray:
+        """Per-node component root via union-find streamed over row blocks.
+
+        Path-halving union-find with union-by-minimum, driven by
+        ``storage.iter_row_blocks`` — the parent array is the only O(n)
+        allocation and the adjacency is only ever touched one row block at a
+        time, so mmap-backed graphs stay out-of-core.  Union by minimum
+        means the final root of every node is the smallest node id in its
+        component, which is exactly the ordering key
+        :meth:`connected_components` needs.
+        """
+        n = self._n
+        dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+        parent = np.arange(n, dtype=dtype)
+        indptr = self._store.indptr
+        for row_start, row_stop, block in self._store.iter_row_blocks():
+            rows = np.repeat(
+                np.arange(row_start, row_stop, dtype=np.int64),
+                np.diff(indptr[row_start : row_stop + 1]),
+            )
+            # Symmetric CSR stores every edge as two arcs; keeping only
+            # column > row unions each edge once and drops self-loops.
+            keep = block > rows
+            _union_edge_batch(parent, rows[keep], np.asarray(block)[keep])
+        # Full compression: point every node directly at its root.
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                return parent.astype(np.int64, copy=False)
+            parent = grand
+
     def connected_components(self) -> list[np.ndarray]:
         """Connected components as sorted arrays of node ids.
 
-        Delegates to :func:`scipy.sparse.csgraph.connected_components` (the
-        seed used a Python-level BFS, which dominated the generators'
-        ``ensure_connected`` resample loop at large n).  The return shape is
-        unchanged: one sorted int64 array per component, components ordered
-        by their smallest member.
+        Runs the streamed union-find of :meth:`_component_roots` (earlier
+        revisions delegated to scipy's csgraph, which materialises an O(m)
+        matrix and capped ``--mmap`` analysis at n ≈ 10⁶).  The return shape
+        is unchanged: one sorted int64 array per component, components
+        ordered by their smallest member.
         """
-        from scipy.sparse.csgraph import connected_components as _cc
-
-        num, labels = _cc(self._csgraph(), directed=False)
-        order = np.argsort(labels, kind="stable")
-        counts = np.bincount(labels, minlength=num)
-        components = [
+        if self._n == 0:  # pragma: no cover - Graph forbids n == 0
+            return []
+        roots = self._component_roots()
+        order = np.argsort(roots, kind="stable")
+        boundaries = np.flatnonzero(np.diff(roots[order])) + 1
+        return [
             np.ascontiguousarray(chunk, dtype=np.int64)
-            for chunk in np.split(order, np.cumsum(counts)[:-1])
+            for chunk in np.split(order, boundaries)
         ]
-        components.sort(key=lambda c: int(c[0]))
-        return components
 
     def is_connected(self) -> bool:
-        from scipy.sparse.csgraph import connected_components as _cc
-
-        return int(_cc(self._csgraph(), directed=False, return_labels=False)) == 1
+        if self._n <= 1:
+            return True
+        roots = self._component_roots()
+        return bool((roots == roots[0]).all())
 
     # ------------------------------------------------------------------ #
     # Dunder methods

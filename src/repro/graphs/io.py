@@ -34,12 +34,26 @@ __all__ = [
 
 
 def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
-    """Write ``graph`` as an edge list with an ``% n`` header."""
+    """Write ``graph`` as an edge list with an ``% n`` header.
+
+    Streams over the storage's row blocks instead of materialising
+    ``graph.edge_array()``, so a memory-mapped instance is written with an
+    O(block) resident set; each undirected edge appears once, on its
+    lower-endpoint row, in the same row-major order the materialising
+    ``edge_array`` produced.
+    """
     path = Path(path)
+    indptr = graph.storage.indptr
     with path.open("w", encoding="utf-8") as fh:
         fh.write(f"% n {graph.n}\n")
         fh.write(f"# {graph.name}\n")
-        np.savetxt(fh, graph.edge_array(), fmt="%d")
+        for r0, r1, block in graph.storage.iter_row_blocks():
+            rows = np.repeat(
+                np.arange(r0, r1, dtype=np.int64), np.diff(indptr[r0 : r1 + 1])
+            )
+            cols = np.asarray(block)
+            mask = cols >= rows
+            np.savetxt(fh, np.stack([rows[mask], cols[mask]], axis=1), fmt="%d")
 
 
 def read_edge_list(path: str | os.PathLike, *, name: str | None = None) -> Graph:

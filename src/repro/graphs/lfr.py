@@ -26,14 +26,32 @@ scanned per community.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-from .generators import ClusteredGraph, _as_rng
-from .graph import Graph, GraphError
-from .partition import Partition
-from .sampling import AliasTable, SegmentedAliasTable, _sorted_unique
+from .generators import (
+    ClusteredGraph,
+    EdgeChunkStream,
+    _as_rng,
+    _instance_from_chunk_streams,
+)
+from .graph import GraphError
+from .sampling import AliasTable, SegmentedAliasTable, _sorted_unique, merge_sorted_unique
 
-__all__ = ["truncated_power_law", "lfr_benchmark"]
+__all__ = ["truncated_power_law", "lfr_benchmark", "lfr_benchmark_chunks"]
+
+#: Upper bound on one candidate draw of the rejection samplers below.  A
+#: round's candidate budget (2·need + 16) is spent in sub-batches of at most
+#: this many draws, so the per-batch transients (two endpoint arrays plus the
+#: fused keys) stay bounded at ~24 MB however large the instance is — at
+#: n = 10⁷ an uncapped first round would materialise ~10⁸ candidates, three
+#: times the memory of the edge set it is sampling.  Draws at or below the
+#: cap consume the seeded stream exactly as a single batch did, so instances
+#: with fewer than ~half a million edges per sampler call are unchanged;
+#: larger instances land on a new (equally distributed) seed → instance
+#: mapping, which is why ``CACHE_FORMAT_VERSION`` was bumped alongside.
+_MAX_CANDIDATE_BATCH = 1 << 20
 
 
 def truncated_power_law(
@@ -71,37 +89,50 @@ def _sample_weighted_pairs(
 
     Candidate endpoints are drawn independently from ``members``; self-pairs,
     same-``forbidden_labels`` pairs and duplicates are rejected in vectorised
-    batches.  Like the seed's bounded candidate loop this is best-effort: if
-    the weight distribution cannot supply ``target`` distinct pairs within a
-    few rounds, fewer are returned.  Pairs come back as a canonical
-    ``(m, 2)`` int64 array with ``u < v`` in the global numbering.
+    batches of at most :data:`_MAX_CANDIDATE_BATCH` candidates.  Like the
+    seed's bounded candidate loop this is best-effort: if the weight
+    distribution cannot supply ``target`` distinct pairs within a few rounds'
+    candidate budgets, fewer are returned.  The result is a **sorted array of
+    fused keys** ``min(u,v)·n + max(u,v)`` (the chunk-stream protocol's edge
+    encoding) rather than a stacked pair array — callers that need pairs
+    decode with ``//`` and ``%``.
 
     Endpoints are drawn through a Walker :class:`AliasTable` built once per
     call — O(1) per draw where ``Generator.choice(p=...)`` rebuilt a CDF and
-    binary-searched it on every batch.
+    binary-searched it on every batch — and each batch is folded into the
+    sorted accumulation with :func:`merge_sorted_unique`, so only the new
+    keys are ever sorted.
     """
     if target <= 0 or members.size < 2:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
     table = AliasTable(probs)
     have = np.empty(0, dtype=np.int64)
     for _ in range(8):
         need = target - have.size
         if need <= 0:
             break
-        draw = 2 * need + 16
-        cu = members[table.draw(rng, draw)]
-        cv = members[table.draw(rng, draw)]
-        ok = cu != cv
-        if forbidden_labels is not None:
-            ok &= forbidden_labels[cu] != forbidden_labels[cv]
-        cu, cv = cu[ok], cv[ok]
-        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
-        have = _sorted_unique(np.concatenate([have, keys]))
+        # One deficit's worth of candidates per round: rejections are rare
+        # (self-pairs, duplicates), so the outer loop converges in a few
+        # rounds anyway, and not over-drawing keeps the accumulated surplus
+        # — which survives until the final trim — near the target instead
+        # of 2x it.  Peak RSS of generation is this accumulation.
+        budget = need + 16
+        while budget > 0:
+            draw = min(budget, _MAX_CANDIDATE_BATCH)
+            budget -= draw
+            cu = members[table.draw(rng, draw)]
+            cv = members[table.draw(rng, draw)]
+            ok = cu != cv
+            if forbidden_labels is not None:
+                ok &= forbidden_labels[cu] != forbidden_labels[cv]
+            cu, cv = cu[ok], cv[ok]
+            keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+            have = merge_sorted_unique(have, keys)
     if have.size > target:
         have = np.delete(
             have, rng.choice(have.size, size=have.size - target, replace=False)
         )
-    return np.stack([have // n, have % n], axis=1)
+    return have
 
 
 def _sample_same_label_pairs(
@@ -114,7 +145,8 @@ def _sample_same_label_pairs(
     """Sample up to ``target_c[c]`` distinct pairs *per community* ``c``,
     batched over all communities at once, with unordered pair weight
     ∝ ``w_u · w_v / tot_c`` for ``u ≠ v`` in community ``c`` (``tot_c`` =
-    the community's weight mass).
+    the community's weight mass).  Returns a **sorted fused-key array**
+    (``min(u,v)·n + max(u,v)``) like :func:`_sample_weighted_pairs`.
 
     Drawing both endpoints globally and rejecting cross-community pairs
     would accept only ~1/C of candidates with C communities — hopeless at
@@ -133,18 +165,18 @@ def _sample_same_label_pairs(
     exchangeable), so a community whose distinct-pair set saturates can
     never spill its unmet target into other communities.  Trimming once at
     the end rather than per batch is the second half of the speedup: the
-    trim is a full lexsort of every accumulated pair, and surplus kept
+    trim ranks every accumulated pair within its community, and surplus kept
     between batches still counts towards the quota check, so the loop never
     runs longer for it.
     """
     num_labels = int(target_c.size)
     total_target = int(target_c.sum())
     if total_target <= 0:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
     order = np.argsort(labels, kind="stable")
     w_sorted = weights[order].astype(np.float64)
     if float(w_sorted.sum()) <= 0:
-        return np.empty((0, 2), dtype=np.int64)
+        return np.empty(0, dtype=np.int64)
     counts = np.bincount(labels, minlength=num_labels)
     starts = np.zeros(num_labels + 1, dtype=np.int64)
     starts[1:] = np.cumsum(counts)
@@ -156,28 +188,45 @@ def _sample_same_label_pairs(
         need = int(np.maximum(target_c - have_c, 0).sum())
         if need <= 0:
             break
-        draw = 2 * need + 16
-        cu = order[global_table.draw(rng, draw)]
-        c = labels[cu]
-        # Second endpoint ∝ w within c's block of the sorted order.
-        cv = order[community_table.draw_in_segments(c, rng)]
-        ok = cu != cv
-        cu, cv = cu[ok], cv[ok]
-        keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
-        have = _sorted_unique(np.concatenate([have, keys]))
+        # One deficit's worth of candidates per round (see
+        # _sample_weighted_pairs): deficits collapse after the first round,
+        # and the surplus all rounds accumulate — drawn ∝ weight, so mostly
+        # landing in already-full communities — is generation's peak RSS.
+        budget = need + 16
+        while budget > 0:
+            draw = min(budget, _MAX_CANDIDATE_BATCH)
+            budget -= draw
+            cu = order[global_table.draw(rng, draw)]
+            c = labels[cu]
+            # Second endpoint ∝ w within c's block of the sorted order.
+            cv = order[community_table.draw_in_segments(c, rng)]
+            ok = cu != cv
+            cu, cv = cu[ok], cv[ok]
+            keys = np.minimum(cu, cv) * n + np.maximum(cu, cv)
+            have = merge_sorted_unique(have, keys)
     # Enforce quotas once over the full accumulation: keep a uniform random
     # target_c-subset per community (rank the community's pairs by a fresh
     # random key).  Surplus above a community's quota already stopped the
     # loop from re-drawing for it, so one trim here is equivalent to — and
-    # 8x cheaper than — trimming inside every batch.
+    # 8x cheaper than — trimming inside every batch.  Grouping by community
+    # and partial-sorting each over-quota group keeps the trim's transient
+    # footprint at ~4 key-sized arrays where a global lexsort over
+    # (random key, community) needed ~8 — at n = 10⁶ the difference is the
+    # peak RSS of the whole generator.
     if have.size:
-        cc = labels[have // n]
-        perm = np.lexsort((rng.random(have.size), cc))
-        cc_perm = cc[perm]
-        group_start = np.searchsorted(cc_perm, np.arange(num_labels))
-        rank = np.arange(have.size) - group_start[cc_perm]
-        have = np.sort(have[perm[rank < target_c[cc_perm]]])
-    return np.stack([have // n, have % n], axis=1)
+        r = rng.random(have.size)
+        cc = labels[have // n].astype(np.int32)
+        perm = np.argsort(cc, kind="stable")
+        counts_c = np.bincount(cc, minlength=num_labels)
+        bounds = np.zeros(num_labels + 1, dtype=np.int64)
+        np.cumsum(counts_c, out=bounds[1:])
+        keep = np.ones(have.size, dtype=bool)
+        for c in np.flatnonzero(counts_c > target_c):
+            members = perm[bounds[c] : bounds[c + 1]]
+            surplus = np.argsort(r[members], kind="stable")[int(target_c[c]) :]
+            keep[members[surplus]] = False
+        have = have[keep]  # boolean mask keeps the sorted key order
+    return have
 
 
 def _sample_community_sizes(
@@ -213,6 +262,193 @@ def _sample_community_sizes(
     raise GraphError("could not sample community sizes summing to n; relax the size bounds")
 
 
+def _lfr_attempt_keys(
+    n: int,
+    mu: float,
+    degrees: np.ndarray,
+    labels: np.ndarray,
+    sizes: np.ndarray,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    """Fused-key edge chunks of one LFR attempt (internal, external, repair).
+
+    Expected-degree (Chung–Lu style) edge sampling, block by block: the
+    probability of an edge {u, v} inside community C is proportional to the
+    *internal* degree budgets (1-mu)d_u (1-mu)d_v, and across communities to
+    the external budgets mu·d_u mu·d_v.  The three chunks are disjoint by
+    construction — internal keys are same-community pairs, external keys
+    cross-community pairs, and repair keys touch only nodes no earlier chunk
+    reached — so the attempt's keys are globally unique without any
+    cross-chunk dedup.  ``occupied`` (O(n) bools) is maintained incrementally
+    as chunks are emitted, which is what lets the streaming consumer spill
+    each chunk to disk instead of keeping the edge set around for the
+    isolated-node scan.
+    """
+    internal = (1.0 - mu) * degrees
+    external = mu * degrees
+    occupied = np.zeros(n, dtype=bool)
+
+    def emit(keys: np.ndarray) -> np.ndarray:
+        occupied[keys // n] = True
+        occupied[keys % n] = True
+        return keys
+
+    # Internal edges, all communities in ONE batched draw.  The seed
+    # looped over communities (members ∝ budget/total_c, count ~
+    # min(Poisson(W_c / total_c), pairs_c) with W_c = (total_c² − Σ b²)/2
+    # and pairs_c the community's distinct-pair count); at n ≥ 10⁶ with
+    # thousands of communities that Python loop dominated.  The batched
+    # version draws the same per-community counts in one vectorised
+    # Poisson call and hands them to :func:`_sample_same_label_pairs`,
+    # which samples pairs with weight ∝ b_u b_v / total_c — exactly the
+    # per-community scheme's candidate distribution — under hard
+    # per-community quotas.  (The Poissonised counts deliberately keep
+    # the dispersion of the original per-pair Bernoulli scheme.)
+    num_communities = len(sizes)
+    total_c = np.bincount(labels, weights=internal, minlength=num_communities)
+    sq_c = np.bincount(labels, weights=internal**2, minlength=num_communities)
+    members_c = np.asarray(sizes, dtype=np.int64)
+    pair_weight_c = np.zeros(num_communities)
+    eligible = (total_c > 0) & (members_c >= 2)
+    pair_weight_c[eligible] = (
+        total_c[eligible] ** 2 - sq_c[eligible]
+    ) / (2.0 * total_c[eligible])
+    pair_weight_c = np.maximum(pair_weight_c, 0.0)
+    endpoint_weight = np.where(eligible[labels], internal, 0.0)
+    if pair_weight_c.sum() > 0:
+        max_pairs_c = members_c * (members_c - 1) // 2
+        target_c = np.minimum(rng.poisson(pair_weight_c), max_pairs_c)
+        keys = _sample_same_label_pairs(endpoint_weight, labels, target_c, n, rng)
+        if keys.size:
+            yield emit(keys)
+
+    # External edges across the whole graph, same candidate scheme but
+    # rejecting same-community pairs.
+    total_external = external.sum()
+    if total_external > 0 and mu > 0:
+        target = int(total_external / 2)
+        keys = _sample_weighted_pairs(
+            np.arange(n, dtype=np.int64),
+            external / total_external,
+            target,
+            n,
+            rng,
+            forbidden_labels=labels,
+        )
+        if keys.size:
+            yield emit(keys)
+
+    # Repair isolated nodes.  Chung–Lu candidate sampling leaves node v
+    # isolated with probability ≈ e^{-d_v}; at n ≥ 10⁵ *some* isolated
+    # node is therefore near-certain, and a resample loop could never
+    # terminate at scale.  Attach each isolated node to a uniform other
+    # member of its community (community sizes are ≥ min_community ≥ 2) —
+    # the standard LFR-style repair: it perturbs only the vanishing
+    # degree-0 tail and stays seed-deterministic.
+    lonely = np.flatnonzero(~occupied)
+    if lonely.size:
+        order = np.argsort(labels, kind="stable")
+        counts = np.bincount(labels, minlength=num_communities)
+        starts = np.zeros(num_communities + 1, dtype=np.int64)
+        starts[1:] = np.cumsum(counts)
+        c = labels[lonely]
+        span = counts[c]
+        partner = np.empty(lonely.size, dtype=np.int64)
+        multi = span >= 2
+        if np.any(multi):
+            # Uniform member of the community excluding the node itself:
+            # draw among the first span-1 slots and map a self-collision
+            # to the last slot (the collision-free standard trick).
+            cm, sm, um = c[multi], span[multi], lonely[multi]
+            cand = order[starts[cm] + rng.integers(0, sm - 1)]
+            collision = cand == um
+            cand[collision] = order[starts[cm[collision]] + sm[collision] - 1]
+            partner[multi] = cand
+        if np.any(~multi):
+            # A singleton community (possible with min_community=1) has
+            # no other member; fall back to a uniform other node
+            # anywhere — (u + offset) mod n with offset in [1, n) is
+            # uniform over the n-1 non-self nodes.
+            us = lonely[~multi]
+            partner[~multi] = (us + rng.integers(1, n, size=us.size)) % n
+        lo = np.minimum(lonely, partner)
+        hi = np.maximum(lonely, partner)
+        # An isolated node has no incident edge yet, so repairs can only
+        # collide with each other (two lonely nodes picking one another)
+        # — which the key dedup here removes.
+        yield _sorted_unique(lo * n + hi)
+
+
+def lfr_benchmark_chunks(
+    n: int,
+    *,
+    mu: float = 0.1,
+    degree_exponent: float = 2.5,
+    community_exponent: float = 1.5,
+    average_degree: int = 10,
+    max_degree: int | None = None,
+    min_community: int | None = None,
+    max_community: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+    max_connect_attempts: int = 20,
+) -> Iterator[EdgeChunkStream]:
+    """Chunk-stream variant of :func:`lfr_benchmark` (same signature).
+
+    Yields one :class:`~repro.graphs.generators.EdgeChunkStream` per
+    acceptance attempt — the degree/community draws of attempt ``t + 1``
+    happen only after attempt ``t``'s chunks are fully consumed, so the
+    seeded stream matches the in-RAM retry loop draw for draw.  The raised
+    :class:`GraphError` after ``max_connect_attempts`` rejections matches
+    too.  LFR attempts additionally require ``min_degree_required = 1``:
+    the isolated-node repair guarantees it, so a failure here marks a
+    protocol bug rather than bad sampling luck.
+    """
+    if not 0.0 <= mu < 1.0:
+        raise GraphError("mu must lie in [0, 1)")
+    if n < 10:
+        raise GraphError("LFR generation needs at least 10 nodes")
+    rng = _as_rng(seed)
+    max_degree = max_degree if max_degree is not None else max(average_degree * 3, 4)
+    min_degree = max(2, int(round(average_degree / 2)))
+    min_community = min_community if min_community is not None else max(10, average_degree)
+    max_community = max_community if max_community is not None else max(n // 5, min_community + 1)
+    if min_community > n:
+        raise GraphError("min_community exceeds the number of nodes")
+
+    def attempts() -> Iterator[EdgeChunkStream]:
+        for _ in range(max_connect_attempts):
+            degrees = truncated_power_law(degree_exponent, min_degree, max_degree, n, rng)
+            sizes = _sample_community_sizes(
+                n, community_exponent, min_community, max_community, rng
+            )
+            labels = np.repeat(np.arange(len(sizes)), sizes)
+            rng.shuffle(labels)
+            yield EdgeChunkStream(
+                n=n,
+                name=f"lfr(n={n},mu={mu})",
+                labels=labels,
+                params={
+                    "generator": "lfr_benchmark",
+                    "n": n,
+                    "mu": mu,
+                    "degree_exponent": degree_exponent,
+                    "community_exponent": community_exponent,
+                    "average_degree": average_degree,
+                    "num_communities": len(sizes),
+                },
+                chunks=_lfr_attempt_keys(n, mu, degrees, labels, sizes, rng),
+                ensure_connected=ensure_connected,
+                min_degree_required=1,
+            )
+        raise GraphError(
+            f"failed to generate a usable LFR instance in {max_connect_attempts} attempts; "
+            "increase average_degree or decrease mu"
+        )
+
+    return attempts()
+
+
 def lfr_benchmark(
     n: int,
     *,
@@ -246,151 +482,26 @@ def lfr_benchmark(
     min_community, max_community:
         Community size bounds; defaults are ``max(10, average_degree)`` and
         ``max(n // 5, min_community + 1)``.
+
+    Notes
+    -----
+    This is the in-RAM consumer of :func:`lfr_benchmark_chunks`; the
+    streaming cache writer (:func:`repro.graphs.cache.generate_to_cache`)
+    consumes the same attempt stream, so both paths draw identical
+    instances from identical seeds.
     """
-    if not 0.0 <= mu < 1.0:
-        raise GraphError("mu must lie in [0, 1)")
-    if n < 10:
-        raise GraphError("LFR generation needs at least 10 nodes")
-    rng = _as_rng(seed)
-    max_degree = max_degree if max_degree is not None else max(average_degree * 3, 4)
-    min_degree = max(2, int(round(average_degree / 2)))
-    min_community = min_community if min_community is not None else max(10, average_degree)
-    max_community = max_community if max_community is not None else max(n // 5, min_community + 1)
-    if min_community > n:
-        raise GraphError("min_community exceeds the number of nodes")
-
-    for attempt in range(max_connect_attempts):
-        degrees = truncated_power_law(degree_exponent, min_degree, max_degree, n, rng)
-        sizes = _sample_community_sizes(n, community_exponent, min_community, max_community, rng)
-        labels = np.repeat(np.arange(len(sizes)), sizes)
-        rng.shuffle(labels)
-
-        # Expected-degree (Chung–Lu style) edge sampling, block by block: the
-        # probability of an edge {u, v} inside community C is proportional to
-        # the *internal* degree budgets (1-mu)d_u (1-mu)d_v, and across
-        # communities to the external budgets mu·d_u mu·d_v.
-        internal = (1.0 - mu) * degrees
-        external = mu * degrees
-        chunks: list[np.ndarray] = []
-
-        # Internal edges, all communities in ONE batched draw.  The seed
-        # looped over communities (members ∝ budget/total_c, count ~
-        # min(Poisson(W_c / total_c), pairs_c) with W_c = (total_c² − Σ b²)/2
-        # and pairs_c the community's distinct-pair count); at n ≥ 10⁶ with
-        # thousands of communities that Python loop dominated.  The batched
-        # version draws the same per-community counts in one vectorised
-        # Poisson call and hands them to :func:`_sample_same_label_pairs`,
-        # which samples pairs with weight ∝ b_u b_v / total_c — exactly the
-        # per-community scheme's candidate distribution — under hard
-        # per-community quotas.  (The Poissonised counts deliberately keep
-        # the dispersion of the original per-pair Bernoulli scheme.)
-        num_communities = len(sizes)
-        total_c = np.bincount(labels, weights=internal, minlength=num_communities)
-        sq_c = np.bincount(labels, weights=internal**2, minlength=num_communities)
-        members_c = np.asarray(sizes, dtype=np.int64)
-        pair_weight_c = np.zeros(num_communities)
-        eligible = (total_c > 0) & (members_c >= 2)
-        pair_weight_c[eligible] = (
-            total_c[eligible] ** 2 - sq_c[eligible]
-        ) / (2.0 * total_c[eligible])
-        pair_weight_c = np.maximum(pair_weight_c, 0.0)
-        endpoint_weight = np.where(eligible[labels], internal, 0.0)
-        if pair_weight_c.sum() > 0:
-            max_pairs_c = members_c * (members_c - 1) // 2
-            target_c = np.minimum(rng.poisson(pair_weight_c), max_pairs_c)
-            chunk = _sample_same_label_pairs(endpoint_weight, labels, target_c, n, rng)
-            if chunk.size:
-                chunks.append(chunk)
-
-        # External edges across the whole graph, same candidate scheme but
-        # rejecting same-community pairs.
-        total_external = external.sum()
-        if total_external > 0 and mu > 0:
-            target = int(total_external / 2)
-            chunk = _sample_weighted_pairs(
-                np.arange(n, dtype=np.int64),
-                external / total_external,
-                target,
-                n,
-                rng,
-                forbidden_labels=labels,
-            )
-            if chunk.size:
-                chunks.append(chunk)
-
-        if chunks:
-            edges = np.concatenate(chunks, axis=0)
-            # The internal chunk holds same-community pairs only and the
-            # external chunk cross-community pairs only, so no global dedup
-            # is needed between them.
-        else:
-            edges = np.empty((0, 2), dtype=np.int64)
-
-        # Repair isolated nodes.  Chung–Lu candidate sampling leaves node v
-        # isolated with probability ≈ e^{-d_v}; at n ≥ 10⁵ *some* isolated
-        # node is therefore near-certain, and the resample loop below could
-        # never terminate at scale.  Attach each isolated node to a uniform
-        # other member of its community (community sizes are ≥ min_community
-        # ≥ 2) — the standard LFR-style repair: it perturbs only the
-        # vanishing degree-0 tail and stays seed-deterministic.
-        occupied = np.zeros(n, dtype=bool)
-        if edges.size:
-            occupied[edges[:, 0]] = True
-            occupied[edges[:, 1]] = True
-        lonely = np.flatnonzero(~occupied)
-        if lonely.size:
-            order = np.argsort(labels, kind="stable")
-            counts = np.bincount(labels, minlength=num_communities)
-            starts = np.zeros(num_communities + 1, dtype=np.int64)
-            starts[1:] = np.cumsum(counts)
-            c = labels[lonely]
-            span = counts[c]
-            partner = np.empty(lonely.size, dtype=np.int64)
-            multi = span >= 2
-            if np.any(multi):
-                # Uniform member of the community excluding the node itself:
-                # draw among the first span-1 slots and map a self-collision
-                # to the last slot (the collision-free standard trick).
-                cm, sm, um = c[multi], span[multi], lonely[multi]
-                cand = order[starts[cm] + rng.integers(0, sm - 1)]
-                collision = cand == um
-                cand[collision] = order[starts[cm[collision]] + sm[collision] - 1]
-                partner[multi] = cand
-            if np.any(~multi):
-                # A singleton community (possible with min_community=1) has
-                # no other member; fall back to a uniform other node
-                # anywhere — (u + offset) mod n with offset in [1, n) is
-                # uniform over the n-1 non-self nodes.
-                us = lonely[~multi]
-                partner[~multi] = (us + rng.integers(1, n, size=us.size)) % n
-            lo = np.minimum(lonely, partner)
-            hi = np.maximum(lonely, partner)
-            repair_keys = _sorted_unique(lo * n + hi)
-            repairs = np.stack([repair_keys // n, repair_keys % n], axis=1)
-            # An isolated node has no incident edge yet, so repairs can only
-            # collide with each other (two lonely nodes picking one another)
-            # — which the key dedup above removed.
-            edges = np.concatenate([edges, repairs], axis=0)
-
-        graph = Graph.from_edge_array(n, edges, name=f"lfr(n={n},mu={mu})")
-        if graph.min_degree == 0:  # pragma: no cover - repaired above
-            continue
-        if ensure_connected and not graph.is_connected():
-            continue
-        return ClusteredGraph(
-            graph=graph,
-            partition=Partition.from_labels(labels),
-            params={
-                "generator": "lfr_benchmark",
-                "n": n,
-                "mu": mu,
-                "degree_exponent": degree_exponent,
-                "community_exponent": community_exponent,
-                "average_degree": average_degree,
-                "num_communities": len(sizes),
-            },
+    return _instance_from_chunk_streams(
+        lfr_benchmark_chunks(
+            n,
+            mu=mu,
+            degree_exponent=degree_exponent,
+            community_exponent=community_exponent,
+            average_degree=average_degree,
+            max_degree=max_degree,
+            min_community=min_community,
+            max_community=max_community,
+            seed=seed,
+            ensure_connected=ensure_connected,
+            max_connect_attempts=max_connect_attempts,
         )
-    raise GraphError(
-        f"failed to generate a usable LFR instance in {max_connect_attempts} attempts; "
-        "increase average_degree or decrease mu"
     )

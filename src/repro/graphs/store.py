@@ -65,6 +65,7 @@ __all__ = [
     "CSRStorage",
     "DenseStorage",
     "MmapStorage",
+    "ShardWriter",
     "DEFAULT_SHARD_ARCS",
     "MANIFEST_NAME",
 ]
@@ -507,47 +508,111 @@ class MmapStorage(CSRStorage):
         cache) write into a temporary directory and ``os.replace`` it into
         place.  Returns the directory path.
         """
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         if indptr.size < 1 or indptr[0] != 0 or int(indptr[-1]) != indices.size:
             raise CSRStorageError("indptr does not describe the indices array")
+        writer = ShardWriter(directory, indptr.size - 1, shard_arcs=shard_arcs)
+        writer.append_rows(np.diff(indptr), indices)
+        return writer.finalise(extra=extra)
+
+
+class ShardWriter:
+    """Append-only writer of the sharded layout read by :class:`MmapStorage`.
+
+    Streams a CSR structure to disk in row order without ever holding the
+    full index array: callers append per-row neighbour slices as they are
+    produced (any chunking of whole rows works), the writer maintains the
+    running ``indptr`` — its only O(n) allocation — plus a buffer bounded
+    by one shard of pending arcs, and cuts shards with exactly the greedy
+    row-boundary rule of the materialising path.  A finalised directory is
+    therefore byte-identical to :meth:`MmapStorage.write` of the same
+    arrays (which now delegates here), so streamed and materialised cache
+    entries are interchangeable, digests included.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n: int,
+        *,
+        shard_arcs: int | None = None,
+    ) -> None:
         shard_arcs = DEFAULT_SHARD_ARCS if shard_arcs is None else int(shard_arcs)
         if shard_arcs < 1:
             raise CSRStorageError(f"shard_arcs must be >= 1, got {shard_arcs}")
-        n = indptr.size - 1
-        np.save(directory / "indptr.npy", indptr)
-        shards: list[dict[str, int | str]] = []
-        row = 0
-        while row < n:
-            arc_start = int(indptr[row])
-            # Furthest row whose slice still fits in this shard; always make
-            # progress even when a single row exceeds shard_arcs.
-            row_stop = int(np.searchsorted(indptr, arc_start + shard_arcs, side="right")) - 1
-            row_stop = max(row + 1, min(n, row_stop))
-            arc_stop = int(indptr[row_stop])
-            file_name = _shard_file_name(len(shards))
-            np.save(directory / file_name, indices[arc_start:arc_stop])
-            shards.append(
-                {
-                    "file": file_name,
-                    "row_start": row,
-                    "row_stop": row_stop,
-                    "arc_start": arc_start,
-                    "arc_stop": arc_stop,
-                }
+        if n < 0:
+            raise CSRStorageError(f"node count must be >= 0, got {n}")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._n = int(n)
+        self._shard_arcs = shard_arcs
+        self._indptr = np.zeros(self._n + 1, dtype=np.int64)
+        self._rows = 0  # rows appended so far
+        self._chunks: list[np.ndarray] = []  # pending (unflushed) arcs
+        self._shard_row0 = 0  # first row of the shard being accumulated
+        self._shards: list[dict[str, int | str]] = []
+        self._finalised = False
+
+    @property
+    def rows_appended(self) -> int:
+        return self._rows
+
+    @property
+    def arcs_appended(self) -> int:
+        return int(self._indptr[self._rows])
+
+    def append_rows(self, counts: np.ndarray, indices: np.ndarray) -> None:
+        """Append the next ``counts.size`` rows of the CSR structure.
+
+        ``counts`` holds the arc count of each row, ``indices`` their
+        concatenated neighbour ids (sorted within each row, as everywhere
+        else in the CSR contract).  Rows must arrive in node order; full
+        shards are flushed to disk as soon as their cut row is known.
+        """
+        if self._finalised:
+            raise CSRStorageError("ShardWriter is already finalised")
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if counts.ndim != 1 or indices.ndim != 1:
+            raise CSRStorageError("append_rows expects 1-D counts and indices")
+        if self._rows + counts.size > self._n:
+            raise CSRStorageError(
+                f"appending {counts.size} rows at row {self._rows} exceeds n={self._n}"
             )
-            row = row_stop
+        if counts.size and int(counts.min()) < 0:
+            raise CSRStorageError("negative row count in append_rows")
+        if int(counts.sum()) != indices.size:
+            raise CSRStorageError(
+                f"row counts sum to {int(counts.sum())} but {indices.size} indices given"
+            )
+        stop = self._rows + counts.size
+        np.cumsum(counts, out=self._indptr[self._rows + 1 : stop + 1])
+        self._indptr[self._rows + 1 : stop + 1] += self._indptr[self._rows]
+        self._rows = stop
+        if indices.size:
+            self._chunks.append(indices)
+        self._flush(final=False)
+
+    def finalise(self, *, extra: dict[str, Any] | None = None) -> Path:
+        """Flush the tail shard, write ``indptr.npy`` and the manifest."""
+        if self._finalised:
+            raise CSRStorageError("ShardWriter is already finalised")
+        if self._rows != self._n:
+            raise CSRStorageError(
+                f"finalise after {self._rows} of {self._n} rows were appended"
+            )
+        np.save(self._directory / "indptr.npy", self._indptr)
+        self._flush(final=True)
         manifest = {
             "format": "csr-sharded",
             "layout_version": SHARDED_LAYOUT_VERSION,
-            "n": n,
-            "num_arcs": int(indices.size),
-            "shards": shards,
+            "n": self._n,
+            "num_arcs": int(self._indptr[-1]),
+            "shards": self._shards,
             "extra": dict(extra or {}),
         }
-        manifest_path = directory / MANIFEST_NAME
+        manifest_path = self._directory / MANIFEST_NAME
         manifest_path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
         # Durability matters less than atomicity here, but fsyncing the
         # manifest last means a visible manifest implies complete shards.
@@ -559,4 +624,59 @@ class MmapStorage(CSRStorage):
                 os.close(fd)
         except OSError:  # pragma: no cover - fsync unavailable (exotic fs)
             pass
-        return directory
+        self._finalised = True
+        return self._directory
+
+    def _flush(self, *, final: bool) -> None:
+        indptr = self._indptr
+        while self._shard_row0 < self._n:
+            arc_start = int(indptr[self._shard_row0])
+            limit = arc_start + self._shard_arcs
+            if not final and int(indptr[self._rows]) <= limit:
+                # The cut row is not known yet: rows still to come may have
+                # zero arcs and belong to this shard under the greedy rule.
+                return
+            # Furthest row whose slice still fits in this shard; always make
+            # progress even when a single row exceeds shard_arcs.
+            row_stop = (
+                int(np.searchsorted(indptr[: self._rows + 1], limit, side="right")) - 1
+            )
+            row_stop = max(self._shard_row0 + 1, min(self._n, row_stop))
+            arc_stop = int(indptr[row_stop])
+            file_name = _shard_file_name(len(self._shards))
+            np.save(self._directory / file_name, self._take(arc_stop - arc_start))
+            self._shards.append(
+                {
+                    "file": file_name,
+                    "row_start": self._shard_row0,
+                    "row_stop": row_stop,
+                    "arc_start": arc_start,
+                    "arc_stop": arc_stop,
+                }
+            )
+            self._shard_row0 = row_stop
+
+    def _take(self, count: int) -> np.ndarray:
+        """Pop the next ``count`` arcs from the pending buffer."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        head = self._chunks[0]
+        if head.size == count:
+            return self._chunks.pop(0)
+        if head.size > count:
+            self._chunks[0] = head[count:]
+            return head[:count]
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            head = self._chunks[0]
+            need = count - filled
+            if head.size <= need:
+                out[filled : filled + head.size] = head
+                filled += head.size
+                self._chunks.pop(0)
+            else:
+                out[filled:] = head[:need]
+                self._chunks[0] = head[need:]
+                filled = count
+        return out

@@ -182,3 +182,26 @@ class TestLocalClustering:
             approximate_personalized_pagerank(easy_instance.graph, 0, alpha=1.5)
         with pytest.raises(ValueError):
             approximate_personalized_pagerank(easy_instance.graph, 0, epsilon=0)
+
+
+class TestMultilevelOnMmapStorage:
+    def test_weighted_graph_builds_blocked_from_mmap(self, tmp_path, monkeypatch):
+        # WeightedGraph.from_graph streams row blocks, so an mmap-backed
+        # instance must build the identical adjacency dicts without ever
+        # materialising the indices array.
+        from repro.baselines.multilevel import WeightedGraph
+        from repro.graphs import Graph, MmapStorage
+
+        g = planted_partition(60, 2, 0.4, 0.05, seed=4).graph
+        indptr, indices = g.csr_arrays()
+        MmapStorage.write(tmp_path / "g.csr", np.asarray(indptr), np.asarray(indices), shard_arcs=30)
+        mm = Graph.from_storage(MmapStorage(tmp_path / "g.csr"))
+        reference = WeightedGraph.from_graph(g)
+
+        def _boom(self):  # pragma: no cover - failure path
+            raise AssertionError("from_graph must stream row blocks")
+
+        monkeypatch.setattr(MmapStorage, "indices_array", _boom)
+        got = WeightedGraph.from_graph(mm)
+        assert got.adjacency == reference.adjacency
+        assert np.array_equal(got.node_weights, reference.node_weights)

@@ -449,21 +449,31 @@ class TestParallelEngine:
         with pytest.raises(ValueError, match="numba is not installed"):
             ParallelEngine(instance.graph, params, use_numba=True)
 
-    def test_rejects_mmap_storage(self, tmp_path, params):
-        instance = cached_instance(
-            "cycle_of_cliques",
-            k=3,
-            clique_size=14,
-            seed=5,
-            cache_dir=tmp_path,
-            mmap=True,
-            shard_arcs=500,
+    def test_mmap_storage_runs_blocked_and_bit_identical(self, tmp_path, params):
+        # PR 7: the fused kernels run block-sliced over iter_row_blocks for
+        # out-of-core storage — same bits as the in-memory monolithic path.
+        dense = cached_instance(
+            "cycle_of_cliques", k=3, clique_size=14, seed=5,
+            cache_dir=tmp_path, mmap=False,
         )
-        assert isinstance(instance.graph.storage, MmapStorage)
-        with pytest.raises(ValueError, match="in-memory storage"):
-            ParallelEngine(instance.graph, params)
+        mmapped = cached_instance(
+            "cycle_of_cliques", k=3, clique_size=14, seed=5,
+            cache_dir=tmp_path, mmap=True, shard_arcs=500,
+        )
+        assert isinstance(mmapped.graph.storage, MmapStorage)
+        use_numba = "auto" if HAVE_NUMBA else False
+        a = ParallelEngine(
+            dense.graph, params, seed=5, use_numba=use_numba
+        ).run()
+        b = ParallelEngine(
+            mmapped.graph, params, seed=5, use_numba=use_numba
+        ).run()
+        assert not a.metadata["blocked"] and b.metadata["blocked"]
+        assert np.array_equal(a.seeds, b.seeds)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.matched_edges_per_round == b.matched_edges_per_round
 
-    def test_factory_falls_back_for_mmap_storage(self, tmp_path, params):
+    def test_factory_builds_parallel_engine_for_mmap_storage(self, tmp_path, params):
         instance = cached_instance(
             "cycle_of_cliques",
             k=3,
@@ -473,12 +483,17 @@ class TestParallelEngine:
             mmap=True,
             shard_arcs=500,
         )
-        with pytest.warns(RuntimeWarning, match="memory-mapped"):
-            engine = make_engine(
-                "parallel", instance.graph, params, seed=3, threads=4
-            )
-        # The parallel-only knobs are stripped before the fallback.
-        assert isinstance(engine, VectorizedEngine)
+        # Memory-mapped storage no longer triggers a vectorized fallback;
+        # only a missing numba install does (forced off here via use_numba).
+        engine = make_engine(
+            "parallel",
+            instance.graph,
+            params,
+            seed=3,
+            threads=4,
+            use_numba="auto" if HAVE_NUMBA else False,
+        )
+        assert isinstance(engine, ParallelEngine)
         assert engine.run().rounds_executed == params.rounds
 
     @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")

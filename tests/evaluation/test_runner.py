@@ -263,7 +263,7 @@ class TestThreadsKnob:
             adapter = evaluate_load_balancing_clustering(
                 backend=backend, block_size=64
             )
-            with pytest.raises(ValueError, match="fused kernels"):
+            with pytest.raises(ValueError, match="picks its own blocking"):
                 adapter(instance, seed=0)
 
     def test_threads_runs_on_parallel_backend(self):

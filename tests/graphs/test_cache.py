@@ -314,3 +314,191 @@ class TestCacheLifecycle:
     def test_prune_rejects_negative_budget(self, tmp_path):
         with pytest.raises(InstanceCacheError):
             prune_cache(tmp_path, -1)
+
+
+class TestStreamedGeneration:
+    """generate_to_cache: the out-of-core write path of the v2 format."""
+
+    LFR = dict(n=200, mu=0.2, average_degree=8)
+
+    @staticmethod
+    def _entry_bytes(directory):
+        return {p.name: p.read_bytes() for p in sorted(directory.iterdir())}
+
+    @pytest.mark.parametrize(
+        "name, params, seed",
+        [
+            ("lfr_benchmark", dict(n=200, mu=0.2, average_degree=8), 3),
+            ("planted_partition", dict(n=150, k=3, p_in=0.3, p_out=0.02), 9),
+        ],
+    )
+    def test_byte_identical_to_materialising_path(self, tmp_path, name, params, seed):
+        from repro.graphs import generate_to_cache
+
+        a, b = tmp_path / "mat", tmp_path / "str"
+        cached_instance(name, seed=seed, cache_dir=a, mmap=True, streaming=False, **params)
+        generate_to_cache(name, seed=seed, cache_dir=b, **params)
+        mat = self._entry_bytes(instance_shard_dir(a, name, params, seed))
+        got = self._entry_bytes(instance_shard_dir(b, name, params, seed))
+        assert mat == got
+        # nothing but the entry remains (spill + tmp dirs cleaned up)
+        assert [p.name for p in b.iterdir()] == [instance_shard_dir(b, name, params, seed).name]
+
+    def test_tiny_windows_same_graph(self, tmp_path):
+        # Multi-window pass B (window smaller than the arc count) must land
+        # on the same instance as the single-window build.
+        from repro.graphs import generate_to_cache
+
+        a, b = tmp_path / "one", tmp_path / "many"
+        i1 = generate_to_cache("lfr_benchmark", seed=3, cache_dir=a, **self.LFR)
+        i2 = generate_to_cache(
+            "lfr_benchmark", seed=3, cache_dir=b, window_arcs=97, shard_arcs=131, **self.LFR
+        )
+        assert i1.graph == i2.graph
+        assert np.array_equal(i1.partition.labels, i2.partition.labels)
+
+    def test_cached_instance_auto_streams(self, tmp_path, monkeypatch):
+        # With a *_chunks variant available, a cold mmap=True generation must
+        # go through the streamed builder, never the materialising one.
+        from repro.graphs import cache as cache_module
+
+        def _boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("materialising path must not run")
+
+        monkeypatch.setattr(cache_module, "_store_sharded", _boom)
+        instance = cached_instance(
+            "lfr_benchmark", seed=4, cache_dir=tmp_path, mmap=True, **self.LFR
+        )
+        assert not instance.graph.storage.in_memory
+
+    def test_streaming_false_forces_materialising(self, tmp_path, monkeypatch):
+        from repro.graphs import cache as cache_module
+
+        def _boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("streamed path must not run")
+
+        monkeypatch.setattr(cache_module, "generate_to_cache", _boom)
+        instance = cached_instance(
+            "lfr_benchmark", seed=4, cache_dir=tmp_path, mmap=True, streaming=False, **self.LFR
+        )
+        assert not instance.graph.storage.in_memory
+
+    def test_streaming_requires_mmap(self, tmp_path):
+        with pytest.raises(InstanceCacheError, match="streaming=True requires mmap"):
+            cached_instance(
+                "lfr_benchmark", seed=1, cache_dir=tmp_path, streaming=True, **self.LFR
+            )
+
+    def test_streaming_requires_chunk_variant(self, tmp_path):
+        with pytest.raises(InstanceCacheError, match="chunk-stream variant"):
+            cached_instance(
+                "random_regular_graph",
+                seed=1,
+                cache_dir=tmp_path,
+                mmap=True,
+                streaming=True,
+                n=20,
+                d=3,
+            )
+
+    def test_generator_without_chunks_falls_back(self, tmp_path):
+        instance = cached_instance(
+            "random_regular_graph", seed=1, cache_dir=tmp_path, mmap=True, n=20, d=3
+        )
+        assert not instance.graph.storage.in_memory
+
+    def test_existing_entry_served_without_regenerating(self, tmp_path, monkeypatch):
+        from repro.graphs import generate_to_cache
+        from repro.graphs import lfr as lfr_module
+
+        first = generate_to_cache("lfr_benchmark", seed=6, cache_dir=tmp_path, **self.LFR)
+
+        def _boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("entry exists; generator must not run")
+
+        monkeypatch.setattr(lfr_module, "lfr_benchmark_chunks", _boom)
+        again = generate_to_cache("lfr_benchmark", seed=6, cache_dir=tmp_path, **self.LFR)
+        assert again.graph == first.graph
+
+    def test_duplicate_keys_rejected_and_cleaned_up(self, tmp_path):
+        from repro.graphs import EdgeChunkStream, GraphError, generate_to_cache
+
+        def dup_chunks(*, n, seed=None):
+            def attempts():
+                yield EdgeChunkStream(
+                    n=n,
+                    name="dup",
+                    labels=np.zeros(n, dtype=np.int64),
+                    params={"generator": "dup", "n": n},
+                    chunks=iter([np.array([1 * n + 2, 1 * n + 2])]),
+                )
+
+            return attempts()
+
+        dup_chunks.__name__ = "dup_chunks"
+        with pytest.raises(GraphError, match="duplicate undirected edges"):
+            generate_to_cache(dup_chunks, seed=0, cache_dir=tmp_path, n=5)
+        assert [p for p in tmp_path.iterdir()] == []
+
+    def test_connectivity_rejection_retries(self, tmp_path):
+        from repro.graphs import EdgeChunkStream, generate_to_cache
+
+        def flaky_chunks(*, n, seed=None):
+            labels = np.zeros(n, dtype=np.int64)
+
+            def attempts():
+                # attempt 1: two components -> rejected
+                yield EdgeChunkStream(
+                    n=n,
+                    name="flaky",
+                    labels=labels,
+                    params={"generator": "flaky", "n": n},
+                    chunks=iter([np.array([0 * n + 1, 2 * n + 3])]),
+                    ensure_connected=True,
+                )
+                # attempt 2: a path over all nodes -> accepted
+                keys = np.array([i * n + i + 1 for i in range(n - 1)])
+                yield EdgeChunkStream(
+                    n=n,
+                    name="flaky",
+                    labels=labels,
+                    params={"generator": "flaky", "n": n},
+                    chunks=iter([keys]),
+                    ensure_connected=True,
+                )
+
+            return attempts()
+
+        flaky_chunks.__name__ = "flaky_chunks"
+        instance = generate_to_cache(flaky_chunks, seed=0, cache_dir=tmp_path, n=4)
+        assert instance.graph.is_connected()
+        assert instance.graph.num_edges == 3
+        # only the accepted entry remains on disk
+        assert [p.suffix for p in tmp_path.iterdir()] == [".csr"]
+
+    def test_invalid_window_arcs(self, tmp_path):
+        from repro.graphs import generate_to_cache
+
+        with pytest.raises(InstanceCacheError, match="window_arcs"):
+            generate_to_cache(
+                "lfr_benchmark", seed=1, cache_dir=tmp_path, window_arcs=0, **self.LFR
+            )
+
+    def test_key_protocol_violation_rejected(self, tmp_path):
+        from repro.graphs import EdgeChunkStream, GraphError, generate_to_cache
+
+        def bad_chunks(*, n, seed=None):
+            def attempts():
+                yield EdgeChunkStream(
+                    n=n,
+                    name="bad",
+                    labels=np.zeros(n, dtype=np.int64),
+                    params={},
+                    chunks=iter([np.array([n * n])]),
+                )
+
+            return attempts()
+
+        bad_chunks.__name__ = "bad_chunks"
+        with pytest.raises(GraphError, match="fused-key protocol"):
+            generate_to_cache(bad_chunks, seed=0, cache_dir=tmp_path, n=3)

@@ -191,3 +191,39 @@ class TestNoiseAndDeterminism:
         inst = cycle_of_cliques(3, 10, seed=0)
         assert inst.params["generator"] == "cycle_of_cliques"
         assert inst.params["k"] == 3
+
+
+class TestSBMChunkStream:
+    def test_chunk_stream_reproduces_in_ram_instance(self):
+        from repro.graphs import stochastic_block_model_chunks
+        from repro.graphs.generators import _instance_from_chunk_streams
+
+        reference = stochastic_block_model([30, 25, 20], 0.3, 0.02, seed=7)
+        streamed = _instance_from_chunk_streams(
+            stochastic_block_model_chunks([30, 25, 20], 0.3, 0.02, seed=7)
+        )
+        assert streamed.graph == reference.graph
+        assert np.array_equal(streamed.partition.labels, reference.partition.labels)
+        assert streamed.params == reference.params
+
+    def test_planted_partition_chunks_delegates(self):
+        from repro.graphs import planted_partition_chunks
+        from repro.graphs.generators import _instance_from_chunk_streams
+
+        reference = planted_partition(100, 4, 0.4, 0.02, seed=11)
+        streamed = _instance_from_chunk_streams(
+            planted_partition_chunks(100, 4, 0.4, 0.02, seed=11)
+        )
+        assert streamed.graph == reference.graph
+        assert streamed.graph.name == reference.graph.name
+
+    def test_connected_retry_consumes_attempts(self):
+        from repro.graphs import stochastic_block_model_chunks
+
+        attempts = stochastic_block_model_chunks(
+            [10, 10], 0.3, 0.0, seed=0, ensure_connected=True, max_connect_attempts=3
+        )
+        with pytest.raises(GraphError, match="could not sample a connected SBM"):
+            for stream in attempts:
+                for _ in stream.chunks:
+                    pass

@@ -110,3 +110,43 @@ class TestPartitionIO:
         path = tmp_path / "one.txt"
         write_partition(p, path)
         assert read_partition(path) == p
+
+
+class TestStreamedEdgeListWrite:
+    def test_mmap_output_identical_to_dense(self, tmp_path):
+        from repro.graphs import MmapStorage, planted_partition
+
+        g = planted_partition(80, 2, 0.4, 0.05, seed=3).graph
+        indptr, indices = g.csr_arrays()
+        entry = tmp_path / "g.csr"
+        MmapStorage.write(entry, np.asarray(indptr), np.asarray(indices), shard_arcs=50)
+        mm = Graph.from_storage(MmapStorage(entry), name=g.name)
+
+        dense_path, mmap_path = tmp_path / "dense.txt", tmp_path / "mmap.txt"
+        write_edge_list(g, dense_path)
+        write_edge_list(mm, mmap_path)
+        assert dense_path.read_bytes() == mmap_path.read_bytes()
+        assert read_edge_list(mmap_path) == g
+
+    def test_write_never_materialises_indices(self, tmp_path, monkeypatch):
+        from repro.graphs import MmapStorage, planted_partition
+
+        g = planted_partition(60, 2, 0.4, 0.05, seed=1).graph
+        indptr, indices = g.csr_arrays()
+        entry = tmp_path / "g.csr"
+        MmapStorage.write(entry, np.asarray(indptr), np.asarray(indices), shard_arcs=40)
+        mm = Graph.from_storage(MmapStorage(entry))
+
+        def _boom(self):  # pragma: no cover - failure path
+            raise AssertionError("write_edge_list must stream row blocks")
+
+        monkeypatch.setattr(MmapStorage, "indices_array", _boom)
+        write_edge_list(mm, tmp_path / "out.txt")
+        assert read_edge_list(tmp_path / "out.txt") == g
+
+    def test_self_loops_written_once(self, tmp_path):
+        g = Graph(3, [(0, 0), (0, 1), (1, 2)])
+        out = tmp_path / "loops.txt"
+        write_edge_list(g, out)
+        body = [l for l in out.read_text().splitlines() if not l.startswith(("%", "#"))]
+        assert body == ["0 0", "0 1", "1 2"]

@@ -128,3 +128,53 @@ class TestLFRBenchmark:
         result = CentralizedClustering(instance.graph, params, seed=1).run(keep_loads=False)
         nmi = normalized_mutual_information(result.partition, instance.partition)
         assert nmi > 0.5
+
+
+class TestLFRChunkStream:
+    def test_chunk_stream_reproduces_in_ram_instance(self):
+        from repro.graphs import lfr_benchmark_chunks
+        from repro.graphs.generators import _instance_from_chunk_streams
+
+        reference = lfr_benchmark(300, mu=0.15, average_degree=10, seed=8)
+        streamed = _instance_from_chunk_streams(
+            lfr_benchmark_chunks(300, mu=0.15, average_degree=10, seed=8)
+        )
+        assert streamed.graph == reference.graph
+        assert np.array_equal(streamed.partition.labels, reference.partition.labels)
+        assert streamed.params == reference.params
+
+    def test_validation_is_eager(self):
+        from repro.graphs import lfr_benchmark_chunks
+
+        with pytest.raises(GraphError, match="mu"):
+            lfr_benchmark_chunks(100, mu=1.5)
+        with pytest.raises(GraphError, match="at least 10"):
+            lfr_benchmark_chunks(5)
+        with pytest.raises(GraphError, match="min_community"):
+            lfr_benchmark_chunks(20, min_community=50)
+
+    def test_keys_follow_fused_protocol(self):
+        from repro.graphs import lfr_benchmark_chunks
+
+        stream = next(lfr_benchmark_chunks(200, mu=0.2, average_degree=8, seed=1))
+        keys = np.concatenate(list(stream.chunks))
+        n = stream.n
+        u, v = keys // n, keys % n
+        assert keys.size == np.unique(keys).size
+        assert (u >= 0).all() and (v < n).all() and (u <= v).all()
+        # every node is covered (post-repair min degree 1)
+        assert np.union1d(u, v).size == n
+
+    def test_exhaustion_raises_graph_error(self):
+        from repro.graphs import lfr_benchmark_chunks
+
+        # mu ~ 1 with a tiny degree budget cannot come out connected; the
+        # attempt stream must raise once max_connect_attempts are consumed.
+        attempts = lfr_benchmark_chunks(
+            40, mu=0.99, average_degree=2, min_community=1,
+            seed=0, ensure_connected=True, max_connect_attempts=2,
+        )
+        with pytest.raises(GraphError, match="failed to generate"):
+            for stream in attempts:
+                for _ in stream.chunks:
+                    pass

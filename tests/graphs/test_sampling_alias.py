@@ -115,3 +115,47 @@ class TestSegmentedAliasTable:
         a = table.draw_in_segments(segs, np.random.default_rng(9))
         b = table.draw_in_segments(segs, np.random.default_rng(9))
         assert np.array_equal(a, b)
+
+
+class TestMergeSortedUnique:
+    def _check(self, have, new):
+        from repro.graphs.sampling import _sorted_unique, merge_sorted_unique
+
+        have = np.asarray(have, dtype=np.int64)
+        new = np.asarray(new, dtype=np.int64)
+        out = merge_sorted_unique(have, new)
+        expected = _sorted_unique(np.concatenate([have, new]))
+        assert np.array_equal(out, expected)
+        return out
+
+    def test_disjoint(self):
+        self._check([1, 5, 9], [2, 4, 10])
+
+    def test_overlapping_and_internal_duplicates(self):
+        self._check([1, 5, 9], [5, 5, 1, 9, 3, 3])
+
+    def test_empty_sides(self):
+        from repro.graphs.sampling import merge_sorted_unique
+
+        have = np.array([2, 4], dtype=np.int64)
+        assert merge_sorted_unique(have, np.empty(0, dtype=np.int64)) is have
+        out = self._check([], [3, 1, 3])
+        assert out.tolist() == [1, 3]
+
+    def test_all_duplicates_returns_have(self):
+        from repro.graphs.sampling import merge_sorted_unique
+
+        have = np.array([1, 2, 3], dtype=np.int64)
+        assert merge_sorted_unique(have, np.array([2, 1, 3, 2])) is have
+
+    def test_randomised_against_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            have = np.unique(rng.integers(0, 200, size=rng.integers(0, 40)))
+            new = rng.integers(0, 200, size=rng.integers(0, 40))
+            self._check(have, new)
+
+    def test_interleaving_extremes(self):
+        self._check([10, 20, 30], [1, 2, 3])       # all before
+        self._check([10, 20, 30], [40, 50])        # all after
+        self._check([10, 30], [20, 20, 25])        # all between

@@ -165,3 +165,87 @@ class TestMmapStorage:
         assert g.is_connected() == ref.is_connected()
         sub = g.induced_subgraph(range(30))
         assert sub == ref.induced_subgraph(range(30))
+
+
+class TestShardWriter:
+    def _reference(self, tmp_path, indptr, indices, shard_arcs):
+        ref_dir = tmp_path / "ref.csr"
+        MmapStorage.write(ref_dir, indptr, indices, shard_arcs=shard_arcs)
+        return {p.name: p.read_bytes() for p in sorted(ref_dir.iterdir())}
+
+    @pytest.mark.parametrize("rows_per_append", [1, 3, 17, 1000])
+    def test_chunked_appends_byte_identical(self, tmp_path, instance, rows_per_append):
+        # Any chunking of whole rows must produce exactly the bytes of the
+        # one-shot materialising write (same shards, same manifest).
+        from repro.graphs import ShardWriter
+
+        indptr, indices = instance.graph.csr_arrays()
+        counts = np.diff(indptr)
+        expected = self._reference(tmp_path, indptr, indices, shard_arcs=400)
+        out = tmp_path / f"chunked-{rows_per_append}.csr"
+        writer = ShardWriter(out, instance.graph.n, shard_arcs=400)
+        for r0 in range(0, instance.graph.n, rows_per_append):
+            r1 = min(instance.graph.n, r0 + rows_per_append)
+            writer.append_rows(counts[r0:r1], indices[indptr[r0] : indptr[r1]])
+        writer.finalise()
+        got = {p.name: p.read_bytes() for p in sorted(out.iterdir())}
+        assert got == expected
+
+    def test_zero_degree_tail_rows_join_open_shard(self, tmp_path):
+        # The flush rule cuts strictly greater than the limit, so trailing
+        # zero-arc rows stay in the open shard instead of forcing a cut.
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "t.csr", 5, shard_arcs=4)
+        writer.append_rows(np.array([2, 2]), np.array([1, 2, 0, 3]))
+        writer.append_rows(np.array([0, 0, 0]), np.empty(0, dtype=np.int64))
+        writer.finalise()
+        store = MmapStorage(tmp_path / "t.csr")
+        assert store.num_shards == 1
+        assert store.n == 5
+
+    def test_too_many_rows_rejected(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "w.csr", 2)
+        with pytest.raises(CSRStorageError, match="exceeds n"):
+            writer.append_rows(np.array([0, 0, 0]), np.empty(0, dtype=np.int64))
+
+    def test_count_sum_mismatch_rejected(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "w.csr", 3)
+        with pytest.raises(CSRStorageError, match="sum to"):
+            writer.append_rows(np.array([2]), np.array([1]))
+
+    def test_negative_count_rejected(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "w.csr", 3)
+        with pytest.raises(CSRStorageError, match="negative"):
+            writer.append_rows(np.array([-1, 1]), np.empty(0, dtype=np.int64))
+
+    def test_finalise_requires_all_rows(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "w.csr", 3)
+        writer.append_rows(np.array([1]), np.array([2]))
+        with pytest.raises(CSRStorageError, match="finalise after 1 of 3"):
+            writer.finalise()
+
+    def test_use_after_finalise_rejected(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        writer = ShardWriter(tmp_path / "w.csr", 1)
+        writer.append_rows(np.array([1]), np.array([0]))
+        writer.finalise()
+        with pytest.raises(CSRStorageError, match="already finalised"):
+            writer.append_rows(np.array([0]), np.empty(0, dtype=np.int64))
+        with pytest.raises(CSRStorageError, match="already finalised"):
+            writer.finalise()
+
+    def test_invalid_shard_arcs(self, tmp_path):
+        from repro.graphs import ShardWriter
+
+        with pytest.raises(CSRStorageError, match="shard_arcs"):
+            ShardWriter(tmp_path / "w.csr", 1, shard_arcs=0)

@@ -282,3 +282,19 @@ class TestBlockedNeighbourGather:
                 graph, np.random.default_rng(23), block_size=block_size
             )
             assert np.array_equal(a, b), block_size
+
+
+class TestStorageGuards:
+    def test_expected_matching_matrix_rejects_mmap(self, tmp_path):
+        from repro.graphs import MmapStorage, planted_partition
+
+        g = planted_partition(40, 2, 0.4, 0.05, seed=2).graph
+        indptr, indices = g.csr_arrays()
+        MmapStorage.write(tmp_path / "g.csr", np.asarray(indptr), np.asarray(indices))
+        mm = Graph.from_storage(MmapStorage(tmp_path / "g.csr"))
+        with pytest.raises(ValueError, match="in-memory storage"):
+            expected_matching_matrix(mm)
+        # the materialised twin is accepted and matches the dense original
+        dense = Graph.from_storage(MmapStorage(tmp_path / "g.csr").materialize())
+        expected = expected_matching_matrix(g, sparse=False)
+        assert np.allclose(expected_matching_matrix(dense, sparse=False), expected)
