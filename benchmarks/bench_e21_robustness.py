@@ -1,0 +1,182 @@
+"""E21 — robustness under failure injection at scale.
+
+The failure layer (PR 8) turns message drops and node crashes into
+backend-independent masks drawn from dedicated splitmix64 counter streams,
+so the *vectorized* engine can run robustness sweeps at sizes the per-node
+simulator cannot touch.  This benchmark measures the misclassification rate
+as a function of the message-drop probability on a sparse SBM instance
+(k = 4, expected internal degree 8·ln n — dense enough that T = 80 rounds
+reach a low-error plateau, so degradation is attributable to the injected
+failures rather than to an unconverged baseline) at n = 10⁶:
+
+* the drop ladder (0, 0.01, 0.05, 0.1), each averaged over ``TRIALS``
+  independent seeds, on the vectorized backend,
+* one composite point (drop 0.05 + crash 0.01) — the configuration the
+  cross-backend parity suite pins bit-identically across engines,
+* the reliable-network baseline (drop 0) doubles as a regression anchor:
+  injecting ``MessageDropFailures(0.0)`` must not change the labels of a
+  ``failures=None`` run (the masks burn no generator draws).
+
+The per-point records (drop rate, crash fraction, mean error, matched
+edges) land in ``benchmark.extra_info["records"]`` and therefore in the
+pytest-benchmark JSON artifact that the CI smoke job uploads —
+misclassification-vs-drop-rate is preserved run over run.
+
+``BENCH_SMOKE=1`` (CI) trims the instance to n = 10⁴ and demotes the
+degradation bars to warnings; the completion of the ladder and the drop-0
+bit-identity gate hold in every mode.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.distsim import CompositeFailures, CrashFailures, MessageDropFailures
+
+from _utils import bench_instance, run_experiment
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+N = 10_000 if SMOKE else 1_000_000
+TRIALS = 3 if SMOKE else 2
+DROP_LADDER = (0.0, 0.01, 0.05, 0.1)
+COMPOSITE = (0.05, 0.01)  # (drop_prob, crash_fraction) — the parity config
+ROUNDS = 80
+BETA = 0.125  # 1/(2k) for k = 4
+K = 4
+BASELINE_ERROR_BAR = 0.08  # reliable network on the easy sparse instance
+DEGRADE_BAR = 0.25  # worst ladder point stays within this of the baseline
+
+
+def _probabilities(n: int) -> tuple[float, float]:
+    """Sparse-regime SBM probabilities: expected internal degree 8·ln n."""
+    cluster = n // K
+    return 8.0 * np.log(n) / cluster, 2.0 / (n - cluster)
+
+
+def _failure_model(drop_prob: float, crash_fraction: float):
+    if drop_prob == 0.0 and crash_fraction == 0.0:
+        return None
+    if crash_fraction == 0.0:
+        return MessageDropFailures(drop_prob)
+    if drop_prob == 0.0:
+        return CrashFailures(crash_fraction)
+    return CompositeFailures(
+        MessageDropFailures(drop_prob), CrashFailures(crash_fraction)
+    )
+
+
+def _run(graph, params, seed, failures):
+    return DistributedClustering(
+        graph, params, seed=seed, backend="vectorized", failures=failures
+    ).run()
+
+
+def _experiment() -> dict:
+    p_in, p_out = _probabilities(N)
+    instance = bench_instance(
+        "planted_partition",
+        n=N,
+        k=K,
+        p_in=p_in,
+        p_out=p_out,
+        ensure_connected=True,
+        seed=N,
+    )
+    graph, truth = instance.graph, instance.partition
+    params = AlgorithmParameters.from_values(graph.n, BETA, ROUNDS)
+
+    # Regression anchor: a zero-probability drop model is the reliable
+    # network, bit for bit — the bound masks burn no generator draws.
+    clean = _run(graph, params, seed=1, failures=None)
+    injected = _run(graph, params, seed=1, failures=MessageDropFailures(0.0))
+    assert np.array_equal(
+        clean.partition.labels, injected.partition.labels
+    ), "MessageDropFailures(0.0) changed the labels of a reliable run"
+
+    rows = []
+    records = []
+    points = [(drop, 0.0) for drop in DROP_LADDER] + [COMPOSITE]
+    for drop_prob, crash_fraction in points:
+        errors = []
+        matched = []
+        for trial in range(TRIALS):
+            result = _run(
+                graph,
+                params,
+                seed=1 + trial,
+                failures=_failure_model(drop_prob, crash_fraction),
+            )
+            errors.append(result.error_against(truth))
+            matched.append(
+                int(np.sum(result.diagnostics["matched_edges_per_round"]))
+            )
+        mean_error = float(np.mean(errors))
+        records.append(
+            {
+                "n": N,
+                "drop_prob": drop_prob,
+                "crash_fraction": crash_fraction,
+                "trials": TRIALS,
+                "mean_error": mean_error,
+                "errors": errors,
+                "mean_matched_edges": float(np.mean(matched)),
+            }
+        )
+        rows.append(
+            [
+                drop_prob,
+                crash_fraction,
+                round(mean_error, 4),
+                int(np.mean(matched)),
+            ]
+        )
+
+    ladder_errors = {r["drop_prob"]: r["mean_error"] for r in records[:-1]}
+    return {
+        "columns": ["drop prob", "crash fraction", "mean error", "matched edges"],
+        "rows": rows,
+        "records": records,
+        "n": N,
+        "baseline_error": ladder_errors[0.0],
+        "worst_ladder_error": max(ladder_errors.values()),
+    }
+
+
+def test_e21_robustness(benchmark):
+    result = run_experiment(
+        benchmark,
+        _experiment,
+        title=f"E21: misclassification vs message-drop rate (SBM, n = {N})",
+    )
+    baseline = result["baseline_error"]
+    worst = result["worst_ladder_error"]
+    # The ladder itself completing (5 points x TRIALS runs) is the hard
+    # acceptance bar; the error shape is gated softly because a smoke-sized
+    # instance is noisier than the full n = 10^6 sweep.
+    assert len(result["records"]) == len(DROP_LADDER) + 1
+    if SMOKE:
+        if baseline > BASELINE_ERROR_BAR:
+            warnings.warn(
+                f"reliable-network error {baseline:.3f} above the "
+                f"{BASELINE_ERROR_BAR} bar at n={result['n']} (smoke size)",
+                stacklevel=1,
+            )
+        if worst > baseline + DEGRADE_BAR:
+            warnings.warn(
+                f"drop-ladder error {worst:.3f} degrades more than "
+                f"{DEGRADE_BAR} over the baseline {baseline:.3f} (smoke size)",
+                stacklevel=1,
+            )
+    else:
+        assert baseline <= BASELINE_ERROR_BAR, (
+            f"reliable-network error {baseline:.3f} above the "
+            f"{BASELINE_ERROR_BAR} bar at n={result['n']}"
+        )
+        assert worst <= baseline + DEGRADE_BAR, (
+            f"drop-ladder error {worst:.3f} degrades more than {DEGRADE_BAR} "
+            f"over the baseline {baseline:.3f}"
+        )

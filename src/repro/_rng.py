@@ -1,0 +1,180 @@
+"""Counter-based (splitmix64) random streams shared across backends.
+
+The threaded kernels of :mod:`repro.core.kernels` introduced a stateless RNG:
+instead of consuming generator state, every draw is a hash of a *counter* —
+a pure function of ``(seed, round, stream, node)``.  That is what makes the
+parallel backend bit-identical across thread counts, and (since the failure
+layer joined) what makes failure injection bit-identical across *backends*:
+a drop or crash decision depends only on its coordinates, never on which
+engine asks, in which order, or how the work was sliced.
+
+Stream-key layout
+-----------------
+A 64-bit key identifies one draw stream: ``stream_key(seed, round, stream)``
+chains three splitmix64 finaliser applications over the seed, the round index
+and a stream tag.  The tags are:
+
+========================  =====================================================
+``STREAM_ACTIVITY`` (0)   per-node activity coins of the matching protocol
+``STREAM_SLOT`` (1)       per-node proposal-slot draws (virtual-slot capped)
+``STREAM_CRASH`` (2)      per-node crash coins (round index pinned to 0 — the
+                          crash *set* is drawn once per run)
+``STREAM_DROP`` (3)       per-message delivery coins; refined per message
+                          *kind* by :func:`message_key` and then hashed per
+                          ``(sender, receiver)`` pair by :func:`pair_uniforms`
+========================  =====================================================
+
+Node draws hash ``key + (v+1)·γ`` (:func:`counter_uniforms`); message draws
+hash the sender the same way and then fold the receiver in with a second
+finaliser pass (:func:`pair_uniforms`), so the draw for edge ``(u, v)`` is
+independent of the draws of ``(u, w)`` and ``(w, v)`` and — crucially —
+*directional*: the accept ``v → u`` does not share its coin with the propose
+``u → v``.
+
+Every function has a scalar twin performing the same IEEE-754/uint64
+operations (Python ints masked to 64 bits vs. numpy uint64 arrays wrap
+identically), so the per-node simulator and the array backends read the
+*same* values from the same coordinates — pinned by the failure parity suite.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "MASK64",
+    "STREAM_ACTIVITY",
+    "STREAM_SLOT",
+    "STREAM_CRASH",
+    "STREAM_DROP",
+    "mix64",
+    "stream_key",
+    "message_key",
+    "counter_uniform",
+    "counter_uniforms",
+    "pair_uniform",
+    "pair_uniforms",
+]
+
+MASK64 = (1 << 64) - 1
+#: splitmix64 increment ("golden gamma") and finaliser multipliers.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: ``u64 >> 11`` leaves 53 uniform bits; scaling by 2^-53 gives a float64
+#: uniform on [0, 1) with every value exactly representable.
+_INV_2POW53 = 2.0**-53
+
+#: Stream tags: one independent draw stream per protocol decision of a round
+#: (see the module docstring for the layout).
+STREAM_ACTIVITY = 0
+STREAM_SLOT = 1
+STREAM_CRASH = 2
+STREAM_DROP = 3
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finaliser on a Python int (mod 2^64).
+
+    Computed in plain Python integers (masked to 64 bits) so key derivation
+    never touches numpy scalar arithmetic, whose uint64 overflow semantics
+    differ between scalar and array paths.
+    """
+    x &= MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & MASK64
+    x ^= x >> 31
+    return x
+
+
+def stream_key(seed: int, round_index: int, stream: int) -> int:
+    """The 64-bit key of one ``(seed, round, stream)`` draw stream.
+
+    Three chained mixing steps decorrelate the inputs; node draws then hash
+    ``key + (v+1)·γ`` so distinct nodes read distinct counters (the ``+1``
+    keeps node 0 off the raw key itself).
+    """
+    key = mix64((int(seed) & MASK64) ^ _GAMMA)
+    key = mix64((key + (int(round_index) & MASK64) * _MIX1) & MASK64)
+    return mix64((key + (int(stream) & MASK64) * _MIX2) & MASK64)
+
+
+def message_key(seed: int, round_index: int, kind: str) -> int:
+    """The delivery-stream key of one message kind in one round.
+
+    Refines ``stream_key(seed, round, STREAM_DROP)`` by the message kind
+    (through the stable ``zlib.crc32`` digest, like the trial seeds of the
+    evaluation runner), so the propose/accept/commit coins of one round are
+    three independent streams.
+    """
+    base = stream_key(seed, round_index, STREAM_DROP)
+    return mix64((base + (zlib.crc32(kind.encode("utf-8")) & MASK64) * _MIX1) & MASK64)
+
+
+def counter_uniform(key: int, node: int) -> float:
+    """Scalar twin of :func:`counter_uniforms`: node ``v``'s draw under ``key``.
+
+    Bit-identical to ``counter_uniforms(key, n)[node]`` — same mixing, same
+    ``(x >> 11) · 2^-53`` conversion — which is what lets the per-node
+    simulator replay the array backends' coins one node at a time.
+    """
+    x = mix64((int(key) + (int(node) + 1) * _GAMMA) & MASK64)
+    return float(x >> 11) * _INV_2POW53
+
+
+def counter_uniforms(key: int, n: int) -> np.ndarray:
+    """Uniform [0, 1) float64 draws for nodes ``0..n-1`` under ``key``.
+
+    The vectorised twin of the per-node hash inside the numba kernels: same
+    integer mixing (uint64 *array* ops wrap silently, matching the scalar
+    wrap in compiled code), same ``(x >> 11) · 2^-53`` conversion, hence
+    bit-identical values.
+    """
+    idx = np.arange(1, n + 1, dtype=np.uint64)
+    x = np.uint64(key) + idx * np.uint64(_GAMMA)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX2)
+    x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) * _INV_2POW53
+
+
+def pair_uniform(key: int, sender: int, receiver: int) -> float:
+    """Scalar twin of :func:`pair_uniforms`: the coin of one directed message.
+
+    Two chained finaliser passes — sender folded in first, receiver second —
+    so the value is a pure function of ``(key, sender, receiver)`` and
+    ordered pairs read distinct streams.
+    """
+    x = mix64((int(key) + (int(sender) + 1) * _GAMMA) & MASK64)
+    x = mix64((x + (int(receiver) + 1) * _GAMMA) & MASK64)
+    return float(x >> 11) * _INV_2POW53
+
+
+def pair_uniforms(key: int, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+    """Uniform [0, 1) draws for directed ``(sender, receiver)`` pairs under ``key``.
+
+    Vectorised twin of :func:`pair_uniform` (bit-identical values): the
+    failure layer uses it to decide delivery of a whole phase's messages in
+    one call, with each message's coin independent of array position.
+    """
+    s = np.asarray(senders, dtype=np.uint64) + np.uint64(1)
+    r = np.asarray(receivers, dtype=np.uint64) + np.uint64(1)
+    x = np.uint64(key) + s * np.uint64(_GAMMA)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX2)
+    x ^= x >> np.uint64(31)
+    x += r * np.uint64(_GAMMA)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX2)
+    x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) * _INV_2POW53

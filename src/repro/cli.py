@@ -26,7 +26,9 @@ Four subcommands cover the workflow a downstream user actually has:
     on-disk cache (``--cache-dir``) and serving them **memory-mapped**
     (``--mmap``: workers share adjacency pages instead of holding private
     copies, and the engine's row-blocked rounds keep the resident set
-    O(block)).  See ``docs/experiments.md``.
+    O(block)).  Robustness sweeps inject failures into the paper's algorithm
+    with ``--drop-prob``/``--crash-prob`` (round-engine backends only).
+    See ``docs/experiments.md``.
 ``cache``
     Inspect (``cache list``) or size-bound (``cache prune --max-bytes``)
     an instance-cache directory; pruning evicts least-recently-used
@@ -233,6 +235,30 @@ def build_parser() -> argparse.ArgumentParser:
             "compute threads per trial for --backend parallel; combine with "
             "--workers carefully (each worker process runs this many threads)"
         ),
+    )
+    swp.add_argument(
+        "--drop-prob",
+        type=float,
+        default=0.0,
+        help=(
+            "message-drop probability for failure injection into the paper's "
+            "algorithm (round-engine backends only; 0 = reliable network)"
+        ),
+    )
+    swp.add_argument(
+        "--crash-prob",
+        type=float,
+        default=0.0,
+        help=(
+            "fraction of nodes that crash permanently (round-engine backends "
+            "only; 0 = no crashes)"
+        ),
+    )
+    swp.add_argument(
+        "--crash-round",
+        type=int,
+        default=0,
+        help="round at which the --crash-prob crash set goes down (default 0)",
     )
     swp.add_argument("--trials", type=int, default=3, help="independent trials per (instance, algorithm)")
     swp.add_argument("--seed", type=int, default=0, help="base seed for the trial-seed digests")
@@ -498,6 +524,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_trials,
         sweep,
     )
+    from .distsim import make_failure_model
     from .graphs import cached_instance
 
     cache_dir = None if args.cache_dir is None else str(args.cache_dir)
@@ -508,6 +535,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"error: --threads only applies to --backend parallel "
             f"(the {args.backend} backend has no thread knob)",
+            file=sys.stderr,
+        )
+        return 2
+    failures = make_failure_model(
+        drop_probability=args.drop_prob,
+        crash_fraction=args.crash_prob,
+        crash_round=args.crash_round,
+    )
+    if failures is not None and args.backend == "centralized":
+        print(
+            "error: --drop-prob/--crash-prob need a round-engine backend "
+            "(the centralized driver has no message layer to fail)",
             file=sys.stderr,
         )
         return 2
@@ -538,7 +577,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     available = {
         "ours": lambda: evaluate_load_balancing_clustering(
-            backend=args.backend, block_size=args.block_size, threads=args.threads
+            backend=args.backend, block_size=args.block_size, threads=args.threads,
+            failures=failures,
         ),
         "spectral": lambda: evaluate_baseline(SpectralClustering()),
         "label-propagation": lambda: evaluate_baseline(LabelPropagation()),

@@ -6,10 +6,12 @@ Public entry points
 * :class:`CentralizedClustering` — the fast matrix implementation (Section 3.2 view).
 * :class:`DistributedClustering` — the distributed implementation
   (Section 3.1), parameterized over a round-engine backend: the
-  ``message-passing`` per-node simulator (exact communication accounting,
-  failure injection), the ``vectorized`` array backend (orders of
-  magnitude faster) or the ``parallel`` threaded-kernel backend
-  (multi-core via optional numba; see :mod:`repro.core.engines`).
+  ``message-passing`` per-node simulator (exact communication accounting),
+  the ``vectorized`` array backend (orders of magnitude faster) or the
+  ``parallel`` threaded-kernel backend (multi-core via optional numba; see
+  :mod:`repro.core.engines`).  All backends accept a
+  :class:`~repro.distsim.failures.FailureModel` drawn from shared counter
+  streams, so robustness runs agree across backends.
 * :class:`AlmostRegularClustering` — the Section 4.5 extension.
 * :class:`AlgorithmParameters` — the paper's parameters (β, T, s̄, threshold).
 * :mod:`repro.core.theory` — computable versions of the analysis objects
@@ -21,6 +23,7 @@ from .almost_regular import AlmostRegularClustering, sample_degree_capped_matchi
 from .centralized import CentralizedClustering, cluster_graph
 from .engines import (
     DEFAULT_BACKEND,
+    MaskedMessagePassingEngine,
     MessagePassingEngine,
     ParallelEngine,
     VectorizedEngine,
@@ -53,6 +56,7 @@ __all__ = [
     "CentralizedClustering",
     "cluster_graph",
     "DEFAULT_BACKEND",
+    "MaskedMessagePassingEngine",
     "MessagePassingEngine",
     "ParallelEngine",
     "VectorizedEngine",

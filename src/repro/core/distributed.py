@@ -59,7 +59,10 @@ class DistributedClustering:
     degree_cap:
         Optional degree bound ``D`` for the almost-regular extension.
     failures:
-        Optional failure model (message-passing backend only).
+        Optional failure model.  Every registered backend accepts one: the
+        per-node simulator applies it message by message, while the array
+        backends draw the equivalent drop/crash masks from dedicated counter
+        streams (see ``docs/architecture.md``, "Failure injection").
     backend:
         Round-engine backend: ``"message-passing"`` (default),
         ``"vectorized"``, or a pre-built

@@ -7,7 +7,7 @@ contract three times:
   the original :class:`~repro.distsim.network.SynchronousNetwork` simulator
   with the four-phase protocol of
   :class:`~repro.core.protocol.LoadBalancingClusteringAlgorithm`, and is the
-  only backend with exact communication accounting and failure injection.
+  only backend with exact communication accounting.
 * :class:`VectorizedEngine` — the array backend.  Seeding, matching and
   averaging are whole-graph array operations: matchings are generated in
   batches by the fully vectorised sampler
@@ -28,6 +28,19 @@ contract three times:
 All backends execute the *same protocol distribution*; the parity suite
 (``tests/integration/test_backend_parity.py``) holds them to statistically
 equivalent clusterings on the generator families.
+
+Failure injection (:mod:`repro.distsim.failures`) is accepted by **every**
+backend.  The array backends bind the model to the engine's counter seed and
+route each round through the masked resolution
+(:func:`~repro.loadbalancing.matching.resolve_proposals_masked`): an alive
+mask filters crashed endpoints, delivery masks drop propose/accept/commit
+messages, and a pair whose commit drops leaves the acceptor's load stale —
+the same semantics, message for message, as the per-node simulator.  With
+the vectorized engine in ``rng_mode="counter"`` (or the parallel engine,
+whose round stream is always counter-based) and the
+:class:`MaskedMessagePassingEngine` adapter, failure runs are **bit-identical
+across backends** for the same seed — pinned by
+``tests/integration/test_failure_parity.py``.
 
 :func:`build_clustering_result` is the single, backend-agnostic path from an
 :class:`~repro.distsim.engine.EngineResult` to the user-facing
@@ -57,14 +70,17 @@ from ..distsim.node import NodeContext
 from ..graphs.graph import Graph
 from ..graphs.partition import Partition
 from ..loadbalancing.matching import (
+    apply_masked_matching,
     apply_matching,
     count_matched_edges,
+    resolve_proposals_masked,
+    sample_matching_proposals,
     sample_random_matchings,
 )
 from ..loadbalancing.models import AveragingModel
 from .kernels import ParallelMatchingKernel
 from .parameters import AlgorithmParameters
-from .protocol import LoadBalancingClusteringAlgorithm
+from .protocol import CounterDrivenClusteringAlgorithm, LoadBalancingClusteringAlgorithm
 from .query import assign_labels_from_loads
 from .result import ClusteringResult
 from .seeding import assign_seed_identifiers, sample_seeds, seed_load_matrix
@@ -73,11 +89,28 @@ from .state import NodeState
 __all__ = [
     "DEFAULT_BACKEND",
     "MessagePassingEngine",
+    "MaskedMessagePassingEngine",
     "VectorizedEngine",
     "ParallelEngine",
     "make_engine",
     "build_clustering_result",
 ]
+
+
+def _fresh_counter_seed(seed: int | None) -> int:
+    """64-bit counter-stream base: the run seed, or fresh OS entropy."""
+    if seed is not None:
+        return int(seed)
+    return int(np.random.SeedSequence().entropy) & ((1 << 64) - 1)
+
+
+def _deliver_adapter(failures: FailureModel, round_index: int):
+    """Adapt ``deliver_mask`` to the kind-keyed callable the resolver takes."""
+
+    def deliver(kind: str, senders: np.ndarray, receivers: np.ndarray):
+        return failures.deliver_mask(round_index, kind, senders, receivers)
+
+    return deliver
 
 #: Backend used by :class:`~repro.core.distributed.DistributedClustering`
 #: when none is requested: the faithful simulator, because exact
@@ -214,6 +247,125 @@ class MessagePassingEngine(RoundEngine):
         )
 
 
+class MaskedMessagePassingEngine(RoundEngine):
+    """Per-node simulator driven by the counter streams of the array backends.
+
+    The cross-backend failure parity adapter: the same four-phase protocol
+    and the same :class:`~repro.distsim.network.SynchronousNetwork` as
+    :class:`MessagePassingEngine`, but with every random decision replaced
+    by its counter-stream twin so a run is **bit-identical** to
+    :class:`VectorizedEngine` (``rng_mode="counter"``) and
+    :class:`ParallelEngine` under the same integer ``seed``:
+
+    * seeds and identifiers are computed centrally with the *same*
+      ``default_rng(seed)`` calls as the array backends and injected into
+      the node configuration;
+    * protocol coins come from
+      :class:`~repro.core.protocol.CounterDrivenClusteringAlgorithm` — the
+      scalar twin of kernel pass 1;
+    * the failure model is *bound* to the counter seed, so drop/crash
+      decisions match the array backends' masks message for message;
+    * the query runs centrally at result assembly (``labels_locally`` is
+      false), on exactly the load matrix the array backends produce — the
+      per-node argmax fallback breaks ties differently, so local labels
+      would diverge on ties.
+
+    Still sequential per-node Python under the hood: use it at cross-check
+    sizes, not at n = 10⁶.  Communication accounting works as on the plain
+    per-node backend.
+    """
+
+    name = "masked-message-passing"
+    labels_locally = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: AlgorithmParameters,
+        *,
+        seed: int | None = None,
+        fallback: str = "argmax",
+        degree_cap: int | None = None,
+        failures: FailureModel | None = None,
+    ):
+        if parameters.n != graph.n:
+            raise ValueError("parameters were derived for a different graph size")
+        if degree_cap is not None and degree_cap < graph.max_degree:
+            raise ValueError(
+                f"degree cap D={degree_cap} must be at least the maximum "
+                f"degree {graph.max_degree}"
+            )
+        self.graph = graph
+        self.parameters = parameters
+        #: Declared query fallback, applied at result assembly (see class doc).
+        self.fallback = fallback
+        self._rng = np.random.default_rng(seed)
+        self._counter_seed = _fresh_counter_seed(seed)
+        self._degree_cap = degree_cap
+        self._failures = failures
+
+    def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
+        self._claim_single_use()
+        params = self.parameters
+        graph = self.graph
+
+        # Seeding identical, call for call, to the array backends.
+        seeds = sample_seeds(params, self._rng)
+        seed_ids = assign_seed_identifiers(seeds, params, self._rng)
+
+        config: dict[str, Any] = {
+            "parameters": params,
+            "fallback": self.fallback,
+            "counter_seed": self._counter_seed,
+            "seed_identifiers": {
+                int(v): int(i) for v, i in zip(seeds, seed_ids)
+            },
+        }
+        if self._degree_cap is not None:
+            config["degree_cap"] = int(self._degree_cap)
+        network = SynchronousNetwork(
+            graph,
+            CounterDrivenClusteringAlgorithm(),
+            seed=self._counter_seed,
+            config=config,
+            failures=self._failures,
+            failure_bind_seed=(
+                self._counter_seed if self._failures is not None else None
+            ),
+        )
+
+        network_callback = None
+        if round_callback is not None:
+
+            def network_callback(round_index: int, net: SynchronousNetwork) -> None:
+                round_callback(
+                    round_index, _loads_from_contexts(net.contexts, seed_ids)
+                )
+
+        sim = network.run(params.rounds, round_callback=network_callback)
+        matched_per_round = [
+            stats.by_kind.get("accept", 0) for stats in sim.communication.rounds
+        ]
+        metadata = {
+            "backend": self.name,
+            "fallback": self.fallback,
+            "rng_mode": "counter",
+            **sim.metadata,
+        }
+        if self._failures is not None:
+            metadata["failures"] = type(self._failures).__name__
+        return EngineResult(
+            rounds_executed=sim.rounds_executed,
+            loads=_loads_from_contexts(sim.contexts, seed_ids),
+            seeds=seeds,
+            seed_ids=seed_ids,
+            matched_edges_per_round=matched_per_round,
+            communication=sim.communication,
+            trace=sim.trace,
+            metadata=metadata,
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Vectorized (array) backend
 # --------------------------------------------------------------------------- #
@@ -229,6 +381,26 @@ class VectorizedEngine(RoundEngine):
         Randomness for seeding, identifiers and matchings (one global
         stream; the per-node backend uses one stream per node instead, so
         the two backends agree in distribution, not bit-for-bit).
+    rng_mode:
+        Where the *round* randomness comes from.  ``"generator"`` (default)
+        consumes the global generator stream — the engine's historical
+        behaviour, preserved bit-for-bit.  ``"counter"`` draws the activity
+        and slot coins from the splitmix64 counter streams of
+        :mod:`repro.core.kernels` instead (the numpy reference path of the
+        fused kernels), which makes the round schedule bit-identical to
+        :class:`ParallelEngine` and :class:`MaskedMessagePassingEngine`
+        under the same integer ``seed`` — the mode the cross-backend failure
+        parity suite runs in.  Seeding stays on the generator stream in both
+        modes (it already matches the sibling backends call for call).
+    failures:
+        Optional :class:`~repro.distsim.failures.FailureModel`.  The engine
+        binds it to the counter seed and routes every round through the
+        masked resolution: crashed nodes neither propose nor accept (their
+        loads freeze), dropped proposes/accepts kill the pair before any
+        averaging, and a dropped commit leaves the acceptor stale after the
+        proposer averaged — matching the per-node simulator's semantics.
+        ``NoFailures`` (or masks that are all-``None``) leaves the output
+        bit-identical to ``failures=None``.
     degree_cap:
         Optional degree bound ``D`` enabling the Section 4.5 almost-regular
         protocol (virtual self-loops).
@@ -277,6 +449,7 @@ class VectorizedEngine(RoundEngine):
         fallback: str = "argmax",
         degree_cap: int | None = None,
         failures: FailureModel | None = None,
+        rng_mode: str = "generator",
         matching_sampler: Callable[[Graph, np.random.Generator], np.ndarray] | None = None,
         averaging_model: AveragingModel | None = None,
         batch_rounds: int | None = None,
@@ -284,10 +457,29 @@ class VectorizedEngine(RoundEngine):
     ):
         if parameters.n != graph.n:
             raise ValueError("parameters were derived for a different graph size")
-        if failures is not None:
+        if rng_mode not in ("generator", "counter"):
             raise ValueError(
-                "failure injection requires the message-passing backend; "
-                "the vectorized backend has no per-message delivery to fail"
+                f"rng_mode must be 'generator' or 'counter', got {rng_mode!r}"
+            )
+        if failures is not None and matching_sampler is not None:
+            raise ValueError(
+                "failures cannot be combined with a custom matching_sampler; "
+                "the masked resolution needs the protocol's own proposal step"
+            )
+        if failures is not None and averaging_model is not None:
+            raise ValueError(
+                "failures cannot be combined with an averaging_model; "
+                "alternative substrates have no propose/accept/commit to fail"
+            )
+        if rng_mode == "counter" and matching_sampler is not None:
+            raise ValueError(
+                "rng_mode='counter' cannot be combined with a custom "
+                "matching_sampler; the counter streams define the sampler"
+            )
+        if rng_mode == "counter" and averaging_model is not None:
+            raise ValueError(
+                "rng_mode='counter' cannot be combined with an averaging_model; "
+                "the model owns its own randomness"
             )
         if batch_rounds is not None and batch_rounds < 1:
             raise ValueError("batch_rounds must be at least 1")
@@ -328,6 +520,9 @@ class VectorizedEngine(RoundEngine):
         #: Declared query fallback, applied at result assembly (see class doc).
         self.fallback = fallback
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._counter_seed = _fresh_counter_seed(seed)
+        self._rng_mode = rng_mode
+        self._failures = failures
         self._degree_cap = degree_cap
         self._matching_sampler = matching_sampler
         self._averaging_model = averaging_model
@@ -347,6 +542,19 @@ class VectorizedEngine(RoundEngine):
             # the round loop never materialises the full indices array.
             block_size = graph.storage.suggested_block_rows()
         self._block_size = block_size
+        self._kernel = None
+        if rng_mode == "counter":
+            # The counter streams live in the fused kernels; this backend
+            # always runs their numpy reference path (bit-identical to the
+            # compiled kernels — that is the ParallelEngine's contract).
+            self._kernel = ParallelMatchingKernel.from_storage(
+                graph.storage,
+                graph.degrees,
+                seed=self._counter_seed,
+                degree_cap=degree_cap,
+                use_numba=False,
+                block_size=self._block_size,
+            )
 
     def run(self, *, round_callback: RoundCallback | None = None) -> EngineResult:
         self._claim_single_use()
@@ -363,7 +571,10 @@ class VectorizedEngine(RoundEngine):
             "n": graph.n,
             "m": graph.num_edges,
             "fallback": self.fallback,
+            "rng_mode": self._rng_mode,
         }
+        if self._failures is not None:
+            metadata["failures"] = type(self._failures).__name__
 
         matched_edges: list[int] = []
         if seeds.size == 0:
@@ -389,7 +600,7 @@ class VectorizedEngine(RoundEngine):
                     # snapshot, and a model is free to reuse its buffer.
                     round_callback(t, current.copy())
             loads = current
-        else:
+        elif self._failures is None and self._rng_mode == "generator":
             t = 0
             while t < params.rounds:
                 chunk = min(self._batch_rounds, params.rounds - t)
@@ -413,6 +624,37 @@ class VectorizedEngine(RoundEngine):
                         # is registered; the hot path stays allocation-free.
                         round_callback(t + i, loads.copy())
                 t += chunk
+        else:
+            # Masked round loop: proposals first (counter streams or the
+            # generator stream, drawn per round — chunking never changed the
+            # stream, so the generator-mode schedule is the same as above),
+            # then the resolution with alive/delivery masks.  With
+            # failures=NoFailures the masks are all-None and this loop is
+            # bit-identical to the fast path.
+            n = graph.n
+            if self._failures is not None:
+                self._failures.bind(n, self._counter_seed)
+            for t in range(params.rounds):
+                if self._kernel is not None:
+                    active, proposers, targets = self._kernel.proposals(t)
+                else:
+                    active, proposers, targets = sample_matching_proposals(
+                        graph,
+                        rng,
+                        degree_cap=self._degree_cap,
+                        block_size=self._block_size,
+                    )
+                alive = deliver = None
+                if self._failures is not None:
+                    alive = self._failures.alive_mask(t, n)
+                    deliver = _deliver_adapter(self._failures, t)
+                pair_u, pair_v, commit_ok = resolve_proposals_masked(
+                    n, active, proposers, targets, alive=alive, deliver=deliver
+                )
+                apply_masked_matching(loads, pair_u, pair_v, commit_ok)
+                matched_edges.append(int(pair_u.size))
+                if round_callback is not None:
+                    round_callback(t, loads.copy())
 
         return EngineResult(
             rounds_executed=params.rounds,
@@ -455,6 +697,14 @@ class ParallelEngine(RoundEngine):
     degree_cap:
         Optional degree bound ``D`` enabling the Section 4.5 almost-regular
         protocol (virtual self-loop slots), as on the other backends.
+    failures:
+        Optional :class:`~repro.distsim.failures.FailureModel`, bound to the
+        counter seed.  Failure rounds run kernel pass 1 (the proposal step —
+        compiled when numba is available) and then the masked numpy
+        resolution/averaging, so the injected decisions are bit-identical
+        across thread counts, with/without numba, and across backends
+        (vectorized in counter mode, the masked per-node adapter) — the
+        masks are pure functions of ``(seed, round, kind, node/edge)``.
     fallback:
         Declared query fallback policy, applied at result assembly.
     threads:
@@ -485,11 +735,6 @@ class ParallelEngine(RoundEngine):
     ):
         if parameters.n != graph.n:
             raise ValueError("parameters were derived for a different graph size")
-        if failures is not None:
-            raise ValueError(
-                "failure injection requires the message-passing backend; "
-                "the parallel backend has no per-message delivery to fail"
-            )
         if degree_cap is not None and degree_cap < graph.max_degree:
             raise ValueError(
                 f"degree cap D={degree_cap} must be at least the maximum "
@@ -502,10 +747,8 @@ class ParallelEngine(RoundEngine):
         #: Declared query fallback, applied at result assembly (see class doc).
         self.fallback = fallback
         self._rng = np.random.default_rng(seed)
-        if seed is not None:
-            self._counter_seed = int(seed)
-        else:
-            self._counter_seed = int(np.random.SeedSequence().entropy) & ((1 << 64) - 1)
+        self._counter_seed = _fresh_counter_seed(seed)
+        self._failures = failures
         self._degree_cap = degree_cap
         self._threads = threads
         self._use_numba = use_numba
@@ -542,6 +785,8 @@ class ParallelEngine(RoundEngine):
             "blocked": kernel.blocked,
             "threads": threads,
         }
+        if self._failures is not None:
+            metadata["failures"] = type(self._failures).__name__
 
         matched_edges: list[int] = []
         if seeds.size == 0:
@@ -558,11 +803,30 @@ class ParallelEngine(RoundEngine):
         if kernel.using_numba:  # pragma: no cover - needs numba
             previous_threads = numba.get_num_threads()
             numba.set_num_threads(threads)
+        if self._failures is not None:
+            self._failures.bind(graph.n, self._counter_seed)
         try:
             for t in range(params.rounds):
-                partner = kernel.round(t)
-                kernel.average(loads, partner)
-                matched_edges.append(count_matched_edges(partner))
+                if self._failures is None:
+                    partner = kernel.round(t)
+                    kernel.average(loads, partner)
+                    matched_edges.append(count_matched_edges(partner))
+                else:
+                    # Failure round: kernel pass 1 (possibly compiled), then
+                    # the masked resolution and averaging in numpy — masks
+                    # never enter the compiled pass 2, so compiled and
+                    # reference runs inject identical failures.
+                    active, proposers, targets = kernel.proposals(t)
+                    pair_u, pair_v, commit_ok = resolve_proposals_masked(
+                        graph.n,
+                        active,
+                        proposers,
+                        targets,
+                        alive=self._failures.alive_mask(t, graph.n),
+                        deliver=_deliver_adapter(self._failures, t),
+                    )
+                    apply_masked_matching(loads, pair_u, pair_v, commit_ok)
+                    matched_edges.append(int(pair_u.size))
                 if round_callback is not None:
                     # Snapshot: loads is updated in place (see VectorizedEngine).
                     round_callback(t, loads.copy())
@@ -729,6 +993,11 @@ register_engine(
     MessagePassingEngine.name,
     MessagePassingEngine,
     aliases=("message", "per-node", "simulator"),
+)
+register_engine(
+    MaskedMessagePassingEngine.name,
+    MaskedMessagePassingEngine,
+    aliases=("masked",),
 )
 register_engine(VectorizedEngine.name, VectorizedEngine, aliases=("array", "fast"))
 register_engine(

@@ -14,7 +14,10 @@ Thread scheduling must not influence results, so no shared generator state is
 consumed: every random draw is a *counter-based* hash.  A per-``(seed, round,
 stream)`` key is derived with splitmix64-style mixing, and node ``v``'s draw
 is ``mix64(key + (v+1)·γ)`` — a pure function of ``(seed, round, stream,
-node)``.  Consequences, pinned by ``tests/core/test_kernels.py``:
+node)``.  The hash family itself lives in :mod:`repro._rng` (re-exported
+here) so the failure layer can draw crash/drop decisions from sibling
+streams of the same ``(seed, round)`` keys.  Consequences, pinned by
+``tests/core/test_kernels.py``:
 
 * results are bit-identical across thread counts and repeat runs;
 * the numba kernels and the pure-numpy reference path below perform the
@@ -38,6 +41,18 @@ from types import SimpleNamespace
 import numpy as np
 
 from .._accel import HAVE_NUMBA
+from .._rng import (
+    _GAMMA,
+    _INV_2POW53,
+    _MIX1,
+    _MIX2,
+    MASK64 as _MASK64,
+    STREAM_ACTIVITY,
+    STREAM_SLOT,
+    counter_uniforms,
+    mix64,
+    stream_key,
+)
 from ..loadbalancing.matching import (
     _blocked_neighbour_gather,
     _resolve_proposals,
@@ -54,65 +69,6 @@ __all__ = [
     "matching_round_blocked",
     "ParallelMatchingKernel",
 ]
-
-_MASK64 = (1 << 64) - 1
-#: splitmix64 increment ("golden gamma") and finaliser multipliers.
-_GAMMA = 0x9E3779B97F4A7C15
-_MIX1 = 0xBF58476D1CE4E5B9
-_MIX2 = 0x94D049BB133111EB
-#: ``u64 >> 11`` leaves 53 uniform bits; scaling by 2^-53 gives a float64
-#: uniform on [0, 1) with every value exactly representable.
-_INV_2POW53 = 2.0**-53
-
-#: Stream tags: one independent draw stream per protocol step of a round.
-STREAM_ACTIVITY = 0
-STREAM_SLOT = 1
-
-
-def mix64(x: int) -> int:
-    """The splitmix64 finaliser on a Python int (mod 2^64).
-
-    Computed in plain Python integers (masked to 64 bits) so key derivation
-    never touches numpy scalar arithmetic, whose uint64 overflow semantics
-    differ between scalar and array paths.
-    """
-    x &= _MASK64
-    x ^= x >> 30
-    x = (x * _MIX1) & _MASK64
-    x ^= x >> 27
-    x = (x * _MIX2) & _MASK64
-    x ^= x >> 31
-    return x
-
-
-def stream_key(seed: int, round_index: int, stream: int) -> int:
-    """The 64-bit key of one ``(seed, round, stream)`` draw stream.
-
-    Three chained mixing steps decorrelate the inputs; node draws then hash
-    ``key + (v+1)·γ`` so distinct nodes read distinct counters (the ``+1``
-    keeps node 0 off the raw key itself).
-    """
-    key = mix64((int(seed) & _MASK64) ^ _GAMMA)
-    key = mix64((key + (int(round_index) & _MASK64) * _MIX1) & _MASK64)
-    return mix64((key + (int(stream) & _MASK64) * _MIX2) & _MASK64)
-
-
-def counter_uniforms(key: int, n: int) -> np.ndarray:
-    """Uniform [0, 1) float64 draws for nodes ``0..n-1`` under ``key``.
-
-    The vectorised twin of the per-node hash inside the numba kernels: same
-    integer mixing (uint64 *array* ops wrap silently, matching the scalar
-    wrap in compiled code), same ``(x >> 11) · 2^-53`` conversion, hence
-    bit-identical values.
-    """
-    idx = np.arange(1, n + 1, dtype=np.uint64)
-    x = np.uint64(key) + idx * np.uint64(_GAMMA)
-    x ^= x >> np.uint64(30)
-    x *= np.uint64(_MIX1)
-    x ^= x >> np.uint64(27)
-    x *= np.uint64(_MIX2)
-    x ^= x >> np.uint64(31)
-    return (x >> np.uint64(11)).astype(np.float64) * _INV_2POW53
 
 
 def matching_round_reference(
@@ -524,6 +480,65 @@ class ParallelMatchingKernel:
             self.indptr, self.indices, self.degrees,
             key_active, key_slot, self.degree_cap,
         )
+
+    def proposals(self, round_index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pass 1 of round ``round_index``: ``(active, proposers, targets)``.
+
+        The raw proposal step *before* resolution — exactly the coins and
+        slot draws of :meth:`round`, exposed so the failure layer can mask
+        dead or dropped proposals and run the resolution itself
+        (:func:`~repro.loadbalancing.matching.resolve_proposals_masked`).
+        ``targets`` may still contain self-proposals on the reference path
+        (proposer drew its own virtual slot target == itself); the masked
+        resolution filters them, matching pass 2's ``target != v`` skip.
+        """
+        key_active = stream_key(self.seed, round_index, STREAM_ACTIVITY)
+        key_slot = stream_key(self.seed, round_index, STREAM_SLOT)
+        if self.using_numba:  # pragma: no cover - needs numba
+            if self._storage is None:
+                _numba_kernels().matching_pass1_block(
+                    self.indptr,
+                    self.indices,
+                    np.int64(0),
+                    np.int64(self.degrees.shape[0]),
+                    self.indptr[0],
+                    np.uint64(key_active),
+                    np.uint64(key_slot),
+                    np.int64(self.degree_cap),
+                    self._active,
+                    self._prop,
+                    self._partner,
+                )
+            else:
+                kernels = _numba_kernels()
+                for r0, r1, block in self._storage.iter_row_blocks(self._block_size):
+                    kernels.matching_pass1_block(
+                        self.indptr,
+                        np.asarray(block),
+                        np.int64(r0),
+                        np.int64(r1),
+                        self.indptr[r0],
+                        np.uint64(key_active),
+                        np.uint64(key_slot),
+                        np.int64(self.degree_cap),
+                        self._active,
+                        self._prop,
+                        self._partner,
+                    )
+            proposers = np.flatnonzero(self._prop >= 0)
+            return self._active.copy(), proposers, self._prop[proposers]
+        active, proposers, slots = _proposal_slots(
+            self.degrees, key_active, key_slot, self.degree_cap
+        )
+        if not proposers.size:
+            return active, proposers, proposers
+        if self._storage is not None:
+            targets = _blocked_neighbour_gather(
+                self._storage, self.indptr, proposers, slots, self._block_size
+            )
+        else:
+            targets = self.indices[self.indptr[proposers] + slots]
+        return active, proposers, targets
 
     def _round_numba_blocked(self, key_active: int, key_slot: int) -> None:  # pragma: no cover - needs numba
         # Two sweeps over the storage: pass 2 reads prop[u] of neighbours

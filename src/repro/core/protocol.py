@@ -33,12 +33,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .._rng import STREAM_ACTIVITY, STREAM_SLOT, counter_uniform, stream_key
 from ..distsim.messages import Message
 from ..distsim.node import NodeAlgorithm, NodeContext
 from .parameters import AlgorithmParameters
 from .state import NodeState
 
-__all__ = ["LoadBalancingClusteringAlgorithm"]
+__all__ = ["LoadBalancingClusteringAlgorithm", "CounterDrivenClusteringAlgorithm"]
 
 
 class LoadBalancingClusteringAlgorithm(NodeAlgorithm):
@@ -163,3 +164,76 @@ class LoadBalancingClusteringAlgorithm(NodeAlgorithm):
         if label is None and fallback == "argmax":
             label = load.heaviest_prefix()
         node.state["label"] = -1 if label is None else int(label)
+
+
+class CounterDrivenClusteringAlgorithm(LoadBalancingClusteringAlgorithm):
+    """The same four-phase protocol, with counter-based randomness.
+
+    The per-node adapter of the failure parity harness
+    (:class:`~repro.core.engines.MaskedMessagePassingEngine`): instead of
+    each node's private generator stream, the protocol coins are the exact
+    splitmix64 counter hashes of the fused kernels
+    (:mod:`repro.core.kernels`), and seed membership/identifiers are injected
+    through the configuration instead of drawn locally.  Message routing,
+    acceptance, averaging and commit are all inherited unchanged — only where
+    the randomness comes from differs — so the engine result is bit-identical
+    to the array backends running in counter mode under the same seed, one
+    message at a time.
+
+    Additional configuration keys (beyond the base class's):
+
+    ``counter_seed``
+        64-bit base of the counter streams (``stream_key(seed, round, ...)``).
+    ``seed_identifiers``
+        ``{node_id: identifier}`` for the seed nodes, computed centrally with
+        the *same* generator calls as the vectorised seeding so the two
+        layouts match for the same integer seed.
+    """
+
+    def initialise(self, node: NodeContext) -> None:
+        seed_identifiers: dict[int, int] = node.config["seed_identifiers"]
+        is_seed = node.node_id in seed_identifiers
+        node.state["id"] = int(seed_identifiers.get(node.node_id, 0))
+        node.state["is_seed"] = is_seed
+        node.state["load"] = (
+            NodeState.seeded(node.state["id"]) if is_seed else NodeState.empty()
+        )
+        node.state["label"] = None
+        node.state["partner"] = -1
+
+    def run_phase(
+        self, node: NodeContext, round_index: int, phase: str, inbox: list[Message]
+    ) -> None:
+        if phase == "propose":
+            self._phase_propose_counter(node, round_index)
+        else:
+            super().run_phase(node, round_index, phase, inbox)
+
+    def _phase_propose_counter(self, node: NodeContext, round_index: int) -> None:
+        # The scalar twin of kernel pass 1 (`matching_pass1_block`), operation
+        # by operation: activity coin, one slot uniform, truncation to the
+        # (possibly capped) slot index, the virtual-slot discard and the
+        # self-loop discard.  counter_uniform performs the same IEEE-754
+        # conversion as the kernels, so the decisions match bit for bit.
+        node.state["partner"] = -1
+        seed = node.config["counter_seed"]
+        v = node.node_id
+        is_active = counter_uniform(stream_key(seed, round_index, STREAM_ACTIVITY), v) < 0.5
+        node.state["mm_active"] = bool(is_active)
+        d = node.degree
+        if not is_active or d == 0:
+            return
+        u01 = counter_uniform(stream_key(seed, round_index, STREAM_SLOT), v)
+        degree_cap = node.config.get("degree_cap")
+        cap = int(degree_cap) if degree_cap is not None else d
+        slot = int(u01 * float(cap))
+        if slot > cap - 1:
+            slot = cap - 1
+        if slot >= d:
+            # Virtual self-loop of the almost-regular extension: no proposal.
+            return
+        target = int(node.neighbours[slot])
+        if target == v:
+            # A real self-loop can never form a matched pair.
+            return
+        node.send(target, "propose", None, words=1)

@@ -21,6 +21,7 @@ from .failures import (
     FailureModel,
     MessageDropFailures,
     NoFailures,
+    make_failure_model,
 )
 from .messages import Message, payload_words
 from .network import SimulationResult, SynchronousNetwork
@@ -41,6 +42,7 @@ __all__ = [
     "FailureModel",
     "MessageDropFailures",
     "NoFailures",
+    "make_failure_model",
     "Message",
     "payload_words",
     "SimulationResult",

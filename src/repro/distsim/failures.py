@@ -4,10 +4,41 @@ The paper assumes a fully reliable synchronous network.  Real deployments are
 not so kind, and a natural question for a downstream user is how gracefully
 the algorithm degrades when messages are lost or nodes crash.  The failure
 models below plug into :class:`repro.distsim.network.SynchronousNetwork` and
-are exercised by the robustness tests and the E11 sensitivity benchmark.
+are exercised by the robustness tests and the E11/E21 benchmarks.
 
-All failure decisions are drawn from the simulator's dedicated RNG stream so
-that enabling failures never perturbs the nodes' own random choices.
+Two operating modes
+-------------------
+**Legacy (generator-driven).**  The network calls :meth:`FailureModel.reset`
+with the simulator's dedicated RNG stream and consults the scalar methods
+(:meth:`node_is_alive`, :meth:`deliver`) message by message.  Enabling
+failures never perturbs the nodes' own random choices, but the decisions
+depend on message *order*, so they are reproducible only within one backend.
+
+**Bound (counter-driven).**  :meth:`FailureModel.bind` pins the model to a
+64-bit seed, after which every decision is a splitmix64 counter hash from
+:mod:`repro._rng` — a pure function of its coordinates:
+
+* crash coins: ``counter_uniforms(stream_key(seed, 0, STREAM_CRASH), n)``,
+  one draw per node, drawn once per run;
+* delivery coins: ``pair_uniforms(message_key(seed, round, kind), u, v)``,
+  one draw per directed message ``(round, kind, u → v)``.
+
+Position-independence is the point: the same ``(seed, round, kind, u, v)``
+always gets the same coin, no matter which backend asks, in what order, or
+how the work was sliced across threads or row blocks.  That is what makes
+the vectorized masks (:meth:`alive_mask`, :meth:`deliver_mask`) bit-identical
+to the per-node simulator driven through the same bound model — pinned by
+``tests/integration/test_failure_parity.py``.  A corollary worth knowing:
+two messages with identical coordinates replay the same coin (deterministic
+replay, not i.i.d. per send).  The clustering protocol sends at most one
+message per ``(kind, u, v)`` per round, so this never matters for it.
+
+The mask methods fall back to the scalar methods automatically, so a custom
+subclass that only implements ``node_is_alive``/``deliver`` still works on
+every backend (deterministically under a bound seed, though the fallback's
+draws are order-dependent within a round).  :class:`NoFailures` — and any
+model that overrides neither scalar hook — reports ``None`` masks and burns
+zero draws, so engine output with it is bit-identical to ``failures=None``.
 """
 
 from __future__ import annotations
@@ -16,19 +47,52 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._rng import (
+    MASK64,
+    STREAM_CRASH,
+    counter_uniforms,
+    message_key,
+    mix64,
+    pair_uniform,
+    pair_uniforms,
+    stream_key,
+)
 from .messages import Message
 
-__all__ = ["FailureModel", "NoFailures", "MessageDropFailures", "CrashFailures", "CompositeFailures"]
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "MessageDropFailures",
+    "CrashFailures",
+    "CompositeFailures",
+    "make_failure_model",
+]
 
 
 class FailureModel:
-    """Interface for failure injection; the default injects nothing."""
+    """Interface for failure injection; the default injects nothing.
 
+    Scalar contract (legacy, message-at-a-time): :meth:`reset`,
+    :meth:`on_round`, :meth:`node_is_alive`, :meth:`deliver`.
+
+    Vectorized contract (mask-at-a-time): :meth:`bind` once per run, then
+    :meth:`alive_mask` / :meth:`deliver_mask` per round.  ``None`` from a
+    mask method means "all alive" / "all delivered" — callers can skip the
+    masking work entirely.  The base implementations fall back to the scalar
+    methods, so subclasses override masks only for speed or for exact
+    cross-backend parity.
+    """
+
+    _bound_seed: int | None = None
+    _bound_round: int = 0
+
+    # ---------------------------------------------------------------- scalar
     def reset(self, n: int, rng: np.random.Generator) -> None:
         """Called once before a simulation starts."""
 
     def on_round(self, round_index: int, rng: np.random.Generator) -> None:
-        """Called at the beginning of every round."""
+        """Called at the beginning of every round (subclasses call ``super``)."""
+        self._bound_round = int(round_index)
 
     def node_is_alive(self, node_id: int) -> bool:
         """Whether the node participates in this round."""
@@ -38,14 +102,98 @@ class FailureModel:
         """Whether the message is delivered (``False`` drops it silently)."""
         return True
 
+    # ------------------------------------------------------------ vectorized
+    @property
+    def is_bound(self) -> bool:
+        """Whether the model draws from a pinned counter stream."""
+        return self._bound_seed is not None
+
+    def bind(self, n: int, seed: int) -> None:
+        """Pin all failure draws to counter streams derived from ``seed``.
+
+        After binding, decisions are pure functions of their coordinates
+        (see the module docstring) — the same ``(n, seed)`` bind yields the
+        same crash set and the same delivery coins on every backend.
+        Re-binding resets all round state, so one model instance can be
+        passed to several engines in sequence.
+        """
+        self._bound_seed = int(seed) & MASK64
+        self._bound_round = 0
+        self.reset(n, np.random.default_rng(self._bound_seed))
+
+    def begin_round(self, round_index: int) -> None:
+        """Bound-mode round hook for mask-driven engines.
+
+        Equivalent to the network's ``on_round`` call, with the RNG derived
+        deterministically from ``(bound seed, round)`` so custom scalar
+        models that consume it stay reproducible.  The built-in models never
+        touch it — their masks are pure functions of the round index.
+        """
+        self.on_round(round_index, np.random.default_rng((self._require_bound(), int(round_index))))
+
+    def alive_mask(self, round_index: int, n: int) -> np.ndarray | None:
+        """Boolean alive mask for round ``round_index``, or ``None`` for all-alive.
+
+        Base fallback: all-alive when :meth:`node_is_alive` is not
+        overridden (zero draws), otherwise one scalar query per node.
+        """
+        if type(self).node_is_alive is FailureModel.node_is_alive:
+            return None
+        return np.fromiter(
+            (self.node_is_alive(v) for v in range(n)), dtype=bool, count=n
+        )
+
+    def deliver_mask(
+        self,
+        round_index: int,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+    ) -> np.ndarray | None:
+        """Delivery mask for the ``kind`` messages ``senders[i] → receivers[i]``.
+
+        ``None`` means all delivered.  Base fallback: all-delivered when
+        :meth:`deliver` is not overridden (zero draws), otherwise one scalar
+        :meth:`deliver` call per message against an RNG seeded from the
+        ``(seed, round, kind)`` message key — deterministic, but dependent
+        on the order of the pairs (exact parity needs a mask override).
+        """
+        if type(self).deliver is FailureModel.deliver:
+            return None
+        rng = np.random.default_rng(message_key(self._require_bound(), round_index, kind))
+        out = np.empty(len(senders), dtype=bool)
+        for i, (s, r) in enumerate(zip(senders, receivers)):
+            out[i] = self.deliver(Message(int(s), int(r), kind, words=1), rng)
+        return out
+
+    def _require_bound(self) -> int:
+        if self._bound_seed is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not bound: call bind(n, seed) before "
+                "querying vectorized masks"
+            )
+        return self._bound_seed
+
 
 class NoFailures(FailureModel):
-    """The reliable network of the paper (default)."""
+    """The reliable network of the paper (default).
+
+    Overrides neither scalar hook, so both mask methods report ``None`` and
+    zero stream draws are burned: engine output under ``NoFailures`` is
+    bit-identical to ``failures=None``.
+    """
 
 
 @dataclass
 class MessageDropFailures(FailureModel):
-    """Each message is independently dropped with probability ``drop_probability``."""
+    """Each message is independently dropped with probability ``drop_probability``.
+
+    Bound mode draws the coin of message ``(round, kind, u → v)`` as
+    ``pair_uniforms(message_key(seed, round, kind), u, v)`` — the scalar
+    :meth:`deliver` and the vectorized :meth:`deliver_mask` read the *same*
+    coin for the same message, which is what makes the per-node simulator
+    and the array backends drop exactly the same messages.
+    """
 
     drop_probability: float
 
@@ -54,7 +202,20 @@ class MessageDropFailures(FailureModel):
             raise ValueError("drop_probability must lie in [0, 1)")
 
     def deliver(self, message: Message, rng: np.random.Generator) -> bool:
+        if self.is_bound:
+            key = message_key(self._bound_seed, self._bound_round, message.kind)
+            return pair_uniform(key, message.sender, message.receiver) >= self.drop_probability
         return bool(rng.random() >= self.drop_probability)
+
+    def deliver_mask(
+        self,
+        round_index: int,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+    ) -> np.ndarray | None:
+        key = message_key(self._require_bound(), round_index, kind)
+        return pair_uniforms(key, senders, receivers) >= self.drop_probability
 
 
 @dataclass
@@ -62,7 +223,11 @@ class CrashFailures(FailureModel):
     """A fixed fraction of nodes crashes (permanently) at a given round.
 
     Crashed nodes stop sending and receiving; their state is frozen.  The
-    crash set is sampled uniformly at reset time.
+    crash set is sampled at reset time: ``floor(crash_fraction · n)`` nodes,
+    uniform without replacement.  Bound mode keeps the exact-count semantics
+    by order statistics — the crashed nodes are those with the smallest
+    ``counter_uniforms(stream_key(seed, 0, STREAM_CRASH), n)`` draws — so
+    the set is a pure function of ``(seed, n)``, identical on every backend.
     """
 
     crash_fraction: float
@@ -78,13 +243,20 @@ class CrashFailures(FailureModel):
 
     def reset(self, n: int, rng: np.random.Generator) -> None:
         num_crashed = int(np.floor(self.crash_fraction * n))
-        crashed = rng.choice(n, size=num_crashed, replace=False) if num_crashed else np.empty(0, dtype=np.int64)
+        if not num_crashed:
+            crashed = np.empty(0, dtype=np.int64)
+        elif self.is_bound:
+            coins = counter_uniforms(stream_key(self._bound_seed, 0, STREAM_CRASH), n)
+            crashed = np.argpartition(coins, num_crashed - 1)[:num_crashed]
+        else:
+            crashed = rng.choice(n, size=num_crashed, replace=False)
         mask = np.zeros(n, dtype=bool)
         mask[crashed] = True
         self._crashed = mask
         self._active = False
 
     def on_round(self, round_index: int, rng: np.random.Generator) -> None:
+        super().on_round(round_index, rng)
         if round_index >= self.crash_round:
             self._active = True
 
@@ -98,6 +270,24 @@ class CrashFailures(FailureModel):
             return True
         return not (self._crashed[message.sender] or self._crashed[message.receiver])
 
+    def alive_mask(self, round_index: int, n: int) -> np.ndarray | None:
+        # Stateless in the round index (crashes are monotone: once active,
+        # always active), so mask-driven engines need no on_round calls.
+        if self._crashed is None or round_index < self.crash_round or not self._crashed.any():
+            return None
+        return ~self._crashed
+
+    def deliver_mask(
+        self,
+        round_index: int,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+    ) -> np.ndarray | None:
+        if self._crashed is None or round_index < self.crash_round or not self._crashed.any():
+            return None
+        return ~(self._crashed[np.asarray(senders)] | self._crashed[np.asarray(receivers)])
+
 
 class CompositeFailures(FailureModel):
     """Combine several failure models (a message survives only if all agree)."""
@@ -109,7 +299,17 @@ class CompositeFailures(FailureModel):
         for m in self._models:
             m.reset(n, rng)
 
+    def bind(self, n: int, seed: int) -> None:
+        # Each constituent gets its own derived seed, so two models of the
+        # same class (e.g. two drop layers) draw decorrelated coins; the
+        # derivation is deterministic, so parity across backends holds.
+        self._bound_seed = int(seed) & MASK64
+        self._bound_round = 0
+        for i, m in enumerate(self._models):
+            m.bind(n, mix64((self._bound_seed + (i + 1)) & MASK64))
+
     def on_round(self, round_index: int, rng: np.random.Generator) -> None:
+        super().on_round(round_index, rng)
         for m in self._models:
             m.on_round(round_index, rng)
 
@@ -118,3 +318,49 @@ class CompositeFailures(FailureModel):
 
     def deliver(self, message: Message, rng: np.random.Generator) -> bool:
         return all(m.deliver(message, rng) for m in self._models)
+
+    def alive_mask(self, round_index: int, n: int) -> np.ndarray | None:
+        out: np.ndarray | None = None
+        for m in self._models:
+            mask = m.alive_mask(round_index, n)
+            if mask is not None:
+                out = mask.copy() if out is None else out & mask
+        return out
+
+    def deliver_mask(
+        self,
+        round_index: int,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+    ) -> np.ndarray | None:
+        out: np.ndarray | None = None
+        for m in self._models:
+            mask = m.deliver_mask(round_index, kind, senders, receivers)
+            if mask is not None:
+                out = mask.copy() if out is None else out & mask
+        return out
+
+
+def make_failure_model(
+    *,
+    drop_probability: float = 0.0,
+    crash_fraction: float = 0.0,
+    crash_round: int = 0,
+) -> FailureModel | None:
+    """Build the failure model of a robustness sweep point.
+
+    Returns ``None`` when all knobs are zero (the reliable network, with the
+    engines taking their unmasked fast paths), a single model when one knob
+    is set, and a :class:`CompositeFailures` when both are.
+    """
+    models: list[FailureModel] = []
+    if drop_probability > 0.0:
+        models.append(MessageDropFailures(drop_probability))
+    if crash_fraction > 0.0:
+        models.append(CrashFailures(crash_fraction, crash_round))
+    if not models:
+        return None
+    if len(models) == 1:
+        return models[0]
+    return CompositeFailures(*models)

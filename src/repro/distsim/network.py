@@ -76,6 +76,13 @@ class SynchronousNetwork:
     failures:
         Optional failure model; the default is the reliable network the
         paper assumes.
+    failure_bind_seed:
+        When set, the failure model is *bound* to this 64-bit counter seed
+        (:meth:`~repro.distsim.failures.FailureModel.bind`) instead of being
+        reset from the simulator's RNG stream: every drop/crash decision
+        becomes a pure function of ``(seed, round, kind, sender, receiver)``,
+        matching the masks the vectorized backends draw from the same seed.
+        ``None`` (the default) keeps the legacy generator-driven behaviour.
     """
 
     def __init__(
@@ -86,11 +93,13 @@ class SynchronousNetwork:
         seed: int | None = None,
         config: dict[str, Any] | None = None,
         failures: FailureModel | None = None,
+        failure_bind_seed: int | None = None,
     ):
         self.graph = graph
         self.algorithm = algorithm
         self.config = dict(config or {})
         self.failures = failures or NoFailures()
+        self._failure_bind_seed = failure_bind_seed
         self._rng_factory = NodeRngFactory(seed, graph.n)
         self._contexts: list[NodeContext] = [
             NodeContext(
@@ -145,7 +154,10 @@ class SynchronousNetwork:
             raise ValueError("rounds must be non-negative")
         sim_rng = self._rng_factory.for_simulator()
         if not self._initialised:
-            self.failures.reset(self.graph.n, sim_rng)
+            if self._failure_bind_seed is not None:
+                self.failures.bind(self.graph.n, self._failure_bind_seed)
+            else:
+                self.failures.reset(self.graph.n, sim_rng)
             for ctx in self._contexts:
                 self.algorithm.initialise(ctx)
             self._initialised = True

@@ -42,6 +42,7 @@ from ..baselines.base import BaselineClusterer
 from ..core.centralized import CentralizedClustering
 from ..core.distributed import DistributedClustering
 from ..core.parameters import AlgorithmParameters
+from ..distsim.failures import FailureModel
 from ..graphs.generators import ClusteredGraph
 from .metrics import clustering_report
 from .tables import format_table
@@ -386,6 +387,7 @@ class _LoadBalancingAdapter:
     backend: str = "centralized"
     block_size: int | None = None
     threads: int | None = None
+    failures: FailureModel | None = None
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -409,6 +411,11 @@ class _LoadBalancingAdapter:
                     "block_size applies to round-engine backends, not the "
                     "legacy centralized driver"
                 )
+            if self.failures is not None:
+                raise ValueError(
+                    "failure injection applies to round-engine backends; the "
+                    "legacy centralized driver has no message layer to fail"
+                )
             result = CentralizedClustering(
                 instance.graph, params, seed=seed, fallback=self.fallback
             ).run(keep_loads=False)
@@ -430,6 +437,8 @@ class _LoadBalancingAdapter:
                 engine_options["block_size"] = self.block_size
             if self.threads is not None:
                 engine_options["threads"] = self.threads
+            if self.failures is not None:
+                engine_options["failures"] = self.failures
             result = DistributedClustering(
                 instance.graph,
                 params,
@@ -472,6 +481,7 @@ def evaluate_load_balancing_clustering(
     backend: str = "centralized",
     block_size: int | None = None,
     threads: int | None = None,
+    failures: FailureModel | None = None,
 ) -> AlgorithmCallable:
     """Adapter running the paper's algorithm and scoring it.
 
@@ -495,8 +505,16 @@ def evaluate_load_balancing_clustering(
     at any thread count).  Combining it with a backend that has no thread
     knob is an error, not a silent no-op.
 
+    ``failures`` injects a :class:`~repro.distsim.failures.FailureModel`
+    (message drops, crashes, or a composite) into the selected round engine.
+    Every registered backend accepts it — the engines draw drop/crash masks
+    from dedicated counter streams, so for a given ``(seed, failures)`` pair
+    the records agree across backends.  The legacy centralized driver has no
+    message layer, so combining it with ``failures`` is an error.
+
     The returned callable is a picklable object, so it works under both the
-    serial and the process executors of :func:`run_trials`.
+    serial and the process executors of :func:`run_trials` (the bundled
+    failure models are plain dataclasses over ndarrays, hence picklable).
     """
     return _LoadBalancingAdapter(
         round_constant=round_constant,
@@ -506,6 +524,7 @@ def evaluate_load_balancing_clustering(
         backend=backend,
         block_size=block_size,
         threads=threads,
+        failures=failures,
     )
 
 

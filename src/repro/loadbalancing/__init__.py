@@ -18,12 +18,15 @@ from .analysis import (
     projection_distance,
 )
 from .matching import (
+    apply_masked_matching,
     apply_matching,
     count_matched_edges,
     dbar,
     expected_matching_matrix,
     matching_matrix,
     matching_to_edge_list,
+    resolve_proposals_masked,
+    sample_matching_proposals,
     sample_maximal_matching,
     sample_random_matching,
     sample_random_matching_fast,
@@ -46,12 +49,15 @@ from .process import (
 
 __all__ = [
     # matching.py
+    "apply_masked_matching",
     "apply_matching",
     "count_matched_edges",
     "dbar",
     "expected_matching_matrix",
     "matching_matrix",
     "matching_to_edge_list",
+    "resolve_proposals_masked",
+    "sample_matching_proposals",
     "sample_maximal_matching",
     "sample_random_matching",
     "sample_random_matching_fast",

@@ -273,21 +273,57 @@ class TestEngineFactory:
                 degree_cap=instance.graph.max_degree,
             )
 
-    def test_vectorized_rejects_failures(self, instance, params):
-        with pytest.raises(ValueError, match="message-passing"):
-            VectorizedEngine(
-                instance.graph, params, failures=MessageDropFailures(drop_probability=0.1)
-            )
+    def test_vectorized_accepts_failures(self, instance, params):
+        engine = VectorizedEngine(
+            instance.graph,
+            params,
+            seed=0,
+            failures=MessageDropFailures(drop_probability=0.1),
+        )
+        result = engine.run()
+        assert result.metadata["failures"] == "MessageDropFailures"
+        assert len(result.matched_edges_per_round) == params.rounds
 
-    def test_distributed_driver_rejects_failures_on_vectorized(self, instance, params):
-        with pytest.raises(ValueError, match="message-passing"):
-            DistributedClustering(
-                instance.graph,
-                params,
-                seed=0,
-                backend="vectorized",
-                failures=MessageDropFailures(drop_probability=0.1),
-            ).run()
+    def test_every_backend_accepts_failures_via_make_engine(self, instance, params):
+        # PR 8 regression: failure injection is a first-class option of every
+        # registered backend, not a message-passing privilege.
+        import warnings
+
+        for backend in available_engines():
+            with warnings.catch_warnings():
+                # Without numba the parallel factory falls back with a
+                # RuntimeWarning; acceptance of the option is what's pinned.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                engine = make_engine(
+                    backend,
+                    instance.graph,
+                    params,
+                    seed=0,
+                    failures=MessageDropFailures(drop_probability=0.05),
+                )
+            result = engine.run()
+            assert len(result.matched_edges_per_round) == params.rounds, backend
+
+    def test_unknown_engine_options_still_rejected_loudly(self, instance, params):
+        import warnings
+
+        for backend in ("vectorized", "message-passing", "parallel", "masked"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with pytest.raises(TypeError, match="unexpected keyword"):
+                    make_engine(
+                        backend, instance.graph, params, seed=0, frobnicate=True
+                    )
+
+    def test_distributed_driver_runs_failures_on_vectorized(self, instance, params):
+        result = DistributedClustering(
+            instance.graph,
+            params,
+            seed=0,
+            backend="vectorized",
+            failures=MessageDropFailures(drop_probability=0.1),
+        ).run()
+        assert result.labels.size == instance.graph.n
 
 
 class TestVectorizedEngine:
@@ -428,11 +464,27 @@ class TestParallelEngine:
         assert history[0] is not history[-1]
         assert not np.array_equal(history[0], history[-1])
 
-    def test_rejects_failures(self, instance, params):
-        with pytest.raises(ValueError, match="message-passing"):
-            ParallelEngine(
-                instance.graph, params, failures=MessageDropFailures(drop_probability=0.5)
-            )
+    def test_accepts_failures(self, instance, params):
+        engine = ParallelEngine(
+            instance.graph,
+            params,
+            seed=4,
+            failures=MessageDropFailures(drop_probability=0.5),
+            **({} if HAVE_NUMBA else {"use_numba": False}),
+        )
+        result = engine.run()
+        assert result.metadata["failures"] == "MessageDropFailures"
+        # Half the proposals and half the accepts are dropped, so matching
+        # counts fall well below the reliable run's.
+        reliable = ParallelEngine(
+            instance.graph,
+            params,
+            seed=4,
+            **({} if HAVE_NUMBA else {"use_numba": False}),
+        ).run()
+        assert sum(result.matched_edges_per_round) < sum(
+            reliable.matched_edges_per_round
+        )
 
     def test_rejects_low_degree_cap(self, instance, params):
         with pytest.raises(ValueError, match="degree cap"):

@@ -277,3 +277,46 @@ class TestThreadsKnob:
             record = adapter(self._instance(), seed=1)
         assert record["backend"] == "parallel"
         assert "error" in record and "rounds" in record
+
+
+class TestFailuresKnob:
+    """``failures`` applies to round-engine backends; centralized rejects it."""
+
+    def _instance(self):
+        return cycle_of_cliques(2, 10, seed=0)
+
+    def test_failures_rejected_on_centralized(self):
+        from repro.distsim import MessageDropFailures
+
+        adapter = evaluate_load_balancing_clustering(
+            backend="centralized", failures=MessageDropFailures(0.1)
+        )
+        with pytest.raises(ValueError, match="no message layer"):
+            adapter(self._instance(), seed=0)
+
+    def test_failures_run_on_round_engine_backends(self):
+        from repro.distsim import MessageDropFailures
+
+        for backend in ("vectorized", "message-passing", "masked-message-passing"):
+            adapter = evaluate_load_balancing_clustering(
+                backend=backend, failures=MessageDropFailures(0.1), rounds=10
+            )
+            record = adapter(self._instance(), seed=1)
+            assert record["backend"] == backend
+            assert "error" in record and record["rounds"] == 10
+
+    def test_failure_adapter_is_picklable(self):
+        import pickle
+
+        from repro.distsim import CompositeFailures, CrashFailures, MessageDropFailures
+
+        adapter = evaluate_load_balancing_clustering(
+            backend="vectorized",
+            rounds=10,
+            failures=CompositeFailures(
+                MessageDropFailures(0.05), CrashFailures(0.02)
+            ),
+        )
+        clone = pickle.loads(pickle.dumps(adapter))
+        instance = self._instance()
+        assert clone(instance, seed=3) == adapter(instance, seed=3)

@@ -1,0 +1,166 @@
+"""Bit-exact failure-injection parity across the round-engine backends.
+
+The failure layer (PR 8) draws every drop/crash decision from dedicated
+splitmix64 counter streams keyed by ``(seed, round, kind, node/edge)``, so
+the decisions are *position-independent*: the per-node simulator flipping
+one coin per message and the array backends materialising whole masks must
+agree bit for bit.  These tests pin that contract — unlike the statistical
+band of ``test_backend_parity.py``, equality here is exact:
+
+* ``masked-message-passing`` (the per-node simulator driven by the counter
+  streams), ``vectorized`` in counter mode and ``parallel`` produce
+  identical label fingerprints under the same ``(seed, drop_prob,
+  crash_prob)``,
+* at every thread count of the parallel backend (1 and 8),
+* on dense and memory-mapped storage.
+
+The parallel backend runs its real engine on machines without numba too:
+``use_numba=False`` forces the bit-identical numpy reference path of the
+same kernels.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro._accel import HAVE_NUMBA
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.distsim import CompositeFailures, CrashFailures, MessageDropFailures
+from repro.graphs import Graph, MmapStorage, cycle_of_cliques, planted_partition
+
+SEED = 42
+THREAD_COUNTS = (1, 8)
+
+#: (name, factory) — a fresh model per run, since binding stores per-run
+#: state (the crash set) on the instance.
+FAILURE_CONFIGS = (
+    ("none", lambda: None),
+    ("drop-0.05", lambda: MessageDropFailures(0.05)),
+    ("crash-0.05", lambda: CrashFailures(0.05, crash_round=1)),
+    (
+        "drop+crash",
+        lambda: CompositeFailures(
+            MessageDropFailures(0.05), CrashFailures(0.01)
+        ),
+    ),
+)
+
+
+def _instances():
+    return {
+        "cycle_of_cliques": cycle_of_cliques(3, 14, seed=5),
+        "sbm": planted_partition(96, 3, 0.5, 0.02, seed=3, ensure_connected=True),
+    }
+
+
+@pytest.fixture(scope="module", params=list(_instances()))
+def scenario(request):
+    instance = _instances()[request.param]
+    params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+    return request.param, instance, params
+
+
+def _parallel_options(threads: int) -> dict:
+    options: dict = {"threads": threads}
+    if not HAVE_NUMBA:
+        options["use_numba"] = False
+    return options
+
+
+def _run(graph, params, backend, failures, **options):
+    return DistributedClustering(
+        graph, params, seed=SEED, backend=backend, failures=failures, **options
+    ).run()
+
+
+def _fingerprint(result):
+    return (
+        result.labels.tobytes(),
+        result.seeds.tobytes(),
+        result.seed_ids.tobytes(),
+        result.loads.tobytes(),
+        tuple(result.diagnostics["matched_edges_per_round"]),
+    )
+
+
+def _mmap_graph(graph, tmp: Path) -> Graph:
+    indptr, indices = graph.csr_arrays()
+    entry = tmp / "entry.csr"
+    MmapStorage.write(entry, np.asarray(indptr), np.asarray(indices))
+    return Graph.from_storage(MmapStorage(entry), name=graph.name)
+
+
+@pytest.mark.parametrize("config_name,make_failures", FAILURE_CONFIGS, ids=[c[0] for c in FAILURE_CONFIGS])
+def test_three_backends_bit_identical(scenario, config_name, make_failures):
+    name, instance, params = scenario
+    graph = instance.graph
+
+    reference = _fingerprint(
+        _run(graph, params, "masked-message-passing", make_failures())
+    )
+    vectorized = _fingerprint(
+        _run(graph, params, "vectorized", make_failures(), rng_mode="counter")
+    )
+    assert vectorized == reference, (
+        f"{name}/{config_name}: vectorized(counter) diverges from the "
+        "masked per-node simulator"
+    )
+    for threads in THREAD_COUNTS:
+        parallel = _fingerprint(
+            _run(
+                graph,
+                params,
+                "parallel",
+                make_failures(),
+                **_parallel_options(threads),
+            )
+        )
+        assert parallel == reference, (
+            f"{name}/{config_name}: parallel@{threads} diverges from the "
+            "masked per-node simulator"
+        )
+
+
+@pytest.mark.parametrize("config_name,make_failures", FAILURE_CONFIGS[1:3], ids=[c[0] for c in FAILURE_CONFIGS[1:3]])
+def test_mmap_storage_bit_identical(scenario, config_name, make_failures):
+    name, instance, params = scenario
+    graph = instance.graph
+    reference = _fingerprint(
+        _run(graph, params, "vectorized", make_failures(), rng_mode="counter")
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        mm_graph = _mmap_graph(graph, Path(tmp))
+        vectorized = _fingerprint(
+            _run(mm_graph, params, "vectorized", make_failures(), rng_mode="counter")
+        )
+        assert vectorized == reference, (
+            f"{name}/{config_name}: vectorized(counter) changed on mmap storage"
+        )
+        parallel = _fingerprint(
+            _run(mm_graph, params, "parallel", make_failures(), **_parallel_options(1))
+        )
+        assert parallel == reference, (
+            f"{name}/{config_name}: parallel changed on mmap storage"
+        )
+
+
+def test_matched_edges_equal_delivered_accepts(scenario):
+    """The masked engines count a matched edge iff the accept was delivered
+    — the same number the per-node simulator's message log reports."""
+    _, instance, params = scenario
+    result = _run(
+        instance.graph,
+        params,
+        "masked-message-passing",
+        CompositeFailures(MessageDropFailures(0.1), CrashFailures(0.02)),
+    )
+    matched = result.diagnostics["matched_edges_per_round"]
+    accepts = [
+        stats.by_kind.get("accept", 0)
+        for stats in result.communication.rounds
+    ]
+    assert matched == accepts

@@ -1,0 +1,160 @@
+"""Property-based tests of the counter-driven failure layer.
+
+The failure models' vectorized contract (PR 8) promises three things that
+no example-based test pins tightly enough:
+
+* the realized drop fraction of a bound :class:`MessageDropFailures` mask
+  is statistically consistent with ``drop_probability`` (binomial CI), and
+  the scalar :meth:`deliver` reads the *same* coin as the mask,
+* a bound :class:`CrashFailures` is monotone (the alive set never grows
+  back), exact in count (``floor(crash_fraction · n)``) and consistent
+  between its scalar and mask views,
+* :class:`NoFailures` reports ``None`` masks, burns zero draws and leaves
+  engine output bit-identical to ``failures=None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlgorithmParameters, DistributedClustering
+from repro.distsim import CrashFailures, Message, MessageDropFailures, NoFailures
+from repro.graphs import cycle_of_cliques
+
+N_NODES = 400
+N_PAIRS = 4000
+
+
+class TestMessageDropFraction:
+    @given(
+        seed=st.integers(0, 2**64 - 1),
+        drop=st.floats(0.05, 0.5),
+        round_index=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_realized_drop_fraction_within_binomial_ci(self, seed, drop, round_index):
+        model = MessageDropFailures(drop)
+        model.bind(N_NODES, seed)
+        # Distinct (sender, receiver) pairs: the coins are deterministic per
+        # pair, so duplicates would replay coins instead of adding trials.
+        senders = np.arange(N_PAIRS, dtype=np.int64)
+        receivers = N_PAIRS + np.arange(N_PAIRS, dtype=np.int64)
+        mask = model.deliver_mask(round_index, "propose", senders, receivers)
+        realized = 1.0 - float(np.mean(mask))
+        sigma = np.sqrt(drop * (1.0 - drop) / N_PAIRS)
+        assert abs(realized - drop) <= 5.0 * sigma, (
+            f"realized drop fraction {realized:.4f} outside the 5-sigma band "
+            f"around {drop:.4f}"
+        )
+
+    @given(seed=st.integers(0, 2**64 - 1), drop=st.floats(0.05, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_scalar_deliver_reads_the_same_coin_as_the_mask(self, seed, drop):
+        model = MessageDropFailures(drop)
+        model.bind(N_NODES, seed)
+        senders = np.arange(64, dtype=np.int64)
+        receivers = 64 + np.arange(64, dtype=np.int64)
+        round_index = 3
+        mask = model.deliver_mask(round_index, "accept", senders, receivers)
+        model.begin_round(round_index)
+        rng = np.random.default_rng(0)  # the bound path must ignore it
+        for i in range(64):
+            scalar = model.deliver(
+                Message(int(senders[i]), int(receivers[i]), "accept", words=1), rng
+            )
+            assert scalar == bool(mask[i])
+
+    def test_kind_and_round_decorrelate_the_coins(self):
+        model = MessageDropFailures(0.5)
+        model.bind(N_NODES, 7)
+        senders = np.arange(N_PAIRS, dtype=np.int64)
+        receivers = N_PAIRS + np.arange(N_PAIRS, dtype=np.int64)
+        base = model.deliver_mask(0, "propose", senders, receivers)
+        assert not np.array_equal(
+            base, model.deliver_mask(0, "accept", senders, receivers)
+        )
+        assert not np.array_equal(
+            base, model.deliver_mask(1, "propose", senders, receivers)
+        )
+
+
+class TestCrashMonotonicity:
+    @given(
+        seed=st.integers(0, 2**64 - 1),
+        fraction=st.floats(0.01, 0.3),
+        crash_round=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_crash_set_is_exact_monotone_and_consistent(self, seed, fraction, crash_round):
+        model = CrashFailures(fraction, crash_round)
+        model.bind(N_NODES, seed)
+        expected_crashed = int(np.floor(fraction * N_NODES))
+
+        for round_index in range(crash_round):
+            assert model.alive_mask(round_index, N_NODES) is None
+
+        reference = model.alive_mask(crash_round, N_NODES)
+        assert reference is not None
+        assert int(np.sum(~reference)) == expected_crashed
+        for round_index in range(crash_round, crash_round + 4):
+            mask = model.alive_mask(round_index, N_NODES)
+            # Monotone: once down, a node never comes back — the alive set
+            # is constant after the crash round.
+            assert np.array_equal(mask, reference)
+            model.begin_round(round_index)
+            for v in range(0, N_NODES, 37):
+                assert model.node_is_alive(v) == bool(mask[v])
+
+    @given(seed=st.integers(0, 2**64 - 1), fraction=st.floats(0.05, 0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_deliver_mask_drops_exactly_the_crashed_endpoints(self, seed, fraction):
+        model = CrashFailures(fraction, crash_round=0)
+        model.bind(N_NODES, seed)
+        alive = model.alive_mask(0, N_NODES)
+        senders = np.arange(N_NODES, dtype=np.int64)
+        receivers = np.roll(senders, 1)
+        mask = model.deliver_mask(0, "propose", senders, receivers)
+        assert np.array_equal(mask, alive[senders] & alive[receivers])
+
+    def test_rebinding_resets_the_crash_set(self):
+        model = CrashFailures(0.2)
+        model.bind(N_NODES, 1)
+        first = model.alive_mask(0, N_NODES)
+        model.bind(N_NODES, 2)
+        second = model.alive_mask(0, N_NODES)
+        assert not np.array_equal(first, second)
+        model.bind(N_NODES, 1)
+        assert np.array_equal(model.alive_mask(0, N_NODES), first)
+
+
+class TestNoFailuresIsTheReliableNetwork:
+    def test_masks_are_none(self):
+        model = NoFailures()
+        model.bind(N_NODES, 3)
+        assert model.alive_mask(0, N_NODES) is None
+        senders = np.arange(8, dtype=np.int64)
+        assert model.deliver_mask(0, "propose", senders, senders + 8) is None
+
+    def test_engine_output_bit_identical_to_failures_none(self):
+        instance = cycle_of_cliques(3, 12, seed=9)
+        params = AlgorithmParameters.from_instance(instance.graph, instance.partition)
+        for backend in ("vectorized", "masked-message-passing"):
+            for seed in (0, 17):
+                clean = DistributedClustering(
+                    instance.graph, params, seed=seed, backend=backend
+                ).run()
+                injected = DistributedClustering(
+                    instance.graph,
+                    params,
+                    seed=seed,
+                    backend=backend,
+                    failures=NoFailures(),
+                ).run()
+                assert np.array_equal(clean.labels, injected.labels), backend
+                assert np.array_equal(clean.loads, injected.loads), backend
+                assert (
+                    clean.diagnostics["matched_edges_per_round"]
+                    == injected.diagnostics["matched_edges_per_round"]
+                ), backend

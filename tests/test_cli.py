@@ -231,6 +231,25 @@ class TestSweep:
         ) == 0
         assert "spectral" in capsys.readouterr().out
 
+    def test_failure_sweep_runs_on_round_engine_backend(self, capsys):
+        code = main(
+            ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
+             "--algorithms", "ours", "--backend", "vectorized", "--seed", "0",
+             "--drop-prob", "0.05", "--crash-prob", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ours" in out and "error" in out
+
+    def test_failure_flags_rejected_on_centralized_backend(self, capsys):
+        code = main(
+            ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
+             "--algorithms", "ours", "--backend", "centralized",
+             "--drop-prob", "0.05"]
+        )
+        assert code == 2
+        assert "round-engine backend" in capsys.readouterr().err
+
     def test_threads_without_parallel_backend_is_an_error(self, capsys):
         code = main(
             ["sweep", "cliques", "--sizes", "10", "--k", "3", "--trials", "1",
