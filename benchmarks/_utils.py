@@ -37,6 +37,7 @@ __all__ = [
     "print_table",
     "peak_rss_bytes",
     "run_measured_subprocess",
+    "spill_io_probe",
     "thread_ladder",
 ]
 
@@ -125,6 +126,31 @@ def run_measured_subprocess(code: str, *, timeout: float = 3600.0) -> dict[str, 
             f"stderr was:\n{proc.stderr}"
         )
     return json.loads(lines[-1])
+
+
+def spill_io_probe(build: Callable[[], Any]) -> tuple[Any, dict[str, Any]]:
+    """Run ``build()`` under the streamed-build scratch-I/O tracker.
+
+    Wraps :func:`repro.graphs.track_spill_io` and flattens the counters into
+    the plain dict a measured subprocess can embed in its JSON result line.
+    Shared by E20 and E22 so both gate the one-pass contract: every scratch
+    byte (flat spill + window buckets) is written once and read once, i.e.
+    ``read_amplification`` ≈ 1.0 — the historical per-window re-scan scored
+    O(windows) here, which RSS probes alone never caught.
+    """
+    from repro.graphs import track_spill_io
+
+    with track_spill_io() as stats:
+        result = build()
+    return result, {
+        "spill_bytes_written": stats.spill_bytes_written,
+        "spill_bytes_read": stats.spill_bytes_read,
+        "bucket_bytes_written": stats.bucket_bytes_written,
+        "bucket_bytes_read": stats.bucket_bytes_read,
+        "bytes_written": stats.bytes_written,
+        "bytes_read": stats.bytes_read,
+        "read_amplification": stats.read_amplification,
+    }
 
 
 def bench_cache_dir() -> str | None:

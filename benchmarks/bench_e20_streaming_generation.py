@@ -20,6 +20,11 @@ records what that path is accountable for, each build measured in a
   so the sbm entry is generated streamed, then clustered by the parallel
   backend's blocked kernels) must produce per-trial records equal to the
   dense in-RAM sweep — the end-to-end CLI contract.
+* spill I/O — the streamed build's scratch read volume (flat spill +
+  window buckets, via the shared ``spill_io_probe``) must stay within
+  1.5× of the scratch bytes written, **hard in smoke too**: the one-pass
+  bucketed build reads every byte once, and a regression toward the old
+  per-window re-scan multiplies this ratio by the window count.
 
 ``BENCH_SMOKE=1`` (CI) trims n to 10⁵ and — as with E13–E17 — records the
 RSS measurements but only *warns* on the ratio bar: a shared runner's
@@ -57,15 +62,16 @@ SWEEP_SEED = 17
 _CHILD_TEMPLATE = """
 import json, time
 from repro.graphs import cached_instance, generate_to_cache
-from _utils import peak_rss_bytes
+from _utils import peak_rss_bytes, spill_io_probe
 
 start = time.perf_counter()
 if {streamed}:
-    inst = generate_to_cache(
+    inst, spill_io = spill_io_probe(lambda: generate_to_cache(
         "lfr_benchmark", seed={seed}, cache_dir={cache_dir!r},
         n={n}, mu={mu!r}, average_degree={deg}, ensure_connected=False,
-    )
+    ))
 else:
+    spill_io = None
     inst = cached_instance(
         "lfr_benchmark", seed={seed}, cache_dir={cache_dir!r},
         mmap=True, streaming=False,
@@ -76,8 +82,15 @@ print(json.dumps({{
     "peak_rss": peak_rss_bytes(),
     "seconds": elapsed,
     "num_edges": int(inst.graph.num_edges),
+    "spill_io": spill_io,
 }}))
 """
+
+#: scratch bytes read / scratch bytes written during the streamed build —
+#: the one-pass spill reads every byte it spilled exactly once, so the
+#: end-to-end amplification is 1.0; the bar leaves headroom for bounded
+#: re-reads without re-admitting the historical O(windows) re-scan.
+SPILL_READ_BAR = 1.5
 
 
 def _measure_cold_build(cache_dir: str, *, streamed: bool) -> dict:
@@ -173,6 +186,16 @@ def test_e20_streaming_generation(benchmark):
         assert streamed["num_edges"] == materialising["num_edges"]
         entry_bytes = _assert_trees_identical(Path(stream_dir), Path(mat_dir))
 
+        # One-pass spill gate (all modes, smoke included): total scratch
+        # read volume must stay within SPILL_READ_BAR of what was written.
+        spill_io = streamed["spill_io"]
+        assert spill_io["bytes_written"] > 0, "streamed build spilled nothing"
+        assert spill_io["read_amplification"] <= SPILL_READ_BAR, (
+            f"streamed build read {spill_io['read_amplification']:.2f}x the "
+            f"scratch bytes it wrote (bar {SPILL_READ_BAR}): the one-pass "
+            "spill has regressed toward the per-window re-scan"
+        )
+
     rss_ratio = streamed["peak_rss"] / materialising["peak_rss"]
     rows = [
         [
@@ -222,6 +245,7 @@ def test_e20_streaming_generation(benchmark):
     }
     benchmark.extra_info["entry_bytes"] = entry_bytes
     benchmark.extra_info["num_edges"] = streamed["num_edges"]
+    benchmark.extra_info["spill_io"] = dict(spill_io, bar=SPILL_READ_BAR)
 
     if SMOKE:
         # At n = 10⁵ the interpreter baseline (~100 MB of numpy/scipy)

@@ -1,0 +1,448 @@
+"""E22 — the 10⁷ regime: cold build, fully-scored sweep and analyse, budgeted.
+
+PR 9 removes the three blockers that kept n = 10⁷ from being routine: pass B
+of the streamed shard build now reads its spill **once** (bucketed by row
+window instead of re-scanned per window), evaluation metrics stream over
+``iter_row_blocks`` (one O(m + k) sweep scores *all* clusters), and the
+sweep/analyse CLIs report the full metric set on memory-mapped instances.
+This benchmark caps the whole regime, every stage in a fresh subprocess:
+
+* **cold build** — LFR→shard at n = 10⁷ (smoke: 10⁵), streamed vs
+  materialising.  Gates: byte-identical entries and scratch-I/O read
+  amplification ≤ 1.5× (**hard in all modes**); streamed peak RSS ≤ 0.5×
+  materialising and the wall-clock budget (full mode only — a shared
+  runner's interpreter baseline swamps RSS at smoke sizes).
+* **scored sweep** — ``repro sweep sbm --mmap --backend parallel
+  --structural``: the paper's algorithm plus label-free conductance/cut
+  scoring, end to end on the mapped entry.  Gates: per-trial records equal
+  to the dense arm's bit for bit (hard in all modes; the streamed metrics
+  are bit-identical across storage backends by construction), mmap peak
+  RSS ≤ 0.5× dense and wall-clock budget in full mode.
+* **analyse** — ``repro analyse <entry> --mmap`` on the sweep's sbm entry
+  (k = 4; the LFR build entry has hundreds of communities, and the
+  diagnostic's top-k eigensolve scales with k): the full diagnostic block
+  (conductances, spectrum, Υ, T) without materialising the adjacency.
+  Gates: diagnostic text identical to the dense arm (hard), RSS ratio and
+  budget in full mode.
+* **dense win** — the streamed ``cluster_conductances`` must also beat the
+  legacy per-cluster O(k·m) loop (kept here as the oracle) ≥ 5× at
+  n = 10⁶, k = 16 on **dense** storage, value-identical (identity hard in
+  all modes, the speedup bar full-mode only).
+
+``BENCH_SMOKE=1`` (CI) trims every n and keeps the identity and I/O gates
+hard while the RSS/wall-clock/speedup bars only warn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from _utils import print_table, run_measured_subprocess
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+# Cold-build workload (LFR, same family as E20 but one decade up).
+N_BUILD = 100_000 if SMOKE else 10_000_000
+MU = 0.2
+AVERAGE_DEGREE = 10
+SEED = 11
+
+# Scored-sweep workload (planted partition through the CLI).
+SWEEP_N = 20_000 if SMOKE else 10_000_000
+SWEEP_TRIALS = 1
+SWEEP_SEED = 23
+
+# Dense streamed-conductance win vs the legacy per-cluster loop.
+COND_N = 100_000 if SMOKE else 1_000_000
+COND_K = 16
+
+RSS_BAR = 0.5  # streamed/mmap peak RSS <= this fraction of materialising
+SPILL_READ_BAR = 1.5  # scratch bytes read / scratch bytes written
+SPEEDUP_BAR = 5.0  # streamed cluster_conductances vs legacy loop (dense)
+
+#: wall-clock budgets in seconds, asserted in full mode only; smoke sizes
+#: finish in seconds and assert nothing about time.
+WALL_BUDGET = {"build": 3600.0, "sweep": 5400.0, "analyse": 1800.0}
+
+_BUILD_TEMPLATE = """
+import json, time
+from repro.graphs import cached_instance, generate_to_cache
+from _utils import peak_rss_bytes, spill_io_probe
+
+start = time.perf_counter()
+if {streamed}:
+    inst, spill_io = spill_io_probe(lambda: generate_to_cache(
+        "lfr_benchmark", seed={seed}, cache_dir={cache_dir!r},
+        n={n}, mu={mu!r}, average_degree={deg}, ensure_connected=False,
+    ))
+else:
+    spill_io = None
+    inst = cached_instance(
+        "lfr_benchmark", seed={seed}, cache_dir={cache_dir!r},
+        mmap=True, streaming=False,
+        n={n}, mu={mu!r}, average_degree={deg}, ensure_connected=False,
+    )
+elapsed = time.perf_counter() - start
+print(json.dumps({{
+    "peak_rss": peak_rss_bytes(),
+    "seconds": elapsed,
+    "num_edges": int(inst.graph.num_edges),
+    "spill_io": spill_io,
+}}))
+"""
+
+# The sweep CLI runs in-process inside the measured subprocess (serial
+# executor, one worker) so peak_rss_bytes() covers generation, clustering
+# and the streamed structural scoring end to end.
+_SWEEP_TEMPLATE = """
+import contextlib, io, json, time
+from repro.cli import main
+from _utils import peak_rss_bytes
+
+argv = [
+    "sweep", "sbm",
+    "--sizes", "{n}",
+    "--k", "4",
+    "--p-in", "{p_in!r}",
+    "--p-out", "{p_out!r}",
+    "--backend", "parallel",
+    "--structural",
+    "--trials", "{trials}",
+    "--seed", "{seed}",
+    "--cache-dir", {cache_dir!r},
+    "--json", {json_path!r},
+]
+if {mmap}:
+    argv.append("--mmap")
+start = time.perf_counter()
+buffer = io.StringIO()
+with contextlib.redirect_stdout(buffer):
+    code = main(argv)
+elapsed = time.perf_counter() - start
+assert code == 0, buffer.getvalue()
+print(json.dumps({{
+    "peak_rss": peak_rss_bytes(),
+    "seconds": elapsed,
+}}))
+"""
+
+_ANALYSE_TEMPLATE = """
+import contextlib, io, json, time
+from repro.cli import main
+from _utils import peak_rss_bytes
+
+argv = ["analyse", {entry!r}]
+if {mmap}:
+    argv.append("--mmap")
+start = time.perf_counter()
+buffer = io.StringIO()
+with contextlib.redirect_stdout(buffer):
+    code = main(argv)
+elapsed = time.perf_counter() - start
+assert code == 0, buffer.getvalue()
+print(json.dumps({{
+    "peak_rss": peak_rss_bytes(),
+    "seconds": elapsed,
+    "output": buffer.getvalue(),
+}}))
+"""
+
+
+def _probabilities(n: int) -> tuple[float, float]:
+    cluster = n // 4
+    return float(2.0 * np.log(n) / cluster), float(2.0 / (n - cluster))
+
+
+def _measure_cold_build(cache_dir: str, *, streamed: bool) -> dict:
+    return run_measured_subprocess(
+        _BUILD_TEMPLATE.format(
+            streamed=streamed, seed=SEED, cache_dir=cache_dir,
+            n=N_BUILD, mu=MU, deg=AVERAGE_DEGREE,
+        ),
+        timeout=2.0 * WALL_BUDGET["build"],
+    )
+
+
+def _measure_sweep(cache_dir: str, json_path: str, *, mmap: bool) -> dict:
+    p_in, p_out = _probabilities(SWEEP_N)
+    measured = run_measured_subprocess(
+        _SWEEP_TEMPLATE.format(
+            n=SWEEP_N, p_in=p_in, p_out=p_out, trials=SWEEP_TRIALS,
+            seed=SWEEP_SEED, cache_dir=cache_dir, json_path=json_path,
+            mmap=mmap,
+        ),
+        timeout=2.0 * WALL_BUDGET["sweep"],
+    )
+    measured["records"] = json.loads(Path(json_path).read_text(encoding="utf-8"))
+    return measured
+
+
+def _measure_analyse(entry: str, *, mmap: bool) -> dict:
+    return run_measured_subprocess(
+        _ANALYSE_TEMPLATE.format(entry=entry, mmap=mmap),
+        timeout=2.0 * WALL_BUDGET["analyse"],
+    )
+
+
+def _assert_trees_identical(a: Path, b: Path) -> int:
+    """Assert two cache directories hold byte-identical file trees."""
+    files_a = sorted(str(p.relative_to(a)) for p in a.rglob("*") if p.is_file())
+    files_b = sorted(str(p.relative_to(b)) for p in b.rglob("*") if p.is_file())
+    assert files_a == files_b, (
+        "streamed and materialising builds wrote different file sets: "
+        f"{files_a} vs {files_b}"
+    )
+    total = 0
+    for rel in files_a:
+        bytes_a = (a / rel).read_bytes()
+        bytes_b = (b / rel).read_bytes()
+        assert bytes_a == bytes_b, (
+            f"cache entry file {rel!r} differs between the streamed and "
+            "materialising generation paths"
+        )
+        total += len(bytes_a)
+    return total
+
+
+def _only_entry_dir(cache_dir: Path) -> Path:
+    entries = sorted(p for p in cache_dir.iterdir() if p.is_dir())
+    assert len(entries) == 1, f"expected one cache entry, found {entries}"
+    return entries[0]
+
+
+def _legacy_cluster_conductances(graph, partition) -> np.ndarray:
+    """The pre-streaming per-cluster O(k·m) loop, kept as the timing oracle.
+
+    One membership mask and one full arc scan *per cluster* — exactly the
+    cost profile ``cluster_conductances`` had before the one-sweep
+    accumulator, and the reference its values must still match bit for bit.
+    """
+    indptr, indices = graph.csr_arrays()
+    degrees = graph.degrees
+    rows = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(indptr))
+    labels = partition.labels
+    phis = np.empty(partition.k, dtype=np.float64)
+    for c in range(partition.k):
+        mask = labels == c
+        u_in = mask[rows]
+        v_in = mask[indices]
+        cut_arcs = int(np.count_nonzero(u_in != v_in))
+        both = u_in & v_in
+        loops = int(np.count_nonzero(both & (rows == indices)))
+        internal = (int(np.count_nonzero(both)) - loops) // 2
+        vol = int(degrees[mask].sum()) - internal
+        phis[c] = np.float64(cut_arcs // 2) / np.float64(vol)
+    return phis
+
+
+def _conductance_speedup() -> dict:
+    from repro.graphs import cluster_conductances, planted_partition
+
+    p_in, p_out = _probabilities(COND_N)
+    instance = planted_partition(
+        COND_N, COND_K, p_in * 4.0, p_out, seed=SEED, ensure_connected=False
+    )
+    graph, partition = instance.graph, instance.partition
+
+    start = time.perf_counter()
+    legacy = _legacy_cluster_conductances(graph, partition)
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    streamed = cluster_conductances(graph, partition)
+    streamed_seconds = time.perf_counter() - start
+
+    assert np.array_equal(streamed, legacy), (
+        "streamed cluster_conductances diverged from the legacy per-cluster "
+        "oracle"
+    )
+    return {
+        "n": COND_N,
+        "k": COND_K,
+        "legacy_seconds": legacy_seconds,
+        "streamed_seconds": streamed_seconds,
+        "speedup": legacy_seconds / max(streamed_seconds, 1e-12),
+    }
+
+
+def _soft_gate(condition: bool, message: str) -> None:
+    """Hard assert in full mode, warning in smoke (small-n noise)."""
+    if condition:
+        return
+    if SMOKE:
+        warnings.warn(message + " (smoke size; the gate applies in full mode)",
+                      stacklevel=2)
+    else:
+        raise AssertionError(message)
+
+
+def test_e22_scale_regime(benchmark):
+    results: dict = {}
+
+    def run_regime() -> None:
+        with tempfile.TemporaryDirectory() as mat_dir, \
+                tempfile.TemporaryDirectory() as stream_dir:
+            materialising = _measure_cold_build(mat_dir, streamed=False)
+            streamed = _measure_cold_build(stream_dir, streamed=True)
+            assert streamed["num_edges"] == materialising["num_edges"]
+            entry_bytes = _assert_trees_identical(Path(stream_dir), Path(mat_dir))
+        results["build"] = {"materialising": materialising, "streamed": streamed}
+        results["entry_bytes"] = entry_bytes
+
+        with tempfile.TemporaryDirectory() as sweep_dir:
+            root = Path(sweep_dir)
+            (root / "dense-cache").mkdir()
+            (root / "mmap-cache").mkdir()
+            dense = _measure_sweep(
+                str(root / "dense-cache"), str(root / "dense.json"), mmap=False
+            )
+            mmap = _measure_sweep(
+                str(root / "mmap-cache"), str(root / "mmap.json"), mmap=True
+            )
+            # The scored sweep leaves its sharded sbm entry behind — reuse
+            # it as the analyse workload (same n, ground-truth labels, k=4).
+            entry = _only_entry_dir(root / "mmap-cache")
+            analyse_mmap = _measure_analyse(str(entry), mmap=True)
+            analyse_dense = _measure_analyse(str(entry), mmap=False)
+        results["sweep"] = {"dense": dense, "mmap": mmap}
+        results["analyse"] = {"mmap": analyse_mmap, "dense": analyse_dense}
+
+        results["conductance"] = _conductance_speedup()
+
+    benchmark.pedantic(run_regime, rounds=1, iterations=1)
+
+    build = results["build"]
+    sweep = results["sweep"]
+    analyse = results["analyse"]
+    cond = results["conductance"]
+
+    # ---- hard gates, every mode ---------------------------------------- #
+    spill_io = build["streamed"]["spill_io"]
+    assert spill_io["bytes_written"] > 0, "streamed build spilled nothing"
+    assert spill_io["read_amplification"] <= SPILL_READ_BAR, (
+        f"streamed build read {spill_io['read_amplification']:.2f}x the "
+        f"scratch bytes it wrote (bar {SPILL_READ_BAR}): the one-pass spill "
+        "has regressed toward the per-window re-scan"
+    )
+    assert sweep["mmap"]["records"] == sweep["dense"]["records"], (
+        "--mmap --structural sweep records diverged from the dense arm"
+    )
+    assert len(sweep["mmap"]["records"]) == SWEEP_TRIALS
+    record_values = sweep["mmap"]["records"][0]["values"]
+    for column in ("error", "ari", "nmi", "max_conductance", "normalized_cut"):
+        assert column in record_values, (
+            f"scored sweep record is missing the {column!r} metric"
+        )
+    strip = lambda text: text.replace(" [mmap]", "")
+    assert strip(analyse["mmap"]["output"]) == strip(analyse["dense"]["output"]), (
+        "analyse --mmap diagnostics diverged from the dense arm"
+    )
+    assert "conductance" in analyse["mmap"]["output"]
+
+    # ---- RSS / wall-clock / speedup gates (full mode) ------------------- #
+    build_ratio = build["streamed"]["peak_rss"] / build["materialising"]["peak_rss"]
+    sweep_ratio = sweep["mmap"]["peak_rss"] / sweep["dense"]["peak_rss"]
+    analyse_ratio = analyse["mmap"]["peak_rss"] / analyse["dense"]["peak_rss"]
+    _soft_gate(
+        build_ratio <= RSS_BAR,
+        f"streamed build peak RSS {build_ratio:.2f}x materialising (bar {RSS_BAR})",
+    )
+    _soft_gate(
+        sweep_ratio <= RSS_BAR,
+        f"--mmap sweep peak RSS {sweep_ratio:.2f}x dense (bar {RSS_BAR})",
+    )
+    _soft_gate(
+        analyse_ratio <= RSS_BAR,
+        f"--mmap analyse peak RSS {analyse_ratio:.2f}x dense (bar {RSS_BAR})",
+    )
+    _soft_gate(
+        build["streamed"]["seconds"] <= WALL_BUDGET["build"],
+        f"cold streamed build took {build['streamed']['seconds']:.0f}s "
+        f"(budget {WALL_BUDGET['build']:.0f}s)",
+    )
+    _soft_gate(
+        sweep["mmap"]["seconds"] <= WALL_BUDGET["sweep"],
+        f"scored --mmap sweep took {sweep['mmap']['seconds']:.0f}s "
+        f"(budget {WALL_BUDGET['sweep']:.0f}s)",
+    )
+    _soft_gate(
+        analyse["mmap"]["seconds"] <= WALL_BUDGET["analyse"],
+        f"--mmap analyse took {analyse['mmap']['seconds']:.0f}s "
+        f"(budget {WALL_BUDGET['analyse']:.0f}s)",
+    )
+    _soft_gate(
+        cond["speedup"] >= SPEEDUP_BAR,
+        f"streamed cluster_conductances only {cond['speedup']:.1f}x the "
+        f"legacy loop at n={cond['n']:,}, k={cond['k']} (bar {SPEEDUP_BAR})",
+    )
+
+    rows = [
+        [
+            "build streamed", round(build["streamed"]["peak_rss"] / 1e6, 1),
+            round(build["streamed"]["seconds"], 2),
+            f"{build_ratio:.2f}x RSS, io {spill_io['read_amplification']:.2f}x",
+        ],
+        [
+            "build materialising",
+            round(build["materialising"]["peak_rss"] / 1e6, 1),
+            round(build["materialising"]["seconds"], 2), "",
+        ],
+        [
+            "sweep --mmap --structural", round(sweep["mmap"]["peak_rss"] / 1e6, 1),
+            round(sweep["mmap"]["seconds"], 2), f"{sweep_ratio:.2f}x RSS",
+        ],
+        [
+            "sweep dense", round(sweep["dense"]["peak_rss"] / 1e6, 1),
+            round(sweep["dense"]["seconds"], 2), "",
+        ],
+        [
+            "analyse --mmap", round(analyse["mmap"]["peak_rss"] / 1e6, 1),
+            round(analyse["mmap"]["seconds"], 2), f"{analyse_ratio:.2f}x RSS",
+        ],
+        [
+            "cluster_conductances streamed", "",
+            round(cond["streamed_seconds"], 4), f"{cond['speedup']:.1f}x legacy",
+        ],
+    ]
+    table = print_table(
+        f"E22: scale regime, build n = {N_BUILD:,} / sweep n = {SWEEP_N:,} "
+        f"(bars: RSS {RSS_BAR}, spill io {SPILL_READ_BAR}, "
+        f"speedup {SPEEDUP_BAR})",
+        ["stage", "peak RSS MB", "seconds", "gates"],
+        rows,
+    )
+
+    benchmark.extra_info["table"] = table
+    benchmark.extra_info["build"] = {
+        "n": N_BUILD,
+        "materialising_peak_rss": build["materialising"]["peak_rss"],
+        "streamed_peak_rss": build["streamed"]["peak_rss"],
+        "ratio": build_ratio,
+        "seconds": build["streamed"]["seconds"],
+        "spill_io": dict(spill_io, bar=SPILL_READ_BAR),
+        "entry_bytes": results["entry_bytes"],
+        "num_edges": build["streamed"]["num_edges"],
+    }
+    benchmark.extra_info["sweep"] = {
+        "n": SWEEP_N,
+        "trials": SWEEP_TRIALS,
+        "dense_peak_rss": sweep["dense"]["peak_rss"],
+        "mmap_peak_rss": sweep["mmap"]["peak_rss"],
+        "ratio": sweep_ratio,
+        "seconds": sweep["mmap"]["seconds"],
+    }
+    benchmark.extra_info["analyse"] = {
+        "dense_peak_rss": analyse["dense"]["peak_rss"],
+        "mmap_peak_rss": analyse["mmap"]["peak_rss"],
+        "ratio": analyse_ratio,
+        "seconds": analyse["mmap"]["seconds"],
+    }
+    benchmark.extra_info["conductance"] = cond
+    benchmark.extra_info["budgets"] = dict(WALL_BUDGET, rss_bar=RSS_BAR)

@@ -12,9 +12,10 @@ Four subcommands cover the workflow a downstream user actually has:
     ``--mmap`` the entry stays memory-mapped and the structural and
     spectral diagnostics run streamed — matrix-free Lanczos over the
     storage's row blocks for the spectral quantities, union-find over the
-    same blocks for connectivity — so the no-labels pass analyses n = 10⁶
-    instances without ever materialising the adjacency (the per-cluster
-    conductances of a supplied partition still build the O(m) edge array).
+    same blocks for connectivity, and one blocked
+    :func:`~repro.graphs.conductance.partition_cut_metrics` sweep for the
+    per-cluster conductances of a supplied partition — so the full pass
+    analyses n = 10⁷ instances without ever materialising the adjacency.
 ``cluster``
     Run the paper's algorithm (centralised, distributed or adaptive engine)
     on an edge-list file and write one label per node; optionally score the
@@ -298,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
             "its blocked kernels on --mmap instances)"
         ),
     )
+    swp.add_argument(
+        "--structural",
+        action="store_true",
+        help=(
+            "additionally score each trial's prediction label-free: worst "
+            "per-cluster conductance and normalised cut, computed in one "
+            "streamed O(m + k) sweep per trial (works with --mmap; adds the "
+            "max_conductance and normalized_cut table columns)"
+        ),
+    )
     swp.add_argument("--json", type=Path, default=None, help="write per-trial records to this JSON file")
 
     # cache -------------------------------------------------------------
@@ -575,13 +586,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 mmap=mmap,
             )
 
+    structural = bool(args.structural)
     available = {
         "ours": lambda: evaluate_load_balancing_clustering(
             backend=args.backend, block_size=args.block_size, threads=args.threads,
-            failures=failures,
+            failures=failures, structural=structural,
         ),
-        "spectral": lambda: evaluate_baseline(SpectralClustering()),
-        "label-propagation": lambda: evaluate_baseline(LabelPropagation()),
+        "spectral": lambda: evaluate_baseline(
+            SpectralClustering(), structural=structural
+        ),
+        "label-propagation": lambda: evaluate_baseline(
+            LabelPropagation(), structural=structural
+        ),
     }
     algorithms = {name: available[name]() for name in args.algorithms}
 
@@ -594,10 +610,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor="serial" if args.workers <= 1 else "process",
         workers=args.workers,
     )
+    columns = ["size", "algorithm", "trials", "error", "ari", "nmi", "rounds"]
+    if structural:
+        columns += ["max_conductance", "normalized_cut"]
     print(
         result.table(
             ["size", "algorithm"],
-            ["size", "algorithm", "trials", "error", "ari", "nmi", "rounds"],
+            columns,
             title=f"sweep: {args.family} x {args.algorithms} "
             f"({args.trials} trials, {args.workers} worker(s))",
         )

@@ -7,6 +7,7 @@ from .metrics import (
     misclassified_nodes,
     normalized_mutual_information,
     purity,
+    structural_report,
 )
 from .runner import (
     ExperimentResult,
@@ -31,6 +32,7 @@ __all__ = [
     "misclassified_nodes",
     "normalized_mutual_information",
     "purity",
+    "structural_report",
     "ExperimentResult",
     "ProcessExecutor",
     "SerialExecutor",

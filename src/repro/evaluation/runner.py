@@ -44,7 +44,7 @@ from ..core.distributed import DistributedClustering
 from ..core.parameters import AlgorithmParameters
 from ..distsim.failures import FailureModel
 from ..graphs.generators import ClusteredGraph
-from .metrics import clustering_report
+from .metrics import clustering_report, structural_report
 from .tables import format_table
 
 __all__ = [
@@ -388,6 +388,7 @@ class _LoadBalancingAdapter:
     block_size: int | None = None
     threads: int | None = None
     failures: FailureModel | None = None
+    structural: bool = False
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -448,6 +449,8 @@ class _LoadBalancingAdapter:
                 **engine_options,
             ).run()
         record = clustering_report(result.partition, instance.partition)
+        if self.structural:
+            record.update(structural_report(instance.graph, result.partition))
         record.update(
             rounds=result.rounds,
             num_seeds=result.num_seeds,
@@ -464,10 +467,13 @@ class _BaselineAdapter:
     """Picklable callable running a baseline clusterer and scoring it."""
 
     baseline: BaselineClusterer
+    structural: bool = False
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         result = self.baseline.cluster(instance.graph, instance.partition.k, seed=seed)
         record = clustering_report(result.partition, instance.partition)
+        if self.structural:
+            record.update(structural_report(instance.graph, result.partition))
         record.update(rounds=result.rounds, words=result.words)
         return record
 
@@ -482,6 +488,7 @@ def evaluate_load_balancing_clustering(
     block_size: int | None = None,
     threads: int | None = None,
     failures: FailureModel | None = None,
+    structural: bool = False,
 ) -> AlgorithmCallable:
     """Adapter running the paper's algorithm and scoring it.
 
@@ -512,6 +519,13 @@ def evaluate_load_balancing_clustering(
     the records agree across backends.  The legacy centralized driver has no
     message layer, so combining it with ``failures`` is an error.
 
+    ``structural`` additionally scores the *label-free* cut quality of each
+    trial's prediction — :func:`~repro.evaluation.metrics.structural_report`
+    streamed over row blocks (works on memory-mapped instances too) — adding
+    ``max_conductance`` and ``normalized_cut`` to the record.  Off by
+    default: it costs one extra O(m) sweep per trial and existing pinned
+    record layouts stay untouched.
+
     The returned callable is a picklable object, so it works under both the
     serial and the process executors of :func:`run_trials` (the bundled
     failure models are plain dataclasses over ndarrays, hence picklable).
@@ -525,6 +539,7 @@ def evaluate_load_balancing_clustering(
         block_size=block_size,
         threads=threads,
         failures=failures,
+        structural=structural,
     )
 
 
@@ -540,6 +555,12 @@ def evaluate_distributed_clustering(
     return evaluate_load_balancing_clustering(backend=backend, **kwargs)
 
 
-def evaluate_baseline(baseline: BaselineClusterer) -> AlgorithmCallable:
-    """Adapter running a baseline clusterer and scoring it (picklable)."""
-    return _BaselineAdapter(baseline)
+def evaluate_baseline(
+    baseline: BaselineClusterer, *, structural: bool = False
+) -> AlgorithmCallable:
+    """Adapter running a baseline clusterer and scoring it (picklable).
+
+    ``structural`` adds the label-free ``max_conductance``/``normalized_cut``
+    columns exactly as in :func:`evaluate_load_balancing_clustering`.
+    """
+    return _BaselineAdapter(baseline, structural=structural)

@@ -119,14 +119,30 @@ class DiffusionModel(AveragingModel):
             raise ValueError("delta must lie in (0, 1]")
         self.graph = graph
         self.delta = float(delta)
-        adjacency = graph.adjacency_matrix(sparse=True)
-        degree_matrix = sp.diags(graph.degrees.astype(np.float64))
-        laplacian = degree_matrix - adjacency
-        step = delta / max(graph.max_degree, 1)
-        self._operator = sp.csr_matrix(sp.identity(graph.n, format="csr") - step * laplacian)
+        self._step_size = delta / max(graph.max_degree, 1)
+        if graph.storage.in_memory:
+            adjacency = graph.adjacency_matrix(sparse=True)
+            degree_matrix = sp.diags(graph.degrees.astype(np.float64))
+            laplacian = degree_matrix - adjacency
+            self._operator: sp.csr_matrix | None = sp.csr_matrix(
+                sp.identity(graph.n, format="csr") - self._step_size * laplacian
+            )
+            self._keep = None
+        else:
+            # Streamed arm for out-of-core storage: ``I - s·L`` applied as
+            # ``(1 - s·d) ∘ y + s·(A y)`` with ``A y`` driven block by block
+            # through :meth:`CSRStorage.matvec`, so the operator is never
+            # materialised (the scipy matrix above is O(m) in RAM).
+            self._operator = None
+            self._keep = 1.0 - self._step_size * graph.degrees.astype(np.float64)
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        return np.asarray(self._operator @ loads)
+        if self._operator is not None:
+            return np.asarray(self._operator @ loads)
+        loads = np.asarray(loads, dtype=np.float64)
+        ay = self.graph.storage.matvec(loads)
+        keep = self._keep if loads.ndim == 1 else self._keep[:, None]
+        return keep * loads + self._step_size * ay
 
     def communication_per_round(self, s: int) -> float:
         # Every edge carries the s values in both directions every round.
@@ -157,14 +173,27 @@ class DimensionExchangeModel(AveragingModel):
         its endpoints (computed with one ``unique`` over the endpoint array),
         and candidates clashing with the matched nodes are dropped wholesale.
         Like the seed's first-fit loop this uses at most ``2Δ - 1`` colours,
-        but the per-edge Python iteration is gone.
+        but the per-edge Python iteration is gone.  The endpoint arrays are
+        collected block by block over :meth:`CSRStorage.iter_row_blocks`
+        (each non-loop edge once, via its upper arc ``col > row``) in CSR
+        order — identical to the historical ``edge_array()`` route but
+        without materialising the O(m) arc array on mmap storage.
         """
         n = graph.n
-        arr = graph.edge_array()
-        arr = arr[arr[:, 0] != arr[:, 1]]
-        u_all, v_all = arr[:, 0], arr[:, 1]
+        storage = graph.storage
+        indptr = storage.indptr
+        us: list[np.ndarray] = []
+        vs: list[np.ndarray] = []
+        for r0, r1, block in storage.iter_row_blocks():
+            counts = np.diff(indptr[r0 : r1 + 1])
+            rows = np.repeat(np.arange(r0, r1, dtype=np.int64), counts)
+            upper = block > rows
+            us.append(rows[upper])
+            vs.append(np.asarray(block[upper], dtype=np.int64))
+        u_all = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
+        v_all = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
         colours: list[np.ndarray] = []
-        remaining = np.arange(arr.shape[0], dtype=np.int64)
+        remaining = np.arange(u_all.size, dtype=np.int64)
         while remaining.size:
             partner = np.full(n, -1, dtype=np.int64)
             used = np.zeros(n, dtype=bool)

@@ -357,6 +357,37 @@ class TestStreamedGeneration:
         assert i1.graph == i2.graph
         assert np.array_equal(i1.partition.labels, i2.partition.labels)
 
+    @pytest.mark.parametrize("window_arcs", [1, 10**9])
+    def test_bucketed_spill_window_edge_cases(self, tmp_path, window_arcs):
+        # The two degenerate window partitions of the bucketed spill: one row
+        # per window (window_arcs=1 -- every non-empty row overflows its own
+        # window) and a single window covering the whole graph.  Both must
+        # produce entries byte-identical to the materialising path.
+        from repro.graphs import generate_to_cache
+
+        name, params, seed = "lfr_benchmark", self.LFR, 3
+        a, b = tmp_path / "mat", tmp_path / "str"
+        cached_instance(name, seed=seed, cache_dir=a, mmap=True, streaming=False, **params)
+        generate_to_cache(name, seed=seed, cache_dir=b, window_arcs=window_arcs, **params)
+        mat = self._entry_bytes(instance_shard_dir(a, name, params, seed))
+        got = self._entry_bytes(instance_shard_dir(b, name, params, seed))
+        assert mat == got
+
+    def test_bucketed_spill_reads_each_byte_once(self, tmp_path):
+        # The one-pass build: the flat spill is read exactly once (by the
+        # bucketing sweep) and every bucket byte is read exactly once (by
+        # pass B), so total scratch reads equal total scratch writes.
+        from repro.graphs import generate_to_cache, track_spill_io
+
+        with track_spill_io() as stats:
+            generate_to_cache(
+                "lfr_benchmark", seed=3, cache_dir=tmp_path, window_arcs=97, **self.LFR
+            )
+        assert stats.spill_bytes_written > 0
+        assert stats.spill_bytes_read == stats.spill_bytes_written
+        assert stats.bucket_bytes_read == stats.bucket_bytes_written
+        assert stats.read_amplification == 1.0
+
     def test_cached_instance_auto_streams(self, tmp_path, monkeypatch):
         # With a *_chunks variant available, a cold mmap=True generation must
         # go through the streamed builder, never the materialising one.

@@ -152,3 +152,129 @@ class TestSweepCut:
     def test_sweep_rejects_bad_shape(self, two_clique_instance):
         with pytest.raises(ValueError):
             sweep_cut(two_clique_instance.graph, np.ones(3))
+
+
+def _legacy_cluster_conductances(graph, partition) -> np.ndarray:
+    """The pre-streaming per-cluster O(k·m) implementation, kept as an oracle.
+
+    One membership mask and one full arc scan per cluster — the exact
+    arithmetic (integer cut/volume counts, one float64 division each) the
+    seed's loop performed, so the streamed one-sweep accumulator must match
+    it bit for bit, not approximately.
+    """
+    indptr, indices = graph.csr_arrays()
+    degrees = graph.degrees
+    rows = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(indptr))
+    labels = partition.labels
+    phis = np.empty(partition.k, dtype=np.float64)
+    for c in range(partition.k):
+        mask = labels == c
+        u_in = mask[rows]
+        v_in = mask[np.asarray(indices)]
+        cut_arcs = int(np.count_nonzero(u_in != v_in))
+        both = u_in & v_in
+        loops = int(np.count_nonzero(both & (rows == np.asarray(indices))))
+        internal = (int(np.count_nonzero(both)) - loops) // 2
+        vol = int(degrees[mask].sum()) - internal
+        phis[c] = np.float64(cut_arcs // 2) / np.float64(vol)
+    return phis
+
+
+def _mmap_twin(graph, directory, *, shard_arcs):
+    from repro.graphs import MmapStorage
+
+    indptr, indices = graph.csr_arrays()
+    MmapStorage.write(
+        directory, np.asarray(indptr), np.asarray(indices), shard_arcs=shard_arcs
+    )
+    return Graph.from_storage(MmapStorage(directory))
+
+
+class TestStreamedParity:
+    """The one-sweep accumulator vs the legacy per-cluster oracle, pinned
+    bit-identical across storage backends and every block size."""
+
+    def _instances(self):
+        from repro.graphs import planted_partition, ring_of_expanders
+
+        yield planted_partition(120, 4, 0.4, 0.05, seed=3)
+        yield ring_of_expanders(3, 20, 6, seed=4)
+        yield cycle_of_cliques(2, 9, seed=5)
+
+    def test_matches_legacy_oracle_bitwise(self):
+        for instance in self._instances():
+            g, p = instance.graph, instance.partition
+            streamed = cluster_conductances(g, p)
+            oracle = _legacy_cluster_conductances(g, p)
+            assert np.array_equal(streamed, oracle)
+
+    def test_block_size_invariance_dense(self, four_clique_instance):
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        reference = cluster_conductances(g, p)
+        for block_size in (1, 2, 7, 13, g.n, 10 * g.n):
+            assert np.array_equal(
+                cluster_conductances(g, p, block_size=block_size), reference
+            )
+
+    def test_mmap_backend_parity(self, four_clique_instance, tmp_path):
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        reference = cluster_conductances(g, p)
+        oracle = _legacy_cluster_conductances(g, p)
+        assert np.array_equal(reference, oracle)
+        for shard_arcs in (16, 97, 10**6):
+            mm = _mmap_twin(g, tmp_path / f"twin-{shard_arcs}.csr", shard_arcs=shard_arcs)
+            assert np.array_equal(cluster_conductances(mm, p), reference)
+            for block_size in (1, 5, mm.n):
+                assert np.array_equal(
+                    cluster_conductances(mm, p, block_size=block_size), reference
+                )
+
+    def test_scalar_metrics_parity_across_backends(self, four_clique_instance, tmp_path):
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        nodes = p.cluster(0)
+        mm = _mmap_twin(g, tmp_path / "twin.csr", shard_arcs=31)
+        for block_size in (None, 1, 7, g.n):
+            assert cut_size(mm, nodes, block_size=block_size) == cut_size(g, nodes)
+            assert volume(mm, nodes, block_size=block_size) == volume(g, nodes)
+            assert conductance(mm, nodes, block_size=block_size) == conductance(g, nodes)
+        assert normalized_cut(mm, p) == normalized_cut(g, p)
+        assert k_way_expansion_of_partition(mm, p) == k_way_expansion_of_partition(g, p)
+
+    def test_sweep_cut_backend_and_block_parity(self, two_clique_instance, tmp_path):
+        g = two_clique_instance.graph
+        score = np.linspace(1.0, 0.0, g.n)
+        ref_nodes, ref_phi = sweep_cut(g, score)
+        mm = _mmap_twin(g, tmp_path / "twin.csr", shard_arcs=23)
+        for block_size in (None, 1, 4, g.n):
+            nodes, phi = sweep_cut(mm, score, block_size=block_size)
+            assert np.array_equal(nodes, ref_nodes)
+            assert phi == ref_phi
+
+    def test_partition_cut_metrics_fields(self, four_clique_instance):
+        from repro.graphs import partition_cut_metrics
+
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        metrics = partition_cut_metrics(g, p)
+        assert metrics.k == p.k
+        # every arc is accounted exactly once: cut + internal + loops = 2m - loops... in arc terms:
+        total_arcs = int(metrics.cut_arcs.sum() + metrics.internal_arcs.sum() + metrics.loop_arcs.sum())
+        assert total_arcs == g.storage.num_arcs
+        assert int(metrics.degree_volumes.sum()) == int(g.degrees.sum())
+        # per-cluster conductances agree with the scalar definition
+        for c in range(p.k):
+            assert metrics.conductances[c] == conductance(g, p.cluster(c))
+
+    def test_raw_label_array_accepted(self, four_clique_instance):
+        from repro.graphs import partition_cut_metrics
+
+        g, p = four_clique_instance.graph, four_clique_instance.partition
+        by_partition = partition_cut_metrics(g, p)
+        by_labels = partition_cut_metrics(g, np.asarray(p.labels))
+        assert np.array_equal(by_partition.conductances, by_labels.conductances)
+
+    def test_zero_volume_cluster_raises(self):
+        # two isolated nodes labelled as their own cluster: volume 0
+        g = Graph.from_edge_array(4, np.asarray([[0, 1]], dtype=np.int64))
+        labels = np.asarray([0, 0, 1, 1])
+        with pytest.raises(ValueError, match="zero volume"):
+            cluster_conductances(g, labels)

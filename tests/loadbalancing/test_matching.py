@@ -292,9 +292,23 @@ class TestStorageGuards:
         indptr, indices = g.csr_arrays()
         MmapStorage.write(tmp_path / "g.csr", np.asarray(indptr), np.asarray(indices))
         mm = Graph.from_storage(MmapStorage(tmp_path / "g.csr"))
-        with pytest.raises(ValueError, match="in-memory storage"):
+        # Bare refusal points at both escape hatches: max_bytes and the
+        # streaming Monte-Carlo arm.
+        with pytest.raises(ValueError, match="max_bytes"):
             expected_matching_matrix(mm)
+        with pytest.raises(
+            ValueError, match="empirical_expected_matching_matrix"
+        ):
+            expected_matching_matrix(mm)
+        # an insufficient budget is rejected with the shortfall spelled out
+        with pytest.raises(ValueError, match="raise the budget"):
+            expected_matching_matrix(mm, max_bytes=1)
+        expected = expected_matching_matrix(g, sparse=False)
+        # an explicit sufficient budget overrides the guard
+        overridden = expected_matching_matrix(
+            mm, sparse=False, max_bytes=mm.storage.nbytes
+        )
+        assert np.allclose(overridden, expected)
         # the materialised twin is accepted and matches the dense original
         dense = Graph.from_storage(MmapStorage(tmp_path / "g.csr").materialize())
-        expected = expected_matching_matrix(g, sparse=False)
         assert np.allclose(expected_matching_matrix(dense, sparse=False), expected)
