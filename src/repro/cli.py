@@ -33,7 +33,17 @@ Four subcommands cover the workflow a downstream user actually has:
 ``cache``
     Inspect (``cache list``) or size-bound (``cache prune --max-bytes``)
     an instance-cache directory; pruning evicts least-recently-used
-    entries first.
+    entries first.  Listing shows each entry's sibling label store and
+    pruning counts label bytes toward the budget.
+``serve`` / ``submit`` / ``jobs`` / ``query``
+    The clustering service (:mod:`repro.service`): ``serve`` runs the
+    stdlib REST frontend plus worker agents over a SQLite job store,
+    ``submit`` enqueues a digest-addressed sweep (via ``--url`` to a
+    running service, or ``--db`` straight into the store — add ``--run``
+    to drain it inline), ``jobs`` shows per-job task states, and
+    ``query`` answers the paper's primitive — "which cluster is node v
+    in?" — from the precomputed mmap label store of an instance digest,
+    without rebuilding the graph or re-running any clustering.
 
 Examples
 --------
@@ -56,6 +66,12 @@ Examples
         --mmap --json sweep.json
     python -m repro cache list .instance-cache
     python -m repro cache prune .instance-cache --max-bytes 2G
+    python -m repro serve --db jobs.sqlite --cache-dir .instance-cache --port 8750
+    python -m repro submit sbm --sizes 400 --k 4 --trials 2 --keep-labels \
+        --url http://127.0.0.1:8750 --wait 120
+    python -m repro jobs --url http://127.0.0.1:8750
+    python -m repro query 0123abcd4567ef89 0 17 42 --url http://127.0.0.1:8750
+    python -m repro query 0123abcd4567ef89 0 --cache-dir .instance-cache --seed 873
 """
 
 from __future__ import annotations
@@ -333,6 +349,100 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only report what would be evicted",
     )
+
+    # service: serve / submit / jobs / query ----------------------------
+    srv = sub.add_parser(
+        "serve",
+        help="run the clustering service: REST frontend + worker agents over a job store",
+    )
+    srv.add_argument("--db", type=Path, required=True, help="SQLite job-store database path")
+    srv.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="instance-cache directory: where workers resolve instances and write label stores",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 (default) picks a free one and prints it",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=1, help="background worker threads draining the store"
+    )
+
+    smt = sub.add_parser(
+        "submit",
+        help="submit a sweep to the service (via --url) or straight into a job store (via --db)",
+    )
+    smt.add_argument(
+        "family", choices=["sbm", "cliques", "expanders"], help="instance family to sweep"
+    )
+    smt.add_argument("--sizes", type=int, nargs="+", default=[400, 800], help="swept sizes")
+    smt.add_argument("--k", type=int, default=4, help="number of clusters")
+    smt.add_argument("--p-in", type=float, default=0.3, help="intra-cluster edge probability (sbm)")
+    smt.add_argument("--p-out", type=float, default=0.01, help="inter-cluster edge probability (sbm)")
+    smt.add_argument("--degree", type=int, default=8, help="internal degree (expanders)")
+    smt.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["ours"],
+        choices=["ours", "spectral", "label-propagation"],
+        help="algorithms to run on every instance",
+    )
+    smt.add_argument(
+        "--backend",
+        choices=["centralized", "vectorized", "message-passing", "parallel"],
+        default="vectorized",
+        help="execution backend for the paper's algorithm ('ours')",
+    )
+    smt.add_argument("--trials", type=int, default=1, help="independent trials per (instance, algorithm)")
+    smt.add_argument("--seed", type=int, default=0, help="base seed for the trial-seed digests")
+    smt.add_argument("--mmap", action="store_true", help="resolve instances memory-mapped on the workers")
+    smt.add_argument("--structural", action="store_true", help="add label-free cut metrics per trial")
+    smt.add_argument(
+        "--keep-labels",
+        action="store_true",
+        help="persist each trial's predicted labels into the digest's mmap label store",
+    )
+    smt.add_argument("--url", default=None, help="service base URL, e.g. http://127.0.0.1:8750")
+    smt.add_argument("--db", type=Path, default=None, help="submit directly into this job-store database")
+    smt.add_argument(
+        "--run",
+        action="store_true",
+        help="with --db: drain the job inline with a local worker before returning",
+    )
+    smt.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="with --db --run: cache directory for the inline worker",
+    )
+    smt.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        help="with --url: poll until the job is done (seconds of timeout)",
+    )
+
+    jbs = sub.add_parser("jobs", help="list the service's jobs and their task states")
+    jbs.add_argument("--url", default=None, help="service base URL")
+    jbs.add_argument("--db", type=Path, default=None, help="read a job-store database directly")
+
+    qry = sub.add_parser(
+        "query",
+        help="answer 'which cluster is node v in?' from a precomputed mmap label store",
+    )
+    qry.add_argument("digest", help="instance digest (see `repro cache list` / `repro jobs`)")
+    qry.add_argument("nodes", type=int, nargs="+", help="node ids to look up")
+    qry.add_argument("--url", default=None, help="service base URL")
+    qry.add_argument(
+        "--cache-dir", type=Path, default=None, help="query a local cache directory directly"
+    )
+    qry.add_argument("--algorithm", default=None, help="algorithm whose labels to read")
+    qry.add_argument("--seed", type=int, default=None, help="trial seed whose labels to read")
     return parser
 
 
@@ -641,30 +751,187 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"no cache entries in {args.cache_dir}")
             return 0
         rows = [
-            [e.generator, e.digest, e.kind, _format_bytes(e.nbytes)]
+            [
+                e.generator,
+                e.digest,
+                e.kind,
+                _format_bytes(e.nbytes),
+                _format_bytes(e.nbytes if e.kind == "labels" else e.labels_nbytes)
+                if e.labels_path is not None or e.kind == "labels"
+                else "-",
+                _format_bytes(e.total_nbytes),
+            ]
             for e in entries
         ]
         print(
             format_table(
-                ["generator", "digest", "format", "size"],
+                ["generator", "digest", "format", "size", "labels", "total"],
                 rows,
                 title=f"{args.cache_dir}: {len(entries)} entries, "
-                f"{_format_bytes(sum(e.nbytes for e in entries))} (MRU first)",
+                f"{_format_bytes(sum(e.total_nbytes for e in entries))} (MRU first)",
             )
         )
         return 0
 
     evicted = prune_cache(args.cache_dir, args.max_bytes, dry_run=args.dry_run)
     verb = "would evict" if args.dry_run else "evicted"
-    freed = sum(e.nbytes for e in evicted)
-    remaining = sum(e.nbytes for e in list_cache(args.cache_dir))
+    freed = sum(e.total_nbytes for e in evicted)
+    remaining = sum(e.total_nbytes for e in list_cache(args.cache_dir))
     print(
         f"{verb} {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'} "
         f"({_format_bytes(freed)}); cache now {_format_bytes(remaining)} "
         f"/ budget {_format_bytes(args.max_bytes)}"
     )
     for entry in evicted:
-        print(f"  {verb}: {entry.path.name} ({_format_bytes(entry.nbytes)})")
+        print(f"  {verb}: {entry.path.name} ({_format_bytes(entry.total_nbytes)})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.app import serve
+
+    serve(
+        args.db,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    spec: dict = {
+        "family": args.family,
+        "sizes": list(args.sizes),
+        "k": args.k,
+        "algorithms": list(args.algorithms),
+        "trials": args.trials,
+        "seed": args.seed,
+        "backend": args.backend,
+    }
+    if args.family == "sbm":
+        spec["p_in"], spec["p_out"] = args.p_in, args.p_out
+    if args.family == "expanders":
+        spec["degree"] = args.degree
+    for flag in ("mmap", "structural", "keep_labels"):
+        if getattr(args, flag):
+            spec[flag] = True
+    return spec
+
+
+def _print_job_status(status: dict) -> None:
+    print(
+        f"job {status['id']}: {status['state']} "
+        f"({status['done']}/{status['tasks']} done, "
+        f"{status['failed']} failed)"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.db is None):
+        print("error: pass exactly one of --url or --db", file=sys.stderr)
+        return 2
+    spec = _submit_spec(args)
+    if args.url is not None:
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            status = client.submit(spec)
+            if args.wait is not None:
+                status = client.wait(status["job"], timeout=args.wait)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        _print_job_status(status)
+        return 0
+
+    from .service import JobStore, Worker, submit_sweep
+
+    store = JobStore(args.db)
+    job_id = submit_sweep(store, spec)
+    if args.run:
+        cache_dir = None if args.cache_dir is None else str(args.cache_dir)
+        Worker(store, name="submit-inline", cache_dir=cache_dir).run_job(job_id)
+    status = store.job_status(job_id)
+    _print_job_status(status)
+    return 0 if status["state"] != "failed" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.db is None):
+        print("error: pass exactly one of --url or --db", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            jobs = ServiceClient(args.url).jobs()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        from .service import JobStore
+
+        jobs = JobStore(args.db).list_jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    from .evaluation import format_table
+
+    rows = [
+        [
+            j["id"],
+            j["spec"].get("family", j["spec"].get("kind", "?")),
+            j["state"],
+            j["tasks"],
+            j["pending"],
+            j["running"],
+            j["done"],
+            j["failed"],
+        ]
+        for j in jobs
+    ]
+    print(
+        format_table(
+            ["job", "family", "state", "tasks", "pending", "running", "done", "failed"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.cache_dir is None):
+        print("error: pass exactly one of --url or --cache-dir", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            labels = ServiceClient(args.url).query(
+                args.digest, args.nodes, algorithm=args.algorithm, seed=args.seed
+            )
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        from .service import LabelStoreError, query_labels
+
+        try:
+            labels = query_labels(
+                args.cache_dir,
+                args.digest,
+                args.nodes,
+                algorithm=args.algorithm,
+                seed=args.seed,
+            ).tolist()
+        except LabelStoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    for node, label in zip(args.nodes, labels):
+        print(f"{node}\t{label}")
     return 0
 
 
@@ -681,6 +948,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -16,20 +16,29 @@ Design notes
 * Every (algorithm, trial) pair draws its seed from :func:`trial_seed`, a
   stable crc32 digest — trials are therefore independent of execution order
   and of each other, i.e. embarrassingly parallel.
-* Execution is pluggable through :class:`TrialExecutor`:
-  :class:`SerialExecutor` runs the classic in-process loop and
-  :class:`ProcessExecutor` fans the (config, trial) grid across a
-  ``concurrent.futures.ProcessPoolExecutor``.  Both return records in the
-  same canonical (instance, algorithm, trial) order, and each record's
-  content depends only on its own seed, so the parallel path is
+* Execution is pluggable through :class:`TrialExecutor`.  The unit of work
+  is a :class:`TrialTask` — a *serializable* descriptor of one grid cell
+  (grid index, algorithm key, trial number, base seed, plus optional
+  digest-addressed instance/algorithm specs for transports that cannot
+  ship live objects) — and the unit of result is the :class:`TrialRecord`
+  envelope.  :class:`SerialExecutor` runs the classic in-process loop,
+  :class:`ProcessExecutor` fans the task grid across a
+  ``concurrent.futures.ProcessPoolExecutor``, and :class:`QueueExecutor`
+  submits the tasks to a :class:`repro.service.jobs.JobStore` and streams
+  completed records back in canonical grid order — the transport seam the
+  service layer (``repro serve``/``submit``) shares.  All executors return
+  records in the same canonical (instance, algorithm, trial) order, and
+  each record's content depends only on its own seed, so every path is
   **bit-identical** to the sequential one (pinned by
-  ``tests/evaluation/test_runner.py::TestParallelExecution``).
+  ``tests/evaluation/test_runner.py::TestParallelExecution`` and
+  ``tests/service/test_parity.py``).
 * Aggregation computes mean and standard deviation of every numeric field
   across trials; non-numeric fields must be constant within a configuration.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import zlib
 from abc import ABC, abstractmethod
@@ -48,11 +57,14 @@ from .metrics import clustering_report, structural_report
 from .tables import format_table
 
 __all__ = [
+    "LABELS_KEY",
+    "TrialTask",
     "TrialRecord",
     "ExperimentResult",
     "TrialExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "QueueExecutor",
     "trial_seed",
     "run_trials",
     "aggregate_records",
@@ -64,14 +76,113 @@ __all__ = [
 
 AlgorithmCallable = Callable[[ClusteredGraph, int], Mapping[str, Any]]
 
+#: Reserved key an adapter built with ``keep_labels=True`` uses to smuggle
+#: the predicted label vector out of a trial.  Consumers (the service-layer
+#: worker) pop it before the values enter a :class:`TrialRecord`, so pinned
+#: record layouts never see it.
+LABELS_KEY = "_labels"
+
+
+def _json_scalar(value: Any) -> Any:
+    """JSON fallback for numpy scalars inside task/record payloads."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, np.bool_)):
+        return value.item()
+    raise TypeError(f"{type(value).__name__} is not JSON-serialisable")
+
 
 @dataclass
 class TrialRecord:
-    """One (configuration, trial) observation."""
+    """One (configuration, trial) observation — the transport-neutral
+    result envelope every executor and the job service agree on."""
 
     config: dict[str, Any]
     trial: int
     values: dict[str, Any]
+
+    def to_json(self) -> str:
+        """Serialise the envelope (numpy scalars collapse to Python ones).
+
+        The JSON form is for transports and the REST layer; float values
+        round-trip exactly (``repr``-based), but numpy *types* collapse to
+        their Python equivalents.  Transports that must preserve types bit
+        for bit (the job store) pickle the envelope instead.
+        """
+        return json.dumps(
+            {"config": self.config, "trial": self.trial, "values": self.values},
+            sort_keys=True,
+            default=_json_scalar,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialRecord":
+        payload = json.loads(text)
+        return cls(
+            config=dict(payload["config"]),
+            trial=int(payload["trial"]),
+            values=dict(payload["values"]),
+        )
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """Serializable descriptor of one (instance, algorithm, trial) cell.
+
+    This is the unit every transport moves: local executors need only
+    ``index``/``algorithm``/``trial``/``base_seed`` (the instance and the
+    adapter travel out of band, as live or pickled objects), while
+    digest-addressed transports (the job service) fill ``instance`` — a
+    plain-JSON spec ``{"generator", "params", "seed", "mmap", "digest"}``
+    resolvable through :func:`repro.graphs.cached_instance` on any worker
+    that shares the cache directory — and ``options``, the algorithm spec
+    consumed by :func:`repro.service.jobs.make_algorithm`.  ``config`` is
+    the display configuration the finished :class:`TrialRecord` carries.
+
+    The task's randomness is fully determined by its own coordinates:
+    ``seed`` is :func:`trial_seed`  of ``(algorithm, trial, base_seed)``,
+    which is what makes any executor — and any remote worker — produce the
+    record the serial loop would have.
+    """
+
+    index: int
+    algorithm: str
+    trial: int
+    base_seed: int = 0
+    config: dict[str, Any] | None = None
+    instance: dict[str, Any] | None = None
+    options: dict[str, Any] | None = None
+
+    @property
+    def seed(self) -> int:
+        """The trial's RNG seed — a pure function of the task coordinates."""
+        return trial_seed(self.algorithm, self.trial, self.base_seed)
+
+    def to_json(self) -> str:
+        payload = {
+            "index": self.index,
+            "algorithm": self.algorithm,
+            "trial": self.trial,
+            "base_seed": self.base_seed,
+        }
+        for key in ("config", "instance", "options"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return json.dumps(payload, sort_keys=True, default=_json_scalar)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialTask":
+        payload = json.loads(text)
+        return cls(
+            index=int(payload["index"]),
+            algorithm=str(payload["algorithm"]),
+            trial=int(payload["trial"]),
+            base_seed=int(payload.get("base_seed", 0)),
+            config=payload.get("config"),
+            instance=payload.get("instance"),
+            options=payload.get("options"),
+        )
 
 
 @dataclass
@@ -139,15 +250,12 @@ def trial_seed(name: str, trial: int, base_seed: int = 0) -> int:
 def _run_one_trial(
     instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
     algorithms: Mapping[str, AlgorithmCallable],
-    base_seed: int,
-    task: tuple[int, str, int],
+    task: TrialTask,
 ) -> dict[str, Any]:
-    """Execute one (instance, algorithm, trial) cell of the experiment grid."""
-    index, name, trial = task
-    _, instance = instances[index]
-    seed = trial_seed(name, trial, base_seed)
-    values = dict(algorithms[name](instance, seed))
-    values.setdefault("algorithm", name)
+    """Execute one :class:`TrialTask` against live instances/algorithms."""
+    _, instance = instances[task.index]
+    values = dict(algorithms[task.algorithm](instance, task.seed))
+    values.setdefault("algorithm", task.algorithm)
     return values
 
 
@@ -155,10 +263,17 @@ def _task_grid(
     instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
     algorithms: Mapping[str, AlgorithmCallable],
     trials: int,
-) -> list[tuple[int, str, int]]:
-    """The canonical (instance, algorithm, trial) ordering both executors share."""
+    base_seed: int,
+) -> list[TrialTask]:
+    """The canonical (instance, algorithm, trial) ordering all executors share."""
     return [
-        (index, name, trial)
+        TrialTask(
+            index=index,
+            algorithm=name,
+            trial=trial,
+            base_seed=base_seed,
+            config={**instances[index][0], "algorithm": name},
+        )
         for index in range(len(instances))
         for name in algorithms
         for trial in range(trials)
@@ -169,10 +284,12 @@ class TrialExecutor(ABC):
     """Strategy deciding *where* the independent trial grid executes.
 
     Implementations receive the materialised instance list, the algorithm
-    mapping and the trial grid, and must return one ``values`` dict per task
-    **in task order**.  Because each task's randomness comes only from its
-    own :func:`trial_seed`, any executor that honours the ordering yields
-    records identical to :class:`SerialExecutor`'s.
+    mapping and the :class:`TrialTask` grid, and must return one ``values``
+    dict per task **in task order**.  Because each task's randomness comes
+    only from its own :attr:`TrialTask.seed`, any executor that honours the
+    ordering yields records identical to :class:`SerialExecutor`'s —
+    whether it runs the task in this process, another process, or another
+    machine reached through a job store.
     """
 
     @abstractmethod
@@ -180,8 +297,7 @@ class TrialExecutor(ABC):
         self,
         instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
         algorithms: Mapping[str, AlgorithmCallable],
-        tasks: Sequence[tuple[int, str, int]],
-        base_seed: int,
+        tasks: Sequence[TrialTask],
     ) -> list[dict[str, Any]]:
         """Run every task and return its values dict, in task order."""
 
@@ -189,8 +305,8 @@ class TrialExecutor(ABC):
 class SerialExecutor(TrialExecutor):
     """In-process execution — the classic sequential loop."""
 
-    def execute(self, instances, algorithms, tasks, base_seed):
-        return [_run_one_trial(instances, algorithms, base_seed, task) for task in tasks]
+    def execute(self, instances, algorithms, tasks):
+        return [_run_one_trial(instances, algorithms, task) for task in tasks]
 
 
 # Worker-side state for ProcessExecutor, installed once per worker process by
@@ -219,19 +335,16 @@ def _pin_worker_threads() -> None:
 def _process_worker_init(
     instances: Sequence[tuple[dict[str, Any], ClusteredGraph]],
     algorithms: Mapping[str, AlgorithmCallable],
-    base_seed: int,
 ) -> None:
     _pin_worker_threads()
     _WORKER_STATE["instances"] = instances
     _WORKER_STATE["algorithms"] = algorithms
-    _WORKER_STATE["base_seed"] = base_seed
 
 
-def _process_worker_run(task: tuple[int, str, int]) -> dict[str, Any]:
+def _process_worker_run(task: TrialTask) -> dict[str, Any]:
     return _run_one_trial(
         _WORKER_STATE["instances"],
         _WORKER_STATE["algorithms"],
-        _WORKER_STATE["base_seed"],
         task,
     )
 
@@ -240,7 +353,7 @@ class ProcessExecutor(TrialExecutor):
     """Fan the trial grid across a ``ProcessPoolExecutor``.
 
     The instance list and algorithm mapping are shipped to each worker once
-    (pool initializer); tasks are then tiny ``(index, name, trial)`` tuples.
+    (pool initializer); tasks are then tiny :class:`TrialTask` descriptors.
     Results are collected with ``Executor.map``, which preserves submission
     order, so the merged records match the serial path bit for bit.
 
@@ -263,7 +376,7 @@ class ProcessExecutor(TrialExecutor):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
-    def execute(self, instances, algorithms, tasks, base_seed):
+    def execute(self, instances, algorithms, tasks):
         from concurrent.futures import ProcessPoolExecutor
 
         if not tasks:
@@ -275,22 +388,125 @@ class ProcessExecutor(TrialExecutor):
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_process_worker_init,
-            initargs=(list(instances), dict(algorithms), base_seed),
+            initargs=(list(instances), dict(algorithms)),
         ) as pool:
             return list(pool.map(_process_worker_run, tasks, chunksize=chunksize))
+
+
+class QueueExecutor(TrialExecutor):
+    """Submit the task grid to a job store; stream records back in order.
+
+    The transport-agnostic executor: where :class:`ProcessExecutor` owns
+    its worker pool, this one only *enqueues* — each task becomes one row
+    in a :class:`repro.service.jobs.JobStore` (SQLite, shareable between
+    processes and, via a shared filesystem, machines), and any number of
+    worker agents (:class:`repro.service.jobs.Worker`, `repro serve
+    --workers N`, or a worker loop on another host) claim and run them.
+    Completed records are streamed back **in canonical grid order** as
+    they land, so the merged result is bit-identical to
+    :class:`SerialExecutor`'s (pinned by ``tests/service/test_parity.py``).
+
+    ``store`` is a :class:`~repro.service.jobs.JobStore`, a database path,
+    or ``None`` for a private temporary store that lives only for the call.
+    ``workers`` inline worker threads are started for the duration of the
+    job (0 = rely entirely on external workers already attached to the
+    store).  Instances and algorithms ship through the store as the job's
+    pickled context — the same picklability contract as
+    :class:`ProcessExecutor`, with memory-mapped instances shipping by
+    path.
+    """
+
+    def __init__(
+        self,
+        store: Any = None,
+        *,
+        workers: int | None = 1,
+        poll_interval: float = 0.02,
+        timeout: float = 600.0,
+    ):
+        self.store = store
+        self.workers = 1 if workers is None else int(workers)
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.workers == 0 and store is None:
+            raise ValueError(
+                "QueueExecutor(workers=0) needs an explicit store with "
+                "external workers attached; a private temporary store "
+                "would never drain"
+            )
+        self.poll_interval = float(poll_interval)
+        self.timeout = float(timeout)
+
+    def execute(self, instances, algorithms, tasks):
+        import tempfile
+        import threading
+
+        from ..service.jobs import JobStore, Worker
+
+        if not tasks:
+            return []
+        store = self.store
+        temp_db: str | None = None
+        if store is None:
+            fd, temp_db = tempfile.mkstemp(suffix=".jobs.sqlite")
+            os.close(fd)
+            store = JobStore(temp_db)
+        elif not isinstance(store, JobStore):
+            store = JobStore(store)
+        try:
+            job_id = store.create_job(
+                spec={"kind": "run_trials", "tasks": len(tasks)},
+                tasks=tasks,
+                context=(list(instances), dict(algorithms)),
+            )
+            threads = [
+                threading.Thread(
+                    target=Worker(store, name=f"inline-{i}").run_job,
+                    args=(job_id,),
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            records = [
+                record.values
+                for record in store.iter_records(
+                    job_id, timeout=self.timeout, poll_interval=self.poll_interval
+                )
+            ]
+            for thread in threads:
+                thread.join()
+            return records
+        finally:
+            if temp_db is not None:
+                for suffix in ("", "-wal", "-shm"):
+                    try:
+                        os.unlink(temp_db + suffix)
+                    except OSError:
+                        pass
 
 
 def _resolve_executor(
     executor: str | TrialExecutor, workers: int | None
 ) -> TrialExecutor:
     if isinstance(executor, TrialExecutor):
+        if workers is not None:
+            raise ValueError(
+                "pass either an executor instance or workers=, not both: "
+                f"{type(executor).__name__} already fixes its own worker "
+                "count, so workers would be silently ignored"
+            )
         return executor
     if executor == "serial":
         return SerialExecutor()
     if executor == "process":
         return ProcessExecutor(workers)
+    if executor == "queue":
+        return QueueExecutor(workers=workers)
     raise ValueError(
-        f"unknown executor {executor!r}: expected 'serial', 'process' or a TrialExecutor"
+        f"unknown executor {executor!r}: expected 'serial', 'process', "
+        "'queue' or a TrialExecutor"
     )
 
 
@@ -306,27 +522,27 @@ def run_trials(
     """Run every algorithm on every instance for ``trials`` independent seeds.
 
     ``executor`` selects where the (instance, algorithm, trial) grid runs:
-    ``"serial"`` (default, in-process) or ``"process"`` (a
+    ``"serial"`` (default, in-process), ``"process"`` (a
     :class:`ProcessExecutor` with ``workers`` processes — ``None`` means all
-    cores); a :class:`TrialExecutor` instance is used as-is.  All executors
-    produce bit-identical :class:`TrialRecord` lists because every trial's
-    randomness derives only from its own :func:`trial_seed`.
+    cores), or ``"queue"`` (a :class:`QueueExecutor` with ``workers`` inline
+    worker threads draining a private job store).  A :class:`TrialExecutor`
+    instance is used as-is — combining one with ``workers=`` raises, since
+    the instance already fixes its own worker count and the argument would
+    otherwise be silently ignored.  All executors produce bit-identical
+    :class:`TrialRecord` lists because every trial's randomness derives
+    only from its own :func:`trial_seed`.
     """
+    resolved = _resolve_executor(executor, workers)
     instance_list = list(instances)
-    tasks = _task_grid(instance_list, algorithms, trials)
-    all_values = _resolve_executor(executor, workers).execute(
-        instance_list, algorithms, tasks, base_seed
-    )
+    tasks = _task_grid(instance_list, algorithms, trials, base_seed)
+    all_values = resolved.execute(instance_list, algorithms, tasks)
     if len(all_values) != len(tasks):
         raise RuntimeError(
             f"executor returned {len(all_values)} results for {len(tasks)} tasks"
         )
     result = ExperimentResult()
-    for (index, name, trial), values in zip(tasks, all_values):
-        config, _ = instance_list[index]
-        full_config = dict(config)
-        full_config["algorithm"] = name
-        result.add(full_config, trial, values)
+    for task, values in zip(tasks, all_values):
+        result.add(task.config, task.trial, values)
     return result
 
 
@@ -389,6 +605,7 @@ class _LoadBalancingAdapter:
     threads: int | None = None
     failures: FailureModel | None = None
     structural: bool = False
+    keep_labels: bool = False
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         kwargs: dict[str, Any] = {}
@@ -459,6 +676,8 @@ class _LoadBalancingAdapter:
         )
         if result.communication is not None:
             record.update(words=result.communication.total_words)
+        if self.keep_labels:
+            record[LABELS_KEY] = np.asarray(result.partition.labels)
         return record
 
 
@@ -468,6 +687,7 @@ class _BaselineAdapter:
 
     baseline: BaselineClusterer
     structural: bool = False
+    keep_labels: bool = False
 
     def __call__(self, instance: ClusteredGraph, seed: int) -> dict[str, Any]:
         result = self.baseline.cluster(instance.graph, instance.partition.k, seed=seed)
@@ -475,6 +695,8 @@ class _BaselineAdapter:
         if self.structural:
             record.update(structural_report(instance.graph, result.partition))
         record.update(rounds=result.rounds, words=result.words)
+        if self.keep_labels:
+            record[LABELS_KEY] = np.asarray(result.partition.labels)
         return record
 
 
@@ -489,6 +711,7 @@ def evaluate_load_balancing_clustering(
     threads: int | None = None,
     failures: FailureModel | None = None,
     structural: bool = False,
+    keep_labels: bool = False,
 ) -> AlgorithmCallable:
     """Adapter running the paper's algorithm and scoring it.
 
@@ -526,6 +749,12 @@ def evaluate_load_balancing_clustering(
     default: it costs one extra O(m) sweep per trial and existing pinned
     record layouts stay untouched.
 
+    ``keep_labels`` attaches each trial's predicted label vector to the
+    record under the reserved :data:`LABELS_KEY` column.  The service-layer
+    workers use it to persist labels into mmap-shared label stores; they pop
+    the key before records are archived, so pinned record layouts never see
+    it.  Off by default: labels are O(n) per record.
+
     The returned callable is a picklable object, so it works under both the
     serial and the process executors of :func:`run_trials` (the bundled
     failure models are plain dataclasses over ndarrays, hence picklable).
@@ -540,6 +769,7 @@ def evaluate_load_balancing_clustering(
         threads=threads,
         failures=failures,
         structural=structural,
+        keep_labels=keep_labels,
     )
 
 
@@ -556,11 +786,12 @@ def evaluate_distributed_clustering(
 
 
 def evaluate_baseline(
-    baseline: BaselineClusterer, *, structural: bool = False
+    baseline: BaselineClusterer, *, structural: bool = False, keep_labels: bool = False
 ) -> AlgorithmCallable:
     """Adapter running a baseline clusterer and scoring it (picklable).
 
     ``structural`` adds the label-free ``max_conductance``/``normalized_cut``
-    columns exactly as in :func:`evaluate_load_balancing_clustering`.
+    columns and ``keep_labels`` the reserved :data:`LABELS_KEY` label vector,
+    exactly as in :func:`evaluate_load_balancing_clustering`.
     """
-    return _BaselineAdapter(baseline, structural=structural)
+    return _BaselineAdapter(baseline, structural=structural, keep_labels=keep_labels)

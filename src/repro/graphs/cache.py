@@ -859,25 +859,43 @@ def cached_instance(
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cache entry (a v1 ``.npz`` file or a v2 ``.csr`` directory)."""
+    """One cache entry (a v1 ``.npz`` file or a v2 ``.csr`` directory).
+
+    When the entry has a sibling label store
+    (``{generator}-{digest}.labels/``, written by the service layer —
+    see :mod:`repro.service.labels`), ``labels_path``/``labels_nbytes``
+    describe it: label stores share the entry's lifecycle, so eviction
+    removes both and size budgets count both.  An *orphan* label store —
+    its instance entry already evicted — is listed as its own entry with
+    ``kind="labels"`` so pruning can reclaim it too.
+    """
 
     path: Path
     generator: str
     digest: str
-    kind: str  #: ``"npz"`` (v1) or ``"sharded"`` (v2)
+    kind: str  #: ``"npz"`` (v1), ``"sharded"`` (v2) or ``"labels"`` (orphan store)
     nbytes: int
     atime: float  #: last access (falls back to mtime on noatime mounts)
     mtime: float
+    labels_path: Path | None = None
+    labels_nbytes: int = 0
+
+    @property
+    def total_nbytes(self) -> int:
+        """Entry bytes plus its label store's — what a budget must count."""
+        return self.nbytes + self.labels_nbytes
 
     def remove(self) -> None:
-        """Delete the entry from disk (idempotent)."""
-        if self.kind == "sharded":
+        """Delete the entry and its label store from disk (idempotent)."""
+        if self.kind in ("sharded", "labels"):
             shutil.rmtree(self.path, ignore_errors=True)
         else:
             try:
                 self.path.unlink()
             except FileNotFoundError:
                 pass
+        if self.labels_path is not None:
+            shutil.rmtree(self.labels_path, ignore_errors=True)
 
 
 def _entry_stats(path: Path) -> tuple[int, float, float]:
@@ -900,14 +918,25 @@ def _entry_stats(path: Path) -> tuple[int, float, float]:
 def list_cache(cache_dir: str | Path) -> list[CacheEntry]:
     """Enumerate the entries of a cache directory, most recently used first.
 
-    Only paths matching the cache naming scheme (``{generator}-{digest}.npz``
-    or ``{generator}-{digest}.csr/``) are listed; anything else in the
-    directory is left alone, so pruning can never eat unrelated files.
+    Only paths matching the cache naming scheme (``{generator}-{digest}.npz``,
+    ``{generator}-{digest}.csr/`` or ``{generator}-{digest}.labels/``) are
+    listed; anything else in the directory is left alone, so pruning can
+    never eat unrelated files.  A label store is attached to its sibling
+    instance entry (``labels_path``/``labels_nbytes``) when that entry
+    exists, and listed as its own ``kind="labels"`` entry when orphaned.
     """
     cache_dir = Path(cache_dir)
     if not cache_dir.is_dir():
         return []
     entries: list[CacheEntry] = []
+    label_dirs: dict[str, tuple[Path, int, float, float]] = {}
+    for path in cache_dir.iterdir():
+        if path.suffix == ".labels" and path.is_dir():
+            try:
+                nbytes, atime, mtime = _entry_stats(path)
+            except OSError:
+                continue
+            label_dirs[path.name[: -len(path.suffix)]] = (path, nbytes, atime, mtime)
     for path in cache_dir.iterdir():
         if path.suffix == ".npz" and path.is_file():
             kind = "npz"
@@ -923,12 +952,30 @@ def list_cache(cache_dir: str | Path) -> list[CacheEntry]:
             nbytes, atime, mtime = _entry_stats(path)
         except OSError:
             continue
+        labels = label_dirs.pop(stem, None)
         entries.append(
             CacheEntry(
                 path=path,
                 generator=generator,
                 digest=digest,
                 kind=kind,
+                nbytes=nbytes,
+                atime=atime or mtime,
+                mtime=mtime,
+                labels_path=None if labels is None else labels[0],
+                labels_nbytes=0 if labels is None else labels[1],
+            )
+        )
+    for stem, (path, nbytes, atime, mtime) in label_dirs.items():
+        generator, sep, digest = stem.rpartition("-")
+        if not sep or not digest:
+            continue
+        entries.append(
+            CacheEntry(
+                path=path,
+                generator=generator,
+                digest=digest,
+                kind="labels",
                 nbytes=nbytes,
                 atime=atime or mtime,
                 mtime=mtime,
@@ -967,7 +1014,10 @@ def prune_cache(
         raise InstanceCacheError(f"max_bytes must be non-negative, got {max_bytes}")
     protected = {Path(p).resolve() for p in protect}
     entries = list_cache(cache_dir)
-    total = sum(e.nbytes for e in entries)
+    # Budgets count label stores too (total_nbytes): a clustering's labels
+    # only mean something next to the instance they describe, so the pair
+    # lives — and dies — together.
+    total = sum(e.total_nbytes for e in entries)
     evicted: list[CacheEntry] = []
     # Walk from the least recently used end of the listing.
     for entry in reversed(entries):
@@ -978,7 +1028,7 @@ def prune_cache(
         if not dry_run:
             entry.remove()
         evicted.append(entry)
-        total -= entry.nbytes
+        total -= entry.total_nbytes
     return evicted
 
 

@@ -1,0 +1,52 @@
+"""Service layer: job queue, worker agents, label stores and the REST seam.
+
+The business logic of "clustering as a service" lives here, importable by
+the CLI (``repro serve``/``submit``/``jobs``/``query``), by scripts, and by
+the stdlib-only HTTP layer in :mod:`repro.service.app` — all three call the
+same functions, so there is exactly one implementation of submitting a
+sweep, draining it, and answering "which cluster is node v in?".
+
+* :mod:`repro.service.jobs` — SQLite-backed :class:`JobStore` (task states
+  pending/running/done/failed, audit log) plus the :class:`Worker` agent
+  loop that claims tasks, runs them through the existing evaluation
+  adapters and writes records (and label stores) back.
+* :mod:`repro.service.labels` — per-digest ``labels-{algo}-{seed}.npy``
+  stores next to the sharded cache entries, opened with
+  ``np.load(mmap_mode="r")`` so concurrent readers share page cache.
+* :mod:`repro.service.app` / :mod:`repro.service.client` — the thin REST
+  layer (``http.server`` / ``urllib``) over the two modules above.
+"""
+
+from .jobs import (
+    JobError,
+    JobStore,
+    Worker,
+    make_algorithm,
+    resolve_instance,
+    submit_sweep,
+    sweep_tasks,
+)
+from .labels import (
+    LabelStoreError,
+    label_store_dir,
+    list_label_stores,
+    open_labels,
+    query_labels,
+    write_labels,
+)
+
+__all__ = [
+    "JobError",
+    "JobStore",
+    "Worker",
+    "make_algorithm",
+    "resolve_instance",
+    "submit_sweep",
+    "sweep_tasks",
+    "LabelStoreError",
+    "label_store_dir",
+    "list_label_stores",
+    "open_labels",
+    "query_labels",
+    "write_labels",
+]

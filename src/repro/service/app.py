@@ -1,0 +1,247 @@
+"""Stdlib-only REST layer over the job store and label stores.
+
+This module is deliberately thin: every endpoint is one call into
+:mod:`repro.service.jobs` / :mod:`repro.service.labels`, so the HTTP
+surface, the CLI and library callers share one implementation.  Built on
+``http.server.ThreadingHTTPServer`` — no web framework, no new
+dependencies — because the hot path (label queries) is a single mmap page
+access and the cold path (submitting jobs) is rare.
+
+Endpoints
+---------
+============================  =============================================
+``GET  /healthz``             liveness probe → ``{"status": "ok"}``
+``POST /jobs``                submit a sweep spec (JSON body) → ``{"job"}``
+``GET  /jobs``                all jobs with derived state + task counts
+``GET  /jobs/{id}``           one job's status
+``GET  /jobs/{id}/records``   completed records so far, in grid order
+``GET  /labels/{digest}``     label lookup: ``?node=0&node=5`` (repeat per
+                              node), optional ``&algorithm=``, ``&seed=``
+============================  =============================================
+
+Errors come back as ``{"error": msg}`` with 400 (bad request), 404
+(unknown job/digest/vector) or 500.  Records and label values cross this
+boundary as plain JSON — numpy scalars collapse to Python numbers here;
+transports needing bit-identity use the pickled store directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from .jobs import JobError, JobStore, Worker, submit_sweep
+from .labels import LabelStoreError, query_labels
+
+__all__ = ["ServiceApp", "make_server", "serve"]
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON fallback collapsing numpy scalars/arrays at the REST boundary."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON-serialisable")
+
+
+class ServiceApp:
+    """The service's operations, independent of any transport.
+
+    Each method returns plain JSON-ready data or raises
+    :class:`JobError` / :class:`LabelStoreError` / :class:`ValueError`;
+    the HTTP handler maps those to status codes, the CLI to exit codes.
+    """
+
+    def __init__(self, store: JobStore, *, cache_dir: str | Path | None = None):
+        self.store = store
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        job_id = submit_sweep(self.store, spec)
+        return {"job": job_id, **self.store.job_status(job_id)}
+
+    def jobs(self) -> dict[str, Any]:
+        return {"jobs": self.store.list_jobs()}
+
+    def job(self, job_id: int) -> dict[str, Any]:
+        return self.store.job_status(job_id)
+
+    def records(self, job_id: int) -> dict[str, Any]:
+        records = [
+            {"config": r.config, "trial": r.trial, "values": r.values}
+            for r in self.store.records(job_id)
+        ]
+        return {"job": job_id, "records": records}
+
+    def query(
+        self,
+        digest: str,
+        nodes: list[int],
+        *,
+        algorithm: str | None = None,
+        seed: int | None = None,
+    ) -> dict[str, Any]:
+        if self.cache_dir is None:
+            raise LabelStoreError(
+                "label queries need the service to run with a cache "
+                "directory (repro serve --cache-dir)"
+            )
+        labels = query_labels(
+            self.cache_dir, digest, nodes, algorithm=algorithm, seed=seed
+        )
+        return {
+            "digest": digest,
+            "algorithm": algorithm,
+            "seed": seed,
+            "nodes": list(map(int, nodes)),
+            "labels": [int(x) for x in np.atleast_1d(labels)],
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the :class:`ServiceApp` attached to the server."""
+
+    server_version = "repro-service/1"
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # quiet by default; the audit table is the durable log
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, default=_jsonable).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            self._route(method, parts, query)
+        except (JobError, LabelStoreError) as exc:
+            # Missing *resources* are 404; malformed specs/lookups ("unknown
+            # family", ambiguity) are the client's fault and stay 400.
+            missing = any(
+                marker in str(exc)
+                for marker in ("unknown job", "unknown task", "no label")
+            )
+            self._send(404 if missing else 400, {"error": str(exc)})
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - don't kill the server thread
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(self, method: str, parts: list[str], query: dict[str, list[str]]) -> None:
+        if method == "GET" and parts == ["healthz"]:
+            self._send(200, {"status": "ok"})
+        elif method == "POST" and parts == ["jobs"]:
+            length = int(self.headers.get("Content-Length", 0))
+            spec = json.loads(self.rfile.read(length) or b"{}")
+            self._send(201, self.app.submit(spec))
+        elif method == "GET" and parts == ["jobs"]:
+            self._send(200, self.app.jobs())
+        elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            self._send(200, self.app.job(int(parts[1])))
+        elif (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "records"
+        ):
+            self._send(200, self.app.records(int(parts[1])))
+        elif method == "GET" and len(parts) == 2 and parts[0] == "labels":
+            nodes = [int(n) for n in query.get("node", [])]
+            if not nodes:
+                raise ValueError("pass at least one node id: ?node=0&node=5")
+            algorithm = query.get("algorithm", [None])[0]
+            seed_text = query.get("seed", [None])[0]
+            self._send(
+                200,
+                self.app.query(
+                    parts[1],
+                    nodes,
+                    algorithm=algorithm,
+                    seed=None if seed_text is None else int(seed_text),
+                ),
+            )
+        else:
+            self._send(404, {"error": f"no route for {method} /{'/'.join(parts)}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+
+def make_server(
+    app: ServiceApp, *, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server for ``app``; ``port=0`` picks a free one
+    (read the bound port back from ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.app = app  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    db: str | Path,
+    *,
+    cache_dir: str | Path | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    ready: Any = None,
+) -> None:
+    """Run the service until interrupted: HTTP frontend + worker agents.
+
+    ``workers`` background :class:`Worker` threads drain the job store
+    while the server answers requests; ``ready`` (an optional
+    ``threading.Event``) is set once the port is bound, after the bound
+    address is printed — which is how the CLI and the CI smoke test learn
+    the ephemeral port.
+    """
+    store = JobStore(db)
+    server = make_server(
+        ServiceApp(store, cache_dir=cache_dir), host=host, port=port
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro service listening on http://{bound_host}:{bound_port}", flush=True)
+    stop = threading.Event()
+    threads = [
+        threading.Thread(
+            target=Worker(store, name=f"serve-{i}", cache_dir=cache_dir).run,
+            kwargs={"stop": stop},
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        server.server_close()
+        for thread in threads:
+            thread.join(timeout=2.0)

@@ -1,0 +1,111 @@
+"""Stdlib urllib client for the REST layer in :mod:`repro.service.app`.
+
+Used by ``repro submit/jobs/query --url``, the CI service smoke test and
+any script that wants the service without importing its internals.  Every
+method returns the endpoint's decoded JSON; service-side errors raise
+:class:`ServiceError` carrying the transported message, so callers see
+"no label store for digest …" rather than a bare HTTP 404.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request failed; ``status`` holds the code (None if unreachable)."""
+
+    def __init__(self, message: str, *, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServiceClient:
+    """Client for one service base URL, e.g. ``http://127.0.0.1:8750``."""
+
+    base_url: str
+    timeout: float = 30.0
+
+    def _request(self, method: str, path: str, payload: Any = None) -> dict[str, Any]:
+        url = self.base_url.rstrip("/") + path
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get("error", str(exc))
+            except (ValueError, OSError):
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """POST a sweep spec; returns the created job's status (key ``job``)."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: int) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{int(job_id)}")
+
+    def records(self, job_id: int) -> list[dict[str, Any]]:
+        return self._request("GET", f"/jobs/{int(job_id)}/records")["records"]
+
+    def query(
+        self,
+        digest: str,
+        nodes: int | Iterable[int],
+        *,
+        algorithm: str | None = None,
+        seed: int | None = None,
+    ) -> list[int]:
+        """Cluster ids of ``nodes`` from the digest's mmap label store."""
+        if isinstance(nodes, int):
+            nodes = [nodes]
+        params = "&".join(f"node={int(n)}" for n in nodes)
+        if algorithm is not None:
+            params += f"&algorithm={algorithm}"
+        if seed is not None:
+            params += f"&seed={int(seed)}"
+        return self._request("GET", f"/labels/{digest}?{params}")["labels"]
+
+    def wait(
+        self, job_id: int, *, timeout: float = 60.0, poll_interval: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the job is done; raise on failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed "
+                    f"({status['failed']}/{status['tasks']} tasks)"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(state {status['state']!r})"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,653 @@
+"""SQLite-backed job queue + worker agents for the trial fabric.
+
+One :class:`JobStore` database holds any number of *jobs*; a job is a
+sweep's :class:`~repro.evaluation.runner.TrialTask` grid plus an optional
+pickled execution context.  Tasks move through four states::
+
+    pending --claim--> running --complete--> done
+                          \\--fail-------> failed
+
+Any number of :class:`Worker` agents — inline threads started by
+:class:`~repro.evaluation.runner.QueueExecutor`, the ``repro serve``
+process, or worker loops on other hosts sharing the database file — claim
+pending tasks under ``BEGIN IMMEDIATE`` (so a task is claimed exactly
+once), run them through the existing evaluation adapters, and write the
+finished :class:`~repro.evaluation.runner.TrialRecord` back as a pickled
+blob.  Pickle, not JSON, on purpose: the store is a *transport*, and the
+bit-identity contract ("queue records == serial records") extends to numpy
+scalar types inside the values dict.  JSON appears only at the REST
+boundary (:mod:`repro.service.app`).
+
+Two task-addressing modes share the schema:
+
+* **Context jobs** (:class:`QueueExecutor`): the live instance list and
+  algorithm mapping travel as the job's pickled context — the same
+  picklability contract as ``ProcessExecutor``, with memory-mapped
+  instances shipping by cache-entry path.
+* **Digest-addressed jobs** (:func:`submit_sweep`, the REST layer): each
+  task carries a plain-JSON instance spec resolved through
+  :func:`repro.graphs.cached_instance` on whatever worker claims it, and
+  an algorithm spec resolved by :func:`make_algorithm` — nothing but the
+  shared cache directory needs to be common between submitter and worker.
+  Workers pop the reserved ``LABELS_KEY`` column from records produced
+  with ``keep_labels`` and persist it into the digest's mmap label store
+  (:mod:`repro.service.labels`) before the record is archived.
+
+Every state transition lands in an append-only ``audit`` table.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..evaluation.runner import (
+    LABELS_KEY,
+    TrialRecord,
+    TrialTask,
+    _run_one_trial,
+)
+from .labels import write_labels
+
+__all__ = [
+    "JobError",
+    "JobStore",
+    "Worker",
+    "make_algorithm",
+    "resolve_instance",
+    "sweep_tasks",
+    "submit_sweep",
+]
+
+_STATES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    spec    TEXT NOT NULL,
+    context BLOB,
+    created REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    job_id  INTEGER NOT NULL REFERENCES jobs(id),
+    idx     INTEGER NOT NULL,
+    task    TEXT NOT NULL,
+    state   TEXT NOT NULL DEFAULT 'pending',
+    worker  TEXT,
+    record  BLOB,
+    error   TEXT,
+    updated REAL NOT NULL,
+    PRIMARY KEY (job_id, idx)
+);
+CREATE INDEX IF NOT EXISTS tasks_by_state ON tasks(state, job_id, idx);
+CREATE TABLE IF NOT EXISTS audit (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id INTEGER NOT NULL,
+    idx    INTEGER,
+    event  TEXT NOT NULL,
+    worker TEXT,
+    detail TEXT,
+    at     REAL NOT NULL
+);
+"""
+
+
+class JobError(RuntimeError):
+    """A job or task is unknown, timed out, or finished in failure."""
+
+
+class JobStore:
+    """A job queue in one SQLite file, shareable across threads/processes.
+
+    Every operation opens its own short-lived connection (WAL journal,
+    5 s busy timeout), so one :class:`JobStore` object may be used freely
+    from multiple threads and the same database file from multiple
+    processes — SQLite serialises the writers; ``BEGIN IMMEDIATE`` around
+    the claim makes task hand-out race-free.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=5.0, isolation_level=None)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=5000")
+        return conn
+
+    def _audit(
+        self,
+        conn: sqlite3.Connection,
+        job_id: int,
+        idx: int | None,
+        event: str,
+        worker: str | None = None,
+        detail: str | None = None,
+    ) -> None:
+        conn.execute(
+            "INSERT INTO audit (job_id, idx, event, worker, detail, at) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (job_id, idx, event, worker, detail, time.time()),
+        )
+
+    # -- submission --------------------------------------------------------
+
+    def create_job(
+        self,
+        *,
+        spec: Mapping[str, Any],
+        tasks: list[TrialTask],
+        context: Any = None,
+    ) -> int:
+        """Insert a job and its task grid atomically; returns the job id."""
+        if not tasks:
+            raise JobError("a job needs at least one task")
+        blob = None if context is None else pickle.dumps(context)
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            cur = conn.execute(
+                "INSERT INTO jobs (spec, context, created) VALUES (?, ?, ?)",
+                (json.dumps(dict(spec), sort_keys=True, default=str), blob, now),
+            )
+            job_id = int(cur.lastrowid)
+            conn.executemany(
+                "INSERT INTO tasks (job_id, idx, task, state, updated) "
+                "VALUES (?, ?, ?, 'pending', ?)",
+                [(job_id, i, task.to_json(), now) for i, task in enumerate(tasks)],
+            )
+            self._audit(conn, job_id, None, "created", detail=f"{len(tasks)} tasks")
+            conn.execute("COMMIT")
+        return job_id
+
+    def job_context(self, job_id: int) -> Any:
+        """The job's unpickled execution context, or ``None``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT context FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise JobError(f"unknown job {job_id}")
+        return None if row[0] is None else pickle.loads(row[0])
+
+    # -- worker protocol ---------------------------------------------------
+
+    def claim_task(
+        self, worker: str, *, job_id: int | None = None
+    ) -> tuple[int, int, TrialTask] | None:
+        """Atomically claim the lowest pending (job, idx) task, or ``None``.
+
+        ``BEGIN IMMEDIATE`` takes the write lock before the SELECT, so two
+        workers can never claim the same row; a busy database retries via
+        the busy timeout.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            if job_id is None:
+                row = conn.execute(
+                    "SELECT job_id, idx, task FROM tasks WHERE state = 'pending' "
+                    "ORDER BY job_id, idx LIMIT 1"
+                ).fetchone()
+            else:
+                row = conn.execute(
+                    "SELECT job_id, idx, task FROM tasks "
+                    "WHERE state = 'pending' AND job_id = ? "
+                    "ORDER BY idx LIMIT 1",
+                    (job_id,),
+                ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            claimed_job, idx, task_json = int(row[0]), int(row[1]), row[2]
+            conn.execute(
+                "UPDATE tasks SET state = 'running', worker = ?, updated = ? "
+                "WHERE job_id = ? AND idx = ?",
+                (worker, time.time(), claimed_job, idx),
+            )
+            self._audit(conn, claimed_job, idx, "claimed", worker)
+            conn.execute("COMMIT")
+        return claimed_job, idx, TrialTask.from_json(task_json)
+
+    def complete_task(
+        self, job_id: int, idx: int, record: TrialRecord, *, worker: str | None = None
+    ) -> None:
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE tasks SET state = 'done', record = ?, updated = ? "
+                "WHERE job_id = ? AND idx = ?",
+                (pickle.dumps(record), time.time(), job_id, idx),
+            )
+            self._audit(conn, job_id, idx, "done", worker)
+            conn.execute("COMMIT")
+
+    def fail_task(
+        self, job_id: int, idx: int, error: str, *, worker: str | None = None
+    ) -> None:
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE tasks SET state = 'failed', error = ?, updated = ? "
+                "WHERE job_id = ? AND idx = ?",
+                (error, time.time(), job_id, idx),
+            )
+            self._audit(conn, job_id, idx, "failed", worker, detail=error)
+            conn.execute("COMMIT")
+
+    # -- inspection --------------------------------------------------------
+
+    def job_status(self, job_id: int) -> dict[str, Any]:
+        """Spec, per-state task counts and the derived job state."""
+        with self._connect() as conn:
+            job = conn.execute(
+                "SELECT spec, created FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if job is None:
+                raise JobError(f"unknown job {job_id}")
+            counts = dict.fromkeys(_STATES, 0)
+            for state, count in conn.execute(
+                "SELECT state, COUNT(*) FROM tasks WHERE job_id = ? GROUP BY state",
+                (job_id,),
+            ):
+                counts[state] = int(count)
+        total = sum(counts.values())
+        if counts["failed"]:
+            state = "failed"
+        elif counts["done"] == total:
+            state = "done"
+        elif counts["running"] or counts["done"]:
+            state = "running"
+        else:
+            state = "pending"
+        return {
+            "id": job_id,
+            "spec": json.loads(job[0]),
+            "created": float(job[1]),
+            "state": state,
+            "tasks": total,
+            **counts,
+        }
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        with self._connect() as conn:
+            ids = [int(r[0]) for r in conn.execute("SELECT id FROM jobs ORDER BY id")]
+        return [self.job_status(job_id) for job_id in ids]
+
+    def audit_log(self, job_id: int) -> list[dict[str, Any]]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT idx, event, worker, detail, at FROM audit "
+                "WHERE job_id = ? ORDER BY id",
+                (job_id,),
+            ).fetchall()
+        return [
+            {"idx": r[0], "event": r[1], "worker": r[2], "detail": r[3], "at": r[4]}
+            for r in rows
+        ]
+
+    def _task_row(self, job_id: int, idx: int) -> tuple[str, bytes | None, str | None]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT state, record, error FROM tasks WHERE job_id = ? AND idx = ?",
+                (job_id, idx),
+            ).fetchone()
+        if row is None:
+            raise JobError(f"unknown task ({job_id}, {idx})")
+        return row[0], row[1], row[2]
+
+    def iter_records(
+        self,
+        job_id: int,
+        *,
+        timeout: float = 600.0,
+        poll_interval: float = 0.02,
+    ) -> Iterator[TrialRecord]:
+        """Stream the job's records **in canonical grid order** as they land.
+
+        Record *i* is yielded as soon as task *i* is done, even while later
+        tasks still run — the consumer sees exactly the serial executor's
+        ordering, which is what makes :class:`QueueExecutor` bit-identical.
+        A failed task raises :class:`JobError` with the worker's error; a
+        stalled queue raises after ``timeout`` seconds without progress.
+        """
+        total = self.job_status(job_id)["tasks"]
+        deadline = time.monotonic() + timeout
+        for idx in range(total):
+            while True:
+                state, blob, error = self._task_row(job_id, idx)
+                if state == "done":
+                    record = pickle.loads(blob)
+                    yield record
+                    deadline = time.monotonic() + timeout
+                    break
+                if state == "failed":
+                    raise JobError(f"task ({job_id}, {idx}) failed: {error}")
+                if time.monotonic() >= deadline:
+                    raise JobError(
+                        f"timed out after {timeout}s waiting for task "
+                        f"({job_id}, {idx}) (state {state!r}) — are any "
+                        "workers attached to this store?"
+                    )
+                time.sleep(poll_interval)
+
+    def records(self, job_id: int) -> list[TrialRecord]:
+        """All *completed* records so far, in grid order (no waiting)."""
+        total = self.job_status(job_id)["tasks"]
+        out: list[TrialRecord] = []
+        for idx in range(total):
+            state, blob, _ = self._task_row(job_id, idx)
+            if state == "done":
+                out.append(pickle.loads(blob))
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Digest-addressed task resolution
+# --------------------------------------------------------------------------- #
+
+def resolve_instance(spec: Mapping[str, Any], *, cache_dir: str | Path | None):
+    """Materialise a task's instance spec through the shared cache.
+
+    ``spec`` is the plain-JSON ``TrialTask.instance`` payload:
+    ``{"generator", "params", "seed", "mmap", "digest"}``.  When the spec
+    carries a digest it is re-derived from (generator, params, seed) and
+    must match — a mismatch means submitter and worker disagree about what
+    the parameters produce (e.g. skewed cache format versions), and serving
+    the wrong instance under a digest would poison every downstream label
+    store.
+    """
+    from ..graphs import cached_instance, instance_digest
+
+    generator = spec["generator"]
+    params = dict(spec.get("params") or {})
+    seed = spec.get("seed")
+    expected = spec.get("digest")
+    if expected is not None:
+        actual = instance_digest(generator, params, seed)
+        if actual != expected:
+            raise JobError(
+                f"instance digest mismatch for {generator}: task says "
+                f"{expected}, parameters give {actual} — submitter and "
+                "worker disagree (cache format or parameter drift)"
+            )
+    return cached_instance(
+        generator,
+        seed=seed,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+        mmap=bool(spec.get("mmap", False)),
+        **params,
+    )
+
+
+def make_algorithm(options: Mapping[str, Any]) -> Callable:
+    """Build an evaluation adapter from a task's plain-JSON algorithm spec.
+
+    ``options["name"]`` selects the adapter family — the same three the CLI
+    sweep offers (``ours``, ``spectral``, ``label-propagation``) — and the
+    remaining keys configure it (``backend``, ``threads``, ``block_size``,
+    ``drop_prob``/``crash_prob``/``crash_round``, ``structural``,
+    ``keep_labels``).
+    """
+    from ..baselines import LabelPropagation, SpectralClustering
+    from ..distsim import make_failure_model
+    from ..evaluation.runner import (
+        evaluate_baseline,
+        evaluate_load_balancing_clustering,
+    )
+
+    name = options.get("name")
+    structural = bool(options.get("structural", False))
+    keep_labels = bool(options.get("keep_labels", False))
+    if name == "ours":
+        failures = make_failure_model(
+            drop_probability=float(options.get("drop_prob", 0.0)),
+            crash_fraction=float(options.get("crash_prob", 0.0)),
+            crash_round=int(options.get("crash_round") or 0),
+        )
+        return evaluate_load_balancing_clustering(
+            backend=options.get("backend", "vectorized"),
+            block_size=options.get("block_size"),
+            threads=options.get("threads"),
+            failures=failures,
+            structural=structural,
+            keep_labels=keep_labels,
+        )
+    if name == "spectral":
+        return evaluate_baseline(
+            SpectralClustering(), structural=structural, keep_labels=keep_labels
+        )
+    if name == "label-propagation":
+        return evaluate_baseline(
+            LabelPropagation(), structural=structural, keep_labels=keep_labels
+        )
+    raise JobError(
+        f"unknown algorithm spec {name!r}: expected 'ours', 'spectral' or "
+        "'label-propagation'"
+    )
+
+
+class Worker:
+    """A worker agent: claim → execute → record, until the queue is dry.
+
+    ``cache_dir`` is where digest-addressed instances resolve from and
+    where label stores are written; context jobs ignore it.  The worker is
+    deliberately stateless between tasks except for a per-job cache of the
+    unpickled context and resolved instances, so one worker can serve many
+    jobs interleaved.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        name: str = "worker",
+        cache_dir: str | Path | None = None,
+    ):
+        self.store = store
+        self.name = name
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._contexts: dict[int, Any] = {}
+        self._instances: dict[tuple, Any] = {}
+
+    def _context(self, job_id: int) -> Any:
+        if job_id not in self._contexts:
+            self._contexts[job_id] = self.store.job_context(job_id)
+        return self._contexts[job_id]
+
+    def _resolve_task_instance(self, task: TrialTask):
+        spec = task.instance or {}
+        key = (
+            spec.get("generator"),
+            json.dumps(spec.get("params") or {}, sort_keys=True, default=str),
+            spec.get("seed"),
+            bool(spec.get("mmap", False)),
+        )
+        if key not in self._instances:
+            self._instances[key] = resolve_instance(spec, cache_dir=self.cache_dir)
+        return self._instances[key]
+
+    def _execute(self, job_id: int, task: TrialTask) -> TrialRecord:
+        context = self._context(job_id)
+        if context is not None:
+            # Context transport (QueueExecutor): run exactly the serial
+            # loop's code path; values pass through untouched so queue
+            # records stay bit-identical to serial ones.
+            instances, algorithms = context
+            values = _run_one_trial(instances, algorithms, task)
+        else:
+            if task.instance is None or task.options is None:
+                raise JobError(
+                    f"task ({job_id}, {task.index}) has neither a job "
+                    "context nor instance/options specs"
+                )
+            instance = self._resolve_task_instance(task)
+            algorithm = make_algorithm(task.options)
+            values = dict(algorithm(instance, task.seed))
+            values.setdefault("algorithm", task.algorithm)
+            labels = values.pop(LABELS_KEY, None)
+            digest = task.instance.get("digest")
+            if labels is not None and digest is not None and self.cache_dir is not None:
+                write_labels(
+                    self.cache_dir,
+                    task.instance["generator"],
+                    digest,
+                    task.algorithm,
+                    task.seed,
+                    labels,
+                )
+        config = task.config if task.config is not None else {"algorithm": task.algorithm}
+        return TrialRecord(config=dict(config), trial=task.trial, values=values)
+
+    def run_once(self, *, job_id: int | None = None) -> bool:
+        """Claim and run one task; ``False`` when nothing was pending."""
+        claim = self.store.claim_task(self.name, job_id=job_id)
+        if claim is None:
+            return False
+        claimed_job, idx, task = claim
+        try:
+            record = self._execute(claimed_job, task)
+        except Exception as exc:  # noqa: BLE001 - the queue is the boundary
+            self.store.fail_task(
+                claimed_job, idx, f"{type(exc).__name__}: {exc}", worker=self.name
+            )
+            return True
+        self.store.complete_task(claimed_job, idx, record, worker=self.name)
+        return True
+
+    def run_job(self, job_id: int) -> int:
+        """Drain one job's pending tasks; returns how many this worker ran."""
+        ran = 0
+        while self.run_once(job_id=job_id):
+            ran += 1
+        return ran
+
+    def run(self, *, poll_interval: float = 0.2, stop: Any = None) -> None:
+        """Serve loop: drain everything pending, idle-poll for more.
+
+        ``stop`` is a ``threading.Event``-like object; the loop exits when
+        it is set (checked between tasks, so a long task finishes first).
+        """
+        while stop is None or not stop.is_set():
+            if not self.run_once():
+                if stop is None:
+                    return
+                stop.wait(poll_interval)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep submission (shared by `repro submit` and POST /jobs)
+# --------------------------------------------------------------------------- #
+
+_FAMILIES = ("sbm", "cliques", "expanders")
+
+
+def sweep_tasks(spec: Mapping[str, Any]) -> list[TrialTask]:
+    """Expand a sweep spec into its digest-addressed canonical task grid.
+
+    The spec mirrors ``repro sweep``'s instance families and knobs::
+
+        {"family": "sbm", "sizes": [120, 240], "k": 3,
+         "p_in": 0.3, "p_out": 0.05,          # sbm
+         "degree": 8,                          # expanders
+         "algorithms": ["ours"], "trials": 2, "seed": 0,
+         "backend": "vectorized", "mmap": false,
+         "structural": false, "keep_labels": true}
+
+    Task order is the canonical (instance, algorithm, trial) grid —
+    identical to :func:`repro.evaluation.runner.run_trials` — and every
+    task is self-contained: any worker sharing the cache directory can
+    run it with no other state.
+    """
+    from ..graphs import instance_digest
+
+    family = spec.get("family")
+    if family not in _FAMILIES:
+        raise JobError(f"unknown family {family!r}: expected one of {_FAMILIES}")
+    sizes = list(spec.get("sizes") or [])
+    if not sizes:
+        raise JobError("spec needs a non-empty 'sizes' list")
+    algorithms = list(spec.get("algorithms") or ["ours"])
+    trials = int(spec.get("trials", 1))
+    if trials < 1:
+        raise JobError(f"trials must be >= 1, got {trials}")
+    base_seed = int(spec.get("seed", 0))
+    k = int(spec.get("k", 3))
+    mmap = bool(spec.get("mmap", False))
+
+    option_keys = (
+        "backend",
+        "block_size",
+        "threads",
+        "drop_prob",
+        "crash_prob",
+        "crash_round",
+        "structural",
+        "keep_labels",
+    )
+
+    instances: list[tuple[dict[str, Any], dict[str, Any]]] = []
+    for size in sizes:
+        size = int(size)
+        gen_seed = base_seed + size
+        if family == "sbm":
+            generator = "planted_partition"
+            params: dict[str, Any] = {
+                "n": size,
+                "k": k,
+                "p_in": float(spec.get("p_in", 0.3)),
+                "p_out": float(spec.get("p_out", 0.01)),
+                "ensure_connected": True,
+            }
+        elif family == "cliques":
+            generator = "cycle_of_cliques"
+            params = {"k": k, "clique_size": size}
+        else:
+            generator = "ring_of_expanders"
+            params = {"k": k, "cluster_size": size, "d": int(spec.get("degree", 8))}
+        instance_spec = {
+            "generator": generator,
+            "params": params,
+            "seed": gen_seed,
+            "mmap": mmap,
+            "digest": instance_digest(generator, params, gen_seed),
+        }
+        instances.append(({"size": size}, instance_spec))
+
+    tasks: list[TrialTask] = []
+    for index, (config, instance_spec) in enumerate(instances):
+        for name in algorithms:
+            options = {"name": name}
+            for key in option_keys:
+                if key in spec:
+                    options[key] = spec[key]
+            for trial in range(trials):
+                tasks.append(
+                    TrialTask(
+                        index=index,
+                        algorithm=name,
+                        trial=trial,
+                        base_seed=base_seed,
+                        config={**config, "algorithm": name},
+                        instance=instance_spec,
+                        options=options,
+                    )
+                )
+    return tasks
+
+
+def submit_sweep(store: JobStore, spec: Mapping[str, Any]) -> int:
+    """Validate a sweep spec, enqueue its task grid, return the job id."""
+    tasks = sweep_tasks(spec)
+    # Resolving algorithm specs up front turns "unknown algorithm" into a
+    # submit-time error instead of N failed tasks later.
+    for options in {json.dumps(t.options, sort_keys=True): t.options for t in tasks}.values():
+        make_algorithm(options)
+    return store.create_job(spec={"kind": "sweep", **dict(spec)}, tasks=tasks)

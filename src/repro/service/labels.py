@@ -1,0 +1,284 @@
+"""Mmap-shared label stores: precomputed clusterings served by digest.
+
+The paper's end product is one primitive — "which cluster is node v in?" —
+and recomputing a clustering to answer it costs a full generate + cluster
+run.  A *label store* persists the answer instead: for each cached instance
+``{generator}-{digest}.csr/`` the sibling directory
+``{generator}-{digest}.labels/`` holds one ``labels-{algo}-{seed}.npy``
+int64 vector per (algorithm, trial seed) pair, written atomically by the
+service workers (:mod:`repro.service.jobs`) whenever an adapter ran with
+``keep_labels=True``.
+
+Lookups open the vector with ``np.load(mmap_mode="r")``: nothing is read
+until a node is indexed, every concurrent reader (threads, processes, the
+REST server's handler pool) shares the same OS page cache, and a warm point
+query is a single page access — which is what makes millions of label
+queries cheap where recomputation is not (gated ≥ 100× by
+``benchmarks/bench_e23_label_service.py``).
+
+The store is addressed exactly like the instance cache — by content digest
+(:func:`repro.graphs.instance_digest`), never by mutable parameters — so a
+label file can only ever describe the instance it sits next to.  Lifecycle
+is shared too: ``repro cache list`` shows label bytes per entry and
+``repro cache prune`` counts them toward the LRU budget
+(:mod:`repro.graphs.cache`).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LABEL_DIR_SUFFIX",
+    "LabelFile",
+    "LabelStore",
+    "LabelStoreError",
+    "label_store_dir",
+    "list_label_stores",
+    "open_labels",
+    "query_labels",
+    "write_labels",
+]
+
+#: Sibling-directory suffix pairing a label store with its cache entry:
+#: ``{generator}-{digest}.csr`` ↔ ``{generator}-{digest}.labels``.
+LABEL_DIR_SUFFIX = ".labels"
+
+
+class LabelStoreError(ValueError):
+    """A label store is missing, ambiguous, or holds an invalid vector."""
+
+
+@dataclass(frozen=True)
+class LabelFile:
+    """One persisted label vector inside a store."""
+
+    path: Path
+    algorithm: str
+    seed: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class LabelStore:
+    """One per-digest label directory and the vectors it holds."""
+
+    path: Path
+    generator: str
+    digest: str
+    files: tuple[LabelFile, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(f.nbytes for f in self.files)
+
+
+def label_store_dir(cache_dir: str | Path, generator: str, digest: str) -> Path:
+    """The store directory paired with cache entry ``{generator}-{digest}``."""
+    return Path(cache_dir) / f"{generator}-{digest}{LABEL_DIR_SUFFIX}"
+
+
+def _parse_label_file(path: Path) -> tuple[str, int] | None:
+    """``labels-{algo}-{seed}.npy`` → (algo, seed); seed parses from the
+    right because algorithm names may themselves contain hyphens."""
+    name = path.name
+    if not (name.startswith("labels-") and name.endswith(".npy")):
+        return None
+    stem = name[len("labels-") : -len(".npy")]
+    algorithm, sep, seed_text = stem.rpartition("-")
+    if not sep or not algorithm or not seed_text.isdigit():
+        return None
+    return algorithm, int(seed_text)
+
+
+def write_labels(
+    cache_dir: str | Path,
+    generator: str,
+    digest: str,
+    algorithm: str,
+    seed: int,
+    labels: Any,
+) -> Path:
+    """Persist one label vector atomically; returns the final path.
+
+    The vector is normalised to contiguous int64 (the dtype every lookup
+    relies on), written to a temp file in the store directory and moved
+    into place with ``os.replace`` — a concurrent reader sees either the
+    old vector or the new one, never a torn write.
+    """
+    arr = np.ascontiguousarray(np.asarray(labels, dtype=np.int64))
+    if arr.ndim != 1:
+        raise LabelStoreError(
+            f"labels must be a 1-D vector, got shape {arr.shape}"
+        )
+    directory = label_store_dir(cache_dir, generator, digest)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / f"labels-{algorithm}-{int(seed)}.npy"
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npy.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.save(fh, arr)
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return final
+
+
+def _scan_store(path: Path) -> tuple[LabelFile, ...]:
+    files: list[LabelFile] = []
+    for child in sorted(path.iterdir()):
+        parsed = _parse_label_file(child)
+        if parsed is None or not child.is_file():
+            continue
+        algorithm, seed = parsed
+        try:
+            nbytes = child.stat().st_size
+        except OSError:  # pragma: no cover - racing eviction
+            continue
+        files.append(LabelFile(path=child, algorithm=algorithm, seed=seed, nbytes=nbytes))
+    return tuple(files)
+
+
+def list_label_stores(cache_dir: str | Path) -> list[LabelStore]:
+    """Enumerate every label store under ``cache_dir`` (sorted by name)."""
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return []
+    stores: list[LabelStore] = []
+    for path in sorted(cache_dir.iterdir()):
+        if path.suffix != LABEL_DIR_SUFFIX or not path.is_dir():
+            continue
+        stem = path.name[: -len(LABEL_DIR_SUFFIX)]
+        generator, sep, digest = stem.rpartition("-")
+        if not sep or not generator or not digest:
+            continue
+        stores.append(
+            LabelStore(path=path, generator=generator, digest=digest, files=_scan_store(path))
+        )
+    return stores
+
+
+def _resolve_store(cache_dir: str | Path, digest: str) -> LabelStore:
+    matches = [s for s in list_label_stores(cache_dir) if s.digest == digest]
+    if not matches:
+        known = sorted({s.digest for s in list_label_stores(cache_dir)})
+        raise LabelStoreError(
+            f"no label store for digest {digest!r} in {cache_dir}"
+            + (f" (known digests: {', '.join(known)})" if known else "")
+        )
+    if len(matches) > 1:  # pragma: no cover - one digest maps to one entry
+        raise LabelStoreError(
+            f"digest {digest!r} is ambiguous in {cache_dir}: "
+            + ", ".join(s.path.name for s in matches)
+        )
+    return matches[0]
+
+
+def _select_file(
+    store: LabelStore, algorithm: str | None, seed: int | None
+) -> LabelFile:
+    candidates = [
+        f
+        for f in store.files
+        if (algorithm is None or f.algorithm == algorithm)
+        and (seed is None or f.seed == int(seed))
+    ]
+    available = ", ".join(f"({f.algorithm}, seed={f.seed})" for f in store.files)
+    if not candidates:
+        raise LabelStoreError(
+            f"no label vector matching algorithm={algorithm!r} seed={seed!r} "
+            f"in {store.path.name} (available: {available or 'none'})"
+        )
+    if len(candidates) > 1:
+        raise LabelStoreError(
+            f"ambiguous label lookup in {store.path.name}: "
+            f"algorithm={algorithm!r} seed={seed!r} matches "
+            + ", ".join(f"({f.algorithm}, seed={f.seed})" for f in candidates)
+            + " — pass algorithm= and/or seed= to disambiguate"
+        )
+    return candidates[0]
+
+
+# A small keep-alive cache of opened memory maps: repeated point queries
+# (the REST server's hot path) reuse one mmap object instead of reopening
+# the file per request.  Keyed by (path, mtime_ns, size) so an atomically
+# replaced vector is picked up on the next query.  Bounded FIFO — evicting
+# an entry only drops our reference; the OS page cache is what actually
+# keeps warm lookups fast.
+_OPEN_CACHE: dict[tuple[str, int, int], np.ndarray] = {}
+_OPEN_CACHE_MAX = 64
+
+
+def _open_mmap(path: Path) -> np.ndarray:
+    try:
+        st = path.stat()
+    except OSError as exc:
+        raise LabelStoreError(f"label file vanished: {path}") from exc
+    key = (str(path), st.st_mtime_ns, st.st_size)
+    cached = _OPEN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        arr = np.load(path, mmap_mode="r", allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise LabelStoreError(f"corrupt label file {path}: {exc}") from exc
+    if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
+        raise LabelStoreError(
+            f"corrupt label file {path}: expected a 1-D integer vector, "
+            f"got shape {arr.shape} dtype {arr.dtype}"
+        )
+    while len(_OPEN_CACHE) >= _OPEN_CACHE_MAX:
+        _OPEN_CACHE.pop(next(iter(_OPEN_CACHE)))
+    _OPEN_CACHE[key] = arr
+    return arr
+
+
+def open_labels(
+    cache_dir: str | Path,
+    digest: str,
+    *,
+    algorithm: str | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Open one label vector memory-mapped (read-only).
+
+    ``algorithm``/``seed`` narrow the choice when a store holds several
+    vectors; leaving either ``None`` is fine as long as the remaining
+    filters pick a unique file (ambiguity raises, listing the options).
+    """
+    store = _resolve_store(cache_dir, digest)
+    return _open_mmap(_select_file(store, algorithm, seed).path)
+
+
+def query_labels(
+    cache_dir: str | Path,
+    digest: str,
+    nodes: int | Sequence[int] | Iterable[int],
+    *,
+    algorithm: str | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Point/batch lookup: the cluster id of each requested node.
+
+    Returns an int64 array shaped like ``nodes`` (a scalar node id yields a
+    0-d array).  Out-of-range ids raise instead of wrapping — a negative
+    index answering "the cluster of node -1" would be a silent bug.
+    """
+    arr = _open_mmap(_select_file(_resolve_store(cache_dir, digest), algorithm, seed).path)
+    idx = np.asarray(nodes, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= arr.shape[0]):
+        raise LabelStoreError(
+            f"node ids must be in [0, {arr.shape[0]}), got "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    return np.asarray(arr[idx], dtype=np.int64)

@@ -316,6 +316,62 @@ class TestCacheLifecycle:
             prune_cache(tmp_path, -1)
 
 
+class TestLabelStoreAccounting:
+    """Label stores ride the cache lifecycle: listing, pruning, removal."""
+
+    def _entry_with_labels(self, tmp_path, seed=7):
+        from repro.service.labels import write_labels
+
+        cached_instance(planted_partition, seed=seed, cache_dir=tmp_path, **PARAMS)
+        digest = instance_digest("planted_partition", PARAMS, seed)
+        write_labels(
+            tmp_path, "planted_partition", digest, "ours", 873,
+            np.zeros(PARAMS["n"], dtype=np.int64),
+        )
+        return digest
+
+    def test_labels_attach_to_their_cache_entry(self, tmp_path):
+        digest = self._entry_with_labels(tmp_path)
+        (entry,) = list_cache(tmp_path)
+        assert entry.kind == "npz" and entry.digest == digest
+        assert entry.labels_path is not None and entry.labels_path.suffix == ".labels"
+        assert entry.labels_nbytes > 0
+        assert entry.total_nbytes == entry.nbytes + entry.labels_nbytes
+
+    def test_orphan_label_store_is_listed(self, tmp_path):
+        from repro.service.labels import write_labels
+
+        write_labels(tmp_path, "planted_partition", "feedbeef", "ours", 1, [0, 1])
+        (entry,) = list_cache(tmp_path)
+        assert entry.kind == "labels"
+        assert entry.digest == "feedbeef" and entry.nbytes > 0
+        assert entry.labels_path is None
+
+    def test_prune_counts_label_bytes_toward_budget(self, tmp_path):
+        digest = self._entry_with_labels(tmp_path)
+        (entry,) = list_cache(tmp_path)
+        # A budget that fits the instance alone but not instance + labels
+        # must evict: label bytes count.
+        evicted = prune_cache(tmp_path, entry.nbytes)
+        assert [e.digest for e in evicted] == [digest]
+        assert list_cache(tmp_path) == []
+        assert not any(p.suffix == ".labels" for p in tmp_path.iterdir())
+
+    def test_removing_an_entry_removes_its_label_store(self, tmp_path):
+        self._entry_with_labels(tmp_path)
+        (entry,) = list_cache(tmp_path)
+        entry.remove()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_prune_reclaims_orphan_stores(self, tmp_path):
+        from repro.service.labels import write_labels
+
+        write_labels(tmp_path, "planted_partition", "feedbeef", "ours", 1, [0, 1])
+        evicted = prune_cache(tmp_path, 0)
+        assert [e.kind for e in evicted] == ["labels"]
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestStreamedGeneration:
     """generate_to_cache: the out-of-core write path of the v2 format."""
 

@@ -1,0 +1,120 @@
+"""REST layer: an ephemeral-port server exercised through ServiceClient."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import JobStore, Worker, submit_sweep
+from repro.service.app import ServiceApp, make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import sweep_tasks
+
+SPEC = {
+    "family": "cliques",
+    "sizes": [8],
+    "k": 2,
+    "algorithms": ["ours"],
+    "trials": 1,
+    "seed": 0,
+    "keep_labels": True,
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server on an ephemeral port plus its store and cache dir."""
+    store = JobStore(tmp_path / "jobs.sqlite")
+    cache = tmp_path / "cache"
+    server = make_server(ServiceApp(store, cache_dir=cache))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    try:
+        yield client, store, cache
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestEndpoints:
+    def test_health(self, service):
+        client, _, _ = service
+        assert client.health() == {"status": "ok"}
+
+    def test_submit_drain_records_query(self, service):
+        client, store, cache = service
+        created = client.submit(SPEC)
+        job = created["job"]
+        assert created["state"] == "pending" and created["tasks"] == 1
+
+        # No workers attached to this fixture — drain inline, then poll.
+        Worker(store, cache_dir=cache).run_job(job)
+        status = client.wait(job, timeout=10.0)
+        assert status["state"] == "done"
+
+        (record,) = client.records(job)
+        assert record["trial"] == 0
+        assert record["values"]["algorithm"] == "ours"
+        assert "_labels" not in record["values"]
+
+        jobs = client.jobs()
+        assert [j["id"] for j in jobs] == [job]
+
+        task = sweep_tasks(SPEC)[0]
+        labels = client.query(task.instance["digest"], [0, 7, 15], seed=task.seed)
+        assert len(labels) == 3
+        assert all(isinstance(x, int) for x in labels)
+        # A scalar node id works too and agrees with the batch form.
+        assert client.query(task.instance["digest"], 0) == labels[:1]
+
+    def test_wait_raises_on_failed_job(self, service):
+        client, store, cache = service
+        job = client.submit(SPEC)["job"]
+        # Sabotage: fail the only task directly.
+        store.claim_task("saboteur", job_id=job)
+        store.fail_task(job, 0, "boom")
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait(job, timeout=5.0)
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError, match="unknown job") as info:
+            client.job(12345)
+        assert info.value.status == 404
+
+    def test_unknown_digest_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError, match="no label store") as info:
+            client.query("feedbeef00000000", [0])
+        assert info.value.status == 404
+
+    def test_bad_spec_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError, match="unknown family") as info:
+            client.submit({"family": "hypercubes", "sizes": [8]})
+        assert info.value.status == 400
+
+    def test_query_without_nodes_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError, match="at least one node") as info:
+            client._request("GET", "/labels/feedbeef00000000")
+        assert info.value.status == 400
+
+    def test_unknown_route_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError, match="no route") as info:
+            client._request("GET", "/nonsense")
+        assert info.value.status == 404
+
+    def test_query_without_cache_dir_is_rejected(self, tmp_path):
+        app = ServiceApp(JobStore(tmp_path / "jobs.sqlite"), cache_dir=None)
+        from repro.service.labels import LabelStoreError
+
+        with pytest.raises(LabelStoreError, match="cache"):
+            app.query("feedbeef00000000", [0])

@@ -1,0 +1,340 @@
+"""JobStore lifecycle, worker agents, and digest-addressed sweeps."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.evaluation import TrialTask
+from repro.evaluation.runner import TrialRecord
+from repro.graphs import instance_digest
+from repro.service import (
+    JobError,
+    JobStore,
+    Worker,
+    make_algorithm,
+    resolve_instance,
+    submit_sweep,
+    sweep_tasks,
+)
+from repro.service.labels import list_label_stores, query_labels
+
+
+def _tasks(n=3, **kwargs):
+    return [TrialTask(index=0, algorithm="ours", trial=t, **kwargs) for t in range(n)]
+
+
+def _record(trial):
+    return TrialRecord(config={"algorithm": "ours"}, trial=trial, values={"error": 0.0})
+
+
+SWEEP_SPEC = {
+    "family": "cliques",
+    "sizes": [8, 10],
+    "k": 2,
+    "algorithms": ["ours"],
+    "trials": 2,
+    "seed": 0,
+    "keep_labels": True,
+}
+
+
+class TestJobStoreLifecycle:
+    def test_create_claim_complete(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={"kind": "test"}, tasks=_tasks(2))
+        status = store.job_status(job)
+        assert status["state"] == "pending"
+        assert status["tasks"] == 2 and status["pending"] == 2
+
+        claim = store.claim_task("w1")
+        assert claim is not None
+        job_id, idx, task = claim
+        assert (job_id, idx) == (job, 0)
+        assert task.algorithm == "ours" and task.trial == 0
+        assert store.job_status(job)["state"] == "running"
+
+        store.complete_task(job, 0, _record(0), worker="w1")
+        _, idx2, _ = store.claim_task("w1")
+        store.complete_task(job, idx2, _record(1), worker="w1")
+        status = store.job_status(job)
+        assert status["state"] == "done"
+        assert status["done"] == 2 and status["pending"] == 0
+
+    def test_empty_job_rejected(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        with pytest.raises(JobError, match="at least one task"):
+            store.create_job(spec={}, tasks=[])
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        with pytest.raises(JobError, match="unknown job"):
+            store.job_status(999)
+        with pytest.raises(JobError, match="unknown job"):
+            store.job_context(999)
+
+    def test_failed_task_fails_the_job(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(2))
+        store.claim_task("w1")
+        store.fail_task(job, 0, "ValueError: boom", worker="w1")
+        assert store.job_status(job)["state"] == "failed"
+
+    def test_claim_is_exactly_once(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(8))
+        claimed: list[tuple[int, int]] = []
+        lock = threading.Lock()
+
+        def claim_all(name):
+            while True:
+                claim = store.claim_task(name, job_id=job)
+                if claim is None:
+                    return
+                with lock:
+                    claimed.append(claim[:2])
+
+        threads = [
+            threading.Thread(target=claim_all, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == [(job, i) for i in range(8)]
+        assert len(set(claimed)) == 8
+
+    def test_context_round_trips_through_pickle(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        context = ([({"k": 2}, "instance-placeholder")], {"ours": "adapter"})
+        job = store.create_job(spec={}, tasks=_tasks(1), context=context)
+        assert store.job_context(job) == context
+        assert store.job_context(store.create_job(spec={}, tasks=_tasks(1))) is None
+
+    def test_audit_trail_records_transitions(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(2))
+        store.claim_task("w1", job_id=job)
+        store.complete_task(job, 0, _record(0), worker="w1")
+        store.claim_task("w2", job_id=job)
+        store.fail_task(job, 1, "boom", worker="w2")
+        events = [(e["idx"], e["event"]) for e in store.audit_log(job)]
+        assert events == [
+            (None, "created"),
+            (0, "claimed"),
+            (0, "done"),
+            (1, "claimed"),
+            (1, "failed"),
+        ]
+        failed = store.audit_log(job)[-1]
+        assert failed["worker"] == "w2" and failed["detail"] == "boom"
+
+    def test_list_jobs_in_id_order(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        first = store.create_job(spec={"kind": "a"}, tasks=_tasks(1))
+        second = store.create_job(spec={"kind": "b"}, tasks=_tasks(1))
+        listed = store.list_jobs()
+        assert [j["id"] for j in listed] == [first, second]
+        assert listed[1]["spec"]["kind"] == "b"
+
+
+class TestRecordStreaming:
+    def test_iter_records_streams_in_grid_order(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(3))
+        # Complete out of order: 2, 0, 1.  The stream must still yield 0, 1, 2.
+        for _ in range(3):
+            store.claim_task("w1", job_id=job)
+        for idx in (2, 0, 1):
+            store.complete_task(job, idx, _record(idx))
+        trials = [r.trial for r in store.iter_records(job, timeout=5.0)]
+        assert trials == [0, 1, 2]
+
+    def test_iter_records_raises_on_failed_task(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(2))
+        store.claim_task("w1", job_id=job)
+        store.complete_task(job, 0, _record(0))
+        store.claim_task("w1", job_id=job)
+        store.fail_task(job, 1, "ZeroDivisionError: boom")
+        it = store.iter_records(job, timeout=5.0)
+        assert next(it).trial == 0
+        with pytest.raises(JobError, match="ZeroDivisionError: boom"):
+            next(it)
+
+    def test_iter_records_times_out_without_workers(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(1))
+        with pytest.raises(JobError, match="timed out"):
+            list(store.iter_records(job, timeout=0.05, poll_interval=0.01))
+
+    def test_records_returns_only_completed(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(3))
+        store.claim_task("w1", job_id=job)
+        store.complete_task(job, 0, _record(0))
+        assert [r.trial for r in store.records(job)] == [0]
+
+
+class TestSweepTasks:
+    def test_canonical_grid_order_and_digests(self):
+        spec = dict(SWEEP_SPEC, algorithms=["ours", "spectral"])
+        tasks = sweep_tasks(spec)
+        coords = [(t.index, t.algorithm, t.trial) for t in tasks]
+        assert coords == [
+            (i, name, trial)
+            for i in range(2)
+            for name in ("ours", "spectral")
+            for trial in range(2)
+        ]
+        for task in tasks:
+            inst = task.instance
+            assert inst["digest"] == instance_digest(
+                inst["generator"], inst["params"], inst["seed"]
+            )
+            assert inst["generator"] == "cycle_of_cliques"
+            assert task.options["keep_labels"] is True
+        assert tasks[0].instance["params"] == {"k": 2, "clique_size": 8}
+        assert tasks[0].config == {"size": 8, "algorithm": "ours"}
+
+    def test_sbm_and_expander_families(self):
+        sbm = sweep_tasks(
+            {"family": "sbm", "sizes": [60], "k": 3, "p_in": 0.5, "p_out": 0.02}
+        )[0]
+        assert sbm.instance["generator"] == "planted_partition"
+        assert sbm.instance["params"]["p_in"] == 0.5
+        assert sbm.instance["params"]["ensure_connected"] is True
+        exp = sweep_tasks({"family": "expanders", "sizes": [40], "degree": 6})[0]
+        assert exp.instance["generator"] == "ring_of_expanders"
+        assert exp.instance["params"]["d"] == 6
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(JobError, match="unknown family"):
+            sweep_tasks({"family": "hypercubes", "sizes": [8]})
+        with pytest.raises(JobError, match="sizes"):
+            sweep_tasks({"family": "sbm", "sizes": []})
+        with pytest.raises(JobError, match="trials"):
+            sweep_tasks({"family": "sbm", "sizes": [8], "trials": 0})
+
+    def test_submit_rejects_unknown_algorithm_up_front(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        with pytest.raises(JobError, match="unknown algorithm"):
+            submit_sweep(store, dict(SWEEP_SPEC, algorithms=["becchetti"]))
+        assert store.list_jobs() == []
+
+
+class TestResolution:
+    def test_make_algorithm_unknown_name(self):
+        with pytest.raises(JobError, match="unknown algorithm"):
+            make_algorithm({"name": "kmeans"})
+
+    def test_make_algorithm_families_build(self):
+        for name in ("ours", "spectral", "label-propagation"):
+            assert callable(make_algorithm({"name": name}))
+        assert callable(
+            make_algorithm({"name": "ours", "drop_prob": 0.1, "crash_prob": 0.05})
+        )
+
+    def test_resolve_instance_digest_mismatch(self, tmp_path):
+        spec = sweep_tasks(SWEEP_SPEC)[0].instance
+        bad = dict(spec, digest="0" * len(spec["digest"]))
+        with pytest.raises(JobError, match="digest mismatch"):
+            resolve_instance(bad, cache_dir=tmp_path)
+
+    def test_resolve_instance_materialises_through_cache(self, tmp_path):
+        spec = sweep_tasks(SWEEP_SPEC)[0].instance
+        instance = resolve_instance(spec, cache_dir=tmp_path)
+        assert instance.graph.n == 16  # k=2 cliques of size 8
+
+
+class TestWorker:
+    def test_digest_addressed_job_end_to_end(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        cache = tmp_path / "cache"
+        job = submit_sweep(store, SWEEP_SPEC)
+        ran = Worker(store, name="w1", cache_dir=cache).run_job(job)
+        assert ran == 4  # 2 sizes x 1 algorithm x 2 trials
+        status = store.job_status(job)
+        assert status["state"] == "done" and status["failed"] == 0
+
+        records = store.records(job)
+        assert len(records) == 4
+        for record in records:
+            assert record.values["algorithm"] == "ours"
+            assert "_labels" not in record.values  # popped into the store
+
+        # keep_labels persisted one vector per (instance, trial seed)
+        stores = list_label_stores(cache)
+        assert len(stores) == 2
+        task = sweep_tasks(SWEEP_SPEC)[0]
+        labels = query_labels(
+            cache, task.instance["digest"], np.arange(16), seed=task.seed
+        )
+        assert labels.shape == (16,)
+        assert labels.min() >= 0
+
+    def test_worker_records_failure_not_exception(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        spec = sweep_tasks(SWEEP_SPEC)[0].instance
+        bad = dict(spec, digest="0" * len(spec["digest"]))
+        task = TrialTask(
+            index=0, algorithm="ours", trial=0,
+            instance=bad, options={"name": "ours"},
+        )
+        job = store.create_job(spec={}, tasks=[task])
+        worker = Worker(store, name="w1", cache_dir=tmp_path / "cache")
+        assert worker.run_once() is True  # the claim happened
+        status = store.job_status(job)
+        assert status["state"] == "failed"
+        (event,) = [e for e in store.audit_log(job) if e["event"] == "failed"]
+        assert "JobError" in event["detail"]
+        assert "digest mismatch" in event["detail"]
+
+    def test_task_without_context_or_specs_fails(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        job = store.create_job(spec={}, tasks=_tasks(1))
+        Worker(store).run_once()
+        assert store.job_status(job)["state"] == "failed"
+
+    def test_run_once_returns_false_when_dry(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        assert Worker(store).run_once() is False
+
+    def test_concurrent_workers_drain_one_job(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        cache = tmp_path / "cache"
+        job = submit_sweep(store, dict(SWEEP_SPEC, trials=3))
+        counts = {}
+
+        def drain(name):
+            counts[name] = Worker(store, name=name, cache_dir=cache).run_job(job)
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(counts.values()) == 6
+        assert store.job_status(job)["state"] == "done"
+
+    def test_worker_run_loop_stops_on_event(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite")
+        submit_sweep(store, dict(SWEEP_SPEC, sizes=[8], trials=1))
+        stop = threading.Event()
+        worker = Worker(store, cache_dir=tmp_path / "cache")
+        thread = threading.Thread(
+            target=worker.run, kwargs={"poll_interval": 0.01, "stop": stop}
+        )
+        thread.start()
+        deadline = 30.0
+        while store.list_jobs()[0]["state"] != "done" and deadline > 0:
+            stop.wait(0.05)
+            deadline -= 0.05
+        stop.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert store.list_jobs()[0]["state"] == "done"

@@ -1,0 +1,153 @@
+"""Label stores: round-trip, atomicity, corruption, concurrent readers."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.labels import (
+    LabelStoreError,
+    label_store_dir,
+    list_label_stores,
+    open_labels,
+    query_labels,
+    write_labels,
+)
+
+GEN = "planted_partition"
+DIGEST = "0123abcd4567ef89"
+
+
+class TestRoundTrip:
+    def test_write_then_point_and_batch_lookup(self, tmp_path):
+        labels = np.array([0, 0, 1, 2, 1], dtype=np.int64)
+        path = write_labels(tmp_path, GEN, DIGEST, "ours", 873, labels)
+        assert path.parent == label_store_dir(tmp_path, GEN, DIGEST)
+        assert path.name == "labels-ours-873.npy"
+
+        assert int(query_labels(tmp_path, DIGEST, 3)) == 2
+        batch = query_labels(tmp_path, DIGEST, [0, 2, 4], algorithm="ours", seed=873)
+        assert batch.tolist() == [0, 1, 1]
+        assert batch.dtype == np.int64
+
+    def test_open_labels_is_memory_mapped(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1, np.arange(100))
+        arr = open_labels(tmp_path, DIGEST)
+        assert isinstance(arr, np.memmap)
+        assert arr[42] == 42
+
+    def test_input_dtype_is_normalised_to_int64(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1, np.array([1, 0], dtype=np.int32))
+        assert open_labels(tmp_path, DIGEST).dtype == np.int64
+
+    def test_atomic_overwrite_serves_the_new_vector(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 7, [0, 1, 2])
+        write_labels(tmp_path, GEN, DIGEST, "ours", 7, [2, 1, 0])
+        assert query_labels(tmp_path, DIGEST, [0, 2]).tolist() == [2, 0]
+
+    def test_hyphenated_algorithm_names_round_trip(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "label-propagation", 1888, [5, 6])
+        (store,) = list_label_stores(tmp_path)
+        (file,) = store.files
+        assert file.algorithm == "label-propagation"
+        assert file.seed == 1888
+        assert query_labels(
+            tmp_path, DIGEST, 1, algorithm="label-propagation"
+        ).tolist() == 6
+
+
+class TestListing:
+    def test_list_label_stores(self, tmp_path):
+        write_labels(tmp_path, GEN, "aaaa", "ours", 1, [0])
+        write_labels(tmp_path, GEN, "aaaa", "spectral", 2, [0])
+        write_labels(tmp_path, "cycle_of_cliques", "bbbb", "ours", 3, [0, 1])
+        stores = {s.digest: s for s in list_label_stores(tmp_path)}
+        assert set(stores) == {"aaaa", "bbbb"}
+        assert len(stores["aaaa"].files) == 2
+        assert stores["bbbb"].generator == "cycle_of_cliques"
+        assert stores["aaaa"].nbytes > 0
+
+    def test_empty_or_missing_dir(self, tmp_path):
+        assert list_label_stores(tmp_path) == []
+        assert list_label_stores(tmp_path / "nope") == []
+
+    def test_unrelated_files_ignored(self, tmp_path):
+        store = label_store_dir(tmp_path, GEN, DIGEST)
+        store.mkdir()
+        (store / "notes.txt").write_text("not labels")
+        (store / "labels-bad.npy").write_bytes(b"no seed suffix")
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1, [0])
+        (single,) = list_label_stores(tmp_path)
+        assert [f.path.name for f in single.files] == ["labels-ours-1.npy"]
+
+
+class TestErrors:
+    def test_unknown_digest(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1, [0])
+        with pytest.raises(LabelStoreError, match="no label store"):
+            query_labels(tmp_path, "feedbeef00000000", 0)
+
+    def test_ambiguous_lookup_lists_choices(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 873, [0])
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1873, [0])
+        with pytest.raises(LabelStoreError, match="ambiguous.*1873"):
+            open_labels(tmp_path, DIGEST, algorithm="ours")
+        # seed= disambiguates
+        assert open_labels(tmp_path, DIGEST, seed=873)[0] == 0
+
+    def test_no_matching_vector_lists_available(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 873, [0])
+        with pytest.raises(LabelStoreError, match="available.*ours"):
+            open_labels(tmp_path, DIGEST, algorithm="spectral")
+
+    def test_out_of_range_nodes(self, tmp_path):
+        write_labels(tmp_path, GEN, DIGEST, "ours", 1, [0, 1, 2])
+        with pytest.raises(LabelStoreError, match="node ids"):
+            query_labels(tmp_path, DIGEST, [0, 3])
+        with pytest.raises(LabelStoreError, match="node ids"):
+            query_labels(tmp_path, DIGEST, -1)
+
+    def test_non_vector_labels_rejected_at_write(self, tmp_path):
+        with pytest.raises(LabelStoreError, match="1-D"):
+            write_labels(tmp_path, GEN, DIGEST, "ours", 1, [[0, 1], [2, 3]])
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = write_labels(tmp_path, GEN, DIGEST, "ours", 1, np.arange(64))
+        path.write_bytes(b"\x93NUMPY garbage that is not a valid header")
+        with pytest.raises(LabelStoreError, match="corrupt"):
+            open_labels(tmp_path, DIGEST)
+
+    def test_wrong_payload_shape_raises(self, tmp_path):
+        store = label_store_dir(tmp_path, GEN, DIGEST)
+        store.mkdir(parents=True)
+        np.save(store / "labels-ours-1.npy", np.zeros((2, 2)))
+        with pytest.raises(LabelStoreError, match="1-D integer"):
+            open_labels(tmp_path, DIGEST)
+
+
+class TestConcurrentReaders:
+    def test_many_threads_share_one_store(self, tmp_path):
+        rng = np.random.default_rng(7)
+        labels = rng.integers(0, 8, size=10_000)
+        write_labels(tmp_path, GEN, DIGEST, "ours", 873, labels)
+
+        errors: list[Exception] = []
+
+        def reader(seed: int) -> None:
+            try:
+                local = np.random.default_rng(seed)
+                for _ in range(50):
+                    nodes = local.integers(0, labels.shape[0], size=16)
+                    got = query_labels(tmp_path, DIGEST, nodes)
+                    assert got.tolist() == labels[nodes].tolist()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -1,0 +1,182 @@
+"""Executor parity: queue == process == serial, bit for bit.
+
+The transport-agnostic contract of the trial fabric is that *where* a
+task runs never changes *what* it records: every trial's randomness comes
+from :func:`trial_seed` of its own (algorithm, trial, base_seed)
+coordinates, so any executor that honours the canonical grid order must
+reproduce the serial loop exactly — including value types, which is why
+the comparisons below use ``==`` on the raw record tuples rather than
+approximate matchers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim import make_failure_model
+from repro.evaluation import (
+    QueueExecutor,
+    SerialExecutor,
+    TrialTask,
+    evaluate_baseline,
+    evaluate_distributed_clustering,
+    evaluate_load_balancing_clustering,
+    run_trials,
+    sweep,
+    trial_seed,
+)
+from repro.evaluation.runner import TrialRecord
+from repro.baselines import SpectralClustering
+from repro.graphs import cached_instance, cycle_of_cliques
+
+
+def _instances():
+    return list(sweep([2, 3], lambda k: cycle_of_cliques(k, 12, seed=k), key="k"))
+
+
+def _mmap_instances(tmp_path):
+    def make(size, cache_dir=None):
+        return cached_instance(
+            cycle_of_cliques, k=2, clique_size=size, seed=size,
+            cache_dir=cache_dir, mmap=True,
+        )
+
+    return list(sweep([8, 10], make, key="size", cache_dir=str(tmp_path)))
+
+
+def _algorithms(failures=None):
+    # Failure injection needs a round-engine backend (the legacy centralized
+    # driver has no message layer to fail), so "ours" pins vectorized.
+    ours = evaluate_load_balancing_clustering(
+        backend="vectorized", failures=failures
+    )
+    return {
+        "ours": ours,
+        "vectorized": evaluate_distributed_clustering(rounds=20),
+        "spectral": evaluate_baseline(SpectralClustering()),
+    }
+
+
+def _flat(result):
+    return [(r.config, r.trial, r.values) for r in result.records]
+
+
+class TestExecutorParity:
+    def test_queue_matches_serial_and_process_dense(self):
+        instances = _instances()
+        algorithms = _algorithms()
+        serial = run_trials(instances, algorithms, trials=2, executor="serial")
+        process = run_trials(
+            instances, algorithms, trials=2, executor="process", workers=2
+        )
+        queue = run_trials(
+            instances, algorithms, trials=2, executor="queue", workers=2
+        )
+        assert _flat(queue) == _flat(serial)
+        assert _flat(process) == _flat(serial)
+
+    def test_queue_matches_serial_on_mmap_instances(self, tmp_path):
+        instances = _mmap_instances(tmp_path / "cache")
+        algorithms = _algorithms()
+        serial = run_trials(instances, algorithms, trials=2, executor="serial")
+        queue = run_trials(instances, algorithms, trials=2, executor="queue", workers=2)
+        assert _flat(queue) == _flat(serial)
+
+    def test_parity_holds_under_failure_injection(self):
+        """Failure masks are seeded from the trial seed, not executor state."""
+        instances = _instances()
+        algorithms = _algorithms(
+            failures=make_failure_model(drop_probability=0.05)
+        )
+        serial = run_trials(instances, algorithms, trials=2, executor="serial")
+        queue = run_trials(instances, algorithms, trials=2, executor="queue", workers=2)
+        process = run_trials(
+            instances, algorithms, trials=2, executor="process", workers=2
+        )
+        assert _flat(queue) == _flat(serial)
+        assert _flat(process) == _flat(serial)
+
+    def test_explicit_executor_instances(self):
+        instances = _instances()
+        algorithms = {"ours": evaluate_load_balancing_clustering()}
+        serial = run_trials(instances, algorithms, executor=SerialExecutor())
+        queue = run_trials(instances, algorithms, executor=QueueExecutor(workers=2))
+        assert _flat(queue) == _flat(serial)
+
+    def test_queue_executor_with_explicit_store_path(self, tmp_path):
+        instances = _instances()
+        algorithms = {"ours": evaluate_load_balancing_clustering()}
+        db = tmp_path / "jobs.sqlite"
+        queue = run_trials(
+            instances, algorithms, executor=QueueExecutor(store=db, workers=2)
+        )
+        serial = run_trials(instances, algorithms, executor="serial")
+        assert _flat(queue) == _flat(serial)
+        assert db.exists()
+
+
+class TestExecutorValidation:
+    def test_executor_instance_plus_workers_rejected(self):
+        with pytest.raises(ValueError, match="either an executor instance or workers"):
+            run_trials(
+                _instances(),
+                {"ours": evaluate_load_balancing_clustering()},
+                executor=SerialExecutor(),
+                workers=2,
+            )
+
+    def test_queue_workers_zero_without_store_rejected(self):
+        with pytest.raises(ValueError, match="external workers"):
+            QueueExecutor(workers=0)
+
+    def test_queue_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            QueueExecutor(workers=-1)
+
+    def test_queue_string_selector(self):
+        """run_trials(executor="queue") builds a QueueExecutor."""
+        result = run_trials(
+            _instances()[:1],
+            {"ours": evaluate_load_balancing_clustering()},
+            trials=1,
+            executor="queue",
+        )
+        assert len(result.records) == 1
+
+
+class TestTaskSerialisation:
+    def test_trial_task_json_round_trip(self):
+        task = TrialTask(
+            index=1,
+            algorithm="label-propagation",
+            trial=2,
+            base_seed=5,
+            config={"size": 120, "algorithm": "label-propagation"},
+            instance={"generator": "planted_partition", "params": {"n": 120}},
+            options={"name": "label-propagation"},
+        )
+        assert TrialTask.from_json(task.to_json()) == task
+
+    def test_minimal_task_omits_optional_fields(self):
+        task = TrialTask(index=0, algorithm="ours", trial=0)
+        text = task.to_json()
+        assert "config" not in text and "instance" not in text
+        assert TrialTask.from_json(text) == task
+
+    def test_task_seed_is_trial_seed(self):
+        task = TrialTask(index=0, algorithm="ours", trial=2, base_seed=5)
+        assert task.seed == trial_seed("ours", 2, 5) == 2878
+
+    def test_trial_record_json_round_trip(self):
+        import numpy as np
+
+        record = TrialRecord(
+            config={"k": 2, "algorithm": "ours"},
+            trial=1,
+            values={"error": np.float64(0.125), "rounds": np.int64(20)},
+        )
+        restored = TrialRecord.from_json(record.to_json())
+        assert restored.config == record.config
+        assert restored.trial == 1
+        # numpy scalars collapse to Python ones but keep their exact value
+        assert restored.values == {"error": 0.125, "rounds": 20}

@@ -367,3 +367,109 @@ class TestCacheCommand:
         assert parse_size("2GB") == 2 * 1024**3
         with pytest.raises(Exception):
             parse_size("banana")
+
+    def test_list_shows_label_store_column(self, tmp_path, capsys):
+        from repro.graphs import instance_digest
+        from repro.service.labels import write_labels
+
+        self._populate(tmp_path)
+        params = dict(k=3, clique_size=10)
+        digest = instance_digest("cycle_of_cliques", params, 2)
+        write_labels(
+            tmp_path, "cycle_of_cliques", digest, "ours", 873,
+            np.zeros(30, dtype=np.int64),
+        )
+        capsys.readouterr()
+        assert main(["cache", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "labels" in out and "total" in out
+        # The entry's labels cell is a real size, not the "-" placeholder.
+        (row,) = [l for l in out.splitlines() if "sharded" in l]
+        assert " - " not in row
+
+
+class TestServiceCommands:
+    SUBMIT = [
+        "submit", "cliques", "--sizes", "8", "--k", "2",
+        "--trials", "1", "--seed", "0", "--keep-labels",
+    ]
+
+    def _digest(self):
+        from repro.service import sweep_tasks
+
+        spec = {
+            "family": "cliques", "sizes": [8], "k": 2,
+            "trials": 1, "seed": 0, "keep_labels": True,
+        }
+        task = sweep_tasks(spec)[0]
+        return task.instance["digest"], task.seed
+
+    def _submitted(self, tmp_path):
+        db = tmp_path / "jobs.sqlite"
+        cache = tmp_path / "cache"
+        argv = self.SUBMIT + [
+            "--db", str(db), "--run", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        return db, cache
+
+    def test_submit_db_run_executes_inline(self, tmp_path, capsys):
+        self._submitted(tmp_path)
+        out = capsys.readouterr().out
+        assert "job 1: done (1/1 done, 0 failed)" in out
+
+    def test_jobs_table(self, tmp_path, capsys):
+        db, _ = self._submitted(tmp_path)
+        capsys.readouterr()
+        assert main(["jobs", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "cliques" in out and "done" in out
+
+    def test_jobs_empty_store(self, tmp_path, capsys):
+        db = tmp_path / "jobs.sqlite"
+        from repro.service import JobStore
+
+        JobStore(db)
+        assert main(["jobs", "--db", str(db)]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_query_prints_node_label_lines(self, tmp_path, capsys):
+        _, cache = self._submitted(tmp_path)
+        digest, seed = self._digest()
+        capsys.readouterr()
+        argv = [
+            "query", digest, "0", "15", "--cache-dir", str(cache),
+            "--seed", str(seed),
+        ]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        node, label = lines[0].split("\t")
+        assert node == "0" and label.lstrip("-").isdigit()
+
+    def test_query_unknown_digest_fails_cleanly(self, tmp_path, capsys):
+        _, cache = self._submitted(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "feedbeef", "0", "--cache-dir", str(cache)]) == 1
+        assert "no label store" in capsys.readouterr().err
+
+    def test_submit_requires_exactly_one_target(self, tmp_path, capsys):
+        assert main(self.SUBMIT) == 2
+        argv = self.SUBMIT + [
+            "--db", str(tmp_path / "db"), "--url", "http://127.0.0.1:1",
+        ]
+        assert main(argv) == 2
+        assert "exactly one of --url or --db" in capsys.readouterr().err
+
+    def test_query_requires_exactly_one_source(self, capsys):
+        assert main(["query", "feedbeef", "0"]) == 2
+        assert "exactly one of --url or --cache-dir" in capsys.readouterr().err
+
+    def test_submit_url_against_dead_server_fails_cleanly(self, capsys):
+        argv = self.SUBMIT + ["--url", "http://127.0.0.1:1"]
+        assert main(argv) == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self, tmp_path):
+        args = build_parser().parse_args(["serve", "--db", str(tmp_path / "db")])
+        assert args.port == 0 and args.workers == 1 and args.cache_dir is None
